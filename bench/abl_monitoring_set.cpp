@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: monitoring-set organization (Section IV-A).
+ *
+ * The paper argues a ZCache-style Cuckoo table keeps the conflict rate
+ * negligible with 5-10% over-provisioning, whereas plain set-associative
+ * structures need very high associativity.  This ablation measures
+ * insertion-conflict rates vs occupancy for 2-way and 4-way Cuckoo walks
+ * and for a walk-free (set-associative-like) configuration.
+ */
+
+#include <cstdio>
+
+#include "core/monitoring_set.hh"
+#include "harness/experiment.hh"
+#include "queueing/doorbell.hh"
+#include "sim/rng.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+namespace {
+
+/** Fraction of random doorbell inserts that conflict. */
+double
+conflictRate(unsigned ways, unsigned walkSteps, double targetLoad,
+             std::uint64_t seed, unsigned banks = 1)
+{
+    core::MonitoringSetConfig cfg;
+    cfg.capacity = 1024;
+    cfg.ways = ways;
+    cfg.banks = banks;
+    cfg.maxWalkSteps = walkSteps;
+    core::MonitoringSet ms(cfg);
+    Rng rng(seed);
+    const auto inserts =
+        static_cast<unsigned>(targetLoad * cfg.capacity);
+    unsigned failures = 0;
+    for (unsigned i = 0; i < inserts; ++i) {
+        // Random line-aligned doorbell addresses (driver-allocated).
+        const Addr addr = queueing::AddressMap::doorbellBase +
+                          rng.uniformInt(1u << 24) * cacheLineBytes;
+        if (!ms.insert(addr, i))
+            ++failures;
+    }
+    return static_cast<double>(failures) / inserts;
+}
+
+} // namespace
+
+int
+main()
+{
+    harness::printExperimentBanner(
+        "Ablation: monitoring set",
+        "Cuckoo-walk insertion conflict rate vs occupancy (1024 "
+        "entries; mean of 5 seeds)");
+
+    stats::Table t("Insert conflict rate (%)");
+    t.header({"target load", "2-way no-walk", "2-way walk", "4-way "
+              "no-walk", "4-way walk (ZCache-like)"});
+    for (double load : {0.5, 0.7, 0.85, 0.91, 0.977}) {
+        std::vector<std::string> row{stats::fmt(load * 100, 1) + "%"};
+        for (auto [ways, steps] :
+             {std::pair{2u, 1u}, std::pair{2u, 64u}, std::pair{4u, 1u},
+              std::pair{4u, 64u}}) {
+            double sum = 0;
+            for (std::uint64_t seed = 1; seed <= 5; ++seed)
+                sum += conflictRate(ways, steps, load, seed);
+            row.push_back(stats::fmt(100.0 * sum / 5, 2));
+        }
+        t.row(std::move(row));
+    }
+    t.print();
+
+    // Banked organizations (distributed directories, Section IV-A):
+    // banks shrink each Cuckoo table, costing some occupancy headroom.
+    stats::Table tb("4-way walk conflict rate vs banking (%)");
+    tb.header({"target load", "1 bank", "2 banks", "4 banks",
+               "8 banks"});
+    for (double load : {0.85, 0.91, 0.977}) {
+        std::vector<std::string> row{stats::fmt(load * 100, 1) + "%"};
+        for (unsigned banks : {1u, 2u, 4u, 8u}) {
+            double sum = 0;
+            for (std::uint64_t seed = 1; seed <= 5; ++seed)
+                sum += conflictRate(4, 64, load, seed, banks);
+            row.push_back(stats::fmt(100.0 * sum / 5, 2));
+        }
+        tb.row(std::move(row));
+    }
+    tb.print();
+
+    std::puts("Expected: the 4-way walk sustains the paper's 1000/1024 "
+              "(97.7%) occupancy with ~0 conflicts;\n2-way tables "
+              "saturate near 50% occupancy; removing the walk cripples "
+              "either geometry.\n(91% load corresponds to ~10% "
+              "over-provisioning; conflict rate ~0.1% or less, "
+              "Section IV-A.)");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: ripple vs Brent-Kung priority arbiter (Section IV-B).
+ *
+ * The ripple bit-slice PPA has linear delay and a combinational
+ * wrap-around loop; the thermometer-coded Brent-Kung design scales
+ * logarithmically to thousands of bits.  This table quantifies the
+ * delay/area trade-off and shows where the ripple design stops meeting
+ * the ready set's 12.25 ns budget.
+ */
+
+#include <cstdio>
+
+#include "core/hw_cost.hh"
+#include "core/ppa.hh"
+#include "harness/experiment.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+int
+main()
+{
+    harness::printExperimentBanner(
+        "Ablation: PPA design", "ripple vs Brent-Kung arbiter scaling");
+
+    core::RipplePpa rip;
+    core::BrentKungPpa bk;
+
+    stats::Table t("Arbiter delay and complexity vs width");
+    t.header({"bits", "ripple delay (ns)", "ripple depth",
+              "BK delay (ns)", "BK depth", "ripple gates", "BK gates",
+              "BK meets 12.25ns budget"});
+    for (unsigned n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u,
+                       8192u}) {
+        core::HwCostConfig hc;
+        hc.readyEntries = n;
+        core::HwCostModel model(hc);
+        t.row({std::to_string(n), stats::fmt(rip.delayNs(n), 2),
+               std::to_string(rip.depth(n)),
+               stats::fmt(bk.delayNs(n), 2), std::to_string(bk.depth(n)),
+               std::to_string(rip.gateCount(n)),
+               std::to_string(bk.gateCount(n)),
+               model.readySetLatencyNs() <= 12.26 ? "yes" : "no"});
+    }
+    t.print();
+
+    std::puts("Expected: ripple delay doubles per doubling (22.5 ns at "
+              "1024 bits — over the budget);\nBrent-Kung grows by one "
+              "up-sweep + one down-sweep level, staying ~1.3 ns at "
+              "1024 bits\nfor modestly more gates.");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Extension benchmark: all four notification mechanisms side by side.
+ *
+ * Adds the conventional kernel-interrupt path (Figure 1(a) of the
+ * paper) as a second baseline next to spin-polling, hardware
+ * HyperPlane, and software-ready-set HyperPlane: peak throughput,
+ * zero-load latency, and idle power for each, at small and large queue
+ * counts.
+ */
+
+#include <cstdio>
+
+#include "dp/sdp_system.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+int
+main()
+{
+    harness::printTableI();
+    harness::printExperimentBanner(
+        "Extension: notification mechanisms",
+        "interrupts vs spinning vs HyperPlane (packet encapsulation, "
+        "SQ traffic, 1 core)");
+
+    for (unsigned queues : {64u, 1000u}) {
+        stats::Table t("Notification mechanisms at " +
+                       std::to_string(queues) + " queues");
+        t.header({"mechanism", "peak Mtps", "zero-load avg us",
+                  "zero-load p99 us", "idle power W"});
+        for (auto plane :
+             {dp::PlaneKind::InterruptDriven, dp::PlaneKind::Spinning,
+              dp::PlaneKind::HyperPlaneSwReady,
+              dp::PlaneKind::HyperPlane}) {
+            dp::SdpConfig cfg;
+            cfg.plane = plane;
+            cfg.numCores = 1;
+            cfg.numQueues = queues;
+            cfg.workload = workloads::Kind::PacketEncapsulation;
+            cfg.shape = traffic::Shape::SQ;
+            cfg.seed = 121;
+            cfg.warmupUs = 800.0;
+            cfg.measureUs = 5000.0;
+            const auto peak = harness::measureAtSaturation(cfg);
+
+            auto zcfg = cfg;
+            zcfg.jitter = dp::ServiceJitter::None;
+            zcfg = harness::zeroLoadConfig(zcfg, 500);
+            const auto zero = runSdp(zcfg);
+
+            t.row({dp::toString(plane),
+                   stats::fmt(peak.throughputMtps),
+                   stats::fmt(zero.avgLatencyUs, 2),
+                   stats::fmt(zero.p99LatencyUs, 2),
+                   stats::fmt(zero.avgCorePowerW, 2)});
+        }
+        t.print();
+    }
+
+    std::puts("Expected: interrupts are work-proportional but pay the "
+              "~1.5 us kernel path per wakeup;\nspinning reacts fast "
+              "at few queues but collapses with many; HyperPlane "
+              "dominates both\naxes; the software ready set sits "
+              "between.");
+    return 0;
+}

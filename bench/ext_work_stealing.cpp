@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Extension benchmark: NUMA-style work stealing across partitioned
+ * ready sets — the mechanism Section III-B defers to future work
+ * ("data plane cores fetch ready QIDs from remote ready sets if the
+ * local ready set is empty").
+ *
+ * Four cores, scale-out (one ready set per core), PC traffic with
+ * heavy static imbalance: stealing recovers most of the scale-up
+ * organization's tail-latency advantage while keeping doorbells
+ * NUMA-local.
+ */
+
+#include <cstdio>
+
+#include "dp/sdp_system.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+int
+main()
+{
+    harness::printTableI();
+    harness::printExperimentBanner(
+        "Extension: work stealing",
+        "scale-out HyperPlane +/- remote ready-set stealing "
+        "(packet encapsulation, 4 cores, 400 queues, PC, 30% "
+        "imbalance)");
+
+    struct Variant
+    {
+        const char *name;
+        dp::QueueOrg org;
+        bool stealing;
+    };
+    const Variant variants[] = {
+        {"scale-out", dp::QueueOrg::ScaleOut, false},
+        {"scale-out + stealing", dp::QueueOrg::ScaleOut, true},
+        {"scale-up (reference)", dp::QueueOrg::ScaleUpAll, false},
+    };
+
+    stats::Table t("p99 latency vs load (us)");
+    const std::vector<double> loads{0.3, 0.5, 0.7, 0.9};
+    std::vector<std::string> header{"config"};
+    for (double l : loads)
+        header.push_back(stats::fmt(l * 100, 0) + "%");
+    header.push_back("stolen@90%");
+    t.header(std::move(header));
+
+    for (const auto &v : variants) {
+        dp::SdpConfig cfg;
+        cfg.plane = dp::PlaneKind::HyperPlane;
+        cfg.numCores = 4;
+        cfg.numQueues = 400;
+        cfg.workload = workloads::Kind::PacketEncapsulation;
+        cfg.shape = traffic::Shape::PC;
+        cfg.org = v.org;
+        cfg.workStealing = v.stealing;
+        cfg.imbalance = 0.30;
+        cfg.seed = 131;
+        cfg.warmupUs = 1500.0;
+        cfg.measureUs = 8000.0;
+        const double cap = harness::calibrateCapacity(cfg);
+        std::vector<std::string> row{v.name};
+        std::uint64_t stolen = 0;
+        for (double l : loads) {
+            const auto r = harness::runAtLoad(cfg, cap, l);
+            row.push_back(stats::fmt(r.p99LatencyUs, 1));
+            if (l == loads.back())
+                stolen = r.stolenGrants;
+        }
+        row.push_back(std::to_string(stolen));
+        t.row(std::move(row));
+        std::printf("  (%s saturates at %.2f Mtps)\n", v.name,
+                    cap / 1e6);
+    }
+    t.print();
+
+    std::puts("Expected: imbalance inflates scale-out tails at high "
+              "load; stealing pulls them back toward\nthe scale-up "
+              "reference at the cost of remote ready-set probes.");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Figure 3 reproduction: the DPDK queue-scalability case study
+ * (Section II-C).
+ *
+ * The paper ran this on a real Xeon + 100GbE NIC; we reproduce it inside
+ * the simulator against the spin-polling data plane (the substitution is
+ * documented in DESIGN.md).  Three panels:
+ *   (a) peak packet-encapsulation throughput vs queue count under the
+ *       FB / PC / NC / SQ traffic shapes;
+ *   (b) round-trip latency vs queue count under light traffic;
+ *   (c) the latency distribution (quantiles) at 1 / 256 / 512 queues.
+ */
+
+#include <cstdio>
+
+#include "dp/sdp_system.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+namespace {
+
+dp::SdpConfig
+baseCfg()
+{
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::Spinning;
+    cfg.numCores = 1;
+    cfg.workload = workloads::Kind::PacketEncapsulation;
+    cfg.warmupUs = 1000.0;
+    cfg.measureUs = 6000.0;
+    cfg.seed = 11;
+    return cfg;
+}
+
+void
+panelA()
+{
+    stats::Table t("Fig 3(a): spinning throughput vs #queues "
+                   "(million tasks/s, packet encapsulation)");
+    t.header({"queues", "FB", "PC", "NC", "SQ"});
+    for (unsigned q : {16u, 100u, 250u, 500u, 750u, 1000u}) {
+        std::vector<std::string> row{std::to_string(q)};
+        for (auto shape : traffic::allShapes()) {
+            auto cfg = baseCfg();
+            cfg.numQueues = q;
+            cfg.shape = shape;
+            const auto r = harness::measureAtSaturation(cfg);
+            row.push_back(stats::fmt(r.throughputMtps));
+        }
+        t.row(std::move(row));
+    }
+    t.print();
+}
+
+void
+panelB()
+{
+    stats::Table t("Fig 3(b): round-trip latency vs #queues under "
+                   "light traffic (us)");
+    t.header({"queues", "avg", "p99"});
+    for (unsigned q : {1u, 64u, 128u, 256u, 384u, 512u}) {
+        auto cfg = harness::zeroLoadConfig(baseCfg(), 1200);
+        cfg.numQueues = q;
+        cfg.shape = traffic::Shape::SQ; // one active flow, many queues
+        cfg.jitter = dp::ServiceJitter::None;
+        const auto r = runSdp(cfg);
+        t.row({std::to_string(q), stats::fmt(r.avgLatencyUs, 2),
+               stats::fmt(r.p99LatencyUs, 2)});
+    }
+    t.print();
+}
+
+void
+panelC()
+{
+    stats::Table t("Fig 3(c): latency distribution (us at quantile)");
+    t.header({"quantile", "1 queue", "256 queues", "512 queues"});
+    std::vector<std::vector<double>> columns;
+    for (unsigned q : {1u, 256u, 512u}) {
+        auto cfg = harness::zeroLoadConfig(baseCfg(), 1500);
+        cfg.numQueues = q;
+        cfg.shape = traffic::Shape::SQ;
+        cfg.jitter = dp::ServiceJitter::None;
+        dp::SdpSystem sys(cfg);
+        sys.run();
+        std::vector<double> col;
+        for (double quant : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99})
+            col.push_back(sys.latencyHistogram().quantile(quant));
+        columns.push_back(std::move(col));
+    }
+    const char *names[] = {"p10", "p25", "p50", "p75", "p90", "p99"};
+    for (int i = 0; i < 6; ++i) {
+        t.row({names[i], stats::fmt(columns[0][i], 2),
+               stats::fmt(columns[1][i], 2),
+               stats::fmt(columns[2][i], 2)});
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    harness::printTableI();
+    harness::printExperimentBanner(
+        "Figure 3", "DPDK-style queue scalability case study "
+                    "(simulated substitution for the Xeon+NIC testbed)");
+    panelA();
+    panelB();
+    panelC();
+    std::puts("Expected shape: SQ throughput collapses with queue "
+              "count, NC milder, FB/PC flat;\nlatency grows linearly "
+              "with queue count and the tail grows faster than the "
+              "average.");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 8 reproduction: peak throughput of the spinning data plane vs
+ * HyperPlane for all six workloads under all four traffic shapes,
+ * sweeping the total number of queues (Section V-B).
+ */
+
+#include <cstdio>
+
+#include "dp/sdp_system.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+int
+main()
+{
+    harness::printTableI();
+    harness::printExperimentBanner(
+        "Figure 8",
+        "peak throughput, spinning vs HyperPlane, 6 workloads x 4 "
+        "shapes x queue counts (single core)");
+
+    const std::vector<unsigned> queueCounts{100, 400, 700, 1000};
+    double sumRatio = 0.0;
+    unsigned nRatio = 0;
+
+    for (auto kind : workloads::allKinds()) {
+        stats::Table t(std::string("Fig 8: ") +
+                       workloads::toString(kind) +
+                       " (million tasks/s)");
+        std::vector<std::string> header{"shape/plane"};
+        for (unsigned q : queueCounts)
+            header.push_back(std::to_string(q) + "q");
+        t.header(std::move(header));
+
+        for (auto shape : traffic::allShapes()) {
+            std::vector<std::string> spinRow{
+                std::string(traffic::toString(shape)) + "-spinning"};
+            std::vector<std::string> hpRow{
+                std::string(traffic::toString(shape)) + "-hyperplane"};
+            for (unsigned q : queueCounts) {
+                dp::SdpConfig cfg;
+                cfg.numCores = 1;
+                cfg.numQueues = q;
+                cfg.workload = kind;
+                cfg.shape = shape;
+                cfg.warmupUs = 800.0;
+                cfg.measureUs = 5000.0;
+                cfg.seed = 21;
+
+                cfg.plane = dp::PlaneKind::Spinning;
+                const auto spin = harness::measureAtSaturation(cfg);
+                cfg.plane = dp::PlaneKind::HyperPlane;
+                const auto hp = harness::measureAtSaturation(cfg);
+
+                spinRow.push_back(stats::fmt(spin.throughputMtps));
+                hpRow.push_back(stats::fmt(hp.throughputMtps));
+                if (spin.throughputMtps > 0) {
+                    sumRatio += hp.throughputMtps / spin.throughputMtps;
+                    ++nRatio;
+                }
+            }
+            t.row(std::move(spinRow));
+            t.row(std::move(hpRow));
+        }
+        t.print();
+    }
+
+    std::printf("Mean HyperPlane/spinning peak-throughput ratio across "
+                "all points: %s (paper: 4.1x on average)\n",
+                stats::fmtRatio(sumRatio / nRatio).c_str());
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 9 reproduction: zero-load latency vs queue count
+ * (Section V-B).
+ *
+ *  (a) average and 99% tail latency of the spinning data plane;
+ *  (b) average latency of HyperPlane, regular and power-optimized.
+ *
+ * Traffic is very light (<1% load) so the numbers are notification +
+ * service latency with no queueing delay; service jitter is disabled to
+ * isolate the notification path.
+ */
+
+#include <cstdio>
+
+#include "dp/sdp_system.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+namespace {
+
+dp::SdpResults
+runPoint(workloads::Kind kind, unsigned queues, dp::PlaneKind plane,
+         bool powerOpt)
+{
+    dp::SdpConfig cfg;
+    cfg.plane = plane;
+    cfg.powerOptimized = powerOpt;
+    cfg.numCores = 1;
+    cfg.numQueues = queues;
+    cfg.workload = kind;
+    cfg.shape = traffic::Shape::SQ; // one active tenant, rest idle
+    cfg.jitter = dp::ServiceJitter::None;
+    cfg.seed = 31;
+    cfg = harness::zeroLoadConfig(cfg, 700);
+    return runSdp(cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    harness::printTableI();
+    harness::printExperimentBanner(
+        "Figure 9", "zero-load latency vs queue count (<1% load)");
+
+    const std::vector<unsigned> queueCounts{1, 8, 64, 250, 500, 1000};
+
+    double sumAvgRatio = 0.0, sumTailRatio = 0.0;
+    unsigned nRatio = 0;
+
+    for (auto kind : workloads::allKinds()) {
+        stats::Table t(std::string("Fig 9: ") +
+                       workloads::toString(kind) + " (latency, us)");
+        t.header({"queues", "spin avg", "spin p99", "hp avg", "hp p99",
+                  "hp-pwr avg"});
+        for (unsigned q : queueCounts) {
+            const auto spin =
+                runPoint(kind, q, dp::PlaneKind::Spinning, false);
+            const auto hp =
+                runPoint(kind, q, dp::PlaneKind::HyperPlane, false);
+            const auto hpPwr =
+                runPoint(kind, q, dp::PlaneKind::HyperPlane, true);
+            t.row({std::to_string(q), stats::fmt(spin.avgLatencyUs, 2),
+                   stats::fmt(spin.p99LatencyUs, 2),
+                   stats::fmt(hp.avgLatencyUs, 2),
+                   stats::fmt(hp.p99LatencyUs, 2),
+                   stats::fmt(hpPwr.avgLatencyUs, 2)});
+            if (hp.avgLatencyUs > 0 && hp.p99LatencyUs > 0) {
+                sumAvgRatio += spin.avgLatencyUs / hp.avgLatencyUs;
+                sumTailRatio += spin.p99LatencyUs / hp.p99LatencyUs;
+                ++nRatio;
+            }
+        }
+        t.print();
+    }
+
+    std::printf("Mean spinning/HyperPlane latency ratio across all "
+                "points: avg %s, p99 %s (paper: 9.1x / 16.4x)\n",
+                stats::fmtRatio(sumAvgRatio / nRatio).c_str(),
+                stats::fmtRatio(sumTailRatio / nRatio).c_str());
+    std::puts("Expected shape: spinning latency grows ~linearly in "
+              "queue count with a steeper tail;\nHyperPlane stays flat "
+              "(<10 us at 1000 queues); spinning wins by <=3% at one "
+              "queue;\npower-optimized HyperPlane adds ~0.5 us wake-up "
+              "and loses below ~6 queues.");
+    return 0;
+}

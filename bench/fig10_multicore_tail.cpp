@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Figure 10 reproduction: multicore 99% tail latency vs offered load
+ * (Section V-C).  Packet encapsulation, 4 cores, 400 queues.
+ *
+ *  (a) FB traffic: scale-out vs scale-up-2 vs scale-up-4 for spinning
+ *      and HyperPlane;
+ *  (b) PC traffic: scale-out (with and without 10% static imbalance)
+ *      vs scale-up-2.
+ */
+
+#include <cstdio>
+
+#include "dp/sdp_system.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+namespace {
+
+const std::vector<double> loads{0.1, 0.3, 0.5, 0.7, 0.9};
+
+dp::SdpConfig
+baseCfg(traffic::Shape shape)
+{
+    dp::SdpConfig cfg;
+    cfg.numCores = 4;
+    cfg.numQueues = 400;
+    cfg.workload = workloads::Kind::PacketEncapsulation;
+    cfg.shape = shape;
+    cfg.warmupUs = 1500.0;
+    cfg.measureUs = 8000.0;
+    cfg.seed = 41;
+    return cfg;
+}
+
+struct Series
+{
+    std::string name;
+    dp::PlaneKind plane;
+    dp::QueueOrg org;
+    double imbalance;
+};
+
+void
+panel(const char *title, traffic::Shape shape,
+      const std::vector<Series> &series)
+{
+    stats::Table t(title);
+    std::vector<std::string> header{"config"};
+    for (double l : loads)
+        header.push_back(stats::fmt(l * 100, 0) + "%");
+    t.header(std::move(header));
+
+    for (const auto &s : series) {
+        auto cfg = baseCfg(shape);
+        cfg.plane = s.plane;
+        cfg.org = s.org;
+        cfg.imbalance = s.imbalance;
+        // Calibrate saturation throughput for THIS configuration so the
+        // load axis means the same thing the paper's does.
+        const double capacity = harness::calibrateCapacity(cfg);
+        std::vector<std::string> row{s.name};
+        for (double l : loads) {
+            const auto r = harness::runAtLoad(cfg, capacity, l);
+            row.push_back(stats::fmt(r.p99LatencyUs, 1));
+        }
+        t.row(std::move(row));
+        std::printf("  (%s saturates at %.2f Mtps)\n", s.name.c_str(),
+                    capacity / 1e6);
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    harness::printTableI();
+    harness::printExperimentBanner(
+        "Figure 10", "multicore 99% tail latency vs load "
+                     "(packet encapsulation, 4 cores, 400 queues)");
+
+    panel("Fig 10(a): fully balanced traffic (p99, us)",
+          traffic::Shape::FB,
+          {
+              {"spinning-scale-out", dp::PlaneKind::Spinning,
+               dp::QueueOrg::ScaleOut, 0.0},
+              {"spinning-scale-up-2", dp::PlaneKind::Spinning,
+               dp::QueueOrg::ScaleUp2, 0.0},
+              {"spinning-scale-up-4", dp::PlaneKind::Spinning,
+               dp::QueueOrg::ScaleUpAll, 0.0},
+              {"hyperplane-scale-out", dp::PlaneKind::HyperPlane,
+               dp::QueueOrg::ScaleOut, 0.0},
+              {"hyperplane-scale-up-2", dp::PlaneKind::HyperPlane,
+               dp::QueueOrg::ScaleUp2, 0.0},
+              {"hyperplane-scale-up-4", dp::PlaneKind::HyperPlane,
+               dp::QueueOrg::ScaleUpAll, 0.0},
+          });
+
+    panel("Fig 10(b): proportionally concentrated traffic (p99, us)",
+          traffic::Shape::PC,
+          {
+              {"spinning-scale-out", dp::PlaneKind::Spinning,
+               dp::QueueOrg::ScaleOut, 0.0},
+              {"spinning-scale-out-10%imb", dp::PlaneKind::Spinning,
+               dp::QueueOrg::ScaleOut, 0.10},
+              {"spinning-scale-up-2", dp::PlaneKind::Spinning,
+               dp::QueueOrg::ScaleUp2, 0.0},
+              {"hyperplane-scale-out", dp::PlaneKind::HyperPlane,
+               dp::QueueOrg::ScaleOut, 0.0},
+              {"hyperplane-scale-out-10%imb", dp::PlaneKind::HyperPlane,
+               dp::QueueOrg::ScaleOut, 0.10},
+              {"hyperplane-scale-up-2", dp::PlaneKind::HyperPlane,
+               dp::QueueOrg::ScaleUp2, 0.0},
+          });
+
+    std::puts("Expected shape: HyperPlane below spinning at every "
+              "pre-saturation load; scale-up helps\nHyperPlane but "
+              "hurts spinning (sync + queue-head ping-pong); imbalance "
+              "hurts scale-out only.");
+    return 0;
+}

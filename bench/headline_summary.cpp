@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's headline numbers: "HyperPlane improves peak throughput by
+ * 4.1x and tail latency by 16.4x, on average, in comparison to a
+ * state-of-the-art spin-polling-based SDP, across a varying number of
+ * I/O queues (up to 1000)."
+ *
+ * This binary aggregates a representative slice of the Figure 8 and
+ * Figure 9 grids into the same two averages.
+ */
+
+#include <cstdio>
+
+#include "dp/sdp_system.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+int
+main()
+{
+    harness::printTableI();
+    harness::printExperimentBanner(
+        "Headline", "average peak-throughput and tail-latency "
+                    "improvement of HyperPlane over spinning");
+
+    const std::vector<workloads::Kind> kinds = {
+        workloads::Kind::PacketEncapsulation,
+        workloads::Kind::PacketSteering,
+        workloads::Kind::RequestDispatching,
+    };
+    const std::vector<unsigned> queueCounts{250, 1000};
+
+    double sumThroughputRatio = 0.0;
+    unsigned nThroughput = 0;
+    for (auto kind : kinds) {
+        for (auto shape :
+             {traffic::Shape::SQ, traffic::Shape::NC,
+              traffic::Shape::PC, traffic::Shape::FB}) {
+            for (unsigned q : queueCounts) {
+                dp::SdpConfig cfg;
+                cfg.numCores = 1;
+                cfg.numQueues = q;
+                cfg.workload = kind;
+                cfg.shape = shape;
+                cfg.warmupUs = 800.0;
+                cfg.measureUs = 4000.0;
+                cfg.seed = 81;
+                cfg.plane = dp::PlaneKind::Spinning;
+                const auto spin = harness::measureAtSaturation(cfg);
+                cfg.plane = dp::PlaneKind::HyperPlane;
+                const auto hp = harness::measureAtSaturation(cfg);
+                sumThroughputRatio +=
+                    hp.throughputMtps / spin.throughputMtps;
+                ++nThroughput;
+            }
+        }
+    }
+
+    double sumTailRatio = 0.0;
+    unsigned nTail = 0;
+    for (auto kind : workloads::allKinds()) {
+        for (unsigned q : {64u, 250u, 1000u}) {
+            dp::SdpConfig cfg;
+            cfg.numCores = 1;
+            cfg.numQueues = q;
+            cfg.workload = kind;
+            cfg.shape = traffic::Shape::SQ;
+            cfg.jitter = dp::ServiceJitter::None;
+            cfg.seed = 82;
+            cfg = harness::zeroLoadConfig(cfg, 600);
+            cfg.plane = dp::PlaneKind::Spinning;
+            const auto spin = runSdp(cfg);
+            cfg.plane = dp::PlaneKind::HyperPlane;
+            const auto hp = runSdp(cfg);
+            sumTailRatio += spin.p99LatencyUs / hp.p99LatencyUs;
+            ++nTail;
+        }
+    }
+
+    stats::Table t("Headline comparison (HyperPlane vs spinning)");
+    t.header({"metric", "measured", "paper"});
+    t.row({"peak throughput improvement",
+           stats::fmtRatio(sumThroughputRatio / nThroughput), "4.1x"});
+    t.row({"p99 tail latency improvement",
+           stats::fmtRatio(sumTailRatio / nTail), "16.4x"});
+    t.print();
+    return 0;
+}

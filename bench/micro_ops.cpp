@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the library's hot operations:
+ * the simulation kernel, the accelerator structures, and the real
+ * workload computations that calibrate the timing model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codes/raid.hh"
+#include "codes/reed_solomon.hh"
+#include "core/monitoring_set.hh"
+#include "core/ppa.hh"
+#include "core/ready_set.hh"
+#include "crypto/aes.hh"
+#include "crypto/cbc.hh"
+#include "net/checksum.hh"
+#include "queueing/doorbell.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+#include "workloads/packet_encapsulation.hh"
+
+using namespace hyperplane;
+
+namespace {
+
+void
+BM_EventQueueScheduleDispatch(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        eq.scheduleIn(10, [] {});
+        eq.step();
+    }
+    benchmark::DoNotOptimize(eq.dispatched());
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+void
+BM_RngExponential(benchmark::State &state)
+{
+    Rng rng(1);
+    double sink = 0;
+    for (auto _ : state)
+        sink += rng.exponential(1.0);
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngExponential);
+
+void
+BM_MonitoringSetSnoop(benchmark::State &state)
+{
+    core::MonitoringSetConfig cfg;
+    cfg.capacity = 1024;
+    core::MonitoringSet ms(cfg);
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 0; i < n; ++i)
+        ms.insert(queueing::AddressMap::doorbellAddr(i), i);
+    unsigned i = 0;
+    for (auto _ : state) {
+        const Addr a = queueing::AddressMap::doorbellAddr(i++ % n);
+        benchmark::DoNotOptimize(ms.onWriteTransaction(a));
+        ms.arm(a);
+    }
+}
+BENCHMARK(BM_MonitoringSetSnoop)->Arg(64)->Arg(1000);
+
+void
+BM_MonitoringSetInsertRemove(benchmark::State &state)
+{
+    core::MonitoringSetConfig cfg;
+    cfg.capacity = 1024;
+    core::MonitoringSet ms(cfg);
+    for (unsigned i = 0; i < 900; ++i)
+        ms.insert(queueing::AddressMap::doorbellAddr(i), i);
+    for (auto _ : state) {
+        ms.insert(queueing::AddressMap::doorbellAddr(1000), 1000);
+        ms.remove(queueing::AddressMap::doorbellAddr(1000));
+    }
+}
+BENCHMARK(BM_MonitoringSetInsertRemove);
+
+void
+BM_PpaSelectWordScan(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    core::BitVec ready(n);
+    Rng rng(2);
+    for (unsigned i = 0; i < n / 8; ++i)
+        ready.set(static_cast<unsigned>(rng.uniformInt(n)));
+    core::BrentKungPpa ppa;
+    unsigned p = 0;
+    for (auto _ : state) {
+        const int g = ppa.select(ready, p);
+        benchmark::DoNotOptimize(g);
+        p = g >= 0 ? (g + 1) % n : 0;
+    }
+}
+BENCHMARK(BM_PpaSelectWordScan)->Arg(64)->Arg(1024)->Arg(4096);
+
+void
+BM_PpaSelectGateLevel(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    core::BitVec ready(n);
+    Rng rng(2);
+    for (unsigned i = 0; i < n / 8; ++i)
+        ready.set(static_cast<unsigned>(rng.uniformInt(n)));
+    core::BrentKungPpa ppa;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ppa.selectPrefixNetwork(ready, 7));
+}
+BENCHMARK(BM_PpaSelectGateLevel)->Arg(1024);
+
+void
+BM_ReadySetGrantCycle(benchmark::State &state)
+{
+    core::ReadySetConfig cfg;
+    cfg.capacity = 1024;
+    core::ReadySet rs(cfg);
+    unsigned q = 0;
+    for (auto _ : state) {
+        rs.activate(q % 1024);
+        benchmark::DoNotOptimize(rs.selectNext());
+        q += 37;
+    }
+}
+BENCHMARK(BM_ReadySetGrantCycle);
+
+void
+BM_AesCbc256Encrypt(benchmark::State &state)
+{
+    std::uint8_t key[32] = {1, 2, 3};
+    crypto::Aes aes(key, sizeof(key));
+    crypto::Iv iv{};
+    std::vector<std::uint8_t> buf(state.range(0), 0xab);
+    for (auto _ : state)
+        crypto::cbcEncryptAligned(aes, iv, buf.data(), buf.size());
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbc256Encrypt)->Arg(1024);
+
+void
+BM_ReedSolomonEncode(benchmark::State &state)
+{
+    codes::ReedSolomon rs(6, 3);
+    std::vector<codes::Shard> data(6, codes::Shard(state.range(0), 7));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rs.encode(data));
+    state.SetBytesProcessed(state.iterations() * state.range(0) * 6);
+}
+BENCHMARK(BM_ReedSolomonEncode)->Arg(171); // ~1 KiB payload / 6 shards
+
+void
+BM_Raid6ParityPQ(benchmark::State &state)
+{
+    codes::Raid6 raid(8);
+    std::vector<codes::Block> stripe(8, codes::Block(state.range(0), 3));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(raid.computePQ(stripe));
+    state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_Raid6ParityPQ)->Arg(128);
+
+void
+BM_Crc32c(benchmark::State &state)
+{
+    std::vector<std::uint8_t> buf(state.range(0), 0x5a);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            net::crc32c(buf.data(), buf.size()));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(1024);
+
+void
+BM_GreEncapsulate(benchmark::State &state)
+{
+    workloads::PacketEncapsulation wl(1);
+    queueing::WorkItem item;
+    item.payloadBytes = 1024;
+    for (auto _ : state) {
+        ++item.seq;
+        benchmark::DoNotOptimize(wl.encapsulate(item));
+    }
+}
+BENCHMARK(BM_GreEncapsulate);
+
+void
+BM_LogHistogramRecord(benchmark::State &state)
+{
+    stats::LogHistogram h(0.01, 1.02, 2048);
+    Rng rng(3);
+    for (auto _ : state)
+        h.record(rng.exponential(10.0));
+    benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_LogHistogramRecord);
+
+} // namespace
+
+BENCHMARK_MAIN();

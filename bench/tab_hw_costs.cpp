@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Section IV-C reproduction: area, power, and timing of the HyperPlane
+ * hardware structures, from the analytic cost model calibrated to the
+ * paper's RTL/CACTI/McPAT results, plus the Brent-Kung network facts
+ * behind the ready-set latency.
+ */
+
+#include <cstdio>
+
+#include "core/hw_cost.hh"
+#include "core/ppa.hh"
+#include "harness/experiment.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+int
+main()
+{
+    harness::printTableI();
+    harness::printExperimentBanner(
+        "Section IV-C", "hardware cost of the monitoring and ready "
+                        "sets (1024 entries, 16 cores, 32 nm)");
+
+    core::HwCostModel m;
+
+    stats::Table t("Hardware costs (paper values in parentheses)");
+    t.header({"metric", "model", "paper"});
+    t.row({"ready set area (mm^2)",
+           stats::fmt(m.readySetAreaMm2(), 3), "0.13"});
+    t.row({"monitoring set area (mm^2)",
+           stats::fmt(m.monitoringSetAreaMm2(), 3), "0.21"});
+    t.row({"area overhead vs 16 cores",
+           stats::fmt(100 * m.areaOverheadFraction(), 2) + "%",
+           "0.26%"});
+    t.row({"ready set power (of one core)",
+           stats::fmt(100 * m.readySetPowerFraction(), 1) + "%",
+           "2.1%"});
+    t.row({"monitoring set power (of one core)",
+           stats::fmt(100 * m.monitoringSetPowerFraction(), 1) + "%",
+           "4.1%"});
+    t.row({"ready set latency (ns)",
+           stats::fmt(m.readySetLatencyNs(), 2), "12.25"});
+    t.row({"monitoring lookup (cycles)",
+           std::to_string(m.monitoringLookupCycles()), "<= 5"});
+    t.row({"QWAIT end-to-end (cycles)",
+           std::to_string(m.qwaitLatencyCycles()), "50"});
+    t.print();
+
+    stats::Table n("Brent-Kung prefix network (ready-set arbiter)");
+    n.header({"bits", "prefix ops", "levels", "PPA delay (ns)",
+              "ripple delay (ns)"});
+    core::BrentKungPpa bk;
+    core::RipplePpa rip;
+    for (unsigned bits : {64u, 256u, 1024u, 4096u}) {
+        const auto s = core::BrentKungPpa::networkStats(bits);
+        n.row({std::to_string(bits), std::to_string(s.prefixOps),
+               std::to_string(s.levels), stats::fmt(bk.delayNs(bits), 2),
+               stats::fmt(rip.delayNs(bits), 2)});
+    }
+    n.print();
+    return 0;
+}

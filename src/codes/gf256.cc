@@ -1,0 +1,124 @@
+#include "codes/gf256.hh"
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace codes {
+
+namespace {
+
+/** exp/log tables for alpha = 2 under polynomial 0x11d. */
+struct Tables
+{
+    std::uint8_t exp[512]; // doubled to avoid a mod in gfMul
+    unsigned log[256];
+
+    Tables()
+    {
+        std::uint16_t x = 1;
+        for (unsigned i = 0; i < 255; ++i) {
+            exp[i] = static_cast<std::uint8_t>(x);
+            log[x] = i;
+            x <<= 1;
+            if (x & 0x100)
+                x ^= gfPoly;
+        }
+        for (unsigned i = 255; i < 512; ++i)
+            exp[i] = exp[i - 255];
+        log[0] = 0; // unused; gfLog asserts on zero
+    }
+};
+
+const Tables tbl;
+
+} // namespace
+
+std::uint8_t
+gfMul(std::uint8_t a, std::uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return tbl.exp[tbl.log[a] + tbl.log[b]];
+}
+
+std::uint8_t
+gfInv(std::uint8_t a)
+{
+    hp_assert(a != 0, "inverse of zero in GF(2^8)");
+    return tbl.exp[255 - tbl.log[a]];
+}
+
+std::uint8_t
+gfDiv(std::uint8_t a, std::uint8_t b)
+{
+    hp_assert(b != 0, "division by zero in GF(2^8)");
+    if (a == 0)
+        return 0;
+    return tbl.exp[tbl.log[a] + 255 - tbl.log[b]];
+}
+
+std::uint8_t
+gfPow(std::uint8_t a, unsigned n)
+{
+    if (n == 0)
+        return 1;
+    if (a == 0)
+        return 0;
+    return tbl.exp[(tbl.log[a] * static_cast<unsigned long>(n)) % 255];
+}
+
+std::uint8_t
+gfExp(unsigned n)
+{
+    return tbl.exp[n % 255];
+}
+
+unsigned
+gfLog(std::uint8_t a)
+{
+    hp_assert(a != 0, "log of zero in GF(2^8)");
+    return tbl.log[a];
+}
+
+void
+gfMulAccum(std::uint8_t *dst, const std::uint8_t *src, std::size_t len,
+           std::uint8_t c)
+{
+    if (c == 0)
+        return;
+    if (c == 1) {
+        for (std::size_t i = 0; i < len; ++i)
+            dst[i] ^= src[i];
+        return;
+    }
+    const unsigned logc = tbl.log[c];
+    for (std::size_t i = 0; i < len; ++i) {
+        const std::uint8_t s = src[i];
+        if (s != 0)
+            dst[i] ^= tbl.exp[tbl.log[s] + logc];
+    }
+}
+
+void
+gfMulInto(std::uint8_t *dst, const std::uint8_t *src, std::size_t len,
+          std::uint8_t c)
+{
+    if (c == 0) {
+        for (std::size_t i = 0; i < len; ++i)
+            dst[i] = 0;
+        return;
+    }
+    if (c == 1) {
+        for (std::size_t i = 0; i < len; ++i)
+            dst[i] = src[i];
+        return;
+    }
+    const unsigned logc = tbl.log[c];
+    for (std::size_t i = 0; i < len; ++i) {
+        const std::uint8_t s = src[i];
+        dst[i] = s ? tbl.exp[tbl.log[s] + logc] : 0;
+    }
+}
+
+} // namespace codes
+} // namespace hyperplane

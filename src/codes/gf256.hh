@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Arithmetic in GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1
+ * (0x11d), the field used by Reed-Solomon storage codes and RAID-6.
+ *
+ * Multiplication and inversion go through log/exp tables built once at
+ * static-initialization time; alpha = 2 is a primitive element of this
+ * field.
+ */
+
+#ifndef HYPERPLANE_CODES_GF256_HH
+#define HYPERPLANE_CODES_GF256_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hyperplane {
+namespace codes {
+
+/** The primitive polynomial (without the x^8 term): 0x1d. */
+constexpr std::uint16_t gfPoly = 0x11d;
+
+/** Add/subtract in GF(2^8) (self-inverse). */
+constexpr std::uint8_t
+gfAdd(std::uint8_t a, std::uint8_t b)
+{
+    return a ^ b;
+}
+
+/** Multiply in GF(2^8). */
+std::uint8_t gfMul(std::uint8_t a, std::uint8_t b);
+
+/** Multiplicative inverse. @pre a != 0 */
+std::uint8_t gfInv(std::uint8_t a);
+
+/** Divide a by b. @pre b != 0 */
+std::uint8_t gfDiv(std::uint8_t a, std::uint8_t b);
+
+/** a raised to the n-th power (n may be 0). */
+std::uint8_t gfPow(std::uint8_t a, unsigned n);
+
+/** alpha^n for the primitive element alpha = 2. */
+std::uint8_t gfExp(unsigned n);
+
+/** Discrete log base alpha. @pre a != 0 */
+unsigned gfLog(std::uint8_t a);
+
+/**
+ * dst[i] ^= c * src[i] for i in [0, len): the inner loop of every erasure
+ * code.  Table-driven, one lookup per byte.
+ */
+void gfMulAccum(std::uint8_t *dst, const std::uint8_t *src,
+                std::size_t len, std::uint8_t c);
+
+/** dst[i] = c * src[i]. */
+void gfMulInto(std::uint8_t *dst, const std::uint8_t *src, std::size_t len,
+               std::uint8_t c);
+
+} // namespace codes
+} // namespace hyperplane
+
+#endif // HYPERPLANE_CODES_GF256_HH

@@ -1,0 +1,144 @@
+#include "codes/matrix.hh"
+
+#include "codes/gf256.hh"
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace codes {
+
+GfMatrix::GfMatrix(unsigned rows, unsigned cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, 0)
+{
+}
+
+std::uint8_t &
+GfMatrix::at(unsigned r, unsigned c)
+{
+    hp_assert(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+std::uint8_t
+GfMatrix::at(unsigned r, unsigned c) const
+{
+    hp_assert(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+GfMatrix
+GfMatrix::identity(unsigned n)
+{
+    GfMatrix m(n, n);
+    for (unsigned i = 0; i < n; ++i)
+        m.at(i, i) = 1;
+    return m;
+}
+
+GfMatrix
+GfMatrix::cauchy(unsigned m, unsigned k)
+{
+    hp_assert(m + k <= 256, "Cauchy matrix needs m + k <= 256");
+    GfMatrix mat(m, k);
+    for (unsigned i = 0; i < m; ++i) {
+        for (unsigned j = 0; j < k; ++j) {
+            const std::uint8_t xi = static_cast<std::uint8_t>(i + k);
+            const std::uint8_t yj = static_cast<std::uint8_t>(j);
+            mat.at(i, j) = gfInv(gfAdd(xi, yj));
+        }
+    }
+    return mat;
+}
+
+GfMatrix
+GfMatrix::vandermonde(unsigned m, unsigned k)
+{
+    GfMatrix mat(m, k);
+    for (unsigned i = 0; i < m; ++i)
+        for (unsigned j = 0; j < k; ++j)
+            mat.at(i, j) = gfPow(gfExp(i), j);
+    return mat;
+}
+
+GfMatrix
+GfMatrix::multiply(const GfMatrix &other) const
+{
+    hp_assert(cols_ == other.rows_, "matrix shape mismatch in multiply");
+    GfMatrix out(rows_, other.cols_);
+    for (unsigned i = 0; i < rows_; ++i) {
+        for (unsigned j = 0; j < other.cols_; ++j) {
+            std::uint8_t acc = 0;
+            for (unsigned t = 0; t < cols_; ++t)
+                acc = gfAdd(acc, gfMul(at(i, t), other.at(t, j)));
+            out.at(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+std::optional<GfMatrix>
+GfMatrix::inverted() const
+{
+    hp_assert(rows_ == cols_, "only square matrices can be inverted");
+    const unsigned n = rows_;
+    GfMatrix work = *this;
+    GfMatrix inv = identity(n);
+
+    for (unsigned col = 0; col < n; ++col) {
+        // Find a pivot row.
+        unsigned pivot = col;
+        while (pivot < n && work.at(pivot, col) == 0)
+            ++pivot;
+        if (pivot == n)
+            return std::nullopt; // singular
+        if (pivot != col) {
+            for (unsigned c = 0; c < n; ++c) {
+                std::swap(work.at(pivot, c), work.at(col, c));
+                std::swap(inv.at(pivot, c), inv.at(col, c));
+            }
+        }
+        // Scale the pivot row to make the pivot 1.
+        const std::uint8_t pinv = gfInv(work.at(col, col));
+        for (unsigned c = 0; c < n; ++c) {
+            work.at(col, c) = gfMul(work.at(col, c), pinv);
+            inv.at(col, c) = gfMul(inv.at(col, c), pinv);
+        }
+        // Eliminate the column from all other rows.
+        for (unsigned r = 0; r < n; ++r) {
+            if (r == col)
+                continue;
+            const std::uint8_t f = work.at(r, col);
+            if (f == 0)
+                continue;
+            for (unsigned c = 0; c < n; ++c) {
+                work.at(r, c) =
+                    gfAdd(work.at(r, c), gfMul(f, work.at(col, c)));
+                inv.at(r, c) =
+                    gfAdd(inv.at(r, c), gfMul(f, inv.at(col, c)));
+            }
+        }
+    }
+    return inv;
+}
+
+GfMatrix
+GfMatrix::selectRows(const std::vector<unsigned> &rowIds) const
+{
+    GfMatrix out(static_cast<unsigned>(rowIds.size()), cols_);
+    for (unsigned i = 0; i < rowIds.size(); ++i) {
+        hp_assert(rowIds[i] < rows_, "selectRows id out of range");
+        for (unsigned c = 0; c < cols_; ++c)
+            out.at(i, c) = at(rowIds[i], c);
+    }
+    return out;
+}
+
+bool
+GfMatrix::operator==(const GfMatrix &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+}
+
+} // namespace codes
+} // namespace hyperplane

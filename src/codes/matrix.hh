@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dense matrices over GF(2^8): construction of Cauchy / Vandermonde
+ * coding matrices and Gaussian-elimination inversion, as needed by the
+ * Reed-Solomon erasure coder.
+ */
+
+#ifndef HYPERPLANE_CODES_MATRIX_HH
+#define HYPERPLANE_CODES_MATRIX_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hyperplane {
+namespace codes {
+
+/** Row-major matrix over GF(2^8). */
+class GfMatrix
+{
+  public:
+    GfMatrix() : rows_(0), cols_(0) {}
+    GfMatrix(unsigned rows, unsigned cols);
+
+    unsigned rows() const { return rows_; }
+    unsigned cols() const { return cols_; }
+
+    std::uint8_t &at(unsigned r, unsigned c);
+    std::uint8_t at(unsigned r, unsigned c) const;
+
+    /** Identity matrix of size n. */
+    static GfMatrix identity(unsigned n);
+
+    /**
+     * Cauchy matrix: element (i, j) = 1 / (x_i + y_j) with
+     * x_i = i + k and y_j = j, which are disjoint for i < m, j < k.
+     * Every square submatrix of a Cauchy matrix is invertible — the
+     * property that makes it an MDS erasure code generator.
+     *
+     * @param m Number of parity rows.
+     * @param k Number of data columns.
+     */
+    static GfMatrix cauchy(unsigned m, unsigned k);
+
+    /** Vandermonde matrix: element (i, j) = alpha^(i*j), m rows, k cols. */
+    static GfMatrix vandermonde(unsigned m, unsigned k);
+
+    /** Matrix product. @pre cols() == other.rows() */
+    GfMatrix multiply(const GfMatrix &other) const;
+
+    /**
+     * Invert via Gauss-Jordan elimination.
+     * @return std::nullopt if singular.  @pre rows() == cols()
+     */
+    std::optional<GfMatrix> inverted() const;
+
+    /** Extract the given rows into a new matrix. */
+    GfMatrix selectRows(const std::vector<unsigned> &rowIds) const;
+
+    bool operator==(const GfMatrix &other) const;
+
+  private:
+    unsigned rows_, cols_;
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace codes
+} // namespace hyperplane
+
+#endif // HYPERPLANE_CODES_MATRIX_HH

@@ -1,0 +1,143 @@
+#include "codes/raid.hh"
+
+#include "codes/gf256.hh"
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace codes {
+
+Raid6::Raid6(unsigned dataDisks) : n_(dataDisks)
+{
+    hp_assert(dataDisks >= 1 && dataDisks <= 255,
+              "RAID-6 supports 1..255 data disks");
+}
+
+void
+Raid6::checkStripe(const std::vector<Block> &data) const
+{
+    hp_assert(data.size() == n_, "stripe must have dataDisks blocks");
+}
+
+Block
+Raid6::computeP(const std::vector<Block> &data) const
+{
+    checkStripe(data);
+    const std::size_t len = data[0].size();
+    Block p(len, 0);
+    for (const auto &d : data) {
+        hp_assert(d.size() == len, "blocks must be the same size");
+        for (std::size_t i = 0; i < len; ++i)
+            p[i] ^= d[i];
+    }
+    return p;
+}
+
+Block
+Raid6::computeQ(const std::vector<Block> &data) const
+{
+    checkStripe(data);
+    const std::size_t len = data[0].size();
+    Block q(len, 0);
+    for (unsigned disk = 0; disk < n_; ++disk) {
+        hp_assert(data[disk].size() == len, "blocks must be the same size");
+        gfMulAccum(q.data(), data[disk].data(), len, gfExp(disk));
+    }
+    return q;
+}
+
+std::pair<Block, Block>
+Raid6::computePQ(const std::vector<Block> &data) const
+{
+    return {computeP(data), computeQ(data)};
+}
+
+Block
+Raid6::recoverDataWithP(const std::vector<Block> &data, const Block &p,
+                        unsigned missing) const
+{
+    checkStripe(data);
+    hp_assert(missing < n_, "missing index out of range");
+    hp_assert(data[missing].empty(), "missing block slot must be empty");
+    Block out = p;
+    for (unsigned disk = 0; disk < n_; ++disk) {
+        if (disk == missing)
+            continue;
+        hp_assert(data[disk].size() == out.size(),
+                  "blocks must match parity size");
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] ^= data[disk][i];
+    }
+    return out;
+}
+
+Block
+Raid6::recoverDataWithQ(const std::vector<Block> &data, const Block &q,
+                        unsigned missing) const
+{
+    checkStripe(data);
+    hp_assert(missing < n_, "missing index out of range");
+    hp_assert(data[missing].empty(), "missing block slot must be empty");
+    Block acc = q;
+    for (unsigned disk = 0; disk < n_; ++disk) {
+        if (disk == missing)
+            continue;
+        gfMulAccum(acc.data(), data[disk].data(), acc.size(), gfExp(disk));
+    }
+    // acc now equals g^missing * D_missing.
+    Block out(acc.size());
+    gfMulInto(out.data(), acc.data(), acc.size(),
+              gfInv(gfExp(missing)));
+    return out;
+}
+
+std::pair<Block, Block>
+Raid6::recoverTwoData(const std::vector<Block> &data, const Block &p,
+                      const Block &q, unsigned missA,
+                      unsigned missB) const
+{
+    checkStripe(data);
+    hp_assert(missA < n_ && missB < n_ && missA != missB,
+              "need two distinct missing indices");
+    hp_assert(data[missA].empty() && data[missB].empty(),
+              "missing block slots must be empty");
+    const std::size_t len = p.size();
+
+    // Partial parities over the surviving blocks:
+    //   pxy = P ^ sum(D_i)        = D_a ^ D_b
+    //   qxy = Q ^ sum(g^i D_i)    = g^a D_a ^ g^b D_b
+    Block pxy = p;
+    Block qxy = q;
+    for (unsigned disk = 0; disk < n_; ++disk) {
+        if (disk == missA || disk == missB)
+            continue;
+        hp_assert(data[disk].size() == len,
+                  "blocks must match parity size");
+        for (std::size_t i = 0; i < len; ++i)
+            pxy[i] ^= data[disk][i];
+        gfMulAccum(qxy.data(), data[disk].data(), len, gfExp(disk));
+    }
+
+    // Solve the 2x2 system:
+    //   D_a = (qxy ^ g^b * pxy) / (g^a ^ g^b);  D_b = pxy ^ D_a
+    const std::uint8_t ga = gfExp(missA);
+    const std::uint8_t gb = gfExp(missB);
+    const std::uint8_t denomInv = gfInv(gfAdd(ga, gb));
+
+    Block da(len), db(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        const std::uint8_t num = gfAdd(qxy[i], gfMul(gb, pxy[i]));
+        da[i] = gfMul(num, denomInv);
+        db[i] = gfAdd(pxy[i], da[i]);
+    }
+    return {std::move(da), std::move(db)};
+}
+
+bool
+Raid6::verify(const std::vector<Block> &data, const Block &p,
+              const Block &q) const
+{
+    return computeP(data) == p && computeQ(data) == q;
+}
+
+} // namespace codes
+} // namespace hyperplane

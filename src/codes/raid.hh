@@ -1,0 +1,84 @@
+/**
+ * @file
+ * RAID-6 P+Q parity (the paper's RAID-protection workload: "RAID with P+Q
+ * redundancy is used to calculate parity bytes of input data blocks").
+ *
+ * P is the XOR of all data blocks; Q is the GF(2^8) weighted sum
+ * Q = sum_i g^i * D_i with g = 2 (the standard Linux-md construction).
+ * Recovery supports every one- and two-erasure case.
+ */
+
+#ifndef HYPERPLANE_CODES_RAID_HH
+#define HYPERPLANE_CODES_RAID_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hyperplane {
+namespace codes {
+
+/** A data or parity block. */
+using Block = std::vector<std::uint8_t>;
+
+/** RAID-6 codec over a fixed number of data disks. */
+class Raid6
+{
+  public:
+    /** @param dataDisks Number of data blocks per stripe (1..255). */
+    explicit Raid6(unsigned dataDisks);
+
+    unsigned dataDisks() const { return n_; }
+
+    /** Compute P (XOR parity) for a stripe. */
+    Block computeP(const std::vector<Block> &data) const;
+
+    /** Compute Q (weighted GF parity) for a stripe. */
+    Block computeQ(const std::vector<Block> &data) const;
+
+    /** Compute both parities in one pass (as a RAID engine would). */
+    std::pair<Block, Block> computePQ(const std::vector<Block> &data) const;
+
+    /**
+     * Recover a single missing data block using P.
+     * @param data    Stripe with the missing block empty.
+     * @param p       The P parity.
+     * @param missing Index of the missing block.
+     */
+    Block recoverDataWithP(const std::vector<Block> &data, const Block &p,
+                           unsigned missing) const;
+
+    /**
+     * Recover a single missing data block using Q (when P is also lost).
+     */
+    Block recoverDataWithQ(const std::vector<Block> &data, const Block &q,
+                           unsigned missing) const;
+
+    /**
+     * Recover two missing data blocks using both P and Q (the hard RAID-6
+     * case).
+     *
+     * @param data Stripe with blocks @p missA and @p missB empty.
+     * @return The two recovered blocks, in (missA, missB) order.
+     */
+    std::pair<Block, Block> recoverTwoData(const std::vector<Block> &data,
+                                           const Block &p, const Block &q,
+                                           unsigned missA,
+                                           unsigned missB) const;
+
+    /**
+     * Verify a stripe against its parities.
+     * @return true if both P and Q match.
+     */
+    bool verify(const std::vector<Block> &data, const Block &p,
+                const Block &q) const;
+
+  private:
+    void checkStripe(const std::vector<Block> &data) const;
+
+    unsigned n_;
+};
+
+} // namespace codes
+} // namespace hyperplane
+
+#endif // HYPERPLANE_CODES_RAID_HH

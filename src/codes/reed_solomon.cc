@@ -1,0 +1,82 @@
+#include "codes/reed_solomon.hh"
+
+#include "codes/gf256.hh"
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace codes {
+
+ReedSolomon::ReedSolomon(unsigned k, unsigned m)
+    : k_(k), m_(m), cauchy_(GfMatrix::cauchy(m, k))
+{
+    hp_assert(k >= 1 && m >= 1, "RS needs at least one data+parity shard");
+    hp_assert(k + m <= 256, "RS over GF(2^8) supports at most 256 shards");
+}
+
+std::vector<Shard>
+ReedSolomon::encode(const std::vector<Shard> &data) const
+{
+    hp_assert(data.size() == k_, "encode expects exactly k data shards");
+    const std::size_t len = data[0].size();
+    for (const auto &d : data)
+        hp_assert(d.size() == len, "all shards must be the same size");
+
+    std::vector<Shard> parity(m_, Shard(len, 0));
+    for (unsigned i = 0; i < m_; ++i) {
+        for (unsigned j = 0; j < k_; ++j) {
+            gfMulAccum(parity[i].data(), data[j].data(), len,
+                       cauchy_.at(i, j));
+        }
+    }
+    return parity;
+}
+
+std::optional<std::vector<Shard>>
+ReedSolomon::decode(const std::vector<Shard> &shards) const
+{
+    hp_assert(shards.size() == k_ + m_,
+              "decode expects k+m shard slots (empty = missing)");
+
+    // Gather the first k surviving shards and their generator rows.
+    std::vector<unsigned> rows;
+    std::vector<const Shard *> survivors;
+    std::size_t len = 0;
+    for (unsigned i = 0; i < shards.size() && rows.size() < k_; ++i) {
+        if (shards[i].empty())
+            continue;
+        if (len == 0)
+            len = shards[i].size();
+        hp_assert(shards[i].size() == len,
+                  "surviving shards must be the same size");
+        rows.push_back(i);
+        survivors.push_back(&shards[i]);
+    }
+    if (rows.size() < k_)
+        return std::nullopt;
+
+    // Build the k x k matrix mapping data -> surviving shards.
+    GfMatrix sub(k_, k_);
+    for (unsigned r = 0; r < k_; ++r) {
+        const unsigned id = rows[r];
+        for (unsigned c = 0; c < k_; ++c) {
+            sub.at(r, c) = id < k_ ? (id == c ? 1 : 0)
+                                   : cauchy_.at(id - k_, c);
+        }
+    }
+    const auto inv = sub.inverted();
+    // Any k x k submatrix of [I; Cauchy] is invertible; a failure here is
+    // a library bug, not a caller error.
+    hp_assert(inv.has_value(), "RS decode matrix unexpectedly singular");
+
+    std::vector<Shard> data(k_, Shard(len, 0));
+    for (unsigned i = 0; i < k_; ++i) {
+        for (unsigned j = 0; j < k_; ++j) {
+            gfMulAccum(data[i].data(), survivors[j]->data(), len,
+                       inv->at(i, j));
+        }
+    }
+    return data;
+}
+
+} // namespace codes
+} // namespace hyperplane

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Systematic Reed-Solomon erasure code over GF(2^8) with a Cauchy
+ * generator matrix (the paper's erasure-coding workload: "Reed-Solomon
+ * erasure coding to encode data blocks/fragments using a Cauchy matrix").
+ *
+ * Encoding of k data shards into m parity shards is a matrix-vector
+ * product per byte position; decoding reconstructs missing shards by
+ * inverting the k x k submatrix of surviving rows.
+ */
+
+#ifndef HYPERPLANE_CODES_REED_SOLOMON_HH
+#define HYPERPLANE_CODES_REED_SOLOMON_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codes/matrix.hh"
+
+namespace hyperplane {
+namespace codes {
+
+/** One shard: a fixed-size byte block. */
+using Shard = std::vector<std::uint8_t>;
+
+/**
+ * Reed-Solomon (k data, m parity) erasure coder.
+ *
+ * The full generator is [ I_k ; C ] where C is an m x k Cauchy matrix, so
+ * the code is systematic: the first k shards are the data itself.
+ */
+class ReedSolomon
+{
+  public:
+    /**
+     * @param k Number of data shards (>= 1).
+     * @param m Number of parity shards (>= 1); k + m <= 256.
+     */
+    ReedSolomon(unsigned k, unsigned m);
+
+    unsigned dataShards() const { return k_; }
+    unsigned parityShards() const { return m_; }
+
+    /**
+     * Compute the m parity shards.
+     *
+     * @param data k shards, all the same size.
+     * @return m parity shards of the same size.
+     */
+    std::vector<Shard> encode(const std::vector<Shard> &data) const;
+
+    /**
+     * Reconstruct the original k data shards from any k survivors.
+     *
+     * @param shards   k+m slots; missing shards are empty vectors.
+     * @return The k data shards, or std::nullopt if fewer than k shards
+     *         survive.
+     */
+    std::optional<std::vector<Shard>> decode(
+        const std::vector<Shard> &shards) const;
+
+    /** The Cauchy parity submatrix (for inspection/tests). */
+    const GfMatrix &parityMatrix() const { return cauchy_; }
+
+  private:
+    unsigned k_, m_;
+    GfMatrix cauchy_;
+};
+
+} // namespace codes
+} // namespace hyperplane
+
+#endif // HYPERPLANE_CODES_REED_SOLOMON_HH

@@ -1,0 +1,143 @@
+#include "core/bitvec.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace core {
+
+BitVec::BitVec(unsigned n) : size_(n), words_((n + 63) / 64, 0) {}
+
+void
+BitVec::checkIndex(unsigned i) const
+{
+    hp_assert(i < size_, "bit index %u out of range (size %u)", i, size_);
+}
+
+void
+BitVec::set(unsigned i)
+{
+    checkIndex(i);
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+}
+
+void
+BitVec::clear(unsigned i)
+{
+    checkIndex(i);
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+}
+
+void
+BitVec::assign(unsigned i, bool v)
+{
+    if (v)
+        set(i);
+    else
+        clear(i);
+}
+
+bool
+BitVec::test(unsigned i) const
+{
+    checkIndex(i);
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+bool
+BitVec::none() const
+{
+    for (auto w : words_) {
+        if (w != 0)
+            return false;
+    }
+    return true;
+}
+
+unsigned
+BitVec::count() const
+{
+    unsigned n = 0;
+    for (auto w : words_)
+        n += static_cast<unsigned>(std::popcount(w));
+    return n;
+}
+
+void
+BitVec::reset()
+{
+    for (auto &w : words_)
+        w = 0;
+}
+
+void
+BitVec::setAll()
+{
+    for (auto &w : words_)
+        w = ~std::uint64_t{0};
+    // Clear bits beyond size_ in the last word.
+    const unsigned rem = size_ % 64;
+    if (rem != 0 && !words_.empty())
+        words_.back() &= (std::uint64_t{1} << rem) - 1;
+}
+
+unsigned
+BitVec::findFirstFrom(unsigned from) const
+{
+    if (from >= size_)
+        return size_;
+    unsigned wi = from / 64;
+    std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from % 64));
+    for (;;) {
+        if (w != 0) {
+            const unsigned bit =
+                wi * 64 + static_cast<unsigned>(std::countr_zero(w));
+            return bit < size_ ? bit : size_;
+        }
+        if (++wi >= words_.size())
+            return size_;
+        w = words_[wi];
+    }
+}
+
+unsigned
+BitVec::findFirstCircular(unsigned from) const
+{
+    if (size_ == 0)
+        return 0;
+    from %= size_;
+    const unsigned hit = findFirstFrom(from);
+    if (hit < size_)
+        return hit;
+    return findFirstFrom(0); // size_ if entirely empty
+}
+
+BitVec
+BitVec::operator&(const BitVec &other) const
+{
+    hp_assert(size_ == other.size_, "BitVec size mismatch");
+    BitVec out(size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] & other.words_[i];
+    return out;
+}
+
+BitVec
+BitVec::operator|(const BitVec &other) const
+{
+    hp_assert(size_ == other.size_, "BitVec size mismatch");
+    BitVec out(size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] | other.words_[i];
+    return out;
+}
+
+bool
+BitVec::operator==(const BitVec &other) const
+{
+    return size_ == other.size_ && words_ == other.words_;
+}
+
+} // namespace core
+} // namespace hyperplane

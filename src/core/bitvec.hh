@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A fixed-size dynamic bit vector used by the ready-set hardware model
+ * (ready bits, mask bits, one-hot select/priority vectors).
+ *
+ * Word-packed with the fast scans the arbiter needs: first set bit at or
+ * after a position, circular search, population count.
+ */
+
+#ifndef HYPERPLANE_CORE_BITVEC_HH
+#define HYPERPLANE_CORE_BITVEC_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hyperplane {
+namespace core {
+
+/** Fixed-width vector of bits, indexed 0..size()-1. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** All-zero vector of @p n bits. */
+    explicit BitVec(unsigned n);
+
+    unsigned size() const { return size_; }
+
+    void set(unsigned i);
+    void clear(unsigned i);
+    void assign(unsigned i, bool v);
+    bool test(unsigned i) const;
+
+    /** True if no bit is set. */
+    bool none() const;
+
+    /** True if any bit is set. */
+    bool any() const { return !none(); }
+
+    /** Number of set bits. */
+    unsigned count() const;
+
+    /** Clear all bits. */
+    void reset();
+
+    /** Set all bits. */
+    void setAll();
+
+    /**
+     * Index of the first set bit at or after @p from (no wrap).
+     * @return size() if none.
+     */
+    unsigned findFirstFrom(unsigned from) const;
+
+    /**
+     * Circular search: first set bit at or after @p from, wrapping to 0.
+     * @return size() if the vector is empty.
+     */
+    unsigned findFirstCircular(unsigned from) const;
+
+    /** Bitwise AND into a new vector. @pre sizes match */
+    BitVec operator&(const BitVec &other) const;
+
+    /** Bitwise OR into a new vector. @pre sizes match */
+    BitVec operator|(const BitVec &other) const;
+
+    bool operator==(const BitVec &other) const;
+
+    /** Raw word access for the prefix-network model. */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+  private:
+    void checkIndex(unsigned i) const;
+
+    unsigned size_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace core
+} // namespace hyperplane
+
+#endif // HYPERPLANE_CORE_BITVEC_HH

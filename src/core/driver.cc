@@ -1,0 +1,95 @@
+#include "core/driver.hh"
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace core {
+
+HyperPlaneDriver::HyperPlaneDriver(QwaitUnit &unit, Addr rangeBase,
+                                   unsigned slots, std::uint64_t seed)
+    : unit_(unit), base_(lineBase(rangeBase)), slots_(slots, false),
+      freeCount_(slots), rng_(seed)
+{
+    hp_assert(slots > 0, "driver needs at least one doorbell slot");
+}
+
+int
+HyperPlaneDriver::drawFreeSlot()
+{
+    if (freeCount_ == 0)
+        return -1;
+    // Random probing over the range; expected O(slots/free) draws.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto idx = static_cast<unsigned>(
+            rng_.uniformInt(slots_.size()));
+        if (!slots_[idx])
+            return static_cast<int>(idx);
+    }
+    // Dense occupancy: linear scan fallback.
+    for (unsigned idx = 0; idx < slots_.size(); ++idx) {
+        if (!slots_[idx])
+            return static_cast<int>(idx);
+    }
+    return -1;
+}
+
+std::optional<Addr>
+HyperPlaneDriver::connect(QueueId qid)
+{
+    if (byQid_.count(qid) != 0)
+        return std::nullopt; // already connected
+
+    // Algorithm 1, lines 3-6: draw an address, try QWAIT-ADD, repeat
+    // on conflict with a different address.
+    std::vector<unsigned> tried;
+    for (unsigned attempt = 0; attempt < 16; ++attempt) {
+        const int slot = drawFreeSlot();
+        if (slot < 0)
+            break;
+        const Addr doorbell =
+            base_ + static_cast<Addr>(slot) * cacheLineBytes;
+        // Tentatively reserve so re-draws cannot return it.
+        slots_[slot] = true;
+        --freeCount_;
+        if (unit_.qwaitAdd(qid, doorbell)) {
+            // Roll back the slots we burned on conflicting addresses.
+            for (unsigned t : tried) {
+                slots_[t] = false;
+                ++freeCount_;
+            }
+            byQid_.emplace(qid, static_cast<unsigned>(slot));
+            return doorbell;
+        }
+        tried.push_back(static_cast<unsigned>(slot));
+    }
+    for (unsigned t : tried) {
+        slots_[t] = false;
+        ++freeCount_;
+    }
+    return std::nullopt;
+}
+
+bool
+HyperPlaneDriver::disconnect(QueueId qid)
+{
+    auto it = byQid_.find(qid);
+    if (it == byQid_.end())
+        return false;
+    unit_.qwaitRemove(qid);
+    slots_[it->second] = false;
+    ++freeCount_;
+    byQid_.erase(it);
+    return true;
+}
+
+std::optional<Addr>
+HyperPlaneDriver::doorbellOf(QueueId qid) const
+{
+    auto it = byQid_.find(qid);
+    if (it == byQid_.end())
+        return std::nullopt;
+    return base_ + static_cast<Addr>(it->second) * cacheLineBytes;
+}
+
+} // namespace core
+} // namespace hyperplane

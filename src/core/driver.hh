@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The HyperPlane kernel-driver model: the control plane of Algorithm 1.
+ *
+ * The driver owns the pinned physical address range doorbells are
+ * allocated from (QWAIT_init), binds tenants' queues to doorbell
+ * addresses via QWAIT-ADD — re-allocating the address when the
+ * monitoring set reports a Cuckoo conflict, exactly the retry loop of
+ * Algorithm 1 lines 3-6 — and releases both on disconnect
+ * (QWAIT-REMOVE).
+ */
+
+#ifndef HYPERPLANE_CORE_DRIVER_HH
+#define HYPERPLANE_CORE_DRIVER_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/qwait_unit.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace core {
+
+/** Doorbell allocator + tenant connection manager. */
+class HyperPlaneDriver
+{
+  public:
+    /**
+     * QWAIT_init: reserve the doorbell address range and bind the
+     * hardware unit.
+     *
+     * @param unit      The notification subsystem to manage.
+     * @param rangeBase First doorbell address (line-aligned).
+     * @param slots     Number of doorbell cache-line slots available.
+     * @param seed      Randomizes allocation order (address-space
+     *                  layout), which is what makes re-allocation after
+     *                  a conflict effective.
+     */
+    HyperPlaneDriver(QwaitUnit &unit, Addr rangeBase, unsigned slots,
+                     std::uint64_t seed = 1);
+
+    /** Inclusive start / exclusive end of the managed range. */
+    Addr rangeLo() const { return base_; }
+    Addr rangeHi() const
+    {
+        return base_ + static_cast<Addr>(slots_.size()) * cacheLineBytes;
+    }
+
+    /**
+     * Connect a tenant queue: allocate a doorbell, QWAIT-ADD it,
+     * retrying with fresh addresses on monitoring-set conflicts.
+     *
+     * @return The bound doorbell address, or std::nullopt if the range
+     *         is exhausted, every candidate conflicted, or @p qid is
+     *         already connected.
+     */
+    std::optional<Addr> connect(QueueId qid);
+
+    /** Disconnect a tenant: QWAIT-REMOVE and free its doorbell slot. */
+    bool disconnect(QueueId qid);
+
+    /** Doorbell bound to @p qid, if connected. */
+    std::optional<Addr> doorbellOf(QueueId qid) const;
+
+    unsigned connectedCount() const
+    {
+        return static_cast<unsigned>(byQid_.size());
+    }
+
+    unsigned freeSlots() const { return freeCount_; }
+
+  private:
+    /** Draw a random free slot index, or -1 if none. */
+    int drawFreeSlot();
+
+    QwaitUnit &unit_;
+    Addr base_;
+    std::vector<bool> slots_; ///< true = in use
+    unsigned freeCount_;
+    Rng rng_;
+    std::unordered_map<QueueId, unsigned> byQid_; ///< qid -> slot
+};
+
+} // namespace core
+} // namespace hyperplane
+
+#endif // HYPERPLANE_CORE_DRIVER_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Analytic area / power / timing model of the HyperPlane hardware
+ * (Section IV-C of the paper), standing in for the authors' RTL
+ * synthesis, CACTI, and McPAT runs.
+ *
+ * The model scales with structure sizes and is calibrated so that the
+ * paper's configuration (1024-entry monitoring and ready sets, 16 cores,
+ * 8.4 mm^2 cores, 32 nm) reproduces the published constants:
+ *   - ready set area 0.13 mm^2, monitoring set area 0.21 mm^2
+ *   - total area overhead ~0.26% of 16-core area
+ *   - power within 6.2% of one core (2.1% ready set + 4.1% monitoring)
+ *   - ready set latency 12.25 ns; QWAIT end-to-end 50 cycles
+ */
+
+#ifndef HYPERPLANE_CORE_HW_COST_HH
+#define HYPERPLANE_CORE_HW_COST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace core {
+
+/** Inputs to the hardware cost model. */
+struct HwCostConfig
+{
+    unsigned monitoringEntries = 1024;
+    unsigned readyEntries = 1024;
+    unsigned cores = 16;
+    /** Baseline core area (paper: 8.4 mm^2 in 32 nm). */
+    double coreAreaMm2 = 8.4;
+    /** Baseline per-core power, watts (McPAT-class OoO core). */
+    double corePowerW = 12.0;
+};
+
+/** Area / power / timing estimates for one HyperPlane instance. */
+class HwCostModel
+{
+  public:
+    explicit HwCostModel(const HwCostConfig &cfg = {});
+
+    const HwCostConfig &config() const { return cfg_; }
+
+    // --- Area ---------------------------------------------------------
+
+    /** Ready set area, mm^2 (RTL-calibrated; 0.13 at 1024 entries). */
+    double readySetAreaMm2() const;
+
+    /** Monitoring set area, mm^2 (CACTI-calibrated; 0.21 at 1024). */
+    double monitoringSetAreaMm2() const;
+
+    /** Total accelerator area as a fraction of all-core area. */
+    double areaOverheadFraction() const;
+
+    // --- Power --------------------------------------------------------
+
+    /** Ready set power as a fraction of one core's power (0.021). */
+    double readySetPowerFraction() const;
+
+    /** Monitoring set power as a fraction of one core's power (0.041). */
+    double monitoringSetPowerFraction() const;
+
+    /** Accelerator power as a fraction of total (all-core) power. */
+    double powerOverheadFraction() const;
+
+    // --- Timing -------------------------------------------------------
+
+    /**
+     * Ready set selection latency, ns: SRAM read of the ready/mask
+     * vectors + Brent-Kung PPA + priority update (12.25 ns at 1024).
+     */
+    double readySetLatencyNs() const;
+
+    /** Monitoring set lookup latency, cycles (within 5 per the paper). */
+    Tick monitoringLookupCycles() const { return 5; }
+
+    /**
+     * Conservative end-to-end QWAIT latency, cycles, covering NUCA
+     * access to the shared ready set (paper: 50).
+     */
+    Tick qwaitLatencyCycles() const;
+
+  private:
+    HwCostConfig cfg_;
+};
+
+} // namespace core
+} // namespace hyperplane
+
+#endif // HYPERPLANE_CORE_HW_COST_HH

@@ -1,0 +1,185 @@
+#include "core/ppa.hh"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace core {
+
+int
+PriorityArbiter::select(const BitVec &ready, unsigned priorityPos) const
+{
+    if (ready.size() == 0)
+        return noGrant;
+    const unsigned hit = ready.findFirstCircular(priorityPos);
+    return hit < ready.size() ? static_cast<int>(hit) : noGrant;
+}
+
+int
+RipplePpa::selectBitSlice(const BitVec &ready, unsigned priorityPos) const
+{
+    const unsigned n = ready.size();
+    if (n == 0)
+        return noGrant;
+    // Figure 7(a): each cell grants if (priority-in & ready) and passes
+    // the token on otherwise.  Walking at most n cells from the priority
+    // position models the wrap-around connection.
+    unsigned pos = priorityPos % n;
+    for (unsigned step = 0; step < n; ++step) {
+        if (ready.test(pos))
+            return static_cast<int>(pos);
+        pos = pos + 1 == n ? 0 : pos + 1;
+    }
+    return noGrant;
+}
+
+double
+RipplePpa::delayNs(unsigned n) const
+{
+    // Priority may ripple through every cell in the worst case.
+    return cellDelayNs * static_cast<double>(n);
+}
+
+std::uint64_t
+RipplePpa::gateCount(unsigned n) const
+{
+    // One bit-slice cell (Figure 7a) is ~4 two-input gates: the grant
+    // AND, the propagate AND-NOT, plus the OR folding Priority/Pin.
+    return static_cast<std::uint64_t>(n) * 4;
+}
+
+unsigned
+RipplePpa::depth(unsigned n) const
+{
+    return n; // one level per cell in the worst-case ripple
+}
+
+namespace {
+
+/**
+ * Run the Brent-Kung inclusive prefix-OR schedule over @p bits.
+ * Optionally counts operators and levels.
+ */
+void
+brentKungPrefixOr(std::vector<std::uint8_t> &bits,
+                  std::uint64_t *ops = nullptr, unsigned *levels = nullptr)
+{
+    const std::size_t n = bits.size();
+    std::uint64_t opCount = 0;
+    unsigned levelCount = 0;
+
+    // Up-sweep (reduce) phase.
+    for (std::size_t d = 1; d < n; d <<= 1) {
+        bool any = false;
+        for (std::size_t i = 2 * d - 1; i < n; i += 2 * d) {
+            bits[i] |= bits[i - d];
+            ++opCount;
+            any = true;
+        }
+        if (any)
+            ++levelCount;
+    }
+    // Down-sweep phase fills in the remaining prefixes.
+    std::size_t top = 1;
+    while (top * 2 < n)
+        top <<= 1;
+    for (std::size_t d = top; d >= 1; d >>= 1) {
+        bool any = false;
+        for (std::size_t i = 3 * d - 1; i < n; i += 2 * d) {
+            bits[i] |= bits[i - d];
+            ++opCount;
+            any = true;
+        }
+        if (any)
+            ++levelCount;
+        if (d == 1)
+            break;
+    }
+    if (ops != nullptr)
+        *ops = opCount;
+    if (levels != nullptr)
+        *levels = levelCount;
+}
+
+} // namespace
+
+int
+BrentKungPpa::selectPrefixNetwork(const BitVec &ready,
+                                  unsigned priorityPos) const
+{
+    const unsigned n = ready.size();
+    if (n == 0)
+        return noGrant;
+    priorityPos %= n;
+
+    // Thermometer code of the priority: T[i] = 1 for i >= priorityPos.
+    // The high-side request vector is arbitrated first; if it is empty,
+    // the wrapped low side takes over — eliminating the combinational
+    // loop of the ripple design.
+    auto arbitrate = [&](bool highSide) -> int {
+        std::vector<std::uint8_t> req(n, 0);
+        bool any = false;
+        for (unsigned i = 0; i < n; ++i) {
+            const bool inSide = highSide ? i >= priorityPos
+                                         : i < priorityPos;
+            const bool r = inSide && ready.test(i);
+            req[i] = r ? 1 : 0;
+            any = any || r;
+        }
+        if (!any)
+            return noGrant;
+        // grant[i] = req[i] & ~prefixOr(req)[i-1]: isolate the first
+        // set request using the prefix network.
+        std::vector<std::uint8_t> prefix = req;
+        brentKungPrefixOr(prefix);
+        for (unsigned i = 0; i < n; ++i) {
+            const std::uint8_t before = i == 0 ? 0 : prefix[i - 1];
+            if (req[i] && !before)
+                return static_cast<int>(i);
+        }
+        hp_panic("prefix network failed to isolate a grant");
+    };
+
+    const int hi = arbitrate(true);
+    if (hi != noGrant)
+        return hi;
+    return arbitrate(false);
+}
+
+BrentKungPpa::NetworkStats
+BrentKungPpa::networkStats(unsigned n)
+{
+    std::vector<std::uint8_t> bits(n, 0);
+    NetworkStats s{};
+    brentKungPrefixOr(bits, &s.prefixOps, &s.levels);
+    return s;
+}
+
+double
+BrentKungPpa::delayNs(unsigned n) const
+{
+    if (n <= 1)
+        return fixedDelayNs;
+    return fixedDelayNs +
+           levelDelayNs * static_cast<double>(networkStats(n).levels + 2);
+}
+
+std::uint64_t
+BrentKungPpa::gateCount(unsigned n) const
+{
+    // Prefix operators (1 OR each) + thermometer AND per bit on both
+    // sides + grant stage (AND-NOT per bit).
+    return networkStats(n).prefixOps + 3ull * n;
+}
+
+unsigned
+BrentKungPpa::depth(unsigned n) const
+{
+    return networkStats(n).levels + 2; // + thermometer and grant stages
+}
+
+} // namespace core
+} // namespace hyperplane

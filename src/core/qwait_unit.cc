@@ -1,0 +1,120 @@
+#include "core/qwait_unit.hh"
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace core {
+
+QwaitUnit::QwaitUnit(const QwaitConfig &cfg)
+    : cfg_(cfg), monitoring_(cfg.monitoring), readySet_(cfg.ready)
+{
+}
+
+bool
+QwaitUnit::qwaitAdd(QueueId qid, Addr doorbell)
+{
+    hp_assert(qid < readySet_.capacity(),
+              "qid %u exceeds ready set capacity %u", qid,
+              readySet_.capacity());
+    if (doorbellByQid_.count(qid) != 0)
+        return false; // qid already bound
+    if (!monitoring_.insert(doorbell, qid))
+        return false; // cuckoo conflict: driver must reallocate
+    doorbellByQid_.emplace(qid, lineBase(doorbell));
+    return true;
+}
+
+std::optional<Addr>
+QwaitUnit::addQueueWithRealloc(QueueId qid,
+                               const std::function<Addr()> &allocate,
+                               unsigned maxTries)
+{
+    for (unsigned attempt = 0; attempt < maxTries; ++attempt) {
+        const Addr doorbell = allocate();
+        if (qwaitAdd(qid, doorbell))
+            return lineBase(doorbell);
+    }
+    return std::nullopt;
+}
+
+bool
+QwaitUnit::qwaitRemove(QueueId qid)
+{
+    auto it = doorbellByQid_.find(qid);
+    if (it == doorbellByQid_.end())
+        return false;
+    monitoring_.remove(it->second);
+    readySet_.deactivate(qid);
+    doorbellByQid_.erase(it);
+    return true;
+}
+
+std::optional<Addr>
+QwaitUnit::doorbellOf(QueueId qid) const
+{
+    auto it = doorbellByQid_.find(qid);
+    if (it == doorbellByQid_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<QueueId>
+QwaitUnit::qwait()
+{
+    qwaitCalls.inc();
+    auto qid = readySet_.selectNext();
+    if (!qid)
+        qwaitBlocked.inc();
+    return qid;
+}
+
+bool
+QwaitUnit::qwaitVerify(QueueId qid, const queueing::Doorbell &doorbell)
+{
+    // Atomic: test-empty + conditional re-arm, with no window in which
+    // an arrival could be missed (arrivals after the re-arm raise a new
+    // write transaction the armed entry will catch).
+    if (doorbell.empty()) {
+        monitoring_.arm(doorbell.addr());
+        spuriousWakeups.inc();
+        return false;
+    }
+    (void)qid;
+    return true;
+}
+
+void
+QwaitUnit::qwaitReconsider(QueueId qid, const queueing::Doorbell &doorbell)
+{
+    if (doorbell.empty()) {
+        monitoring_.arm(doorbell.addr());
+    } else {
+        readySet_.activate(qid);
+        if (wakeCallback_)
+            wakeCallback_();
+    }
+}
+
+void
+QwaitUnit::qwaitEnable(QueueId qid)
+{
+    readySet_.enable(qid);
+    if (readySet_.isReady(qid) && wakeCallback_)
+        wakeCallback_();
+}
+
+void
+QwaitUnit::onWriteTransaction(Addr line, CoreId writer)
+{
+    (void)writer;
+    if (auto qid = monitoring_.onWriteTransaction(line)) {
+        readySet_.activate(*qid);
+        // Fired on every activation: the system wakes (at most) one
+        // halted core per ready-queue arrival.
+        if (wakeCallback_)
+            wakeCallback_();
+    }
+}
+
+} // namespace core
+} // namespace hyperplane

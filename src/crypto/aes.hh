@@ -1,0 +1,54 @@
+/**
+ * @file
+ * AES block cipher (FIPS-197), supporting 128/192/256-bit keys.
+ *
+ * A straightforward byte-oriented implementation: S-box substitution,
+ * ShiftRows, MixColumns via GF(2^8) xtime, and the standard key schedule.
+ * It is the computational core of the crypto-forwarding workload
+ * (AES-CBC-256 per Section V-A of the paper).  Not constant-time; this is
+ * a simulation workload, not a production cipher.
+ */
+
+#ifndef HYPERPLANE_CRYPTO_AES_HH
+#define HYPERPLANE_CRYPTO_AES_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace hyperplane {
+namespace crypto {
+
+/** AES block size, bytes. */
+constexpr std::size_t aesBlockBytes = 16;
+
+/** AES key/schedule holder for one key size. */
+class Aes
+{
+  public:
+    /**
+     * Expand a key.
+     * @param key      Key bytes.
+     * @param keyBytes 16, 24, or 32.
+     */
+    Aes(const std::uint8_t *key, std::size_t keyBytes);
+
+    /** Encrypt one 16-byte block (in place allowed: out may equal in). */
+    void encryptBlock(const std::uint8_t *in, std::uint8_t *out) const;
+
+    /** Decrypt one 16-byte block. */
+    void decryptBlock(const std::uint8_t *in, std::uint8_t *out) const;
+
+    /** Number of rounds (10/12/14). */
+    unsigned rounds() const { return rounds_; }
+
+  private:
+    unsigned rounds_;
+    /** Round keys: (rounds+1) 16-byte blocks. */
+    std::array<std::uint8_t, 16 * 15> roundKeys_{};
+};
+
+} // namespace crypto
+} // namespace hyperplane
+
+#endif // HYPERPLANE_CRYPTO_AES_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * AES-CBC mode with PKCS#7 padding.
+ *
+ * CBC chains blocks through XOR with the previous ciphertext block (IV for
+ * the first).  The crypto-forwarding workload encrypts whole packets
+ * through this interface.
+ */
+
+#ifndef HYPERPLANE_CRYPTO_CBC_HH
+#define HYPERPLANE_CRYPTO_CBC_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/aes.hh"
+
+namespace hyperplane {
+namespace crypto {
+
+/** 16-byte initialization vector. */
+using Iv = std::array<std::uint8_t, aesBlockBytes>;
+
+/**
+ * Encrypt @p plain under AES-CBC with PKCS#7 padding.
+ * Output length is the input length rounded up to the next multiple of 16
+ * (a full pad block is added when the input is already aligned).
+ */
+std::vector<std::uint8_t> cbcEncrypt(const Aes &aes, const Iv &iv,
+                                     const std::uint8_t *plain,
+                                     std::size_t len);
+
+/**
+ * Decrypt and strip PKCS#7 padding.
+ * @return std::nullopt if the ciphertext length is not block-aligned or
+ *         the padding is malformed.
+ */
+std::optional<std::vector<std::uint8_t>> cbcDecrypt(
+    const Aes &aes, const Iv &iv, const std::uint8_t *cipher,
+    std::size_t len);
+
+/**
+ * In-place CBC encryption without padding, for block-aligned payloads
+ * (fast path the data plane uses on packet bodies).
+ * @pre len % aesBlockBytes == 0
+ */
+void cbcEncryptAligned(const Aes &aes, const Iv &iv, std::uint8_t *data,
+                       std::size_t len);
+
+/** In-place inverse of cbcEncryptAligned. @pre len % 16 == 0 */
+void cbcDecryptAligned(const Aes &aes, const Iv &iv, std::uint8_t *data,
+                       std::size_t len);
+
+} // namespace crypto
+} // namespace hyperplane
+
+#endif // HYPERPLANE_CRYPTO_CBC_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The HyperPlane data-plane core: runs the QWAIT loop of Algorithm 1.
+ *
+ * Each iteration executes QWAIT (fixed 50-cycle latency against the
+ * shared QwaitUnit), QWAIT-VERIFY, a dequeue batch, QWAIT-RECONSIDER,
+ * and item processing.  When QWAIT finds no ready queue the core halts —
+ * either clock-gated in C0 or, in power-optimized mode, in the C1 sleep
+ * state with a ~0.5 us wake-up penalty — until the QwaitUnit's wake
+ * callback fires.
+ */
+
+#ifndef HYPERPLANE_DP_HYPERPLANE_CORE_HH
+#define HYPERPLANE_DP_HYPERPLANE_CORE_HH
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/qwait_unit.hh"
+#include "dp/dp_core.hh"
+
+namespace hyperplane {
+namespace dp {
+
+/** HyperPlane-accelerated data-plane core. */
+class HyperPlaneCore : public DataPlaneCore
+{
+  public:
+    /**
+     * @param qwait          Shared notification subsystem (per cluster).
+     * @param powerOptimized Halt into C1 instead of C0-halt.
+     * @param c1WakeLatency  C1 exit latency, cycles.
+     * @param batchSize      Items dequeued per QWAIT return.
+     */
+    HyperPlaneCore(CoreId id, EventQueue &eq, mem::MemorySystem &mem,
+                   queueing::QueueSet &queues,
+                   workloads::Workload &workload,
+                   const CoreTimingParams &params, ServiceJitter jitter,
+                   std::uint64_t seed, core::QwaitUnit &qwait,
+                   bool powerOptimized, Tick c1WakeLatency,
+                   unsigned batchSize = 1);
+
+    void start() override;
+    void stop() override;
+    void resetStats() override;
+
+    /** True while blocked in QWAIT with no ready queue. */
+    bool halted() const { return halted_; }
+
+    /**
+     * Wake a halted core (ready set became non-empty).  Applies the C1
+     * exit latency in power-optimized mode.  No-op if not halted.
+     */
+    void wake();
+
+    /** Close out halt-time accounting at the end of a run. */
+    void finalize(Tick endTick) override;
+
+    /**
+     * NUMA work stealing (Section III-B future work): when the local
+     * ready set is empty, QWAIT falls through to the given remote
+     * QwaitUnits, each attempt costing @p extraCycles of interconnect
+     * latency on top of the QWAIT latency.
+     */
+    void setStealTargets(std::vector<core::QwaitUnit *> targets,
+                         Tick extraCycles);
+
+    /**
+     * In-order (flow-stateful) mode: QWAIT-RECONSIDER executes after
+     * item processing (Algorithm 1 lines 18/19 swapped), so a queue is
+     * never serviced by two cores concurrently.
+     */
+    void setInOrder(bool inOrder) { inOrder_ = inOrder; }
+
+    /**
+     * Background-task mode (the non-blocking QWAIT variant of Section
+     * III-A): instead of halting on an empty ready set, run a
+     * low-priority work quantum and re-poll.
+     *
+     * @param quantumCycles Length of one background quantum; 0 disables.
+     * @param ipc           IPC of the background computation.
+     */
+    void setBackgroundTask(Tick quantumCycles, double ipc = 1.5);
+
+    /** Items served from remote (stolen) ready sets. */
+    std::uint64_t stolen() const { return stolen_; }
+
+  protected:
+    /**
+     * Cycles one QWAIT instruction occupies the core.  The software
+     * ready-set variant (Figure 13) overrides this.
+     */
+    virtual Tick qwaitCost() const;
+
+    /** Event body: one QWAIT iteration. */
+    void step();
+
+    /** Account a completed halt interval. */
+    void accountHalt(Tick wakeTick);
+
+    /** QWAIT against local then remote units.
+     *  @return (qid, owning unit) or nullopt; charges latency. */
+    std::optional<std::pair<QueueId, core::QwaitUnit *>> qwaitAll();
+
+    core::QwaitUnit &qwait_;
+    bool powerOpt_;
+    Tick c1WakeLatency_;
+    unsigned batch_;
+    bool halted_ = false;
+    Tick haltStart_ = 0;
+    std::vector<core::QwaitUnit *> stealTargets_;
+    Tick stealExtraCycles_ = 0;
+    bool inOrder_ = false;
+    Tick backgroundQuantum_ = 0;
+    double backgroundIpc_ = 1.5;
+    std::uint64_t stolen_ = 0;
+};
+
+} // namespace dp
+} // namespace hyperplane
+
+#endif // HYPERPLANE_DP_HYPERPLANE_CORE_HH

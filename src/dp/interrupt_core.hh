@@ -1,0 +1,76 @@
+/**
+ * @file
+ * An interrupt-driven data-plane core: the conventional kernel-mediated
+ * notification path of Figure 1(a), added as a second baseline.
+ *
+ * The core halts when idle; a work arrival raises an interrupt whose
+ * delivery (ISR entry, kernel demux, wakeup/schedule) costs
+ * interruptCycles before the data plane runs.  While draining, further
+ * arrivals need no interrupt (NAPI-style masking): the core hunts
+ * non-empty queues like a poll loop until the backlog is empty, then
+ * re-enables interrupts and halts again.
+ *
+ * Compared to the two planes of the paper: latency is flat in queue
+ * count (no sweep) but pays the fixed kernel cost on every idle-to-busy
+ * transition — worse than HyperPlane everywhere, better than spinning
+ * only at large queue counts; power is work-proportional like
+ * HyperPlane.
+ */
+
+#ifndef HYPERPLANE_DP_INTERRUPT_CORE_HH
+#define HYPERPLANE_DP_INTERRUPT_CORE_HH
+
+#include "dp/dp_core.hh"
+
+namespace hyperplane {
+namespace dp {
+
+/** Kernel-interrupt notification core. */
+class InterruptCore : public DataPlaneCore
+{
+  public:
+    /**
+     * @param interruptCycles ISR + kernel wakeup cost per idle-to-busy
+     *                        transition (~1.5 us class).
+     */
+    InterruptCore(CoreId id, EventQueue &eq, mem::MemorySystem &mem,
+                  queueing::QueueSet &queues,
+                  workloads::Workload &workload,
+                  const CoreTimingParams &params, ServiceJitter jitter,
+                  std::uint64_t seed, Tick interruptCycles);
+
+    void start() override;
+    void resetStats() override;
+    void finalize(Tick endTick) override;
+
+    /** Shared cluster backlog counter (as in SpinningCore). */
+    void setBacklogCounter(std::uint64_t *counter) { backlog_ = counter; }
+
+    bool halted() const { return halted_; }
+
+    /** Arrival notification: raise the interrupt if the core is idle. */
+    void raiseInterrupt();
+
+    /** Interrupts taken (idle-to-busy transitions). */
+    std::uint64_t interruptsTaken() const { return interrupts_; }
+
+  private:
+    void step();
+    void accountHalt(Tick until);
+
+    /** Serve the next non-empty queue. @return cycles, 0 if none. */
+    Tick serveNext();
+
+    Tick interruptCycles_;
+    std::uint64_t ownBacklog_ = 0;
+    std::uint64_t *backlog_ = &ownBacklog_;
+    unsigned huntPos_ = 0;
+    bool halted_ = false;
+    Tick haltStart_ = 0;
+    std::uint64_t interrupts_ = 0;
+};
+
+} // namespace dp
+} // namespace hyperplane
+
+#endif // HYPERPLANE_DP_INTERRUPT_CORE_HH

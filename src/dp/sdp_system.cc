@@ -1,0 +1,513 @@
+#include "dp/sdp_system.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "stats/registry.hh"
+
+#include "dp/interrupt_core.hh"
+#include "dp/spinning_core.hh"
+#include "dp/sw_ready_set_core.hh"
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace dp {
+
+namespace {
+
+/** Table I cache geometry. */
+const mem::CacheGeometry l1Geom{32 * 1024, 4, cacheLineBytes};
+const mem::CacheGeometry llcGeom{16ull * 1024 * 1024, 16,
+                                 cacheLineBytes};
+
+/** Round @p v up to a multiple of @p m. */
+unsigned
+roundUpTo(unsigned v, unsigned m)
+{
+    return (v + m - 1) / m * m;
+}
+
+} // namespace
+
+const char *
+toString(PlaneKind k)
+{
+    switch (k) {
+      case PlaneKind::Spinning:
+        return "spinning";
+      case PlaneKind::HyperPlane:
+        return "hyperplane";
+      case PlaneKind::HyperPlaneSwReady:
+        return "hyperplane-sw-ready";
+      case PlaneKind::InterruptDriven:
+        return "interrupt-driven";
+    }
+    return "?";
+}
+
+const char *
+toString(QueueOrg o)
+{
+    switch (o) {
+      case QueueOrg::ScaleOut:
+        return "scale-out";
+      case QueueOrg::ScaleUp2:
+        return "scale-up-2";
+      case QueueOrg::ScaleUpAll:
+        return "scale-up";
+    }
+    return "?";
+}
+
+SdpSystem::SdpSystem(const SdpConfig &cfg)
+    : cfg_(cfg), queues_(cfg.numQueues)
+{
+    build();
+}
+
+SdpSystem::~SdpSystem()
+{
+    for (auto &unit : qwaitUnits_)
+        mem_->unwatch(unit.get());
+}
+
+unsigned
+SdpSystem::numClusters() const
+{
+    switch (cfg_.org) {
+      case QueueOrg::ScaleOut:
+        return cfg_.numCores;
+      case QueueOrg::ScaleUp2:
+        return std::max(1u, cfg_.numCores / 2);
+      case QueueOrg::ScaleUpAll:
+        return 1;
+    }
+    return 1;
+}
+
+unsigned
+SdpSystem::clusterOf(QueueId qid) const
+{
+    const unsigned clusters = numClusters();
+    const unsigned perCluster = cfg_.numQueues / clusters;
+    return std::min(clusters - 1, qid / perCluster);
+}
+
+core::QwaitUnit *
+SdpSystem::qwaitUnit(unsigned cluster)
+{
+    if (cluster >= qwaitUnits_.size())
+        return nullptr;
+    return qwaitUnits_[cluster].get();
+}
+
+void
+SdpSystem::build()
+{
+    hp_assert(cfg_.numCores >= 1, "need at least one data-plane core");
+    hp_assert(cfg_.numQueues >= numClusters(),
+              "need at least one queue per cluster");
+    hp_assert(cfg_.numCores % numClusters() == 0,
+              "cores must divide evenly into clusters");
+
+    mem_ = std::make_unique<mem::MemorySystem>(cfg_.numCores, l1Geom,
+                                               llcGeom);
+    workload_ = makeWorkload(cfg_.workload, cfg_.seed);
+
+    // Traffic shape -> per-queue weights (+ optional static imbalance).
+    Rng shapeRng(cfg_.seed ^ 0x5eedULL);
+    weights_ = traffic::shapeWeights(cfg_.shape, cfg_.numQueues,
+                                     shapeRng);
+    if (cfg_.imbalance > 0.0)
+        weights_ = traffic::applyImbalance(weights_, cfg_.imbalance);
+
+    const unsigned clusters = numClusters();
+    const unsigned coresPerCluster = cfg_.numCores / clusters;
+    const unsigned queuesPerCluster = cfg_.numQueues / clusters;
+    clusterBacklogs_.assign(clusters, 0);
+    coreCluster_.resize(cfg_.numCores);
+
+    const bool hyper = cfg_.plane == PlaneKind::HyperPlane ||
+                       cfg_.plane == PlaneKind::HyperPlaneSwReady;
+
+    if (hyper) {
+        // One QwaitUnit per cluster, snooping that cluster's doorbell
+        // address slice.
+        for (unsigned c = 0; c < clusters; ++c) {
+            core::QwaitConfig qcfg;
+            const unsigned span = c + 1 == clusters
+                ? cfg_.numQueues - c * queuesPerCluster
+                : queuesPerCluster;
+            qcfg.monitoring.capacity = roundUpTo(
+                std::max(1024u, span + span / 4), qcfg.monitoring.ways);
+            qcfg.ready.capacity = cfg_.numQueues;
+            qcfg.ready.policy = cfg_.policy;
+            qcfg.qwaitLatency = cfg_.qwaitLatency;
+            auto unit = std::make_unique<core::QwaitUnit>(qcfg);
+
+            const QueueId lo = c * queuesPerCluster;
+            const QueueId hi = c + 1 == clusters
+                ? cfg_.numQueues
+                : lo + queuesPerCluster;
+            for (QueueId q = lo; q < hi; ++q) {
+                const bool ok =
+                    unit->qwaitAdd(q, queues_[q].doorbellAddr());
+                hp_assert(ok, "QWAIT-ADD failed for qid %u", q);
+            }
+            mem_->watchRange(
+                queueing::AddressMap::doorbellAddr(lo),
+                queueing::AddressMap::doorbellAddr(hi - 1) +
+                    cacheLineBytes,
+                unit.get());
+            qwaitUnits_.push_back(std::move(unit));
+        }
+    }
+
+    // Create cores, assign queue subsets cluster by cluster.
+    for (unsigned i = 0; i < cfg_.numCores; ++i) {
+        const unsigned c = i / coresPerCluster;
+        coreCluster_[i] = c;
+        const QueueId lo = c * queuesPerCluster;
+        const QueueId hi = c + 1 == clusters ? cfg_.numQueues
+                                             : lo + queuesPerCluster;
+        std::vector<QueueId> subset;
+        subset.reserve(hi - lo);
+        for (QueueId q = lo; q < hi; ++q)
+            subset.push_back(q);
+
+        std::unique_ptr<DataPlaneCore> core;
+        if (cfg_.plane == PlaneKind::Spinning) {
+            auto sc = std::make_unique<SpinningCore>(
+                i, eq_, *mem_, queues_, *workload_, cfg_.timing,
+                cfg_.jitter, cfg_.seed + i, coresPerCluster > 1);
+            sc->setBacklogCounter(&clusterBacklogs_[c]);
+            core = std::move(sc);
+        } else if (cfg_.plane == PlaneKind::InterruptDriven) {
+            auto ic = std::make_unique<InterruptCore>(
+                i, eq_, *mem_, queues_, *workload_, cfg_.timing,
+                cfg_.jitter, cfg_.seed + i,
+                usToTicks(cfg_.interruptUs));
+            ic->setBacklogCounter(&clusterBacklogs_[c]);
+            core = std::move(ic);
+        } else {
+            core::QwaitUnit &unit = *qwaitUnits_[c];
+            const Tick wake = cfg_.power.c1WakeLatency;
+            std::unique_ptr<HyperPlaneCore> hpc;
+            if (cfg_.plane == PlaneKind::HyperPlane) {
+                hpc = std::make_unique<HyperPlaneCore>(
+                    i, eq_, *mem_, queues_, *workload_, cfg_.timing,
+                    cfg_.jitter, cfg_.seed + i, unit,
+                    cfg_.powerOptimized, wake, cfg_.batchSize);
+            } else {
+                hpc = std::make_unique<SwReadySetCore>(
+                    i, eq_, *mem_, queues_, *workload_, cfg_.timing,
+                    cfg_.jitter, cfg_.seed + i, unit,
+                    cfg_.powerOptimized, wake, cfg_.batchSize);
+            }
+            hpc->setInOrder(cfg_.inOrderQueues);
+            hpc->setBackgroundTask(cfg_.backgroundQuantum);
+            core = std::move(hpc);
+        }
+        core->assignQueues(std::move(subset));
+        core->setCompletionHook(
+            [this](const queueing::WorkItem &item, Tick when) {
+                onCompletion(item, when);
+            });
+        cores_.push_back(std::move(core));
+    }
+
+    if (hyper) {
+        // NUMA-style work stealing: every core may fall through to the
+        // other clusters' ready sets when its own is idle.
+        if (cfg_.workStealing && clusters > 1) {
+            for (unsigned i = 0; i < cfg_.numCores; ++i) {
+                std::vector<core::QwaitUnit *> targets;
+                for (unsigned c = 0; c < clusters; ++c) {
+                    if (c != coreCluster_[i])
+                        targets.push_back(qwaitUnits_[c].get());
+                }
+                static_cast<HyperPlaneCore *>(cores_[i].get())
+                    ->setStealTargets(std::move(targets),
+                                      cfg_.stealExtraCycles);
+            }
+        }
+        // Wake one halted core of the cluster per ready-queue arrival;
+        // with stealing enabled, fall back to any halted core.
+        for (unsigned c = 0; c < clusters; ++c) {
+            qwaitUnits_[c]->setWakeCallback([this, c, coresPerCluster] {
+                const unsigned base = c * coresPerCluster;
+                for (unsigned k = 0; k < coresPerCluster; ++k) {
+                    auto *hpc = static_cast<HyperPlaneCore *>(
+                        cores_[base + k].get());
+                    if (hpc->halted()) {
+                        hpc->wake();
+                        return;
+                    }
+                }
+                if (cfg_.workStealing) {
+                    for (auto &corePtr : cores_) {
+                        auto *hpc = static_cast<HyperPlaneCore *>(
+                            corePtr.get());
+                        if (hpc->halted()) {
+                            hpc->wake();
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    // Traffic source.
+    traffic::SourceConfig scfg;
+    scfg.totalRatePerSec = cfg_.offeredRatePerSec;
+    scfg.payloadBytes = cfg_.payloadBytes != 0
+        ? cfg_.payloadBytes
+        : workload_->defaultPayloadBytes();
+    scfg.maxQueueDepth = cfg_.maxQueueDepth;
+    scfg.seed = cfg_.seed ^ 0x7ea99ULL;
+    source_ = std::make_unique<traffic::PoissonSource>(
+        eq_, queues_, mem_.get(), scfg, weights_);
+    if (cfg_.modelTenants) {
+        tenants_ = std::make_unique<TenantModel>(cfg_.tenant,
+                                                 cfg_.seed ^ 0x7e9aULL);
+    }
+    source_->setArrivalHook(
+        [this](QueueId qid, const queueing::WorkItem &item) {
+            onArrival(qid, item);
+        });
+}
+
+void
+SdpSystem::onArrival(QueueId qid, const queueing::WorkItem &item)
+{
+    (void)item;
+    const unsigned c = clusterOf(qid);
+    ++clusterBacklogs_[c];
+    if (cfg_.plane == PlaneKind::Spinning) {
+        // Wake any idle-spinning cores of this cluster so they resume
+        // real polling at the arrival instant.
+        for (unsigned i = 0; i < cores_.size(); ++i) {
+            if (coreCluster_[i] == c) {
+                static_cast<SpinningCore *>(cores_[i].get())
+                    ->wakeSpin();
+            }
+        }
+    } else if (cfg_.plane == PlaneKind::InterruptDriven) {
+        // Deliver the interrupt to an idle core of this cluster.
+        for (unsigned i = 0; i < cores_.size(); ++i) {
+            if (coreCluster_[i] == c) {
+                auto *ic =
+                    static_cast<InterruptCore *>(cores_[i].get());
+                if (ic->halted()) {
+                    ic->raiseInterrupt();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+SdpSystem::onCompletion(const queueing::WorkItem &item, Tick when)
+{
+    if (cfg_.plane == PlaneKind::HyperPlane ||
+        cfg_.plane == PlaneKind::HyperPlaneSwReady) {
+        // HyperPlane planes do not poll; keep the shared backlog
+        // counters balanced anyway for introspection.
+        auto &b = clusterBacklogs_[clusterOf(item.qid)];
+        if (b > 0)
+            --b;
+    }
+    if (!measuring_ || when < measureStart_)
+        return;
+    ++completions_;
+    latency_.record(ticksToUs(when - item.arrivalTick));
+    if (tenants_)
+        tenants_->deliver(item, when);
+}
+
+SdpResults
+SdpSystem::run()
+{
+    for (auto &core : cores_)
+        core->start();
+    source_->start();
+
+    const Tick warmupEnd = eq_.now() + usToTicks(cfg_.warmupUs);
+    eq_.run(warmupEnd);
+
+    // Measurement boundary: clear every statistic.
+    measuring_ = true;
+    measureStart_ = warmupEnd;
+    completions_ = 0;
+    latency_.clear();
+    for (auto &core : cores_)
+        core->resetStats();
+    if (tenants_)
+        tenants_->resetStats();
+    const std::uint64_t genAtStart = source_->generated();
+    const std::uint64_t dropAtStart = source_->dropped();
+
+    const Tick end = warmupEnd + usToTicks(cfg_.measureUs);
+    eq_.run(end);
+
+    // Close halt/idle intervals still open at the end of the window.
+    for (auto &core : cores_)
+        core->finalize(end);
+
+    SdpResults r = digest(end - measureStart_);
+    r.generated = source_->generated() - genAtStart;
+    r.dropped = source_->dropped() - dropAtStart;
+
+    for (auto &core : cores_)
+        core->stop();
+    source_->stop();
+    return r;
+}
+
+SdpResults
+SdpSystem::digest(Tick windowTicks)
+{
+    SdpResults r;
+    const double windowSec = ticksToSeconds(windowTicks);
+
+    r.completions = completions_;
+    r.throughputMtps =
+        static_cast<double>(completions_) / windowSec / 1e6;
+    if (latency_.count() > 0) {
+        r.avgLatencyUs = latency_.mean();
+        r.p50LatencyUs = latency_.quantile(0.50);
+        r.p99LatencyUs = latency_.quantile(0.99);
+        r.p999LatencyUs = latency_.quantile(0.999);
+        r.maxLatencyUs = latency_.max();
+    }
+
+    power::CorePowerModel powerModel(cfg_.power);
+    double totalInstr = 0, usefulInstr = 0, uselessInstr = 0;
+    double activeTicks = 0, powerSum = 0;
+    std::uint64_t polls = 0, tasks = 0;
+    for (const auto &core : cores_) {
+        const CoreActivity &a = core->activity();
+        totalInstr +=
+            static_cast<double>(a.usefulInstr + a.uselessInstr);
+        usefulInstr += static_cast<double>(a.usefulInstr);
+        uselessInstr += static_cast<double>(a.uselessInstr);
+        activeTicks += static_cast<double>(a.activeTicks);
+        polls += a.polls;
+        tasks += a.tasks;
+
+        const double coreActiveIpc = a.activeTicks > 0
+            ? static_cast<double>(a.usefulInstr + a.uselessInstr) /
+                static_cast<double>(a.activeTicks)
+            : 0.0;
+        // Unaccounted window time (core idle before its chunk closed)
+        // is treated as halted-in-C0 for spinning planes too; in
+        // practice spinning cores are active for the full window.
+        const auto accounted = static_cast<double>(
+            a.activeTicks + a.c0HaltTicks + a.c1HaltTicks);
+        const double slack =
+            std::max(0.0, static_cast<double>(windowTicks) - accounted);
+        double energy =
+            powerModel.activePowerW(coreActiveIpc) *
+                ticksToSeconds(a.activeTicks) +
+            powerModel.haltPowerW(false) *
+                (ticksToSeconds(a.c0HaltTicks) + slack / (clockGHz * 1e9)) +
+            powerModel.haltPowerW(true) * ticksToSeconds(a.c1HaltTicks);
+        powerSum += energy / windowSec;
+    }
+    const double coreWindows =
+        static_cast<double>(windowTicks) * cfg_.numCores;
+    r.ipc = totalInstr / coreWindows;
+    r.usefulIpc = usefulInstr / coreWindows;
+    r.uselessIpc = uselessInstr / coreWindows;
+    r.activeFraction = std::min(1.0, activeTicks / coreWindows);
+    r.activeIpc = activeTicks > 0 ? totalInstr / activeTicks : 0.0;
+    r.avgCorePowerW = powerSum / cfg_.numCores;
+    r.avgPollsPerTask =
+        tasks > 0 ? static_cast<double>(polls) / tasks : 0.0;
+
+    SmtCoRunner smt(cfg_.smt);
+    r.coRunnerIpc = smt.coRunnerIpc(r.activeFraction, r.activeIpc);
+
+    for (const auto &unit : qwaitUnits_)
+        r.spuriousWakeups += unit->spuriousWakeups.value();
+    double bgInstr = 0;
+    for (const auto &core : cores_) {
+        if (auto *hpc = dynamic_cast<HyperPlaneCore *>(core.get()))
+            r.stolenGrants += hpc->stolen();
+        if (auto *ic = dynamic_cast<InterruptCore *>(core.get()))
+            r.interrupts += ic->interruptsTaken();
+        bgInstr += static_cast<double>(core->activity().backgroundInstr);
+    }
+    r.backgroundIpc = bgInstr / coreWindows;
+    if (tenants_ && tenants_->latency().count() > 0) {
+        r.e2eAvgLatencyUs = tenants_->latency().mean();
+        r.e2eP99LatencyUs = tenants_->latency().quantile(0.99);
+    }
+    return r;
+}
+
+void
+SdpSystem::dumpStats(std::ostream &os) const
+{
+    stats::Registry reg;
+    reg.addGroup("mem",
+                 {mem_->l1Hits, mem_->llcHits, mem_->remoteForwards,
+                  mem_->memAccesses, mem_->invalidations,
+                  mem_->writeTransactions, mem_->snoopHits});
+    reg.addGroup("source", {source_->generated_, source_->dropped_});
+    for (unsigned c = 0; c < qwaitUnits_.size(); ++c) {
+        const auto &u = *qwaitUnits_[c];
+        const std::string p = "hyperplane" + std::to_string(c);
+        reg.addGroup(p, {u.qwaitCalls, u.qwaitBlocked,
+                         u.spuriousWakeups});
+        reg.addGroup(p + ".monitoring",
+                     {u.monitoringSet().inserts,
+                      u.monitoringSet().insertConflicts,
+                      u.monitoringSet().snoops,
+                      u.monitoringSet().snoopMatches});
+        reg.addGroup(p + ".ready", {u.readySet().activations,
+                                    u.readySet().grants});
+        reg.addScalar(p + ".monitoring.occupancy", [&u] {
+            return static_cast<double>(u.monitoringSet().occupancy());
+        });
+    }
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+        const CoreActivity &a = cores_[i]->activity();
+        const std::string p = "core" + std::to_string(i);
+        reg.addScalar(p + ".tasks",
+                      [&a] { return static_cast<double>(a.tasks); });
+        reg.addScalar(p + ".polls",
+                      [&a] { return static_cast<double>(a.polls); });
+        reg.addScalar(p + ".empty_polls", [&a] {
+            return static_cast<double>(a.emptyPolls);
+        });
+        reg.addScalar(p + ".useful_instr", [&a] {
+            return static_cast<double>(a.usefulInstr);
+        });
+        reg.addScalar(p + ".useless_instr", [&a] {
+            return static_cast<double>(a.uselessInstr);
+        });
+        reg.addScalar(p + ".active_ticks", [&a] {
+            return static_cast<double>(a.activeTicks);
+        });
+        reg.addScalar(p + ".halt_ticks", [&a] {
+            return static_cast<double>(a.c0HaltTicks + a.c1HaltTicks);
+        });
+        reg.addScalar(p + ".wakeups", [&a] {
+            return static_cast<double>(a.wakeups);
+        });
+    }
+    os << reg.report();
+}
+
+SdpResults
+runSdp(const SdpConfig &cfg)
+{
+    SdpSystem system(cfg);
+    return system.run();
+}
+
+} // namespace dp
+} // namespace hyperplane

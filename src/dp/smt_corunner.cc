@@ -1,0 +1,23 @@
+#include "dp/smt_corunner.hh"
+
+#include <algorithm>
+
+namespace hyperplane {
+namespace dp {
+
+SmtCoRunner::SmtCoRunner(const SmtParams &params) : params_(params) {}
+
+double
+SmtCoRunner::coRunnerIpc(double dpActiveFraction, double dpActiveIpc) const
+{
+    const double frac = std::clamp(dpActiveFraction, 0.0, 1.0);
+    const double activity =
+        std::clamp(dpActiveIpc / params_.ipcPeak, 0.0, 1.0);
+    // ICOUNT-style sharing: the sibling steals issue slots in proportion
+    // to how often and how fast it executes.
+    const double loss = params_.contention * frac * activity;
+    return params_.soloIpc * (1.0 - loss);
+}
+
+} // namespace dp
+} // namespace hyperplane

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SMT co-runner interference model (Figure 11(b)).
+ *
+ * Two hardware threads share a core: the data-plane thread and a regular
+ * batch application (matrix multiplication in the paper).  Fetch/issue
+ * slots are allocated ICOUNT-style, so a spinning thread with a high IPC
+ * is a severe antagonist, while a halted HyperPlane thread leaves the
+ * whole core to the co-runner.  The model maps the data-plane thread's
+ * measured occupancy and IPC to the co-runner's achieved IPC.
+ */
+
+#ifndef HYPERPLANE_DP_SMT_CORUNNER_HH
+#define HYPERPLANE_DP_SMT_CORUNNER_HH
+
+namespace hyperplane {
+namespace dp {
+
+/** Parameters for the SMT interference model. */
+struct SmtParams
+{
+    /** Co-runner IPC when it owns the core alone. */
+    double soloIpc = 2.2;
+    /** Fraction of the co-runner's throughput a fully-active,
+     *  full-speed sibling thread takes away. */
+    double contention = 0.65;
+    /** Core-wide peak IPC used to normalize the sibling's activity. */
+    double ipcPeak = 3.0;
+};
+
+/** Analytic SMT co-runner model. */
+class SmtCoRunner
+{
+  public:
+    explicit SmtCoRunner(const SmtParams &params = {});
+
+    const SmtParams &params() const { return params_; }
+
+    /**
+     * Co-runner IPC given the data-plane thread's behaviour.
+     *
+     * @param dpActiveFraction Fraction of time the DP thread is not
+     *                         halted (1.0 for spinning planes).
+     * @param dpActiveIpc      DP thread IPC while active.
+     */
+    double coRunnerIpc(double dpActiveFraction, double dpActiveIpc) const;
+
+  private:
+    SmtParams params_;
+};
+
+} // namespace dp
+} // namespace hyperplane
+
+#endif // HYPERPLANE_DP_SMT_CORUNNER_HH

@@ -1,0 +1,277 @@
+#include "dp/spinning_core.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace dp {
+
+namespace {
+
+/** Maximum simulated time one step event may cover, cycles. */
+constexpr Tick maxChunk = usToTicks(50.0);
+
+} // namespace
+
+SpinningCore::SpinningCore(CoreId id, EventQueue &eq,
+                           mem::MemorySystem &mem,
+                           queueing::QueueSet &queues,
+                           workloads::Workload &workload,
+                           const CoreTimingParams &params,
+                           ServiceJitter jitter, std::uint64_t seed,
+                           bool shared)
+    : DataPlaneCore(id, eq, mem, queues, workload, params, jitter, seed),
+      shared_(shared)
+{
+}
+
+void
+SpinningCore::start()
+{
+    hp_assert(!qids_.empty(), "no queues assigned");
+    running_ = true;
+    idleSpinning_ = false;
+    freeAt_ = eq_.now();
+    eq_.schedule(freeAt_, [this] { step(); });
+}
+
+void
+SpinningCore::resetStats()
+{
+    DataPlaneCore::resetStats();
+    // An idle-spin interval in progress restarts at the boundary.
+    if (idleSpinning_)
+        idleStart_ = eq_.now();
+}
+
+void
+SpinningCore::finalize(Tick endTick)
+{
+    if (idleSpinning_) {
+        flushIdleSpin(endTick);
+        idleStart_ = endTick;
+    }
+}
+
+void
+SpinningCore::enterIdleSpin()
+{
+    idleSpinning_ = true;
+    idleStart_ = freeAt_;
+}
+
+void
+SpinningCore::flushIdleSpin(Tick now)
+{
+    if (now <= idleStart_)
+        return;
+    const Tick delta = now - idleStart_;
+    const auto per =
+        static_cast<Tick>(std::max(1.0, avgPollCost_));
+    chargeSkippedPolls(delta / per);
+    // Sub-poll remainder: still spinning.
+    chargeActive(delta % per, 0, false);
+    idleStart_ = now;
+}
+
+void
+SpinningCore::chargeSkippedPolls(std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    const auto per = static_cast<Tick>(std::max(1.0, avgPollCost_));
+    activity_.polls += n;
+    activity_.emptyPolls += n;
+    chargeActive(n * per, n * params_.pollInstr, false);
+    sweepPos_ = static_cast<unsigned>((sweepPos_ + n) % qids_.size());
+}
+
+void
+SpinningCore::wakeSpin()
+{
+    if (!running_ || !idleSpinning_)
+        return;
+    idleSpinning_ = false;
+    const Tick now = eq_.now();
+    flushIdleSpin(now);
+    freeAt_ = std::max(freeAt_, now);
+    eq_.schedule(freeAt_, [this] { step(); });
+}
+
+void
+SpinningCore::step()
+{
+    if (!running_ || idleSpinning_)
+        return;
+    // Bound the chunk by the next pending event so arrivals and other
+    // cores' actions interleave at the right times.
+    Tick horizon = freeAt_ + maxChunk;
+    if (!eq_.empty())
+        horizon = std::min(horizon, eq_.nextEventTick());
+    if (horizon <= freeAt_)
+        horizon = freeAt_ + 1;
+
+    const unsigned n = static_cast<unsigned>(qids_.size());
+    while (running_ && freeAt_ < horizon) {
+        if (*backlog_ == 0) {
+            if (avgPollCost_ >= 1.0 && realPolls_ >= qids_.size()) {
+                // Provably nothing to find: go event-free until the
+                // arrival hook wakes us.  The bootstrap sweep has
+                // already warmed every queue-head line, so the charged
+                // per-poll cost matches continuous polling.
+                enterIdleSpin();
+                return;
+            }
+            // Bootstrap: sweep every queue for real once.
+            pollOnce();
+            continue;
+        }
+
+        // Work exists somewhere in our subset: hunt for the next ready
+        // queue from the sweep position.
+        unsigned k = 0;
+        bool found = false;
+        for (; k < n; ++k) {
+            if (!queues_[qids_[(sweepPos_ + k) % n]].empty()) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            // The shared counter says ready but our subset shows none —
+            // a transient in shared mode (a sibling is dequeuing).  One
+            // real poll makes progress and keeps time moving.
+            pollOnce();
+            continue;
+        }
+        if (k == 0) {
+            // The sweep position is the ready queue: poll and serve.
+            pollOnce();
+            continue;
+        }
+        // An empty run of k queues precedes the ready one.  Execute one
+        // real empty poll — keeping the per-poll cost estimate and the
+        // cache state honest — and charge the remaining k-1 empties
+        // analytically, bounded by the event horizon.
+        pollOnce();
+        --k;
+        if (k > 0 && avgPollCost_ >= 1.0) {
+            const auto per = static_cast<Tick>(avgPollCost_);
+            const Tick skipCost = k * per;
+            if (freeAt_ + skipCost > horizon) {
+                // Only part of the empty run fits before the horizon:
+                // sweep that far and yield to the pending event.
+                const auto fit = std::min<std::uint64_t>(
+                    (horizon - freeAt_) / per, k);
+                if (fit > 0) {
+                    chargeSkippedPolls(fit);
+                    freeAt_ += fit * per;
+                }
+                continue;
+            }
+            chargeSkippedPolls(k);
+            freeAt_ += skipCost;
+        }
+        // Loop re-hunts: the ready queue is now at the sweep position
+        // (k == 0) unless the horizon intervened.
+    }
+    if (running_)
+        eq_.schedule(freeAt_, [this] { step(); });
+}
+
+Tick
+SpinningCore::pollOnce()
+{
+    const QueueId qid = qids_[sweepPos_];
+    sweepPos_ = sweepPos_ + 1 == qids_.size() ? 0 : sweepPos_ + 1;
+    ++activity_.polls;
+    ++realPolls_;
+
+    queueing::TaskQueue &q = queues_[qid];
+    // The poll-loop body: branch/bookkeeping plus the queue-head read.
+    // Small sweeps run the tight-loop fast path.
+    const bool tight = qids_.size() <= params_.tightLoopMax;
+    const Tick loopCycles =
+        tight ? params_.tightLoopCycles : params_.pollLoopCycles;
+    const unsigned loopInstr =
+        tight ? params_.tightLoopInstr : params_.pollInstr;
+    Tick cost = loopCycles;
+    cost += mem_.read(id_, q.doorbellAddr()).latency;
+    cost += mem_.read(id_, q.descriptorAddr()).latency;
+
+    if (q.empty()) {
+        ++activity_.emptyPolls;
+        chargeActive(cost, loopInstr, false);
+        freeAt_ += cost;
+        // Track the steady-state per-poll cost for skip accounting.
+        avgPollCost_ = avgPollCost_ == 0.0
+            ? static_cast<double>(cost)
+            : 0.9 * avgPollCost_ + 0.1 * static_cast<double>(cost);
+        return cost;
+    }
+
+    // Found work: the poll that discovered it counts as useful.
+    chargeActive(cost, loopInstr, true);
+    freeAt_ += cost;
+    return cost + serveQueue(qid);
+}
+
+Tick
+SpinningCore::serveQueue(QueueId qid)
+{
+    queueing::TaskQueue &q = queues_[qid];
+    Tick cost = 0;
+
+    if (shared_) {
+        // Scale-up spinning: cores must synchronize to dequeue.  The
+        // lock/CAS line ping-pongs between the sharing cores' L1s — the
+        // cost Section II calls out as making shared queues impractical.
+        cost += mem_.atomicRmw(id_, queueing::AddressMap::syncAddr(qid))
+                    .latency;
+        cost += params_.sharedDequeueSyncCycles;
+    }
+
+    // Consumer-side doorbell decrement + descriptor fetch.
+    cost += params_.dequeueCycles;
+    cost += mem_.atomicRmw(id_, q.doorbellAddr()).latency;
+    cost += mem_.read(id_, q.descriptorAddr()).latency;
+
+    auto item = q.dequeue();
+    if (!item) {
+        // Raced with a sharing core; the CAS work was wasted.
+        chargeActive(cost, params_.dequeueInstr, false);
+        freeAt_ += cost;
+        return cost;
+    }
+    if (*backlog_ > 0)
+        --*backlog_;
+    chargeActive(cost, params_.dequeueInstr, true);
+    freeAt_ += cost;
+
+    Tick total = cost + processItem(*item);
+    freeAt_ = freeAt_ - cost + total; // processItem charged separately
+
+    // rx_burst-style batching: drain up to spinBurst items from this
+    // visit (the batch decrement is covered by the single RMW above).
+    unsigned drained = 1;
+    while (drained < params_.spinBurst && !q.empty()) {
+        Tick c = params_.dequeueCycles / 2;
+        c += mem_.read(id_, q.descriptorAddr()).latency;
+        auto next = q.dequeue();
+        if (!next)
+            break;
+        if (*backlog_ > 0)
+            --*backlog_;
+        chargeActive(c, params_.dequeueInstr / 2, true);
+        freeAt_ += c;
+        const Tick svc = processItem(*next);
+        freeAt_ += svc;
+        total += c + svc;
+        ++drained;
+    }
+    return total;
+}
+
+} // namespace dp
+} // namespace hyperplane

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The spin-polling data-plane core: the state-of-the-art baseline the
+ * paper compares against (a DPDK-style poll-mode loop).
+ *
+ * The core sweeps its assigned queues round-robin.  Each poll reads the
+ * queue's doorbell and descriptor lines through the memory system (the
+ * cache misses on empty queue heads are exactly the queue-scalability
+ * pathology of Section II).  Non-empty queues are drained one item at a
+ * time with dequeue + processing costs; in shared (scale-up) mode each
+ * dequeue additionally pays lock/CAS synchronization on a per-queue sync
+ * line, which ping-pongs between the sharing cores' L1s.
+ *
+ * Simulation-efficiency machinery (does not change modelled behaviour):
+ *
+ *  - Idle sleep: when the core's queue subset is provably empty (shared
+ *    backlog counter == 0) it stops scheduling events entirely; the
+ *    system's arrival hook wakes it, and the elapsed interval is charged
+ *    as spinning (cycles, useless instructions, sweep-phase advance) at
+ *    the measured steady-state per-poll cost.
+ *  - Empty-run skipping: when work exists somewhere, the run of empty
+ *    queues between the sweep position and the next ready queue is
+ *    charged analytically instead of issuing per-queue memory ops, with
+ *    periodic real polls keeping the per-poll cost estimate honest.
+ */
+
+#ifndef HYPERPLANE_DP_SPINNING_CORE_HH
+#define HYPERPLANE_DP_SPINNING_CORE_HH
+
+#include "dp/dp_core.hh"
+
+namespace hyperplane {
+namespace dp {
+
+/** Spin-polling data-plane core. */
+class SpinningCore : public DataPlaneCore
+{
+  public:
+    /**
+     * @param shared True when multiple cores share this core's queue
+     *               subset (scale-up organizations): dequeues pay
+     *               synchronization costs.
+     */
+    SpinningCore(CoreId id, EventQueue &eq, mem::MemorySystem &mem,
+                 queueing::QueueSet &queues,
+                 workloads::Workload &workload,
+                 const CoreTimingParams &params, ServiceJitter jitter,
+                 std::uint64_t seed, bool shared);
+
+    void start() override;
+    void resetStats() override;
+
+    /**
+     * Close open idle-spin accounting at the end of a measurement.
+     */
+    void finalize(Tick endTick) override;
+
+    /**
+     * Share a backlog counter between cores that serve the same queue
+     * subset (scale-up), so a dequeue by any sharer is visible to all.
+     */
+    void setBacklogCounter(std::uint64_t *counter) { backlog_ = counter; }
+
+    /** True while the core is in the event-free idle-spin state. */
+    bool idleSpinning() const { return idleSpinning_; }
+
+    /** Steady-state per-poll cost estimate, cycles (diagnostics). */
+    double avgPollCostEstimate() const { return avgPollCost_; }
+
+    /**
+     * Arrival notification from the system: wakes an idle-spinning core,
+     * charging the skipped interval as spinning.
+     */
+    void wakeSpin();
+
+  private:
+    /** Event body: poll/process until the next event horizon. */
+    void step();
+
+    /**
+     * Poll the queue at the current sweep position (real memory ops).
+     * @return Cycles consumed.
+     */
+    Tick pollOnce();
+
+    /** Dequeue and process the head of @p qid. @return cycles. */
+    Tick serveQueue(QueueId qid);
+
+    /** Enter the event-free idle-spin state. */
+    void enterIdleSpin();
+
+    /** Charge [idleStart_, now) as analytic spinning. */
+    void flushIdleSpin(Tick now);
+
+    /**
+     * Charge @p n empty polls analytically and advance the sweep phase.
+     */
+    void chargeSkippedPolls(std::uint64_t n);
+
+    bool shared_;
+    unsigned sweepPos_ = 0;
+    /** Ready-item count over the cluster's queues (system-maintained). */
+    std::uint64_t ownBacklog_ = 0;
+    std::uint64_t *backlog_ = &ownBacklog_;
+    /** EWMA of per-poll cost in steady state, cycles (for skipping). */
+    double avgPollCost_ = 0.0;
+    /** Real polls executed so far (idle-sleep is allowed only after a
+     *  full warm-up sweep so cache state matches continuous polling). */
+    std::uint64_t realPolls_ = 0;
+    bool idleSpinning_ = false;
+    Tick idleStart_ = 0;
+};
+
+} // namespace dp
+} // namespace hyperplane
+
+#endif // HYPERPLANE_DP_SPINNING_CORE_HH

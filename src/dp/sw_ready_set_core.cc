@@ -1,0 +1,18 @@
+#include "dp/sw_ready_set_core.hh"
+
+namespace hyperplane {
+namespace dp {
+
+Tick
+SwReadySetCore::qwaitCost() const
+{
+    // The iterator scans the ready list under a lock.  On average it
+    // examines half the ready entries before the round-robin cursor
+    // lands on the next QID; we charge the full scan length's average.
+    const unsigned readyEntries = qwait_.readySet().readyCount();
+    return swFixedCycles +
+           swPerEntryCycles * static_cast<Tick>(readyEntries);
+}
+
+} // namespace dp
+} // namespace hyperplane

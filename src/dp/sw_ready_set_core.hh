@@ -1,0 +1,39 @@
+/**
+ * @file
+ * HyperPlane with a *software* ready set (the Figure 13 ablation).
+ *
+ * The monitoring set remains hardware (coherence transactions are not
+ * visible to software), but QWAIT becomes a code sequence that locks the
+ * ready list and iterates it to find the next QID under the service
+ * policy.  Its cost therefore grows with the number of ready QIDs —
+ * cheap when traffic concentrates, expensive under fully-balanced
+ * traffic where the list holds hundreds of entries (Section V-E).
+ */
+
+#ifndef HYPERPLANE_DP_SW_READY_SET_CORE_HH
+#define HYPERPLANE_DP_SW_READY_SET_CORE_HH
+
+#include "dp/hyperplane_core.hh"
+
+namespace hyperplane {
+namespace dp {
+
+/** Software-ready-set variant of the HyperPlane core. */
+class SwReadySetCore : public HyperPlaneCore
+{
+  public:
+    /** Cycles to take/release the ready-list lock + loop setup. */
+    static constexpr Tick swFixedCycles = 60;
+    /** Cycles per ready-list entry the iterator scans. */
+    static constexpr Tick swPerEntryCycles = 4;
+
+    using HyperPlaneCore::HyperPlaneCore;
+
+  protected:
+    Tick qwaitCost() const override;
+};
+
+} // namespace dp
+} // namespace hyperplane
+
+#endif // HYPERPLANE_DP_SW_READY_SET_CORE_HH

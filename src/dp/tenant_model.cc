@@ -1,0 +1,52 @@
+#include "dp/tenant_model.hh"
+
+namespace hyperplane {
+namespace dp {
+
+const char *
+toString(TenantNotify n)
+{
+    switch (n) {
+      case TenantNotify::Spin:
+        return "spin";
+      case TenantNotify::Umwait:
+        return "umwait";
+    }
+    return "?";
+}
+
+TenantModel::TenantModel(const TenantParams &params, std::uint64_t seed)
+    : params_(params), rng_(seed ^ 0x7e4a47ULL)
+{
+}
+
+Tick
+TenantModel::deliver(const queueing::WorkItem &item, Tick when)
+{
+    Tick reaction = 0;
+    switch (params_.notify) {
+      case TenantNotify::Spin:
+        // The doorbell write lands at a uniformly random phase of the
+        // tenant's tight poll loop.
+        reaction = rng_.uniformInt(params_.spinPollCycles + 1);
+        break;
+      case TenantNotify::Umwait:
+        // The monitor fires immediately; the core pays the C0.x exit.
+        reaction = params_.umwaitWakeCycles;
+        break;
+    }
+    const Tick held = when + reaction + params_.receiveCycles;
+    latency_.record(ticksToUs(held - item.arrivalTick));
+    ++delivered_;
+    return held;
+}
+
+void
+TenantModel::resetStats()
+{
+    latency_.clear();
+    delivered_ = 0;
+}
+
+} // namespace dp
+} // namespace hyperplane

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tenant-side notification model: the right-hand side of Figure 2.
+ *
+ * After transport processing, the SDP writes the tenant-side doorbell
+ * (steps 2c-2d); the tenant core is then informed (step 3).  Unlike the
+ * SDP, a tenant has only one or a few queues, so — as Section II-A
+ * notes — it can monitor them cheaply with a tight spin loop or an
+ * MWAIT/UMWAIT variant.  TenantModel adds that final hop so end-to-end
+ * latencies (work arrival -> tenant informed) can be reported next to
+ * the data-plane completion latencies.
+ */
+
+#ifndef HYPERPLANE_DP_TENANT_MODEL_HH
+#define HYPERPLANE_DP_TENANT_MODEL_HH
+
+#include "queueing/task_queue.hh"
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+
+namespace hyperplane {
+namespace dp {
+
+/** How tenant cores watch their own queues. */
+enum class TenantNotify : std::uint8_t
+{
+    Spin,   ///< tight spin loop on 1-2 queues (near-zero reaction)
+    Umwait, ///< UMWAIT on the doorbell line: halts, pays a wake cost
+};
+
+const char *toString(TenantNotify n);
+
+/** Tenant-side timing parameters. */
+struct TenantParams
+{
+    TenantNotify notify = TenantNotify::Umwait;
+    /** UMWAIT monitor wake-up cost, cycles (C0.1/C0.2-class exit). */
+    Tick umwaitWakeCycles = 150;
+    /** Spin-loop iteration over the tenant's own queue(s), cycles. */
+    Tick spinPollCycles = 20;
+    /** Tenant-side dequeue + hand-off to application code, cycles. */
+    Tick receiveCycles = 120;
+};
+
+/**
+ * Models every tenant's receive path and aggregates end-to-end latency
+ * (producer enqueue -> tenant has the work item in hand).
+ */
+class TenantModel
+{
+  public:
+    explicit TenantModel(const TenantParams &params = {},
+                         std::uint64_t seed = 1);
+
+    const TenantParams &params() const { return params_; }
+
+    /**
+     * The SDP rang the tenant doorbell for @p item at @p when.
+     * Computes the tenant-side delay and records the end-to-end
+     * latency.
+     *
+     * @return The tick at which the tenant holds the item.
+     */
+    Tick deliver(const queueing::WorkItem &item, Tick when);
+
+    /** End-to-end latency distribution, microseconds. */
+    const stats::LogHistogram &latency() const { return latency_; }
+
+    std::uint64_t delivered() const { return delivered_; }
+
+    /** Reset accumulated statistics (measurement boundary). */
+    void resetStats();
+
+  private:
+    TenantParams params_;
+    Rng rng_;
+    stats::LogHistogram latency_{0.01, 1.02, 2048};
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace dp
+} // namespace hyperplane
+
+#endif // HYPERPLANE_DP_TENANT_MODEL_HH

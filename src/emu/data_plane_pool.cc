@@ -1,0 +1,64 @@
+#include "emu/data_plane_pool.hh"
+
+#include <chrono>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace emu {
+
+DataPlanePool::DataPlanePool(EmuHyperPlane &hp, unsigned workers,
+                             Handler handler, std::uint64_t maxBatch)
+    : hp_(hp), numWorkers_(workers), handler_(std::move(handler)),
+      maxBatch_(maxBatch)
+{
+    hp_assert(workers > 0, "pool needs at least one worker");
+    hp_assert(maxBatch > 0, "batch must be at least one item");
+    hp_assert(handler_ != nullptr, "pool needs a handler");
+}
+
+DataPlanePool::~DataPlanePool()
+{
+    stop();
+}
+
+void
+DataPlanePool::start()
+{
+    if (running_.exchange(true))
+        return;
+    threads_.reserve(numWorkers_);
+    for (unsigned i = 0; i < numWorkers_; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+void
+DataPlanePool::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+}
+
+void
+DataPlanePool::workerLoop()
+{
+    using namespace std::chrono_literals;
+    while (running_.load(std::memory_order_relaxed)) {
+        // A bounded wait keeps shutdown prompt: the timeout re-checks
+        // running_ (the software stand-in for waking halted cores).
+        const auto qid = hp_.qwait(5ms);
+        if (!qid)
+            continue;
+        const std::uint64_t n = hp_.take(*qid, maxBatch_);
+        if (n == 0)
+            continue; // spurious grant
+        handler_(*qid, n);
+        processed_.fetch_add(n, std::memory_order_relaxed);
+    }
+}
+
+} // namespace emu
+} // namespace hyperplane

@@ -1,0 +1,141 @@
+#include "emu/emu_hyperplane.hh"
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace emu {
+
+EmuHyperPlane::EmuHyperPlane(unsigned maxQueues,
+                             core::ServicePolicy policy)
+    : ready_(core::ReadySetConfig{maxQueues, policy,
+                                  core::ArbiterKind::BrentKung, 1}),
+      doorbells_(maxQueues, 0), registered_(maxQueues, false)
+{
+    hp_assert(maxQueues > 0, "need at least one queue slot");
+}
+
+std::optional<QueueId>
+EmuHyperPlane::addQueue()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    if (numRegistered_ == registered_.size())
+        return std::nullopt;
+    for (QueueId q = 0; q < registered_.size(); ++q) {
+        if (!registered_[q]) {
+            registered_[q] = true;
+            doorbells_[q] = 0;
+            ready_.enable(q);
+            ++numRegistered_;
+            return q;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+EmuHyperPlane::removeQueue(QueueId qid)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    hp_assert(qid < registered_.size(), "qid out of range");
+    if (!registered_[qid])
+        return;
+    registered_[qid] = false;
+    doorbells_[qid] = 0;
+    ready_.deactivate(qid);
+    --numRegistered_;
+}
+
+void
+EmuHyperPlane::ring(QueueId qid, std::uint64_t n)
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        hp_assert(qid < registered_.size(), "qid out of range");
+        hp_assert(registered_[qid], "ring on unregistered queue");
+        doorbells_[qid] += n;
+        // The monitoring-set disarm/activate: mark the queue ready.
+        ready_.activate(qid);
+    }
+    cv_.notify_one();
+}
+
+std::optional<QueueId>
+EmuHyperPlane::qwait(std::chrono::nanoseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(m_);
+    std::optional<QueueId> qid;
+    const bool ok = cv_.wait_for(lock, timeout, [&] {
+        qid = ready_.selectNext();
+        return qid.has_value();
+    });
+    if (!ok)
+        return std::nullopt;
+    ++grants_;
+    return qid;
+}
+
+std::optional<QueueId>
+EmuHyperPlane::qwaitNonBlocking()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto qid = ready_.selectNext();
+    if (qid)
+        ++grants_;
+    return qid;
+}
+
+std::uint64_t
+EmuHyperPlane::take(QueueId qid, std::uint64_t maxItems)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    hp_assert(qid < registered_.size(), "qid out of range");
+    // QWAIT-VERIFY: a spurious grant claims nothing; the queue stays
+    // armed (next ring() re-activates it).
+    const std::uint64_t avail = doorbells_[qid];
+    const std::uint64_t taken = std::min(avail, maxItems);
+    doorbells_[qid] -= taken;
+    // QWAIT-RECONSIDER: re-activate if items remain.
+    if (doorbells_[qid] > 0)
+        ready_.activate(qid);
+    return taken;
+}
+
+void
+EmuHyperPlane::enable(QueueId qid)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    ready_.enable(qid);
+    cv_.notify_all();
+}
+
+void
+EmuHyperPlane::disable(QueueId qid)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    ready_.disable(qid);
+}
+
+void
+EmuHyperPlane::setWeight(QueueId qid, std::uint32_t weight)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    ready_.setWeight(qid, weight);
+}
+
+std::uint64_t
+EmuHyperPlane::pendingItems(QueueId qid) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    hp_assert(qid < doorbells_.size(), "qid out of range");
+    return doorbells_[qid];
+}
+
+std::uint64_t
+EmuHyperPlane::grants() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return grants_;
+}
+
+} // namespace emu
+} // namespace hyperplane

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Software emulation of the HyperPlane programming model.
+ *
+ * EmuHyperPlane gives real applications the Algorithm 1 API today, with
+ * no hardware: producers ring per-queue doorbells from any thread, and
+ * consumer (data-plane) threads block in qwait() until a queue is ready,
+ * receiving QIDs in service-policy order from the same ReadySet logic
+ * the simulated hardware uses.  Code written against this interface maps
+ * 1:1 onto the accelerated instructions:
+ *
+ *   addQueue/removeQueue  <->  QWAIT-ADD / QWAIT-REMOVE
+ *   qwait                 <->  QWAIT (halting wait)
+ *   take                  <->  QWAIT-VERIFY + dequeue +
+ *                              QWAIT-RECONSIDER (atomic)
+ *   enable/disable        <->  QWAIT-ENABLE / QWAIT-DISABLE
+ *
+ * Synchronization uses one mutex + condition variable; this is the
+ * *correctness* front-end, not a performance claim (the paper's point is
+ * precisely that software implementations cannot match the hardware).
+ */
+
+#ifndef HYPERPLANE_EMU_EMU_HYPERPLANE_HH
+#define HYPERPLANE_EMU_EMU_HYPERPLANE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/ready_set.hh"
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace emu {
+
+/** Software QWAIT device shared by producer and consumer threads. */
+class EmuHyperPlane
+{
+  public:
+    /**
+     * @param maxQueues Capacity of the notification structures.
+     * @param policy    Service policy for QID selection.
+     */
+    explicit EmuHyperPlane(
+        unsigned maxQueues,
+        core::ServicePolicy policy = core::ServicePolicy::RoundRobin);
+
+    // --- Control plane ------------------------------------------------
+
+    /**
+     * Register a queue (QWAIT-ADD).
+     * @return The new QID, or std::nullopt if capacity is exhausted.
+     */
+    std::optional<QueueId> addQueue();
+
+    /** Unregister a queue (QWAIT-REMOVE). */
+    void removeQueue(QueueId qid);
+
+    // --- Producer side ------------------------------------------------
+
+    /**
+     * Ring the doorbell: advertise @p n new items in @p qid and wake a
+     * waiting consumer if the queue just became ready.
+     */
+    void ring(QueueId qid, std::uint64_t n = 1);
+
+    // --- Consumer (data-plane) side ------------------------------------
+
+    /**
+     * Block until some queue is ready (QWAIT).
+     *
+     * @param timeout Give up after this long.
+     * @return The next ready QID per the service policy, or std::nullopt
+     *         on timeout.
+     */
+    std::optional<QueueId> qwait(
+        std::chrono::nanoseconds timeout = std::chrono::seconds(1));
+
+    /** Non-blocking QWAIT variant (background-task pattern, Sec III-A). */
+    std::optional<QueueId> qwaitNonBlocking();
+
+    /**
+     * Claim up to @p maxItems from @p qid — the VERIFY + dequeue +
+     * RECONSIDER sequence, atomic with respect to ring().
+     *
+     * @return Number of items claimed (0 on a spurious wake-up).
+     */
+    std::uint64_t take(QueueId qid, std::uint64_t maxItems = 1);
+
+    /** QWAIT-ENABLE / QWAIT-DISABLE. */
+    void enable(QueueId qid);
+    void disable(QueueId qid);
+
+    /** WRR weight control. */
+    void setWeight(QueueId qid, std::uint32_t weight);
+
+    /** Doorbell value (advertised outstanding items). */
+    std::uint64_t pendingItems(QueueId qid) const;
+
+    /** Total successful qwait() returns. */
+    std::uint64_t grants() const;
+
+  private:
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    core::ReadySet ready_;
+    std::vector<std::uint64_t> doorbells_;
+    std::vector<bool> registered_;
+    unsigned numRegistered_ = 0;
+    std::uint64_t grants_ = 0;
+};
+
+} // namespace emu
+} // namespace hyperplane
+
+#endif // HYPERPLANE_EMU_EMU_HYPERPLANE_HH

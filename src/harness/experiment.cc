@@ -1,0 +1,64 @@
+#include "harness/experiment.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "queueing/task_queue.hh"
+
+namespace hyperplane {
+namespace harness {
+
+void
+printTableI()
+{
+    std::puts("Simulated machine (Table I)");
+    std::puts("  Core        abstract timing @ 3 GHz (8-wide OoO class)");
+    std::puts("  L1 I/D      private, 32 KB, 64 B lines, 4-way, 4 cyc");
+    std::puts("  LLC         16 MB shared (1 MB/core x 16), 16-way, "
+              "40 cyc");
+    std::puts("  Memory      200 cyc");
+    std::puts("  Coherence   directory MESI (GetM snooped by HyperPlane)");
+    std::puts("  HyperPlane  1024-entry monitoring + ready set, QWAIT = "
+              "50 cyc");
+    std::puts("");
+}
+
+void
+printExperimentBanner(const std::string &id, const std::string &what)
+{
+    std::printf("=== %s: %s ===\n\n", id.c_str(), what.c_str());
+    std::fflush(stdout);
+}
+
+double
+roughCyclesPerItem(workloads::Kind kind, std::uint32_t payloadBytes)
+{
+    const auto wl = workloads::makeWorkload(kind);
+    queueing::WorkItem item;
+    item.payloadBytes =
+        payloadBytes != 0 ? payloadBytes : wl->defaultPayloadBytes();
+    // Service + dequeue/notify/buffer overhead (~15% in practice).
+    return static_cast<double>(wl->serviceCycles(item)) * 1.15 + 300.0;
+}
+
+double
+saturatingRate(const dp::SdpConfig &cfg)
+{
+    const double perItem = roughCyclesPerItem(cfg.workload,
+                                              cfg.payloadBytes);
+    const double capacity =
+        cfg.numCores * clockGHz * 1e9 / perItem;
+    return 3.0 * capacity;
+}
+
+std::string
+rowLabel(const dp::SdpConfig &cfg)
+{
+    std::string s = dp::toString(cfg.plane);
+    s += "/";
+    s += traffic::toString(cfg.shape);
+    return s;
+}
+
+} // namespace harness
+} // namespace hyperplane

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Experiment-harness utilities shared by the figure-reproduction
+ * benchmark binaries: the Table I configuration banner, analytic
+ * saturating rates, and name helpers.
+ */
+
+#ifndef HYPERPLANE_HARNESS_EXPERIMENT_HH
+#define HYPERPLANE_HARNESS_EXPERIMENT_HH
+
+#include <string>
+
+#include "dp/sdp_system.hh"
+#include "workloads/workload.hh"
+
+namespace hyperplane {
+namespace harness {
+
+/** Print the simulated-machine configuration (Table I of the paper). */
+void printTableI();
+
+/** Print a one-line banner naming the experiment being reproduced. */
+void printExperimentBanner(const std::string &id,
+                           const std::string &what);
+
+/**
+ * Rough per-item service cycles for a workload at a payload size
+ * (workload model + fixed data-plane overhead), used to seed saturating
+ * offered rates before calibration.
+ */
+double roughCyclesPerItem(workloads::Kind kind,
+                          std::uint32_t payloadBytes = 0);
+
+/**
+ * An offered rate that saturates the configured plane (a small multiple
+ * of the analytic capacity).
+ */
+double saturatingRate(const dp::SdpConfig &cfg);
+
+/** Short label like "spinning/FB" for table rows. */
+std::string rowLabel(const dp::SdpConfig &cfg);
+
+} // namespace harness
+} // namespace hyperplane
+
+#endif // HYPERPLANE_HARNESS_EXPERIMENT_HH

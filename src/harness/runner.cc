@@ -1,0 +1,71 @@
+#include "harness/runner.hh"
+
+#include <algorithm>
+
+#include "harness/experiment.hh"
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace harness {
+
+dp::SdpResults
+measureAtSaturation(dp::SdpConfig cfg)
+{
+    cfg.offeredRatePerSec = saturatingRate(cfg);
+    // Bound backlogs so saturated queues do not consume host memory.
+    cfg.maxQueueDepth = std::min<std::size_t>(cfg.maxQueueDepth, 128);
+    return runSdp(cfg);
+}
+
+double
+calibrateCapacity(dp::SdpConfig cfg)
+{
+    // A shorter window is enough for a capacity estimate.
+    cfg.warmupUs = std::min(cfg.warmupUs, 1000.0);
+    cfg.measureUs = std::min(cfg.measureUs, 10000.0);
+    const dp::SdpResults r = measureAtSaturation(cfg);
+    hp_assert(r.completions > 0, "calibration run completed no tasks");
+    return r.throughputMtps * 1e6;
+}
+
+dp::SdpResults
+runAtLoad(dp::SdpConfig cfg, double capacityPerSec, double loadFraction)
+{
+    hp_assert(capacityPerSec > 0.0, "capacity must be positive");
+    const double f = std::max(loadFraction, 0.005);
+    cfg.offeredRatePerSec = capacityPerSec * f;
+    return runSdp(cfg);
+}
+
+std::vector<LoadPoint>
+runLoadSweep(const dp::SdpConfig &cfg, double capacityPerSec,
+             const std::vector<double> &loads)
+{
+    std::vector<LoadPoint> out;
+    out.reserve(loads.size());
+    for (double load : loads)
+        out.push_back({load, runAtLoad(cfg, capacityPerSec, load)});
+    return out;
+}
+
+dp::SdpConfig
+zeroLoadConfig(dp::SdpConfig cfg, std::uint64_t targetCompletions)
+{
+    // Light traffic (paper: <1% load / ~0.01 MPPS): the inter-arrival
+    // gap must dwarf not just the service time but also the *polling
+    // sweep* of a spinning plane at the largest queue counts, or the
+    // probe measures queueing delay instead of notification latency.
+    const double perItem = roughCyclesPerItem(cfg.workload,
+                                              cfg.payloadBytes);
+    const double rate =
+        std::min(clockGHz * 1e9 / perItem / 20.0, 5000.0);
+    cfg.offeredRatePerSec = rate;
+    const double windowSec =
+        static_cast<double>(targetCompletions) / rate;
+    cfg.measureUs = windowSec * 1e6;
+    cfg.warmupUs = std::min(cfg.warmupUs, cfg.measureUs / 20.0);
+    return cfg;
+}
+
+} // namespace harness
+} // namespace hyperplane

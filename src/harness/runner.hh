@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Experiment runners: saturation measurement, capacity calibration, and
+ * load sweeps — the common patterns behind Figures 8-13.
+ */
+
+#ifndef HYPERPLANE_HARNESS_RUNNER_HH
+#define HYPERPLANE_HARNESS_RUNNER_HH
+
+#include <vector>
+
+#include "dp/sdp_system.hh"
+
+namespace hyperplane {
+namespace harness {
+
+/**
+ * Measure the plane at saturation: offered rate is set to a saturating
+ * multiple of the analytic capacity so the measured completion rate is
+ * the peak throughput.
+ */
+dp::SdpResults measureAtSaturation(dp::SdpConfig cfg);
+
+/**
+ * Calibrate capacity (tasks/second at saturation) with a short run.
+ * Used to convert "x% load" sweeps into offered rates.
+ */
+double calibrateCapacity(dp::SdpConfig cfg);
+
+/**
+ * Run one point of a load sweep.
+ *
+ * @param cfg            Base configuration (offered rate overwritten).
+ * @param capacityPerSec Saturation throughput from calibrateCapacity().
+ * @param loadFraction   Offered load as a fraction of capacity.
+ */
+dp::SdpResults runAtLoad(dp::SdpConfig cfg, double capacityPerSec,
+                         double loadFraction);
+
+/** One (load, results) sample of a sweep. */
+struct LoadPoint
+{
+    double loadFraction;
+    dp::SdpResults results;
+};
+
+/** Sweep offered load across the given fractions. */
+std::vector<LoadPoint> runLoadSweep(const dp::SdpConfig &cfg,
+                                    double capacityPerSec,
+                                    const std::vector<double> &loads);
+
+/**
+ * Configure a zero-load (latency-probe) run: a light arrival trickle
+ * and a window long enough to gather @p targetCompletions samples.
+ */
+dp::SdpConfig zeroLoadConfig(dp::SdpConfig cfg,
+                             std::uint64_t targetCompletions = 1500);
+
+} // namespace harness
+} // namespace hyperplane
+
+#endif // HYPERPLANE_HARNESS_RUNNER_HH

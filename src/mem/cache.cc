@@ -1,0 +1,119 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace mem {
+
+CacheArray::CacheArray(const CacheGeometry &geom)
+    : geom_(geom), ways_(geom.sets() * geom.ways)
+{
+    hp_assert(geom.sizeBytes % (geom.ways * geom.lineBytes) == 0,
+              "cache size must be a multiple of ways * line size");
+    hp_assert((geom.sets() & (geom.sets() - 1)) == 0,
+              "number of sets must be a power of two");
+}
+
+std::uint64_t
+CacheArray::setIndex(Addr addr) const
+{
+    return (addr / geom_.lineBytes) & (geom_.sets() - 1);
+}
+
+CacheArray::Way *
+CacheArray::find(Addr addr)
+{
+    const Addr tag = lineBase(addr);
+    Way *base = &ways_[setIndex(addr) * geom_.ways];
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (base[w].state != LineState::Invalid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheArray::Way *
+CacheArray::find(Addr addr) const
+{
+    return const_cast<CacheArray *>(this)->find(addr);
+}
+
+LineState
+CacheArray::state(Addr addr) const
+{
+    const Way *w = find(addr);
+    return w ? w->state : LineState::Invalid;
+}
+
+void
+CacheArray::touch(Addr addr)
+{
+    Way *w = find(addr);
+    hp_assert(w != nullptr, "touch on non-resident line");
+    w->lastUse = ++useClock_;
+}
+
+void
+CacheArray::setState(Addr addr, LineState st)
+{
+    Way *w = find(addr);
+    hp_assert(w != nullptr, "setState on non-resident line");
+    hp_assert(st != LineState::Invalid, "use invalidate() to remove lines");
+    w->state = st;
+}
+
+std::optional<std::pair<Addr, LineState>>
+CacheArray::insert(Addr addr, LineState st)
+{
+    hp_assert(st != LineState::Invalid, "cannot insert an Invalid line");
+    if (Way *w = find(addr)) {
+        // Already resident: treat as a state update + LRU touch.
+        w->state = st;
+        w->lastUse = ++useClock_;
+        return std::nullopt;
+    }
+    Way *base = &ways_[setIndex(addr) * geom_.ways];
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (base[w].state == LineState::Invalid) {
+            victim = &base[w];
+            break;
+        }
+        if (victim == nullptr || base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    std::optional<std::pair<Addr, LineState>> evicted;
+    if (victim->state != LineState::Invalid) {
+        evicted = std::make_pair(victim->tag, victim->state);
+        evictions.inc();
+        --resident_;
+    }
+    victim->tag = lineBase(addr);
+    victim->state = st;
+    victim->lastUse = ++useClock_;
+    ++resident_;
+    return evicted;
+}
+
+LineState
+CacheArray::invalidate(Addr addr)
+{
+    Way *w = find(addr);
+    if (w == nullptr)
+        return LineState::Invalid;
+    const LineState prior = w->state;
+    w->state = LineState::Invalid;
+    --resident_;
+    return prior;
+}
+
+void
+CacheArray::flush()
+{
+    for (auto &w : ways_)
+        w.state = LineState::Invalid;
+    resident_ = 0;
+}
+
+} // namespace mem
+} // namespace hyperplane

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Set-associative cache tag array with LRU replacement.
+ *
+ * CacheArray models only tags and per-line coherence state; data values are
+ * never simulated (timing and state are what the experiments need).  It is
+ * used for both private L1s and the shared LLC by MemorySystem.
+ */
+
+#ifndef HYPERPLANE_MEM_CACHE_HH
+#define HYPERPLANE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/sampler.hh"
+
+namespace hyperplane {
+namespace mem {
+
+/** MESI line states (plus Invalid encoded as absence). */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes;
+    unsigned ways;
+    unsigned lineBytes = cacheLineBytes;
+
+    std::uint64_t sets() const { return sizeBytes / (ways * lineBytes); }
+};
+
+/**
+ * LRU set-associative tag array.
+ *
+ * Addresses are line-aligned internally; callers may pass any byte address.
+ */
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheGeometry &geom);
+
+    /** Line state, or Invalid if not present. */
+    LineState state(Addr addr) const;
+
+    /** True if the line is present in any valid state. */
+    bool contains(Addr addr) const { return state(addr) != LineState::Invalid; }
+
+    /** Update LRU on a hit. @pre contains(addr) */
+    void touch(Addr addr);
+
+    /** Change the state of a resident line. @pre contains(addr) */
+    void setState(Addr addr, LineState st);
+
+    /**
+     * Insert a line (in the given state), evicting the LRU way if the set
+     * is full.
+     *
+     * @return The victim line's (address, state) if one was evicted.
+     */
+    std::optional<std::pair<Addr, LineState>> insert(Addr addr,
+                                                     LineState st);
+
+    /** Remove a line if present. @return prior state. */
+    LineState invalidate(Addr addr);
+
+    /** Number of valid lines currently resident. */
+    std::uint64_t residentLines() const { return resident_; }
+
+    /** Total line capacity. */
+    std::uint64_t capacityLines() const
+    {
+        return geom_.sets() * geom_.ways;
+    }
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Invalidate everything. */
+    void flush();
+
+    stats::Counter hits{"hits"};
+    stats::Counter misses{"misses"};
+    stats::Counter evictions{"evictions"};
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        LineState state = LineState::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Way *find(Addr addr);
+    const Way *find(Addr addr) const;
+
+    CacheGeometry geom_;
+    std::vector<Way> ways_; // sets() * ways, row-major by set
+    std::uint64_t useClock_ = 0;
+    std::uint64_t resident_ = 0;
+};
+
+} // namespace mem
+} // namespace hyperplane
+
+#endif // HYPERPLANE_MEM_CACHE_HH

@@ -1,0 +1,254 @@
+#include "mem/memory_system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace mem {
+
+MemorySystem::MemorySystem(unsigned numCores, const CacheGeometry &l1Geom,
+                           const CacheGeometry &llcGeom,
+                           const MemLatencies &lat)
+    : lat_(lat), llc_(llcGeom)
+{
+    hp_assert(numCores > 0, "need at least one core");
+    l1s_.reserve(numCores);
+    for (unsigned i = 0; i < numCores; ++i)
+        l1s_.emplace_back(l1Geom);
+}
+
+CacheArray &
+MemorySystem::l1(CoreId core)
+{
+    hp_assert(core < l1s_.size(), "core id out of range");
+    return l1s_[core];
+}
+
+const CacheArray &
+MemorySystem::l1(CoreId core) const
+{
+    hp_assert(core < l1s_.size(), "core id out of range");
+    return l1s_[core];
+}
+
+int
+MemorySystem::findOwner(Addr line, CoreId except) const
+{
+    for (unsigned c = 0; c < l1s_.size(); ++c) {
+        if (c == except)
+            continue;
+        const LineState st = l1s_[c].state(line);
+        if (st == LineState::Modified || st == LineState::Exclusive)
+            return static_cast<int>(c);
+    }
+    return -1;
+}
+
+bool
+MemorySystem::anyOtherSharer(Addr line, CoreId except) const
+{
+    for (unsigned c = 0; c < l1s_.size(); ++c) {
+        if (c != except && l1s_[c].contains(line))
+            return true;
+    }
+    return false;
+}
+
+unsigned
+MemorySystem::invalidateOthers(Addr line, CoreId except)
+{
+    unsigned n = 0;
+    for (unsigned c = 0; c < l1s_.size(); ++c) {
+        if (c == except)
+            continue;
+        if (l1s_[c].invalidate(line) != LineState::Invalid)
+            ++n;
+    }
+    if (n > 0)
+        invalidations.inc(n);
+    return n;
+}
+
+void
+MemorySystem::insertLlc(Addr line)
+{
+    if (auto victim = llc_.insert(line, LineState::Shared)) {
+        // Inclusive LLC: evicting a line removes it from all L1s too.
+        invalidateOthers(victim->first, deviceWriter);
+    }
+}
+
+void
+MemorySystem::insertL1(CoreId core, Addr line, LineState st)
+{
+    if (auto victim = l1s_[core].insert(line, st)) {
+        // A dirty victim is written back into the LLC; the LLC already
+        // holds the tag (inclusive), so no further action is modelled.
+        (void)victim;
+    }
+}
+
+AccessResult
+MemorySystem::read(CoreId core, Addr addr)
+{
+    hp_assert(core < l1s_.size(), "core id out of range");
+    const Addr line = lineBase(addr);
+    CacheArray &l1c = l1s_[core];
+
+    if (l1c.contains(line)) {
+        l1c.touch(line);
+        l1c.hits.inc();
+        l1Hits.inc();
+        return {lat_.l1Hit, AccessLevel::L1, false};
+    }
+    l1c.misses.inc();
+
+    // Another core owns the line exclusively: cache-to-cache forward,
+    // owner downgrades to Shared.
+    const int owner = findOwner(line, core);
+    if (owner >= 0) {
+        l1s_[owner].setState(line, LineState::Shared);
+        insertLlc(line); // forwarded data also lands in the LLC
+        insertL1(core, line, LineState::Shared);
+        remoteForwards.inc();
+        return {lat_.remoteL1Forward, AccessLevel::RemoteL1, true};
+    }
+
+    if (llc_.contains(line)) {
+        llc_.touch(line);
+        llc_.hits.inc();
+        llcHits.inc();
+        const bool shared = anyOtherSharer(line, core);
+        insertL1(core, line,
+                 shared ? LineState::Shared : LineState::Exclusive);
+        return {lat_.llcHit, AccessLevel::LLC, false};
+    }
+    llc_.misses.inc();
+
+    memAccesses.inc();
+    insertLlc(line);
+    insertL1(core, line, LineState::Exclusive);
+    return {lat_.memAccess, AccessLevel::Memory, false};
+}
+
+AccessResult
+MemorySystem::write(CoreId core, Addr addr)
+{
+    hp_assert(core < l1s_.size(), "core id out of range");
+    const Addr line = lineBase(addr);
+    CacheArray &l1c = l1s_[core];
+    const LineState myState = l1c.state(line);
+
+    if (myState == LineState::Modified) {
+        l1c.touch(line);
+        l1c.hits.inc();
+        l1Hits.inc();
+        return {lat_.l1Hit, AccessLevel::L1, false};
+    }
+    if (myState == LineState::Exclusive) {
+        // Silent E->M upgrade; no bus transaction, so no snoop fires.
+        l1c.setState(line, LineState::Modified);
+        l1c.touch(line);
+        l1c.hits.inc();
+        l1Hits.inc();
+        return {lat_.l1Hit, AccessLevel::L1, false};
+    }
+
+    // From here on an ownership-granting transaction is required, which
+    // the monitoring set observes.
+    writeTransactions.inc();
+    notifySnoopers(line, core);
+
+    if (myState == LineState::Shared) {
+        // Upgrade: invalidate other sharers via the directory.
+        invalidateOthers(line, core);
+        l1c.setState(line, LineState::Modified);
+        l1c.touch(line);
+        return {lat_.llcHit, AccessLevel::LLC, true};
+    }
+
+    l1c.misses.inc();
+    const int owner = findOwner(line, core);
+    if (owner >= 0) {
+        l1s_[owner].invalidate(line);
+        invalidations.inc();
+        insertLlc(line);
+        insertL1(core, line, LineState::Modified);
+        remoteForwards.inc();
+        return {lat_.remoteL1Forward, AccessLevel::RemoteL1, true};
+    }
+
+    if (llc_.contains(line)) {
+        llc_.touch(line);
+        llc_.hits.inc();
+        llcHits.inc();
+        const bool hadSharers = invalidateOthers(line, core) > 0;
+        insertL1(core, line, LineState::Modified);
+        return {lat_.llcHit, AccessLevel::LLC, hadSharers};
+    }
+    llc_.misses.inc();
+
+    memAccesses.inc();
+    insertLlc(line);
+    insertL1(core, line, LineState::Modified);
+    return {lat_.memAccess, AccessLevel::Memory, false};
+}
+
+AccessResult
+MemorySystem::atomicRmw(CoreId core, Addr addr)
+{
+    AccessResult r = write(core, addr);
+    r.latency += lat_.atomicExtra;
+    return r;
+}
+
+void
+MemorySystem::deviceWrite(Addr addr)
+{
+    const Addr line = lineBase(addr);
+    writeTransactions.inc();
+    notifySnoopers(line, deviceWriter);
+    // Invalidate every cached copy; DDIO-style allocation into the LLC.
+    invalidateOthers(line, deviceWriter);
+    insertLlc(line);
+    llc_.touch(line);
+}
+
+void
+MemorySystem::watchRange(Addr lo, Addr hi, Snooper *snooper)
+{
+    hp_assert(lo < hi, "empty watch range");
+    hp_assert(snooper != nullptr, "null snooper");
+    watches_.push_back({lo, hi, snooper});
+}
+
+void
+MemorySystem::unwatch(Snooper *snooper)
+{
+    std::erase_if(watches_, [snooper](const WatchedRange &w) {
+        return w.snooper == snooper;
+    });
+}
+
+void
+MemorySystem::notifySnoopers(Addr line, CoreId writer)
+{
+    for (const auto &w : watches_) {
+        if (line >= w.lo && line < w.hi) {
+            snoopHits.inc();
+            w.snooper->onWriteTransaction(line, writer);
+        }
+    }
+}
+
+void
+MemorySystem::flushAll()
+{
+    for (auto &c : l1s_)
+        c.flush();
+    llc_.flush();
+}
+
+} // namespace mem
+} // namespace hyperplane

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Directory-based MESI memory-system timing model.
+ *
+ * MemorySystem owns a private L1 per core and one shared, inclusive LLC
+ * (Table I: 32 KB 4-way L1s, 1 MB/core 16-way LLC, 64 B lines).  Every
+ * access returns the latency it would incur and keeps all tag/state arrays
+ * coherent, so queue-head ping-pong between spinning cores and the
+ * capacity pressure of task data emerge naturally from the model.
+ *
+ * Write transactions that grant exclusive ownership (GetM / upgrade) in a
+ * watched address range are reported to registered Snooper objects.  This
+ * is the hook HyperPlane's monitoring set uses: it behaves as part of the
+ * directory and sees all relevant coherence traffic without being a sharer
+ * (Section IV-A of the paper).
+ */
+
+#ifndef HYPERPLANE_MEM_MEMORY_SYSTEM_HH
+#define HYPERPLANE_MEM_MEMORY_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "sim/types.hh"
+#include "stats/sampler.hh"
+
+namespace hyperplane {
+namespace mem {
+
+/** Where an access was ultimately serviced. */
+enum class AccessLevel : std::uint8_t
+{
+    L1,
+    LLC,
+    RemoteL1, ///< cache-to-cache forward from another core's L1
+    Memory,
+};
+
+/** Outcome of one memory access. */
+struct AccessResult
+{
+    Tick latency = 0;
+    AccessLevel servedBy = AccessLevel::L1;
+    /** True if the miss was caused by coherence (line was elsewhere). */
+    bool coherence = false;
+};
+
+/** Latency parameters, in core cycles. */
+struct MemLatencies
+{
+    Tick l1Hit = 4;
+    Tick llcHit = 40;
+    Tick memAccess = 200;
+    Tick remoteL1Forward = 60;
+    Tick atomicExtra = 15;
+};
+
+/**
+ * Observer of coherence write transactions in a watched address range.
+ * Implemented by HyperPlane's monitoring set.
+ */
+class Snooper
+{
+  public:
+    virtual ~Snooper() = default;
+
+    /**
+     * A GetM/upgrade transaction was observed.
+     *
+     * @param line   Line-aligned address being written.
+     * @param writer Core performing the write, or deviceWriter for DMA.
+     */
+    virtual void onWriteTransaction(Addr line, CoreId writer) = 0;
+};
+
+/** Pseudo core-id used for device (DMA) writes. */
+constexpr CoreId deviceWriter = ~CoreId{0};
+
+/**
+ * The full cache hierarchy + directory for one simulated CMP.
+ */
+class MemorySystem
+{
+  public:
+    /**
+     * @param numCores Number of cores with private L1s.
+     * @param l1Geom   Geometry of each private L1.
+     * @param llcGeom  Geometry of the shared LLC.
+     * @param lat      Latency parameters.
+     */
+    MemorySystem(unsigned numCores, const CacheGeometry &l1Geom,
+                 const CacheGeometry &llcGeom,
+                 const MemLatencies &lat = MemLatencies{});
+
+    /** Load by @p core from @p addr. */
+    AccessResult read(CoreId core, Addr addr);
+
+    /** Store by @p core to @p addr (obtains M state). */
+    AccessResult write(CoreId core, Addr addr);
+
+    /** Atomic read-modify-write (e.g. doorbell counter update). */
+    AccessResult atomicRmw(CoreId core, Addr addr);
+
+    /**
+     * Write performed by an I/O device / producer outside the modelled
+     * cores (DMA / DDIO).  Invalidates all cached copies, installs the
+     * line in the LLC, and fires snoopers.  No latency is charged to any
+     * simulated core.
+     */
+    void deviceWrite(Addr addr);
+
+    /**
+     * Register a snooper over [lo, hi).  Multiple ranges may be
+     * registered; overlaps fire every matching snooper.
+     */
+    void watchRange(Addr lo, Addr hi, Snooper *snooper);
+
+    /** Drop a previously registered snooper (all its ranges). */
+    void unwatch(Snooper *snooper);
+
+    unsigned numCores() const { return static_cast<unsigned>(l1s_.size()); }
+    CacheArray &l1(CoreId core);
+    const CacheArray &l1(CoreId core) const;
+    CacheArray &llc() { return llc_; }
+    const MemLatencies &latencies() const { return lat_; }
+
+    /** Invalidate all caches (between experiment phases). */
+    void flushAll();
+
+    stats::Counter l1Hits{"l1_hits"};
+    stats::Counter llcHits{"llc_hits"};
+    stats::Counter remoteForwards{"remote_l1_forwards"};
+    stats::Counter memAccesses{"memory_accesses"};
+    stats::Counter invalidations{"invalidations_sent"};
+    stats::Counter writeTransactions{"getm_transactions"};
+    stats::Counter snoopHits{"snoop_matches"};
+
+  private:
+    struct WatchedRange
+    {
+        Addr lo;
+        Addr hi;
+        Snooper *snooper;
+    };
+
+    /** Find the core (other than @p except) holding the line in M/E. */
+    int findOwner(Addr line, CoreId except) const;
+
+    /** True if any core other than @p except holds the line. */
+    bool anyOtherSharer(Addr line, CoreId except) const;
+
+    /** Invalidate the line in every L1 except @p except's. */
+    unsigned invalidateOthers(Addr line, CoreId except);
+
+    /** Insert into LLC, back-invalidating L1 copies of any LLC victim. */
+    void insertLlc(Addr line);
+
+    /** Insert into a core's L1, spilling any dirty victim into the LLC. */
+    void insertL1(CoreId core, Addr line, LineState st);
+
+    /** Fire snoopers for a write transaction on @p line. */
+    void notifySnoopers(Addr line, CoreId writer);
+
+    MemLatencies lat_;
+    std::vector<CacheArray> l1s_;
+    CacheArray llc_;
+    std::vector<WatchedRange> watches_;
+};
+
+} // namespace mem
+} // namespace hyperplane
+
+#endif // HYPERPLANE_MEM_MEMORY_SYSTEM_HH

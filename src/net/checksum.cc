@@ -1,0 +1,66 @@
+#include "net/checksum.hh"
+
+#include <array>
+
+namespace hyperplane {
+namespace net {
+
+std::uint32_t
+checksumPartial(const std::uint8_t *data, std::size_t len,
+                std::uint32_t sum)
+{
+    std::size_t i = 0;
+    for (; i + 1 < len; i += 2)
+        sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+    if (i < len)
+        sum += static_cast<std::uint32_t>(data[i]) << 8;
+    return sum;
+}
+
+std::uint16_t
+finishChecksum(std::uint32_t sum)
+{
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t
+internetChecksum(const std::uint8_t *data, std::size_t len)
+{
+    return finishChecksum(checksumPartial(data, len, 0));
+}
+
+namespace {
+
+/** Build the byte-wise CRC32C table at static-init time. */
+std::array<std::uint32_t, 256>
+makeCrc32cTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    // Reflected Castagnoli polynomial.
+    constexpr std::uint32_t poly = 0x82f63b78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> crcTable = makeCrc32cTable();
+
+} // namespace
+
+std::uint32_t
+crc32c(const std::uint8_t *data, std::size_t len, std::uint32_t seed)
+{
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ crcTable[(crc ^ data[i]) & 0xff];
+    return ~crc;
+}
+
+} // namespace net
+} // namespace hyperplane

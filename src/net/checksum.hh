@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Internet checksum (RFC 1071) and CRC32C.
+ *
+ * The internet checksum covers IPv4 headers; CRC32C (Castagnoli) is used
+ * by the packet-steering workload as a flow hash and by the storage
+ * workloads for block integrity tags.
+ */
+
+#ifndef HYPERPLANE_NET_CHECKSUM_HH
+#define HYPERPLANE_NET_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hyperplane {
+namespace net {
+
+/**
+ * RFC 1071 internet checksum over @p len bytes.
+ * @return The 16-bit one's-complement checksum, host byte order.
+ */
+std::uint16_t internetChecksum(const std::uint8_t *data, std::size_t len);
+
+/**
+ * Incremental form: fold @p len bytes into a running 32-bit sum.
+ * Finish with finishChecksum().
+ */
+std::uint32_t checksumPartial(const std::uint8_t *data, std::size_t len,
+                              std::uint32_t sum);
+
+/** Fold a partial sum into the final 16-bit checksum. */
+std::uint16_t finishChecksum(std::uint32_t sum);
+
+/** CRC32C (Castagnoli polynomial 0x1EDC6F41), bit-reflected, init ~0. */
+std::uint32_t crc32c(const std::uint8_t *data, std::size_t len,
+                     std::uint32_t seed = 0);
+
+} // namespace net
+} // namespace hyperplane
+
+#endif // HYPERPLANE_NET_CHECKSUM_HH

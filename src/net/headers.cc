@@ -1,0 +1,256 @@
+#include "net/headers.hh"
+
+#include <cstring>
+
+#include "net/checksum.hh"
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace net {
+
+void
+putBe16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v);
+}
+
+void
+putBe32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t
+getBe16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t
+getBe32(const std::uint8_t *p)
+{
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) |
+           static_cast<std::uint32_t>(p[3]);
+}
+
+void
+EthernetHeader::write(std::uint8_t *p) const
+{
+    std::memcpy(p, dst.data(), 6);
+    std::memcpy(p + 6, src.data(), 6);
+    putBe16(p + 12, etherType);
+}
+
+EthernetHeader
+EthernetHeader::parse(const std::uint8_t *p)
+{
+    EthernetHeader h;
+    std::memcpy(h.dst.data(), p, 6);
+    std::memcpy(h.src.data(), p + 6, 6);
+    h.etherType = getBe16(p + 12);
+    return h;
+}
+
+void
+Ipv4Header::write(std::uint8_t *p) const
+{
+    p[0] = 0x45; // version 4, IHL 5
+    p[1] = dscp << 2;
+    putBe16(p + 2, totalLength);
+    putBe16(p + 4, identification);
+    putBe16(p + 6, 0); // flags/fragment offset: DF not modelled
+    p[8] = ttl;
+    p[9] = protocol;
+    putBe16(p + 10, 0); // checksum placeholder
+    putBe32(p + 12, src);
+    putBe32(p + 16, dst);
+    putBe16(p + 10, internetChecksum(p, wireSize));
+}
+
+std::optional<Ipv4Header>
+Ipv4Header::parse(const std::uint8_t *p)
+{
+    if ((p[0] >> 4) != 4 || (p[0] & 0x0f) != 5)
+        return std::nullopt;
+    if (internetChecksum(p, wireSize) != 0)
+        return std::nullopt;
+    Ipv4Header h;
+    h.dscp = p[1] >> 2;
+    h.totalLength = getBe16(p + 2);
+    h.identification = getBe16(p + 4);
+    h.ttl = p[8];
+    h.protocol = p[9];
+    h.src = getBe32(p + 12);
+    h.dst = getBe32(p + 16);
+    return h;
+}
+
+void
+Ipv6Header::write(std::uint8_t *p) const
+{
+    p[0] = static_cast<std::uint8_t>(0x60 | (trafficClass >> 4));
+    p[1] = static_cast<std::uint8_t>((trafficClass << 4) |
+                                     ((flowLabel >> 16) & 0x0f));
+    p[2] = static_cast<std::uint8_t>(flowLabel >> 8);
+    p[3] = static_cast<std::uint8_t>(flowLabel);
+    putBe16(p + 4, payloadLength);
+    p[6] = nextHeader;
+    p[7] = hopLimit;
+    std::memcpy(p + 8, src.data(), 16);
+    std::memcpy(p + 24, dst.data(), 16);
+}
+
+std::optional<Ipv6Header>
+Ipv6Header::parse(const std::uint8_t *p)
+{
+    if ((p[0] >> 4) != 6)
+        return std::nullopt;
+    Ipv6Header h;
+    h.trafficClass =
+        static_cast<std::uint8_t>(((p[0] & 0x0f) << 4) | (p[1] >> 4));
+    h.flowLabel = (static_cast<std::uint32_t>(p[1] & 0x0f) << 16) |
+                  (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+    h.payloadLength = getBe16(p + 4);
+    h.nextHeader = p[6];
+    h.hopLimit = p[7];
+    std::memcpy(h.src.data(), p + 8, 16);
+    std::memcpy(h.dst.data(), p + 24, 16);
+    return h;
+}
+
+void
+UdpHeader::write(std::uint8_t *p) const
+{
+    putBe16(p, srcPort);
+    putBe16(p + 2, dstPort);
+    putBe16(p + 4, length);
+    putBe16(p + 6, checksum);
+}
+
+UdpHeader
+UdpHeader::parse(const std::uint8_t *p)
+{
+    UdpHeader h;
+    h.srcPort = getBe16(p);
+    h.dstPort = getBe16(p + 2);
+    h.length = getBe16(p + 4);
+    h.checksum = getBe16(p + 6);
+    return h;
+}
+
+void
+GreHeader::write(std::uint8_t *p, const std::uint8_t *payload,
+                 std::size_t payloadLen) const
+{
+    p[0] = static_cast<std::uint8_t>((checksumPresent ? 0x80 : 0) |
+                                     (keyPresent ? 0x20 : 0));
+    p[1] = 0; // version 0
+    putBe16(p + 2, protocolType);
+    std::size_t off = 4;
+    std::uint8_t *csumField = nullptr;
+    if (checksumPresent) {
+        csumField = p + off;
+        putBe32(p + off, 0); // checksum + reserved1, filled below
+        off += 4;
+    }
+    if (keyPresent) {
+        putBe32(p + off, key);
+        off += 4;
+    }
+    if (checksumPresent) {
+        std::uint32_t sum = checksumPartial(p, off, 0);
+        if (payload != nullptr)
+            sum = checksumPartial(payload, payloadLen, sum);
+        putBe16(csumField, finishChecksum(sum));
+    }
+}
+
+std::optional<GreHeader>
+GreHeader::parse(const std::uint8_t *p, std::size_t len)
+{
+    if (len < 4)
+        return std::nullopt;
+    const std::uint8_t flags = p[0];
+    // Reserved bits (routing-present and reserved0) and version must be 0.
+    if ((flags & 0x5f) != 0 || (p[1] & 0x07) != 0)
+        return std::nullopt;
+    GreHeader h;
+    h.checksumPresent = (flags & 0x80) != 0;
+    h.keyPresent = (flags & 0x20) != 0;
+    h.protocolType = getBe16(p + 2);
+    if (len < h.wireSize())
+        return std::nullopt;
+    std::size_t off = 4;
+    if (h.checksumPresent)
+        off += 4; // verified by the caller over header+payload if desired
+    if (h.keyPresent)
+        h.key = getBe32(p + off);
+    return h;
+}
+
+bool
+greEncapsulate(PacketBuffer &pkt, const Ipv6Header &outer,
+               std::uint32_t key)
+{
+    if (pkt.size() < Ipv4Header::wireSize)
+        return false;
+    if (!Ipv4Header::parse(pkt.data()))
+        return false;
+
+    GreHeader gre;
+    gre.checksumPresent = true;
+    gre.keyPresent = true;
+    gre.protocolType = etherTypeIpv4;
+    gre.key = key;
+
+    const std::size_t innerLen = pkt.size();
+    const std::size_t greLen = gre.wireSize();
+
+    // Build GRE over the inner packet (payload still at the front).
+    const std::uint8_t *inner = pkt.data();
+    std::uint8_t greBytes[12];
+    hp_assert(greLen <= sizeof(greBytes), "GRE header too large");
+    gre.write(greBytes, inner, innerLen);
+
+    std::uint8_t *p = pkt.prepend(greLen + Ipv6Header::wireSize);
+
+    Ipv6Header v6 = outer;
+    v6.nextHeader = protoGre;
+    v6.payloadLength = static_cast<std::uint16_t>(greLen + innerLen);
+    v6.write(p);
+    std::memcpy(p + Ipv6Header::wireSize, greBytes, greLen);
+    return true;
+}
+
+std::optional<std::uint32_t>
+greDecapsulate(PacketBuffer &pkt)
+{
+    if (pkt.size() < Ipv6Header::wireSize + 4)
+        return std::nullopt;
+    const auto v6 = Ipv6Header::parse(pkt.data());
+    if (!v6 || v6->nextHeader != protoGre)
+        return std::nullopt;
+    const std::uint8_t *greStart = pkt.data() + Ipv6Header::wireSize;
+    const std::size_t greAvail = pkt.size() - Ipv6Header::wireSize;
+    const auto gre = GreHeader::parse(greStart, greAvail);
+    if (!gre || gre->protocolType != etherTypeIpv4)
+        return std::nullopt;
+    if (gre->checksumPresent) {
+        // Checksum over GRE header + payload must verify to zero.
+        if (internetChecksum(greStart, greAvail) != 0)
+            return std::nullopt;
+    }
+    pkt.stripFront(Ipv6Header::wireSize + gre->wireSize());
+    if (!Ipv4Header::parse(pkt.data()))
+        return std::nullopt;
+    return gre->keyPresent ? gre->key : 0;
+}
+
+} // namespace net
+} // namespace hyperplane

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Protocol header codecs: Ethernet, IPv4, IPv6, UDP, and GRE (RFC 2784).
+ *
+ * Each header type provides a plain struct in host byte order plus
+ * write()/parse() functions that serialize to / deserialize from network
+ * byte order.  The packet-encapsulation workload uses these to implement
+ * GRE IPv4-in-IPv6 tunneling exactly as described in Section V-A of the
+ * paper.
+ */
+
+#ifndef HYPERPLANE_NET_HEADERS_HH
+#define HYPERPLANE_NET_HEADERS_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.hh"
+
+namespace hyperplane {
+namespace net {
+
+/** IP protocol / IPv6 next-header numbers used here. */
+enum IpProto : std::uint8_t
+{
+    protoTcp = 6,
+    protoUdp = 17,
+    protoGre = 47,
+    protoIpv4 = 4, ///< IPv4 encapsulated in IPv6 (GRE protocol field uses
+                   ///< etherTypeIpv4 instead)
+};
+
+/** EtherType values. */
+enum EtherType : std::uint16_t
+{
+    etherTypeIpv4 = 0x0800,
+    etherTypeIpv6 = 0x86dd,
+};
+
+/** 16-bit big-endian store/load helpers. */
+void putBe16(std::uint8_t *p, std::uint16_t v);
+void putBe32(std::uint8_t *p, std::uint32_t v);
+std::uint16_t getBe16(const std::uint8_t *p);
+std::uint32_t getBe32(const std::uint8_t *p);
+
+/** Ethernet II header (no VLAN). */
+struct EthernetHeader
+{
+    static constexpr std::size_t wireSize = 14;
+
+    std::array<std::uint8_t, 6> dst{};
+    std::array<std::uint8_t, 6> src{};
+    std::uint16_t etherType = 0;
+
+    void write(std::uint8_t *p) const;
+    static EthernetHeader parse(const std::uint8_t *p);
+};
+
+/** IPv4 header without options. */
+struct Ipv4Header
+{
+    static constexpr std::size_t wireSize = 20;
+
+    std::uint8_t dscp = 0;
+    std::uint16_t totalLength = 0;
+    std::uint16_t identification = 0;
+    std::uint8_t ttl = 64;
+    std::uint8_t protocol = 0;
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+
+    /**
+     * Serialize, computing the header checksum.
+     * @param p Destination; must have wireSize bytes.
+     */
+    void write(std::uint8_t *p) const;
+
+    /**
+     * Parse and verify the checksum.
+     * @return std::nullopt if the checksum is invalid or version != 4.
+     */
+    static std::optional<Ipv4Header> parse(const std::uint8_t *p);
+};
+
+/** IPv6 fixed header. */
+struct Ipv6Header
+{
+    static constexpr std::size_t wireSize = 40;
+
+    std::uint8_t trafficClass = 0;
+    std::uint32_t flowLabel = 0;
+    std::uint16_t payloadLength = 0;
+    std::uint8_t nextHeader = 0;
+    std::uint8_t hopLimit = 64;
+    std::array<std::uint8_t, 16> src{};
+    std::array<std::uint8_t, 16> dst{};
+
+    void write(std::uint8_t *p) const;
+
+    /** @return std::nullopt if version != 6. */
+    static std::optional<Ipv6Header> parse(const std::uint8_t *p);
+};
+
+/** UDP header. */
+struct UdpHeader
+{
+    static constexpr std::size_t wireSize = 8;
+
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::uint16_t length = 0;
+    std::uint16_t checksum = 0;
+
+    void write(std::uint8_t *p) const;
+    static UdpHeader parse(const std::uint8_t *p);
+};
+
+/**
+ * GRE header, RFC 2784 (optionally with the RFC 2890 key field).
+ * The checksum-present variant carries checksum + reserved1 words.
+ */
+struct GreHeader
+{
+    bool checksumPresent = false;
+    bool keyPresent = false;
+    std::uint16_t protocolType = 0; ///< EtherType of the payload
+    std::uint32_t key = 0;
+
+    std::size_t wireSize() const
+    {
+        return 4 + (checksumPresent ? 4 : 0) + (keyPresent ? 4 : 0);
+    }
+
+    /**
+     * Serialize.  If checksumPresent, the checksum is computed over the
+     * GRE header and @p payloadLen bytes at @p payload.
+     */
+    void write(std::uint8_t *p, const std::uint8_t *payload = nullptr,
+               std::size_t payloadLen = 0) const;
+
+    /**
+     * Parse.  @return std::nullopt on reserved flag bits or version != 0.
+     */
+    static std::optional<GreHeader> parse(const std::uint8_t *p,
+                                          std::size_t len);
+};
+
+/**
+ * Encapsulate an IPv4 packet inside IPv6+GRE (the paper's packet
+ * encapsulation task).  @p pkt must start with an IPv4 header; on return
+ * it starts with the new IPv6 header.
+ *
+ * @param pkt  Packet to encapsulate, modified in place.
+ * @param outer Template outer IPv6 header (src/dst/hop-limit); payload
+ *              length and next-header are filled in.
+ * @param key  GRE key identifying the tunnel.
+ * @return false if @p pkt does not hold a valid IPv4 packet.
+ */
+bool greEncapsulate(PacketBuffer &pkt, const Ipv6Header &outer,
+                    std::uint32_t key);
+
+/**
+ * Reverse of greEncapsulate: strip outer IPv6+GRE.
+ * @return The GRE key, or std::nullopt if the packet is not a valid
+ *         GRE-in-IPv6 encapsulation of IPv4.
+ */
+std::optional<std::uint32_t> greDecapsulate(PacketBuffer &pkt);
+
+} // namespace net
+} // namespace hyperplane
+
+#endif // HYPERPLANE_NET_HEADERS_HH

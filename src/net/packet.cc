@@ -1,0 +1,71 @@
+#include "net/packet.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace net {
+
+PacketBuffer::PacketBuffer(std::size_t len, std::size_t headroom)
+    : store_(headroom + len, 0), offset_(headroom)
+{
+}
+
+PacketBuffer::PacketBuffer(const std::uint8_t *data, std::size_t len,
+                           std::size_t headroom)
+    : store_(headroom + len), offset_(headroom)
+{
+    std::fill(store_.begin(), store_.begin() + headroom, 0);
+    if (len > 0)
+        std::memcpy(store_.data() + headroom, data, len);
+}
+
+std::uint8_t *
+PacketBuffer::prepend(std::size_t n)
+{
+    if (n > offset_) {
+        // Out of headroom: reallocate with fresh default headroom.
+        std::vector<std::uint8_t> grown(defaultHeadroom + n + size());
+        std::fill(grown.begin(), grown.begin() + defaultHeadroom + n, 0);
+        std::memcpy(grown.data() + defaultHeadroom + n, data(), size());
+        store_ = std::move(grown);
+        offset_ = defaultHeadroom + n;
+    }
+    offset_ -= n;
+    std::memset(store_.data() + offset_, 0, n);
+    return data();
+}
+
+void
+PacketBuffer::stripFront(std::size_t n)
+{
+    hp_assert(n <= size(), "stripFront beyond packet length");
+    offset_ += n;
+}
+
+std::uint8_t *
+PacketBuffer::append(std::size_t n)
+{
+    const std::size_t old = store_.size();
+    store_.resize(old + n, 0);
+    return store_.data() + old;
+}
+
+void
+PacketBuffer::truncate(std::size_t n)
+{
+    hp_assert(n <= size(), "truncate beyond packet length");
+    store_.resize(offset_ + n);
+}
+
+bool
+PacketBuffer::operator==(const PacketBuffer &other) const
+{
+    return size() == other.size() &&
+           std::memcmp(data(), other.data(), size()) == 0;
+}
+
+} // namespace net
+} // namespace hyperplane

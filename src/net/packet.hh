@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Packet buffer abstraction used by the networking workloads.
+ *
+ * PacketBuffer models an mbuf-style buffer: payload bytes stored in a
+ * contiguous vector with reserved headroom so headers can be prepended
+ * without copying the payload (the operation GRE encapsulation needs).
+ */
+
+#ifndef HYPERPLANE_NET_PACKET_HH
+#define HYPERPLANE_NET_PACKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hyperplane {
+namespace net {
+
+/** An mbuf-like byte buffer with headroom for header prepends. */
+class PacketBuffer
+{
+  public:
+    /** Default headroom reserved in front of the payload, bytes. */
+    static constexpr std::size_t defaultHeadroom = 128;
+
+    PacketBuffer() : PacketBuffer(0) {}
+
+    /** Create a packet with @p len zeroed payload bytes. */
+    explicit PacketBuffer(std::size_t len,
+                          std::size_t headroom = defaultHeadroom);
+
+    /** Create a packet holding a copy of [data, data+len). */
+    PacketBuffer(const std::uint8_t *data, std::size_t len,
+                 std::size_t headroom = defaultHeadroom);
+
+    /** Current packet length in bytes. */
+    std::size_t size() const { return store_.size() - offset_; }
+
+    bool empty() const { return size() == 0; }
+
+    /** Remaining headroom available for prepends. */
+    std::size_t headroom() const { return offset_; }
+
+    std::uint8_t *data() { return store_.data() + offset_; }
+    const std::uint8_t *data() const { return store_.data() + offset_; }
+
+    std::uint8_t &operator[](std::size_t i) { return data()[i]; }
+    const std::uint8_t &operator[](std::size_t i) const
+    {
+        return data()[i];
+    }
+
+    /**
+     * Prepend @p n bytes (zeroed) and return a pointer to them.
+     * Falls back to reallocating with fresh headroom if exhausted.
+     */
+    std::uint8_t *prepend(std::size_t n);
+
+    /** Remove @p n bytes from the front. @pre n <= size() */
+    void stripFront(std::size_t n);
+
+    /** Append @p n zeroed bytes and return a pointer to them. */
+    std::uint8_t *append(std::size_t n);
+
+    /** Truncate to @p n bytes. @pre n <= size() */
+    void truncate(std::size_t n);
+
+    /** Byte-wise equality of packet contents. */
+    bool operator==(const PacketBuffer &other) const;
+
+  private:
+    std::vector<std::uint8_t> store_;
+    std::size_t offset_;
+};
+
+} // namespace net
+} // namespace hyperplane
+
+#endif // HYPERPLANE_NET_PACKET_HH

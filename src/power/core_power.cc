@@ -1,0 +1,56 @@
+#include "power/core_power.hh"
+
+#include <algorithm>
+
+namespace hyperplane {
+namespace power {
+
+CorePowerModel::CorePowerModel(const PowerParams &params) : params_(params)
+{
+}
+
+double
+CorePowerModel::activePowerW(double ipc) const
+{
+    const double activity =
+        std::clamp(ipc / params_.ipcPeak, 0.0, 1.0);
+    return params_.staticW + params_.dynPeakW * activity;
+}
+
+double
+CorePowerModel::haltPowerW(bool c1) const
+{
+    return c1 ? params_.c1W : params_.c0HaltW;
+}
+
+void
+CorePowerModel::addActive(Tick dur, double ipc)
+{
+    energyJ_ += activePowerW(ipc) * ticksToSeconds(dur);
+    accounted_ += dur;
+}
+
+void
+CorePowerModel::addHalt(Tick dur, bool c1)
+{
+    energyJ_ += haltPowerW(c1) * ticksToSeconds(dur);
+    accounted_ += dur;
+}
+
+double
+CorePowerModel::averagePowerW() const
+{
+    if (accounted_ == 0)
+        return 0.0;
+    return energyJ_ / ticksToSeconds(accounted_);
+}
+
+void
+CorePowerModel::clear()
+{
+    energyJ_ = 0.0;
+    accounted_ = 0;
+}
+
+} // namespace power
+} // namespace hyperplane

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * McPAT-style core power model.
+ *
+ * Dynamic power scales with core activity (IPC); static power is always
+ * paid while the core is in C0.  Halting (QWAIT with empty queues) drops
+ * dynamic power; the C1 sleep state drops most of the static component
+ * too, at the cost of a wake-up latency (Section V-D of the paper,
+ * [36]/[86]: ~0.5 us for C1 -> C0).
+ *
+ * The model integrates energy over simulated intervals so experiments can
+ * report average power per load point.
+ */
+
+#ifndef HYPERPLANE_POWER_CORE_POWER_HH
+#define HYPERPLANE_POWER_CORE_POWER_HH
+
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace power {
+
+/** Power model parameters for one core (32 nm OoO class). */
+struct PowerParams
+{
+    /** Leakage + clock-tree power in C0, watts. */
+    double staticW = 7.0;
+    /** Dynamic power at peak IPC, watts. */
+    double dynPeakW = 5.0;
+    /** IPC at which dynamic power saturates. */
+    double ipcPeak = 4.0;
+    /** Power while halted in C0 (clock-gated, leakage remains), watts. */
+    double c0HaltW = 3.0;
+    /** Power in the C1 sleep state, watts (calibrated so C1 idle sits
+     *  at ~16% of saturation power, Figure 12a). */
+    double c1W = 1.37;
+    /** C1 -> C0 wake-up latency (~0.5 us). */
+    Tick c1WakeLatency = usToTicks(0.5);
+};
+
+/** Energy integrator for one core. */
+class CorePowerModel
+{
+  public:
+    explicit CorePowerModel(const PowerParams &params = {});
+
+    const PowerParams &params() const { return params_; }
+
+    /** Instantaneous power while executing at @p ipc, watts. */
+    double activePowerW(double ipc) const;
+
+    /** Instantaneous power while halted (@p c1: deep state), watts. */
+    double haltPowerW(bool c1) const;
+
+    /** Charge @p dur cycles of execution at @p ipc. */
+    void addActive(Tick dur, double ipc);
+
+    /** Charge @p dur cycles of halt. */
+    void addHalt(Tick dur, bool c1);
+
+    /** Total energy accumulated, joules. */
+    double energyJ() const { return energyJ_; }
+
+    /** Total time accounted, cycles. */
+    Tick accountedTicks() const { return accounted_; }
+
+    /** Average power over everything accounted so far, watts. */
+    double averagePowerW() const;
+
+    void clear();
+
+  private:
+    PowerParams params_;
+    double energyJ_ = 0.0;
+    Tick accounted_ = 0;
+};
+
+} // namespace power
+} // namespace hyperplane
+
+#endif // HYPERPLANE_POWER_CORE_POWER_HH

@@ -1,0 +1,86 @@
+#include "power/cstate.hh"
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace power {
+
+const char *
+toString(CState s)
+{
+    switch (s) {
+      case CState::C0Active:
+        return "C0-active";
+      case CState::C0Halt:
+        return "C0-halt";
+      case CState::C1:
+        return "C1";
+    }
+    return "?";
+}
+
+CStateMachine::CStateMachine(CorePowerModel &power, bool useC1)
+    : power_(power), useC1_(useC1)
+{
+}
+
+void
+CStateMachine::closeInterval(Tick now)
+{
+    hp_assert(now >= intervalStart_, "time went backwards");
+    const Tick dur = now - intervalStart_;
+    if (dur > 0) {
+        switch (state_) {
+          case CState::C0Active:
+            power_.addActive(dur, currentIpc_);
+            break;
+          case CState::C0Halt:
+            power_.addHalt(dur, false);
+            break;
+          case CState::C1:
+            power_.addHalt(dur, true);
+            break;
+        }
+    }
+    intervalStart_ = now;
+}
+
+void
+CStateMachine::run(Tick now, double ipc)
+{
+    closeInterval(now);
+    state_ = CState::C0Active;
+    currentIpc_ = ipc;
+}
+
+void
+CStateMachine::halt(Tick now)
+{
+    closeInterval(now);
+    halts.inc();
+    if (useC1_) {
+        state_ = CState::C1;
+        c1Entries.inc();
+    } else {
+        state_ = CState::C0Halt;
+    }
+}
+
+Tick
+CStateMachine::wake(Tick now)
+{
+    closeInterval(now);
+    const Tick latency =
+        state_ == CState::C1 ? power_.params().c1WakeLatency : 0;
+    state_ = CState::C0Active;
+    return latency;
+}
+
+void
+CStateMachine::finish(Tick now)
+{
+    closeInterval(now);
+}
+
+} // namespace power
+} // namespace hyperplane

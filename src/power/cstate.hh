@@ -1,0 +1,86 @@
+/**
+ * @file
+ * C-state machine for a data-plane core.
+ *
+ * Tracks whether the core is running (C0), halted in C0 (QWAIT with no
+ * ready queue), or in the C1 sleep state (power-optimized HyperPlane).
+ * The machine accounts time in each state into a CorePowerModel and
+ * charges the C1 wake-up latency on exits from C1.
+ */
+
+#ifndef HYPERPLANE_POWER_CSTATE_HH
+#define HYPERPLANE_POWER_CSTATE_HH
+
+#include "power/core_power.hh"
+#include "sim/types.hh"
+#include "stats/sampler.hh"
+
+namespace hyperplane {
+namespace power {
+
+/** Core sleep states modelled. */
+enum class CState : std::uint8_t
+{
+    C0Active, ///< executing
+    C0Halt,   ///< halted, clock-gated, instant wake
+    C1,       ///< sleep state, ~0.5 us wake latency
+};
+
+const char *toString(CState s);
+
+/**
+ * Per-core C-state tracker.
+ *
+ * Usage: the core calls run()/halt() as it transitions; each call closes
+ * the previous interval and charges it to the power model.  wake()
+ * returns the latency penalty to apply before the core can execute.
+ */
+class CStateMachine
+{
+  public:
+    /**
+     * @param power   Energy integrator to charge.
+     * @param useC1   If true, halts enter C1 (power-optimized mode);
+     *                otherwise they stay in C0-halt.
+     */
+    CStateMachine(CorePowerModel &power, bool useC1);
+
+    CState state() const { return state_; }
+
+    /**
+     * Enter the running state at @p now, executing at @p ipc until the
+     * next transition (the ipc is recorded for the upcoming interval).
+     */
+    void run(Tick now, double ipc);
+
+    /** Enter the halt state at @p now. */
+    void halt(Tick now);
+
+    /**
+     * Wake from a halt at @p now.
+     * @return Wake-up latency in cycles (0 from C0-halt; the C1 exit
+     *         latency from C1).
+     */
+    Tick wake(Tick now);
+
+    /** Close the open interval at @p now (end of measurement). */
+    void finish(Tick now);
+
+    stats::Counter halts{"halt_entries"};
+    stats::Counter c1Entries{"c1_entries"};
+
+  private:
+    /** Charge [intervalStart_, now) to the power model. */
+    void closeInterval(Tick now);
+
+    CorePowerModel &power_;
+    bool useC1_;
+    CState state_ = CState::C0Active;
+    double currentIpc_ = 0.0;
+    Tick intervalStart_ = 0;
+};
+
+} // namespace power
+} // namespace hyperplane
+
+#endif // HYPERPLANE_POWER_CSTATE_HH

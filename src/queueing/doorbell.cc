@@ -1,0 +1,13 @@
+// Doorbell and AddressMap are header-only; this file exists so the
+// queueing library has a translation unit and to host the static
+// definitions below if they ever grow out-of-line logic.
+
+#include "queueing/doorbell.hh"
+
+namespace hyperplane {
+namespace queueing {
+
+// AddressMap constants are constexpr; nothing further to define.
+
+} // namespace queueing
+} // namespace hyperplane

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Doorbell words and the simulated-machine address map.
+ *
+ * Per Section III-A of the paper, each I/O queue has a doorbell word in
+ * memory whose field is an atomic counter of queued elements (semaphore
+ * semantics): producers increment after enqueuing, consumers decrement
+ * before dequeuing.  Producer writes are the coherence transactions the
+ * monitoring set snoops.
+ *
+ * The simulator is single-threaded, so Doorbell is a plain counter; the
+ * real-thread equivalent for the emulation front-end lives in emu/.
+ */
+
+#ifndef HYPERPLANE_QUEUEING_DOORBELL_HH
+#define HYPERPLANE_QUEUEING_DOORBELL_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace queueing {
+
+/**
+ * Simulated-machine address map.  Doorbells live in a dedicated pinned
+ * range reserved by the (modelled) kernel driver, one per cache line so
+ * false sharing between doorbells cannot occur; queue descriptors and
+ * task-data buffers live in their own regions.
+ */
+struct AddressMap
+{
+    static constexpr Addr doorbellBase = 0x1000'0000;
+    static constexpr Addr descriptorBase = 0x2000'0000;
+    static constexpr Addr tenantDoorbellBase = 0x3000'0000;
+    static constexpr Addr taskDataBase = 0x4000'0000;
+    /** Per-queue dequeue synchronization (lock/CAS) lines. */
+    static constexpr Addr syncBase = 0x9000'0000;
+
+    static Addr doorbellAddr(QueueId qid)
+    {
+        return doorbellBase + static_cast<Addr>(qid) * cacheLineBytes;
+    }
+
+    static Addr descriptorAddr(QueueId qid)
+    {
+        return descriptorBase + static_cast<Addr>(qid) * cacheLineBytes;
+    }
+
+    static Addr tenantDoorbellAddr(QueueId qid)
+    {
+        return tenantDoorbellBase +
+               static_cast<Addr>(qid) * cacheLineBytes;
+    }
+
+    static Addr syncAddr(QueueId qid)
+    {
+        return syncBase + static_cast<Addr>(qid) * cacheLineBytes;
+    }
+
+    /** End (exclusive) of the doorbell range for @p numQueues queues. */
+    static Addr doorbellRangeEnd(unsigned numQueues)
+    {
+        return doorbellBase +
+               static_cast<Addr>(numQueues) * cacheLineBytes;
+    }
+};
+
+/** A queue-occupancy counter at a fixed simulated address. */
+class Doorbell
+{
+  public:
+    Doorbell() = default;
+    explicit Doorbell(Addr addr) : addr_(addr) {}
+
+    Addr addr() const { return addr_; }
+
+    /** Number of elements currently advertised in the queue. */
+    std::uint64_t count() const { return count_; }
+
+    bool empty() const { return count_ == 0; }
+
+    /** Producer side: advertise @p n new elements. */
+    void increment(std::uint64_t n = 1) { count_ += n; }
+
+    /**
+     * Consumer side: claim up to @p n elements.
+     * @return Elements actually claimed (may be less than @p n).
+     */
+    std::uint64_t
+    decrement(std::uint64_t n = 1)
+    {
+        const std::uint64_t take = n < count_ ? n : count_;
+        count_ -= take;
+        return take;
+    }
+
+  private:
+    Addr addr_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace queueing
+} // namespace hyperplane
+
+#endif // HYPERPLANE_QUEUEING_DOORBELL_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A real (not simulated) lock-free single-producer single-consumer ring.
+ *
+ * Used by the emulation front-end (emu/) where tenants and data-plane
+ * threads are actual OS threads.  The design is the classic bounded ring
+ * with cache-line-separated head and tail indices; producers and
+ * consumers synchronize only through acquire/release pairs on those
+ * indices, the standard structure of DPDK rte_ring in SP/SC mode.
+ */
+
+#ifndef HYPERPLANE_QUEUEING_SPSC_RING_HH
+#define HYPERPLANE_QUEUEING_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace queueing {
+
+/**
+ * Bounded lock-free SPSC queue.
+ *
+ * @tparam T Element type; moved in and out.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity Maximum elements; rounded up to a power of two. */
+    explicit SpscRing(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        slots_.resize(cap + 0);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /**
+     * Producer: enqueue one element.
+     * @return false if the ring is full.
+     */
+    bool
+    tryPush(T value)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail - head > mask_)
+            return false; // full
+        slots_[tail & mask_] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer: dequeue one element.
+     * @return std::nullopt if the ring is empty.
+     */
+    std::optional<T>
+    tryPop()
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail)
+            return std::nullopt;
+        T value = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return value;
+    }
+
+    /** Approximate occupancy (exact when called by either endpoint). */
+    std::size_t
+    size() const
+    {
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        return tail - head;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    static constexpr std::size_t lineSize = 64;
+
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    alignas(lineSize) std::atomic<std::size_t> head_{0};
+    alignas(lineSize) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace queueing
+} // namespace hyperplane
+
+#endif // HYPERPLANE_QUEUEING_SPSC_RING_HH

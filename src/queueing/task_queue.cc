@@ -1,0 +1,84 @@
+#include "queueing/task_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace queueing {
+
+TaskQueue::TaskQueue(QueueId qid, Addr doorbellAddr, Addr descriptorAddr)
+    : qid_(qid), doorbell_(doorbellAddr), descriptorAddr_(descriptorAddr)
+{
+}
+
+void
+TaskQueue::enqueue(const WorkItem &item)
+{
+    items_.push_back(item);
+    doorbell_.increment();
+    ++enqueued_;
+    if (items_.size() > maxDepth_)
+        maxDepth_ = items_.size();
+}
+
+std::optional<WorkItem>
+TaskQueue::dequeue()
+{
+    if (items_.empty())
+        return std::nullopt;
+    WorkItem item = items_.front();
+    items_.pop_front();
+    doorbell_.decrement();
+    ++dequeued_;
+    return item;
+}
+
+const WorkItem *
+TaskQueue::peek() const
+{
+    return items_.empty() ? nullptr : &items_.front();
+}
+
+QueueSet::QueueSet(unsigned numQueues)
+{
+    hp_assert(numQueues > 0, "QueueSet needs at least one queue");
+    queues_.reserve(numQueues);
+    for (unsigned q = 0; q < numQueues; ++q) {
+        queues_.emplace_back(q, AddressMap::doorbellAddr(q),
+                             AddressMap::descriptorAddr(q));
+    }
+}
+
+TaskQueue &
+QueueSet::operator[](QueueId qid)
+{
+    hp_assert(qid < queues_.size(), "queue id out of range");
+    return queues_[qid];
+}
+
+const TaskQueue &
+QueueSet::operator[](QueueId qid) const
+{
+    hp_assert(qid < queues_.size(), "queue id out of range");
+    return queues_[qid];
+}
+
+std::uint64_t
+QueueSet::totalBacklog() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues_)
+        n += q.depth();
+    return n;
+}
+
+std::uint64_t
+QueueSet::totalEnqueued() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues_)
+        n += q.totalEnqueued();
+    return n;
+}
+
+} // namespace queueing
+} // namespace hyperplane

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Simulated task queues and work items.
+ *
+ * A TaskQueue is one device-side memory-mapped queue from Figure 2 of the
+ * paper: a descriptor ring (modelled as a deque of WorkItems) plus a
+ * doorbell counter at a pinned address.  QueueSet owns all the queues of
+ * one experiment and allocates their doorbell/descriptor addresses from
+ * the reserved ranges.
+ */
+
+#ifndef HYPERPLANE_QUEUEING_TASK_QUEUE_HH
+#define HYPERPLANE_QUEUEING_TASK_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "queueing/doorbell.hh"
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace queueing {
+
+/** One unit of data-plane work (a packet batch / storage request). */
+struct WorkItem
+{
+    std::uint64_t seq = 0;       ///< global arrival sequence number
+    QueueId qid = invalidQueueId;
+    Tick arrivalTick = 0;        ///< when the producer enqueued it
+    std::uint32_t payloadBytes = 0;
+    std::uint32_t flowId = 0;    ///< used by steering/dispatch workloads
+};
+
+/** A device-side queue: descriptor ring + doorbell. */
+class TaskQueue
+{
+  public:
+    TaskQueue(QueueId qid, Addr doorbellAddr, Addr descriptorAddr);
+
+    QueueId qid() const { return qid_; }
+    Addr doorbellAddr() const { return doorbell_.addr(); }
+    Addr descriptorAddr() const { return descriptorAddr_; }
+
+    const Doorbell &doorbell() const { return doorbell_; }
+    Doorbell &doorbell() { return doorbell_; }
+
+    bool empty() const { return items_.empty(); }
+    std::size_t depth() const { return items_.size(); }
+
+    /**
+     * Producer: append a work item and bump the doorbell.
+     * The caller is responsible for modelling the producer's memory
+     * traffic (MemorySystem::deviceWrite on the doorbell address).
+     */
+    void enqueue(const WorkItem &item);
+
+    /**
+     * Consumer: remove the head item and decrement the doorbell.
+     * @return std::nullopt if the queue is empty.
+     */
+    std::optional<WorkItem> dequeue();
+
+    /** Peek at the head without dequeuing. */
+    const WorkItem *peek() const;
+
+    std::uint64_t totalEnqueued() const { return enqueued_; }
+    std::uint64_t totalDequeued() const { return dequeued_; }
+
+    /** Largest depth ever observed. */
+    std::size_t maxDepth() const { return maxDepth_; }
+
+  private:
+    QueueId qid_;
+    Doorbell doorbell_;
+    Addr descriptorAddr_;
+    std::deque<WorkItem> items_;
+    std::uint64_t enqueued_ = 0;
+    std::uint64_t dequeued_ = 0;
+    std::size_t maxDepth_ = 0;
+};
+
+/** All the queues of one experiment, with address allocation. */
+class QueueSet
+{
+  public:
+    /** @param numQueues Number of device-side queues to create. */
+    explicit QueueSet(unsigned numQueues);
+
+    unsigned size() const { return static_cast<unsigned>(queues_.size()); }
+
+    TaskQueue &operator[](QueueId qid);
+    const TaskQueue &operator[](QueueId qid) const;
+
+    /** Doorbell range covering every queue (for snooping / QWAIT_init). */
+    Addr doorbellRangeLo() const { return AddressMap::doorbellBase; }
+    Addr doorbellRangeHi() const
+    {
+        return AddressMap::doorbellRangeEnd(size());
+    }
+
+    /** Sum of depths across all queues. */
+    std::uint64_t totalBacklog() const;
+
+    /** Total items ever enqueued across all queues. */
+    std::uint64_t totalEnqueued() const;
+
+  private:
+    std::vector<TaskQueue> queues_;
+};
+
+} // namespace queueing
+} // namespace hyperplane
+
+#endif // HYPERPLANE_QUEUEING_TASK_QUEUE_HH

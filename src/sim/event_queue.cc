@@ -1,0 +1,98 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    hp_assert(when >= now_, "scheduling into the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    const EventId id = nextId_++;
+    heap_.push(Entry{when, id, std::move(cb)});
+    live_.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (live_.erase(id) == 0)
+        return false;
+    // We cannot remove from the middle of a binary heap; mark the id as
+    // cancelled and lazily discard it when it reaches the top.
+    cancelled_.insert(id);
+    return true;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty()) {
+        auto it = cancelled_.find(heap_.top().id);
+        if (it == cancelled_.end())
+            break;
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipCancelled();
+    hp_assert(!heap_.empty(), "nextEventTick on empty queue");
+    return heap_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; moving the callback out before pop()
+    // avoids a copy and is safe because we pop immediately.
+    auto &top = const_cast<Entry &>(heap_.top());
+    hp_assert(top.when >= now_, "event in the past");
+    now_ = top.when;
+    Callback cb = std::move(top.cb);
+    live_.erase(top.id);
+    heap_.pop();
+    ++dispatched_;
+    cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick until)
+{
+    std::uint64_t n = 0;
+    for (;;) {
+        skipCancelled();
+        if (heap_.empty() || heap_.top().when > until)
+            break;
+        step();
+        ++n;
+    }
+    if (now_ < until && until != ~Tick{0})
+        now_ = until;
+    return n;
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    hp_assert(t >= now_, "advanceTo into the past");
+    skipCancelled();
+    hp_assert(heap_.empty() || heap_.top().when >= t,
+              "advanceTo would skip a pending event");
+    now_ = t;
+}
+
+} // namespace hyperplane

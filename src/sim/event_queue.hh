@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A discrete-event simulation kernel.
+ *
+ * The kernel is a min-heap of (tick, sequence) ordered events.  Events
+ * scheduled for the same tick fire in scheduling order, which keeps
+ * multi-component interactions deterministic.  Events may be cancelled via
+ * the EventId returned by schedule().
+ */
+
+#ifndef HYPERPLANE_SIM_EVENT_QUEUE_HH
+#define HYPERPLANE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hyperplane {
+
+/** Handle identifying a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel for "no event". */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * Discrete-event queue driving a single simulation.
+ *
+ * The typical loop is:
+ * @code
+ *   EventQueue eq;
+ *   eq.schedule(100, [&]{ ... });
+ *   eq.run(usToTicks(1000));
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time.  Monotonically non-decreasing. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb   Callback to invoke.
+     * @return Handle that can be passed to cancel().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule a callback @p delta ticks from now. */
+    EventId scheduleIn(Tick delta, Callback cb)
+    {
+        return schedule(now_ + delta, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @return true if the event was pending and is now cancelled; false if
+     *         it already fired or was already cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return live_.size(); }
+
+    /** True if no events remain. */
+    bool empty() const { return pending() == 0; }
+
+    /** Tick of the next pending event. @pre !empty() */
+    Tick nextEventTick() const;
+
+    /**
+     * Run until the queue is empty or simulated time would exceed
+     * @p until.  Events scheduled exactly at @p until still fire.
+     *
+     * @return Number of events dispatched.
+     */
+    std::uint64_t run(Tick until = ~Tick{0});
+
+    /**
+     * Dispatch exactly one event, if any.
+     * @return true if an event fired.
+     */
+    bool step();
+
+    /**
+     * Advance now() to @p t without running events.  Used by bulk
+     * fast-forward paths; @p t must not skip over any pending event.
+     */
+    void advanceTo(Tick t);
+
+    /** Total events dispatched since construction. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    /** Pop cancelled entries off the heap top. */
+    void skipCancelled();
+
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t dispatched_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Ids still in the heap and not cancelled. */
+    std::unordered_set<EventId> live_;
+    /** Ids in the heap that were cancelled (lazily discarded). */
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace hyperplane
+
+#endif // HYPERPLANE_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,72 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hyperplane {
+
+namespace {
+
+std::atomic<unsigned long> warnings{0};
+
+void
+vreport(const char *level, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s: ", level);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    warnings.fetch_add(1, std::memory_order_relaxed);
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+unsigned long
+warnCount()
+{
+    return warnings.load(std::memory_order_relaxed);
+}
+
+} // namespace hyperplane

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump captures the state.
+ * fatal()  — the user asked for something impossible (bad configuration);
+ *            exits with an error code.
+ * warn()   — something is suspicious but simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef HYPERPLANE_SIM_LOGGING_HH
+#define HYPERPLANE_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hyperplane {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Count of warnings emitted so far (exposed for tests). */
+unsigned long warnCount();
+
+} // namespace hyperplane
+
+#define hp_panic(...) \
+    ::hyperplane::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define hp_fatal(...) \
+    ::hyperplane::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define hp_warn(...) ::hyperplane::warnImpl(__VA_ARGS__)
+#define hp_inform(...) ::hyperplane::informImpl(__VA_ARGS__)
+
+/** Panic if a library-internal invariant does not hold. */
+#define hp_assert(cond, msg, ...)                                          \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            hp_panic("assertion failed (%s): " msg, #cond,                 \
+                     ##__VA_ARGS__);                                       \
+    } while (0)
+
+#endif // HYPERPLANE_SIM_LOGGING_HH

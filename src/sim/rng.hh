@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic behaviour in the simulation (arrival processes, traffic
+ * shape activity draws, workload size jitter) flows through Rng so that a
+ * fixed seed reproduces a run bit-for-bit.  The generator is
+ * xoshiro256** (Blackman & Vigna), which is fast, has a 2^256-1 period,
+ * and passes BigCrush.
+ */
+
+#ifndef HYPERPLANE_SIM_RNG_HH
+#define HYPERPLANE_SIM_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hyperplane {
+
+/**
+ * Seedable xoshiro256** generator with the distributions the simulator
+ * needs.  Not thread-safe; each simulated component owns its own stream
+ * (derived via split()).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, bound) using Lemire's method. @pre bound > 0 */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Exponentially distributed value with the given mean (inter-arrival
+     * time of a Poisson process of rate 1/mean).
+     */
+    double exponential(double mean);
+
+    /** Standard normal via Marsaglia polar method. */
+    double gaussian();
+
+    /** Normal with given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /**
+     * Derive an independent child stream.  Implemented by drawing a fresh
+     * seed, so child streams are decorrelated from the parent's future
+     * output.
+     */
+    Rng split();
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniformInt(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace hyperplane
+
+#endif // HYPERPLANE_SIM_RNG_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fundamental simulation types and unit conversions.
+ *
+ * The simulated machine runs at a fixed 3 GHz clock (Table I of the paper
+ * uses an 8-wide OoO core; we model timing abstractly but keep the clock
+ * explicit so all latencies are expressed in cycles).  One Tick equals one
+ * core clock cycle.
+ */
+
+#ifndef HYPERPLANE_SIM_TYPES_HH
+#define HYPERPLANE_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace hyperplane {
+
+/** Simulated time, in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** A physical memory address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Identifier of an I/O queue managed by the data plane. */
+using QueueId = std::uint32_t;
+
+/** Identifier of a simulated core. */
+using CoreId = std::uint32_t;
+
+/** Sentinel for "no queue". */
+constexpr QueueId invalidQueueId = ~QueueId{0};
+
+/** Core clock frequency of the simulated machine. */
+constexpr double clockGHz = 3.0;
+
+/** Cycles per microsecond at the simulated clock. */
+constexpr double cyclesPerUs = clockGHz * 1000.0;
+
+/** Cycles per nanosecond at the simulated clock. */
+constexpr double cyclesPerNs = clockGHz;
+
+/** Convert a cycle count to microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / cyclesPerUs;
+}
+
+/** Convert microseconds to cycles (rounded down). */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * cyclesPerUs);
+}
+
+/** Convert nanoseconds to cycles (rounded down). */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * cyclesPerNs);
+}
+
+/** Convert a cycle count to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / (clockGHz * 1e9);
+}
+
+/** Size of a cache line in the simulated machine, bytes. */
+constexpr unsigned cacheLineBytes = 64;
+
+/** Mask an address down to its cache-line base. */
+constexpr Addr
+lineBase(Addr a)
+{
+    return a & ~Addr{cacheLineBytes - 1};
+}
+
+} // namespace hyperplane
+
+#endif // HYPERPLANE_SIM_TYPES_HH

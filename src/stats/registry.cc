@@ -1,0 +1,62 @@
+#include "stats/registry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace hyperplane {
+namespace stats {
+
+void
+Registry::add(const std::string &path, const Counter &counter)
+{
+    const Counter *c = &counter;
+    entries_.push_back(
+        {path, [c] { return static_cast<double>(c->value()); }});
+}
+
+void
+Registry::addScalar(const std::string &path,
+                    std::function<double()> getter)
+{
+    entries_.push_back({path, std::move(getter)});
+}
+
+std::string
+Registry::report() const
+{
+    std::vector<std::pair<std::string, double>> rows;
+    rows.reserve(entries_.size());
+    for (const auto &e : entries_)
+        rows.emplace_back(e.path, e.getter());
+    std::sort(rows.begin(), rows.end());
+
+    std::ostringstream os;
+    for (const auto &[path, v] : rows) {
+        char buf[64];
+        // Integers print without a fraction; other values with 6
+        // significant digits.
+        if (v == std::floor(v) && std::abs(v) < 1e15) {
+            std::snprintf(buf, sizeof(buf), "%.0f", v);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.6g", v);
+        }
+        os << path << " = " << buf << '\n';
+    }
+    return os.str();
+}
+
+double
+Registry::value(const std::string &path) const
+{
+    for (const auto &e : entries_) {
+        if (e.path == path)
+            return e.getter();
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+} // namespace stats
+} // namespace hyperplane

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A gem5-style statistics registry: components register their counters
+ * under hierarchical dotted paths, and the registry renders a sorted
+ * "path = value" report.  Used by SdpSystem::dumpStats() and by tools
+ * that want machine-readable run summaries.
+ */
+
+#ifndef HYPERPLANE_STATS_REGISTRY_HH
+#define HYPERPLANE_STATS_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/sampler.hh"
+
+namespace hyperplane {
+namespace stats {
+
+/** Hierarchical stat registry (snapshot semantics: values are read at
+ *  report() time). */
+class Registry
+{
+  public:
+    /** Register a counter under @p path ("mem.l1_hits"). */
+    void add(const std::string &path, const Counter &counter);
+
+    /** Register a computed scalar. */
+    void addScalar(const std::string &path,
+                   std::function<double()> getter);
+
+    /** Register every counter of a group with a shared prefix. */
+    void
+    addGroup(const std::string &prefix,
+             std::initializer_list<
+                 std::reference_wrapper<const Counter>> counters)
+    {
+        for (const Counter &c : counters)
+            add(prefix + "." + c.name(), c);
+    }
+
+    /** Number of registered entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Render the report: one "path = value" line per entry, sorted by
+     * path.
+     */
+    std::string report() const;
+
+    /** Current value of a registered entry. @return NaN if unknown. */
+    double value(const std::string &path) const;
+
+  private:
+    struct Entry
+    {
+        std::string path;
+        std::function<double()> getter;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace stats
+} // namespace hyperplane
+
+#endif // HYPERPLANE_STATS_REGISTRY_HH

@@ -1,0 +1,74 @@
+#include "stats/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyperplane {
+namespace stats {
+
+void
+Sampler::record(double v)
+{
+    if (n_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++n_;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+}
+
+void
+Sampler::merge(const Sampler &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Sampler::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+Sampler::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Sampler::clear()
+{
+    n_ = 0;
+    mean_ = m2_ = min_ = max_ = 0.0;
+}
+
+double
+RateMeter::ratePerSecond(Tick now) const
+{
+    if (now <= startTick_)
+        return 0.0;
+    return static_cast<double>(events_) / ticksToSeconds(now - startTick_);
+}
+
+} // namespace stats
+} // namespace hyperplane

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Streaming scalar statistics.
+ *
+ * Sampler accumulates mean/variance/min/max with Welford's online
+ * algorithm (numerically stable, O(1) memory).  Counter is a plain named
+ * event counter.  RateMeter converts a counter over a simulated interval
+ * into an events-per-second rate.
+ */
+
+#ifndef HYPERPLANE_STATS_SAMPLER_HH
+#define HYPERPLANE_STATS_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace stats {
+
+/** Online mean / variance / extrema accumulator (Welford). */
+class Sampler
+{
+  public:
+    void record(double v);
+
+    /** Merge another sampler into this one (parallel Welford update). */
+    void merge(const Sampler &other);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 for fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    void clear();
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A named monotonic event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+    void clear() { value_ = 0; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/** Converts an event count over a tick interval into a per-second rate. */
+class RateMeter
+{
+  public:
+    /** Mark the start of the measurement window. */
+    void start(Tick now) { startTick_ = now; events_ = 0; }
+
+    void record(std::uint64_t n = 1) { events_ += n; }
+
+    /** Events per simulated second over [start, now]. */
+    double ratePerSecond(Tick now) const;
+
+    std::uint64_t events() const { return events_; }
+
+  private:
+    Tick startTick_ = 0;
+    std::uint64_t events_ = 0;
+};
+
+} // namespace stats
+} // namespace hyperplane
+
+#endif // HYPERPLANE_STATS_SAMPLER_HH

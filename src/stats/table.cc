@@ -1,0 +1,92 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace hyperplane {
+namespace stats {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::header(std::vector<std::string> names)
+{
+    header_ = std::move(names);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::rowValues(const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values)
+        cells.push_back(fmt(v, precision));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::str() const
+{
+    // Compute column widths across header and rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream os;
+    os << title_ << '\n';
+    os << std::string(title_.size(), '-') << '\n';
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(widths[i] - cells[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtRatio(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+} // namespace stats
+} // namespace hyperplane

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Plain-text table formatting for benchmark output.
+ *
+ * Every figure/table-reproduction binary prints its series through Table
+ * so output is uniform, diffable, and easy to plot (tab-separated when
+ * piped, aligned columns on a terminal).
+ */
+
+#ifndef HYPERPLANE_STATS_TABLE_HH
+#define HYPERPLANE_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hyperplane {
+namespace stats {
+
+/** A simple column-aligned text table. */
+class Table
+{
+  public:
+    /** @param title Printed above the table, underlined. */
+    explicit Table(std::string title);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> names);
+
+    /** Append a row of pre-formatted cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    void rowValues(const std::vector<double> &values, int precision = 3);
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for mixed-type rows). */
+std::string fmt(double v, int precision = 3);
+
+/** Format "speedup" ratios like "4.1x". */
+std::string fmtRatio(double v, int precision = 1);
+
+} // namespace stats
+} // namespace hyperplane
+
+#endif // HYPERPLANE_STATS_TABLE_HH

@@ -1,0 +1,40 @@
+#include "traffic/load_controller.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace traffic {
+
+LoadController::LoadController(double capacityPerSec)
+{
+    setCapacity(capacityPerSec);
+}
+
+void
+LoadController::setCapacity(double capacityPerSec)
+{
+    hp_assert(capacityPerSec > 0.0, "capacity must be positive");
+    capacity_ = capacityPerSec;
+}
+
+double
+LoadController::rateForLoad(double loadFraction) const
+{
+    hp_assert(capacity_ > 0.0, "capacity not set");
+    // Floor at 0.5% so "zero load" runs still see occasional arrivals.
+    const double f = std::max(loadFraction, 0.005);
+    return capacity_ * f;
+}
+
+double
+LoadController::analyticCapacity(unsigned cores, double cyclesPerItem)
+{
+    hp_assert(cyclesPerItem > 0.0, "cycles per item must be positive");
+    const double cyclesPerSec = clockGHz * 1e9;
+    return cores * cyclesPerSec / cyclesPerItem;
+}
+
+} // namespace traffic
+} // namespace hyperplane

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Load control: converting "x% load" experiment axes into offered rates.
+ *
+ * The multicore experiments (Figures 10-12) sweep offered load as a
+ * fraction of saturation throughput.  LoadController holds a capacity
+ * estimate (tasks/s at saturation, usually measured by a short
+ * calibration simulation) and maps load fractions to Poisson rates.
+ */
+
+#ifndef HYPERPLANE_TRAFFIC_LOAD_CONTROLLER_HH
+#define HYPERPLANE_TRAFFIC_LOAD_CONTROLLER_HH
+
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace traffic {
+
+/** Maps load fractions to offered rates against a capacity estimate. */
+class LoadController
+{
+  public:
+    LoadController() = default;
+
+    /** @param capacityPerSec Saturation throughput, tasks/second. */
+    explicit LoadController(double capacityPerSec);
+
+    double capacityPerSec() const { return capacity_; }
+    void setCapacity(double capacityPerSec);
+
+    /**
+     * Offered rate for a load fraction.
+     * @param loadFraction In [0, 1]; values near 0 are clamped to a
+     *        floor so zero-load latency runs still generate arrivals.
+     */
+    double rateForLoad(double loadFraction) const;
+
+    /**
+     * Analytic first-cut capacity for @p cores each spending
+     * @p cyclesPerItem per task (used to seed calibration runs).
+     */
+    static double analyticCapacity(unsigned cores, double cyclesPerItem);
+
+  private:
+    double capacity_ = 0.0;
+};
+
+} // namespace traffic
+} // namespace hyperplane
+
+#endif // HYPERPLANE_TRAFFIC_LOAD_CONTROLLER_HH

@@ -1,0 +1,92 @@
+#include "traffic/poisson_source.hh"
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace traffic {
+
+PoissonSource::PoissonSource(EventQueue &eq, queueing::QueueSet &queues,
+                             mem::MemorySystem *mem,
+                             const SourceConfig &cfg,
+                             std::vector<double> weights)
+    : eq_(eq), queues_(queues), mem_(mem), cfg_(cfg),
+      weights_(std::move(weights)), rng_(cfg.seed),
+      pending_(queues.size(), invalidEventId)
+{
+    hp_assert(weights_.size() == queues_.size(),
+              "one weight per queue required");
+    hp_assert(cfg_.totalRatePerSec > 0.0, "rate must be positive");
+}
+
+void
+PoissonSource::start()
+{
+    running_ = true;
+    for (QueueId q = 0; q < queues_.size(); ++q) {
+        if (weights_[q] > 0.0)
+            scheduleNext(q);
+    }
+}
+
+void
+PoissonSource::stop()
+{
+    running_ = false;
+    for (auto &id : pending_) {
+        if (id != invalidEventId) {
+            eq_.cancel(id);
+            id = invalidEventId;
+        }
+    }
+}
+
+void
+PoissonSource::setRate(double totalRatePerSec)
+{
+    hp_assert(totalRatePerSec > 0.0, "rate must be positive");
+    cfg_.totalRatePerSec = totalRatePerSec;
+}
+
+void
+PoissonSource::scheduleNext(QueueId qid)
+{
+    const double rate = cfg_.totalRatePerSec * weights_[qid]; // tasks/s
+    const double meanGapSec = 1.0 / rate;
+    const double gapUs = rng_.exponential(meanGapSec * 1e6);
+    const Tick gap = std::max<Tick>(1, usToTicks(gapUs));
+    pending_[qid] = eq_.scheduleIn(gap, [this, qid] { arrive(qid); });
+}
+
+void
+PoissonSource::arrive(QueueId qid)
+{
+    pending_[qid] = invalidEventId;
+    if (!running_)
+        return;
+
+    queueing::TaskQueue &q = queues_[qid];
+    if (q.depth() >= cfg_.maxQueueDepth) {
+        dropped_.inc();
+    } else {
+        queueing::WorkItem item;
+        item.seq = nextSeq_++;
+        item.qid = qid;
+        item.arrivalTick = eq_.now();
+        item.payloadBytes = cfg_.payloadBytes;
+        item.flowId = static_cast<std::uint32_t>(
+            qid * 97 + (item.seq % 31)); // a few flows per queue
+        q.enqueue(item);
+        generated_.inc();
+        // The producer's doorbell write: the coherence transaction the
+        // monitoring set snoops (and that costs a spinning core a miss
+        // on its next poll of this queue head).
+        if (mem_ != nullptr)
+            mem_->deviceWrite(q.doorbellAddr());
+        if (hook_)
+            hook_(qid, item);
+    }
+    scheduleNext(qid);
+}
+
+} // namespace traffic
+} // namespace hyperplane

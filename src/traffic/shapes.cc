@@ -1,0 +1,121 @@
+#include "traffic/shapes.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace traffic {
+
+const char *
+toString(Shape s)
+{
+    switch (s) {
+      case Shape::FB:
+        return "FB";
+      case Shape::PC:
+        return "PC";
+      case Shape::NC:
+        return "NC";
+      case Shape::SQ:
+        return "SQ";
+    }
+    return "?";
+}
+
+const std::vector<Shape> &
+allShapes()
+{
+    static const std::vector<Shape> shapes = {Shape::FB, Shape::PC,
+                                              Shape::NC, Shape::SQ};
+    return shapes;
+}
+
+std::vector<double>
+shapeWeights(Shape shape, unsigned numQueues, Rng &rng)
+{
+    hp_assert(numQueues > 0, "need at least one queue");
+    std::vector<bool> active(numQueues, false);
+
+    switch (shape) {
+      case Shape::FB:
+        std::fill(active.begin(), active.end(), true);
+        break;
+      case Shape::PC: {
+        // 20% always active (randomly chosen), the rest with p = 5%.
+        const unsigned always = std::max(1u, numQueues / 5);
+        std::vector<unsigned> ids(numQueues);
+        for (unsigned i = 0; i < numQueues; ++i)
+            ids[i] = i;
+        rng.shuffle(ids);
+        for (unsigned i = 0; i < always; ++i)
+            active[ids[i]] = true;
+        for (unsigned i = always; i < numQueues; ++i)
+            active[ids[i]] = rng.chance(0.05);
+        break;
+      }
+      case Shape::NC: {
+        // 100 queues always active, the rest with p = 5%.
+        const unsigned always = std::min(numQueues, 100u);
+        std::vector<unsigned> ids(numQueues);
+        for (unsigned i = 0; i < numQueues; ++i)
+            ids[i] = i;
+        rng.shuffle(ids);
+        for (unsigned i = 0; i < always; ++i)
+            active[ids[i]] = true;
+        for (unsigned i = always; i < numQueues; ++i)
+            active[ids[i]] = rng.chance(0.05);
+        break;
+      }
+      case Shape::SQ:
+        active[rng.uniformInt(numQueues)] = true;
+        break;
+    }
+
+    unsigned numActive = 0;
+    for (bool a : active)
+        numActive += a ? 1 : 0;
+    hp_assert(numActive > 0, "shape produced no active queues");
+
+    std::vector<double> weights(numQueues, 0.0);
+    const double w = 1.0 / numActive;
+    for (unsigned q = 0; q < numQueues; ++q) {
+        if (active[q])
+            weights[q] = w;
+    }
+    return weights;
+}
+
+unsigned
+activeQueueCount(const std::vector<double> &weights)
+{
+    unsigned n = 0;
+    for (double w : weights)
+        n += w > 0.0 ? 1 : 0;
+    return n;
+}
+
+std::vector<double>
+applyImbalance(const std::vector<double> &weights, double imbalance)
+{
+    hp_assert(imbalance >= 0.0, "imbalance must be non-negative");
+    std::vector<unsigned> activeIds;
+    for (unsigned q = 0; q < weights.size(); ++q) {
+        if (weights[q] > 0.0)
+            activeIds.push_back(q);
+    }
+    std::vector<double> out = weights;
+    const std::size_t half = activeIds.size() / 2;
+    for (std::size_t i = 0; i < half; ++i)
+        out[activeIds[i]] *= 1.0 + imbalance;
+    // Renormalize to sum 1.
+    double sum = 0.0;
+    for (double w : out)
+        sum += w;
+    for (double &w : out)
+        w /= sum;
+    return out;
+}
+
+} // namespace traffic
+} // namespace hyperplane

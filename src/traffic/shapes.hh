@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Traffic shapes from the paper (Sections II-C and V-A):
+ *
+ *  - FB (Fully Balanced): traffic passes through all queues.
+ *  - PC (Proportionally Concentrated): 20% of queues carry traffic all
+ *    the time; each remaining queue is active with probability 5%.
+ *  - NC (Non-proportionally Concentrated): 100 queues carry traffic all
+ *    the time; each remaining queue is active with probability 5%.
+ *  - SQ (Single Queue): all traffic through one queue.
+ *
+ * A shape maps to per-queue rate weights; the Poisson source splits the
+ * total offered rate across queues proportionally to the weights.
+ */
+
+#ifndef HYPERPLANE_TRAFFIC_SHAPES_HH
+#define HYPERPLANE_TRAFFIC_SHAPES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace traffic {
+
+/** The four traffic shapes of the evaluation. */
+enum class Shape : std::uint8_t
+{
+    FB, ///< fully balanced
+    PC, ///< proportionally concentrated
+    NC, ///< non-proportionally concentrated
+    SQ, ///< single queue
+};
+
+const char *toString(Shape s);
+
+/** All four shapes in the paper's order. */
+const std::vector<Shape> &allShapes();
+
+/**
+ * Draw the per-queue rate weights for a shape.
+ *
+ * Active queues share the load equally; inactive queues have weight 0.
+ * Weights sum to 1 (exactly one queue is always active in every shape).
+ *
+ * @param shape     Traffic shape.
+ * @param numQueues Total number of queues.
+ * @param rng       Randomness for membership draws (PC/NC).
+ */
+std::vector<double> shapeWeights(Shape shape, unsigned numQueues,
+                                 Rng &rng);
+
+/** Number of non-zero weights. */
+unsigned activeQueueCount(const std::vector<double> &weights);
+
+/**
+ * Apply a static load imbalance to a weight vector (Section V-C): the
+ * first half of the *active* queues get (1 + imbalance) times the rate
+ * of the second half, renormalized.  Used for the scale-out
+ * 10%-imbalance variants of Figure 10(b).
+ */
+std::vector<double> applyImbalance(const std::vector<double> &weights,
+                                   double imbalance);
+
+} // namespace traffic
+} // namespace hyperplane
+
+#endif // HYPERPLANE_TRAFFIC_SHAPES_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Crypto forwarding workload: packets encrypted with AES-CBC-256 before
+ * being forwarded (Section V-A, citing the AES-CBC IPsec usage of
+ * RFC 3602).
+ */
+
+#ifndef HYPERPLANE_WORKLOADS_CRYPTO_FORWARDING_HH
+#define HYPERPLANE_WORKLOADS_CRYPTO_FORWARDING_HH
+
+#include <vector>
+
+#include "crypto/aes.hh"
+#include "crypto/cbc.hh"
+#include "workloads/workload.hh"
+
+namespace hyperplane {
+namespace workloads {
+
+/** AES-CBC-256 packet encryption. */
+class CryptoForwarding : public Workload
+{
+  public:
+    explicit CryptoForwarding(std::uint64_t seed);
+
+    Kind kind() const override { return Kind::CryptoForwarding; }
+    void execute(const queueing::WorkItem &item) override;
+    Tick serviceCycles(const queueing::WorkItem &item) const override;
+    unsigned dataLines(const queueing::WorkItem &item) const override;
+    std::uint32_t defaultPayloadBytes() const override { return 1024; }
+
+    /** Encrypt an item's synthesized payload (exposed for tests). */
+    std::vector<std::uint8_t> encrypt(const queueing::WorkItem &item) const;
+
+    std::uint64_t processed() const { return processed_; }
+
+  private:
+    crypto::Aes aes_;
+    std::uint64_t seed_;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace workloads
+} // namespace hyperplane
+
+#endif // HYPERPLANE_WORKLOADS_CRYPTO_FORWARDING_HH

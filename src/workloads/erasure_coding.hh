@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Erasure coding workload: Reed-Solomon encoding of data fragments with
+ * a Cauchy matrix (Section V-A).
+ */
+
+#ifndef HYPERPLANE_WORKLOADS_ERASURE_CODING_HH
+#define HYPERPLANE_WORKLOADS_ERASURE_CODING_HH
+
+#include "codes/reed_solomon.hh"
+#include "workloads/workload.hh"
+
+namespace hyperplane {
+namespace workloads {
+
+/** RS(k=6, m=3) erasure encoder over item payloads. */
+class ErasureCoding : public Workload
+{
+  public:
+    static constexpr unsigned dataShards = 6;
+    static constexpr unsigned parityShards = 3;
+
+    explicit ErasureCoding(std::uint64_t seed);
+
+    Kind kind() const override { return Kind::ErasureCoding; }
+    void execute(const queueing::WorkItem &item) override;
+    Tick serviceCycles(const queueing::WorkItem &item) const override;
+    unsigned dataLines(const queueing::WorkItem &item) const override;
+    std::uint32_t defaultPayloadBytes() const override { return 1024; }
+
+    /** Split an item's payload into shards and encode parity. */
+    std::vector<codes::Shard> encode(const queueing::WorkItem &item) const;
+
+    /** Build the data shards for an item (for round-trip tests). */
+    std::vector<codes::Shard> makeShards(
+        const queueing::WorkItem &item) const;
+
+    const codes::ReedSolomon &coder() const { return rs_; }
+
+    std::uint64_t processed() const { return processed_; }
+
+  private:
+    codes::ReedSolomon rs_;
+    std::uint64_t seed_;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace workloads
+} // namespace hyperplane
+
+#endif // HYPERPLANE_WORKLOADS_ERASURE_CODING_HH

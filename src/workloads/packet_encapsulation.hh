@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Packet encapsulation workload: GRE tunneling of IPv4 packets inside
+ * IPv6 (RFC 2784), the first evaluation task of Section V-A.
+ */
+
+#ifndef HYPERPLANE_WORKLOADS_PACKET_ENCAPSULATION_HH
+#define HYPERPLANE_WORKLOADS_PACKET_ENCAPSULATION_HH
+
+#include "net/headers.hh"
+#include "workloads/workload.hh"
+
+namespace hyperplane {
+namespace workloads {
+
+/** GRE IPv4-in-IPv6 encapsulation. */
+class PacketEncapsulation : public Workload
+{
+  public:
+    explicit PacketEncapsulation(std::uint64_t seed);
+
+    Kind kind() const override { return Kind::PacketEncapsulation; }
+    void execute(const queueing::WorkItem &item) override;
+    Tick serviceCycles(const queueing::WorkItem &item) const override;
+    unsigned dataLines(const queueing::WorkItem &item) const override;
+    std::uint32_t defaultPayloadBytes() const override { return 1024; }
+
+    /**
+     * Build the encapsulated packet for an item (the body of execute(),
+     * returning the result for tests).
+     */
+    net::PacketBuffer encapsulate(const queueing::WorkItem &item) const;
+
+    /** Work items processed so far. */
+    std::uint64_t processed() const { return processed_; }
+
+  private:
+    net::Ipv6Header outer_;
+    std::uint64_t seed_;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace workloads
+} // namespace hyperplane
+
+#endif // HYPERPLANE_WORKLOADS_PACKET_ENCAPSULATION_HH

@@ -1,0 +1,54 @@
+#include "workloads/packet_steering.hh"
+
+#include "net/checksum.hh"
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace workloads {
+
+PacketSteering::PacketSteering(std::uint64_t seed) : seed_(seed) {}
+
+unsigned
+PacketSteering::steer(const queueing::WorkItem &item)
+{
+    // Flow key: CRC32C over a synthetic 5-tuple derived from the flow id
+    // (the hash RSS-style steering computes over real packet headers).
+    std::uint8_t tuple[13];
+    detail::fillDeterministic(tuple, sizeof(tuple),
+                              seed_ ^ (std::uint64_t{item.flowId} << 16));
+    const std::uint32_t key = net::crc32c(tuple, sizeof(tuple));
+
+    auto [it, inserted] = sessions_.try_emplace(
+        key, key % numDestinations);
+    (void)inserted;
+    return it->second;
+}
+
+void
+PacketSteering::execute(const queueing::WorkItem &item)
+{
+    const unsigned dest = steer(item);
+    hp_assert(dest < numDestinations, "steering destination out of range");
+    ++processed_;
+}
+
+Tick
+PacketSteering::serviceCycles(const queueing::WorkItem &item) const
+{
+    // Flow-hash computation + session-table probe (often a miss in a
+    // large table) + header rewrite.  Calibrated to ~0.38 Mtasks/s at
+    // 1 KiB (Figure 8).
+    return 7000 + static_cast<Tick>(0.9 * item.payloadBytes);
+}
+
+unsigned
+PacketSteering::dataLines(const queueing::WorkItem &item) const
+{
+    (void)item;
+    // Headers + two session-table bucket lines; the payload is not
+    // touched by a steerer.
+    return 4;
+}
+
+} // namespace workloads
+} // namespace hyperplane

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Packet steering workload: redirect traffic by obtaining a session
+ * affinity from a hash table (Section V-A; the RSS++-style work
+ * distribution task).
+ */
+
+#ifndef HYPERPLANE_WORKLOADS_PACKET_STEERING_HH
+#define HYPERPLANE_WORKLOADS_PACKET_STEERING_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "workloads/workload.hh"
+
+namespace hyperplane {
+namespace workloads {
+
+/** Session-affinity packet steerer. */
+class PacketSteering : public Workload
+{
+  public:
+    /** Number of destination workers traffic is steered across. */
+    static constexpr unsigned numDestinations = 64;
+
+    explicit PacketSteering(std::uint64_t seed);
+
+    Kind kind() const override { return Kind::PacketSteering; }
+    void execute(const queueing::WorkItem &item) override;
+    Tick serviceCycles(const queueing::WorkItem &item) const override;
+    unsigned dataLines(const queueing::WorkItem &item) const override;
+    std::uint32_t defaultPayloadBytes() const override { return 1024; }
+
+    /**
+     * Steer one item: look up (or establish) the flow's session affinity.
+     * @return The destination worker index in [0, numDestinations).
+     */
+    unsigned steer(const queueing::WorkItem &item);
+
+    /** Number of distinct sessions currently tracked. */
+    std::size_t sessionCount() const { return sessions_.size(); }
+
+    std::uint64_t processed() const { return processed_; }
+
+  private:
+    std::uint64_t seed_;
+    /** flow hash -> destination worker */
+    std::unordered_map<std::uint32_t, std::uint32_t> sessions_;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace workloads
+} // namespace hyperplane
+
+#endif // HYPERPLANE_WORKLOADS_PACKET_STEERING_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * RAID protection workload: P+Q redundancy parity computation over input
+ * data blocks (Section V-A).
+ */
+
+#ifndef HYPERPLANE_WORKLOADS_RAID_PROTECTION_HH
+#define HYPERPLANE_WORKLOADS_RAID_PROTECTION_HH
+
+#include "codes/raid.hh"
+#include "workloads/workload.hh"
+
+namespace hyperplane {
+namespace workloads {
+
+/** RAID-6 P+Q parity over 8-block stripes. */
+class RaidProtection : public Workload
+{
+  public:
+    static constexpr unsigned stripeBlocks = 8;
+
+    explicit RaidProtection(std::uint64_t seed);
+
+    Kind kind() const override { return Kind::RaidProtection; }
+    void execute(const queueing::WorkItem &item) override;
+    Tick serviceCycles(const queueing::WorkItem &item) const override;
+    unsigned dataLines(const queueing::WorkItem &item) const override;
+    std::uint32_t defaultPayloadBytes() const override { return 1024; }
+
+    /** Build the stripe for an item (for tests). */
+    std::vector<codes::Block> makeStripe(
+        const queueing::WorkItem &item) const;
+
+    /** Compute the (P, Q) parity blocks for an item's stripe. */
+    std::pair<codes::Block, codes::Block> computeParity(
+        const queueing::WorkItem &item) const;
+
+    const codes::Raid6 &raid() const { return raid_; }
+
+    std::uint64_t processed() const { return processed_; }
+
+  private:
+    codes::Raid6 raid_;
+    std::uint64_t seed_;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace workloads
+} // namespace hyperplane
+
+#endif // HYPERPLANE_WORKLOADS_RAID_PROTECTION_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Request dispatching workload: identify request types and prepare the
+ * remote procedure calls dispatched between microservice tiers
+ * (Section V-A; the OLDI dispatcher of [92]).
+ */
+
+#ifndef HYPERPLANE_WORKLOADS_REQUEST_DISPATCHING_HH
+#define HYPERPLANE_WORKLOADS_REQUEST_DISPATCHING_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace hyperplane {
+namespace workloads {
+
+/** A prepared RPC ready for dispatch to a downstream tier. */
+struct RpcDescriptor
+{
+    std::uint32_t requestType = 0;
+    std::uint32_t tenantId = 0;
+    std::uint32_t targetServer = 0;
+    std::uint32_t payloadChecksum = 0;
+    std::vector<std::uint8_t> header; ///< serialized wire header
+};
+
+/** Microservice request dispatcher. */
+class RequestDispatching : public Workload
+{
+  public:
+    /** Request types the dispatcher classifies. */
+    static constexpr unsigned numRequestTypes = 16;
+    /** Downstream servers per request type. */
+    static constexpr unsigned serversPerType = 32;
+
+    explicit RequestDispatching(std::uint64_t seed);
+
+    Kind kind() const override { return Kind::RequestDispatching; }
+    void execute(const queueing::WorkItem &item) override;
+    Tick serviceCycles(const queueing::WorkItem &item) const override;
+    unsigned dataLines(const queueing::WorkItem &item) const override;
+    std::uint32_t defaultPayloadBytes() const override { return 1024; }
+
+    /** Classify + prepare the RPC for one item (for tests). */
+    RpcDescriptor dispatch(const queueing::WorkItem &item) const;
+
+    /** Per-type dispatch counts (for balance checks). */
+    const std::array<std::uint64_t, numRequestTypes> &typeCounts() const
+    {
+        return typeCounts_;
+    }
+
+    std::uint64_t processed() const { return processed_; }
+
+  private:
+    std::uint64_t seed_;
+    std::array<std::uint64_t, numRequestTypes> typeCounts_{};
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace workloads
+} // namespace hyperplane
+
+#endif // HYPERPLANE_WORKLOADS_REQUEST_DISPATCHING_HH

@@ -1,0 +1,87 @@
+#include "workloads/workload.hh"
+
+#include "sim/logging.hh"
+#include "workloads/crypto_forwarding.hh"
+#include "workloads/erasure_coding.hh"
+#include "workloads/packet_encapsulation.hh"
+#include "workloads/packet_steering.hh"
+#include "workloads/raid_protection.hh"
+#include "workloads/request_dispatching.hh"
+
+namespace hyperplane {
+namespace workloads {
+
+const char *
+toString(Kind k)
+{
+    switch (k) {
+      case Kind::PacketEncapsulation:
+        return "packet-encapsulation";
+      case Kind::CryptoForwarding:
+        return "crypto-forwarding";
+      case Kind::PacketSteering:
+        return "packet-steering";
+      case Kind::ErasureCoding:
+        return "erasure-coding";
+      case Kind::RaidProtection:
+        return "raid-protection";
+      case Kind::RequestDispatching:
+        return "request-dispatching";
+    }
+    return "?";
+}
+
+const std::vector<Kind> &
+allKinds()
+{
+    static const std::vector<Kind> kinds = {
+        Kind::PacketEncapsulation, Kind::CryptoForwarding,
+        Kind::PacketSteering,      Kind::ErasureCoding,
+        Kind::RaidProtection,      Kind::RequestDispatching,
+    };
+    return kinds;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(Kind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case Kind::PacketEncapsulation:
+        return std::make_unique<PacketEncapsulation>(seed);
+      case Kind::CryptoForwarding:
+        return std::make_unique<CryptoForwarding>(seed);
+      case Kind::PacketSteering:
+        return std::make_unique<PacketSteering>(seed);
+      case Kind::ErasureCoding:
+        return std::make_unique<ErasureCoding>(seed);
+      case Kind::RaidProtection:
+        return std::make_unique<RaidProtection>(seed);
+      case Kind::RequestDispatching:
+        return std::make_unique<RequestDispatching>(seed);
+    }
+    hp_panic("unknown workload kind");
+}
+
+namespace detail {
+
+void
+fillDeterministic(std::uint8_t *dst, std::size_t len, std::uint64_t seed)
+{
+    // splitmix64 stream: fast, reproducible input synthesis.
+    std::uint64_t x = seed;
+    std::size_t i = 0;
+    while (i < len) {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        for (int b = 0; b < 8 && i < len; ++b, ++i)
+            dst[i] = static_cast<std::uint8_t>(z >> (8 * b));
+    }
+}
+
+} // namespace detail
+
+} // namespace workloads
+} // namespace hyperplane

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The six data-plane tasks of the paper's evaluation (Section V-A).
+ *
+ * Each workload provides two faces:
+ *
+ *  1. execute(): the *real* computation (GRE encapsulation, AES-CBC-256,
+ *     hash-table steering, Reed-Solomon/Cauchy coding, RAID P+Q parity,
+ *     RPC dispatch preparation) on genuine bytes, used by the examples,
+ *     the tests, and the micro-benchmarks.
+ *
+ *  2. serviceCycles() / dataLines(): the calibrated timing and
+ *     cache-footprint model the discrete-event simulation charges per
+ *     work item.  Constants are set so single-core task throughputs land
+ *     in the ranges Figure 8 of the paper reports (all tasks take "a few
+ *     microseconds").
+ */
+
+#ifndef HYPERPLANE_WORKLOADS_WORKLOAD_HH
+#define HYPERPLANE_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "queueing/task_queue.hh"
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace workloads {
+
+/** The six evaluation tasks. */
+enum class Kind : std::uint8_t
+{
+    PacketEncapsulation,
+    CryptoForwarding,
+    PacketSteering,
+    ErasureCoding,
+    RaidProtection,
+    RequestDispatching,
+};
+
+const char *toString(Kind k);
+
+/** All six kinds, in the paper's presentation order. */
+const std::vector<Kind> &allKinds();
+
+/** A data-plane task. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual Kind kind() const = 0;
+    std::string name() const { return toString(kind()); }
+
+    /**
+     * Perform the real computation for one work item.  Implementations
+     * synthesize deterministic input bytes from the item's seq/flowId so
+     * results are reproducible.
+     */
+    virtual void execute(const queueing::WorkItem &item) = 0;
+
+    /** Compute cycles the timing model charges per item. */
+    virtual Tick serviceCycles(const queueing::WorkItem &item) const = 0;
+
+    /**
+     * Cache lines of task data touched per item (buffer reads/writes the
+     * simulation issues against the memory system).
+     */
+    virtual unsigned dataLines(const queueing::WorkItem &item) const = 0;
+
+    /** Typical payload size for the traffic generator, bytes. */
+    virtual std::uint32_t defaultPayloadBytes() const = 0;
+};
+
+/** Factory. @param seed Seeds any internal state (keys, tables). */
+std::unique_ptr<Workload> makeWorkload(Kind kind,
+                                       std::uint64_t seed = 12345);
+
+namespace detail {
+
+/** Deterministic input-byte synthesis (splitmix64 stream). */
+void fillDeterministic(std::uint8_t *dst, std::size_t len,
+                       std::uint64_t seed);
+
+} // namespace detail
+
+} // namespace workloads
+} // namespace hyperplane
+
+#endif // HYPERPLANE_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for AES and CBC mode against FIPS-197 / NIST SP 800-38A
+ * vectors, plus round-trip property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/aes.hh"
+#include "crypto/cbc.hh"
+#include "sim/rng.hh"
+
+namespace hyperplane {
+namespace crypto {
+namespace {
+
+std::vector<std::uint8_t>
+fromHex(const char *hex)
+{
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; hex[i] != '\0'; i += 2) {
+        auto nib = [](char c) -> unsigned {
+            if (c >= '0' && c <= '9')
+                return c - '0';
+            return 10 + (c - 'a');
+        };
+        out.push_back(
+            static_cast<std::uint8_t>(nib(hex[i]) << 4 | nib(hex[i + 1])));
+    }
+    return out;
+}
+
+TEST(Aes, Fips197Aes128Example)
+{
+    // FIPS-197 Appendix C.1.
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    const auto pt = fromHex("00112233445566778899aabbccddeeff");
+    const auto expect = fromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    Aes aes(key.data(), key.size());
+    EXPECT_EQ(aes.rounds(), 10u);
+    std::uint8_t ct[16];
+    aes.encryptBlock(pt.data(), ct);
+    EXPECT_EQ(std::memcmp(ct, expect.data(), 16), 0);
+    std::uint8_t back[16];
+    aes.decryptBlock(ct, back);
+    EXPECT_EQ(std::memcmp(back, pt.data(), 16), 0);
+}
+
+TEST(Aes, Fips197Aes192Example)
+{
+    // FIPS-197 Appendix C.2.
+    const auto key =
+        fromHex("000102030405060708090a0b0c0d0e0f1011121314151617");
+    const auto pt = fromHex("00112233445566778899aabbccddeeff");
+    const auto expect = fromHex("dda97ca4864cdfe06eaf70a0ec0d7191");
+    Aes aes(key.data(), key.size());
+    EXPECT_EQ(aes.rounds(), 12u);
+    std::uint8_t ct[16];
+    aes.encryptBlock(pt.data(), ct);
+    EXPECT_EQ(std::memcmp(ct, expect.data(), 16), 0);
+}
+
+TEST(Aes, Fips197Aes256Example)
+{
+    // FIPS-197 Appendix C.3.
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f"
+                             "101112131415161718191a1b1c1d1e1f");
+    const auto pt = fromHex("00112233445566778899aabbccddeeff");
+    const auto expect = fromHex("8ea2b7ca516745bfeafc49904b496089");
+    Aes aes(key.data(), key.size());
+    EXPECT_EQ(aes.rounds(), 14u);
+    std::uint8_t ct[16];
+    aes.encryptBlock(pt.data(), ct);
+    EXPECT_EQ(std::memcmp(ct, expect.data(), 16), 0);
+    std::uint8_t back[16];
+    aes.decryptBlock(ct, back);
+    EXPECT_EQ(std::memcmp(back, pt.data(), 16), 0);
+}
+
+TEST(Aes, Sp80038aAes128EcbVector)
+{
+    // NIST SP 800-38A F.1.1, block #1.
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    const auto pt = fromHex("6bc1bee22e409f96e93d7e117393172a");
+    const auto expect = fromHex("3ad77bb40d7a3660a89ecaf32466ef97");
+    Aes aes(key.data(), key.size());
+    std::uint8_t ct[16];
+    aes.encryptBlock(pt.data(), ct);
+    EXPECT_EQ(std::memcmp(ct, expect.data(), 16), 0);
+}
+
+TEST(Aes, InPlaceEncryptionAllowed)
+{
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    Aes aes(key.data(), key.size());
+    std::uint8_t buf[16], ref[16];
+    for (int i = 0; i < 16; ++i)
+        buf[i] = static_cast<std::uint8_t>(i * 11);
+    aes.encryptBlock(buf, ref);
+    aes.encryptBlock(buf, buf);
+    EXPECT_EQ(std::memcmp(buf, ref, 16), 0);
+}
+
+TEST(Aes, EncryptDecryptRoundTripRandomKeys)
+{
+    Rng rng(99);
+    for (std::size_t keyBytes : {16u, 24u, 32u}) {
+        for (int trial = 0; trial < 20; ++trial) {
+            std::vector<std::uint8_t> key(keyBytes);
+            std::uint8_t pt[16], ct[16], back[16];
+            for (auto &b : key)
+                b = static_cast<std::uint8_t>(rng.next());
+            for (auto &b : pt)
+                b = static_cast<std::uint8_t>(rng.next());
+            Aes aes(key.data(), key.size());
+            aes.encryptBlock(pt, ct);
+            aes.decryptBlock(ct, back);
+            EXPECT_EQ(std::memcmp(back, pt, 16), 0);
+            EXPECT_NE(std::memcmp(ct, pt, 16), 0);
+        }
+    }
+}
+
+TEST(Cbc, Sp80038aAes256CbcVector)
+{
+    // NIST SP 800-38A F.2.5 (CBC-AES256.Encrypt), first two blocks.
+    const auto key = fromHex("603deb1015ca71be2b73aef0857d7781"
+                             "1f352c073b6108d72d9810a30914dff4");
+    const auto ivv = fromHex("000102030405060708090a0b0c0d0e0f");
+    const auto pt = fromHex("6bc1bee22e409f96e93d7e117393172a"
+                            "ae2d8a571e03ac9c9eb76fac45af8e51");
+    const auto expect = fromHex("f58c4c04d6e5f1ba779eabfb5f7bfbd6"
+                                "9cfc4e967edb808d679f777bc6702c7d");
+    Aes aes(key.data(), key.size());
+    Iv iv;
+    std::memcpy(iv.data(), ivv.data(), 16);
+    std::vector<std::uint8_t> buf = pt;
+    cbcEncryptAligned(aes, iv, buf.data(), buf.size());
+    EXPECT_EQ(buf, expect);
+    cbcDecryptAligned(aes, iv, buf.data(), buf.size());
+    EXPECT_EQ(buf, pt);
+}
+
+TEST(Cbc, PaddedRoundTripAllLengths)
+{
+    const auto key = fromHex("603deb1015ca71be2b73aef0857d7781"
+                             "1f352c073b6108d72d9810a30914dff4");
+    Aes aes(key.data(), key.size());
+    Iv iv{};
+    Rng rng(5);
+    for (std::size_t len = 0; len <= 48; ++len) {
+        std::vector<std::uint8_t> pt(len);
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.next());
+        const auto ct = cbcEncrypt(aes, iv, pt.data(), pt.size());
+        EXPECT_EQ(ct.size() % aesBlockBytes, 0u);
+        EXPECT_GT(ct.size(), len); // padding always added
+        const auto back = cbcDecrypt(aes, iv, ct.data(), ct.size());
+        ASSERT_TRUE(back.has_value()) << "len " << len;
+        EXPECT_EQ(*back, pt);
+    }
+}
+
+TEST(Cbc, DecryptRejectsUnalignedLength)
+{
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    Aes aes(key.data(), key.size());
+    Iv iv{};
+    std::uint8_t junk[17] = {};
+    EXPECT_FALSE(cbcDecrypt(aes, iv, junk, 17).has_value());
+    EXPECT_FALSE(cbcDecrypt(aes, iv, junk, 0).has_value());
+}
+
+TEST(Cbc, DecryptRejectsCorruptPadding)
+{
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    Aes aes(key.data(), key.size());
+    Iv iv{};
+    std::uint8_t pt[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    auto ct = cbcEncrypt(aes, iv, pt, sizeof(pt));
+    ct.back() ^= 0x55; // corrupt the last ciphertext byte
+    // Either the padding check fails or (rarely) it decodes to garbage
+    // of a different length; the padding check must fire for nearly all
+    // corruptions. With this fixed input it fails deterministically.
+    const auto back = cbcDecrypt(aes, iv, ct.data(), ct.size());
+    if (back.has_value()) {
+        EXPECT_NE(std::memcmp(back->data(), pt,
+                              std::min(back->size(), sizeof(pt))),
+                  0);
+    }
+}
+
+TEST(Cbc, IdenticalPlaintextBlocksEncryptDifferently)
+{
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    Aes aes(key.data(), key.size());
+    Iv iv{};
+    std::vector<std::uint8_t> pt(32, 0xab); // two identical blocks
+    cbcEncryptAligned(aes, iv, pt.data(), pt.size());
+    EXPECT_NE(std::memcmp(pt.data(), pt.data() + 16, 16), 0);
+}
+
+} // namespace
+} // namespace crypto
+} // namespace hyperplane

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for BitVec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bitvec.hh"
+#include "sim/rng.hh"
+
+namespace hyperplane {
+namespace core {
+namespace {
+
+TEST(BitVec, StartsAllZero)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.none());
+    EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, SetClearTest)
+{
+    BitVec v(100);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(99);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(99));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_EQ(v.count(), 4u);
+    v.clear(63);
+    EXPECT_FALSE(v.test(63));
+    EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVec, AssignSelectsSetOrClear)
+{
+    BitVec v(8);
+    v.assign(3, true);
+    EXPECT_TRUE(v.test(3));
+    v.assign(3, false);
+    EXPECT_FALSE(v.test(3));
+}
+
+TEST(BitVec, SetAllRespectsSize)
+{
+    BitVec v(70);
+    v.setAll();
+    EXPECT_EQ(v.count(), 70u);
+    v.reset();
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, FindFirstFromScansForward)
+{
+    BitVec v(200);
+    v.set(5);
+    v.set(130);
+    EXPECT_EQ(v.findFirstFrom(0), 5u);
+    EXPECT_EQ(v.findFirstFrom(5), 5u);
+    EXPECT_EQ(v.findFirstFrom(6), 130u);
+    EXPECT_EQ(v.findFirstFrom(131), 200u); // none
+}
+
+TEST(BitVec, FindFirstCircularWraps)
+{
+    BitVec v(100);
+    v.set(10);
+    EXPECT_EQ(v.findFirstCircular(50), 10u);
+    EXPECT_EQ(v.findFirstCircular(10), 10u);
+    EXPECT_EQ(v.findFirstCircular(11), 10u);
+}
+
+TEST(BitVec, FindFirstCircularEmptyReturnsSize)
+{
+    BitVec v(64);
+    EXPECT_EQ(v.findFirstCircular(0), 64u);
+    EXPECT_EQ(v.findFirstCircular(33), 64u);
+}
+
+TEST(BitVec, AndOrOperations)
+{
+    BitVec a(70), b(70);
+    a.set(1);
+    a.set(65);
+    b.set(65);
+    b.set(2);
+    const BitVec o = a | b;
+    const BitVec n = a & b;
+    EXPECT_EQ(o.count(), 3u);
+    EXPECT_EQ(n.count(), 1u);
+    EXPECT_TRUE(n.test(65));
+}
+
+TEST(BitVec, EqualityComparesBitsAndSize)
+{
+    BitVec a(10), b(10), c(11);
+    a.set(3);
+    b.set(3);
+    EXPECT_TRUE(a == b);
+    b.set(4);
+    EXPECT_FALSE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(BitVec, RandomizedFindMatchesLinearScan)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 50; ++trial) {
+        const unsigned n = 1 + static_cast<unsigned>(rng.uniformInt(300));
+        BitVec v(n);
+        std::vector<bool> ref(n, false);
+        const unsigned sets = static_cast<unsigned>(rng.uniformInt(n));
+        for (unsigned i = 0; i < sets; ++i) {
+            const unsigned bit =
+                static_cast<unsigned>(rng.uniformInt(n));
+            v.set(bit);
+            ref[bit] = true;
+        }
+        const unsigned from = static_cast<unsigned>(rng.uniformInt(n));
+        // Reference circular scan.
+        unsigned expect = n;
+        for (unsigned k = 0; k < n; ++k) {
+            const unsigned pos = (from + k) % n;
+            if (ref[pos]) {
+                expect = pos;
+                break;
+            }
+        }
+        EXPECT_EQ(v.findFirstCircular(from), expect)
+            << "n=" << n << " from=" << from;
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace hyperplane

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace hyperplane {
+namespace mem {
+namespace {
+
+CacheGeometry
+smallGeom()
+{
+    // 8 sets x 2 ways x 64 B = 1 KiB.
+    return CacheGeometry{1024, 2, 64};
+}
+
+TEST(CacheArray, StartsEmpty)
+{
+    CacheArray c(smallGeom());
+    EXPECT_EQ(c.residentLines(), 0u);
+    EXPECT_EQ(c.state(0x1000), LineState::Invalid);
+    EXPECT_FALSE(c.contains(0x1000));
+}
+
+TEST(CacheArray, GeometryDerivesSets)
+{
+    EXPECT_EQ(smallGeom().sets(), 8u);
+    CacheArray c(smallGeom());
+    EXPECT_EQ(c.capacityLines(), 16u);
+}
+
+TEST(CacheArray, InsertThenHit)
+{
+    CacheArray c(smallGeom());
+    c.insert(0x1000, LineState::Exclusive);
+    EXPECT_TRUE(c.contains(0x1000));
+    EXPECT_EQ(c.state(0x1000), LineState::Exclusive);
+    EXPECT_EQ(c.residentLines(), 1u);
+}
+
+TEST(CacheArray, SubLineAddressesAlias)
+{
+    CacheArray c(smallGeom());
+    c.insert(0x1000, LineState::Shared);
+    EXPECT_TRUE(c.contains(0x1004));
+    EXPECT_TRUE(c.contains(0x103f));
+    EXPECT_FALSE(c.contains(0x1040));
+}
+
+TEST(CacheArray, LruEvictionWithinSet)
+{
+    CacheArray c(smallGeom());
+    // Three lines mapping to the same set (stride = sets * lineBytes).
+    const Addr a = 0x0000, b = a + 8 * 64, d = a + 16 * 64;
+    c.insert(a, LineState::Shared);
+    c.insert(b, LineState::Shared);
+    c.touch(a); // b is now LRU
+    const auto victim = c.insert(d, LineState::Shared);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->first, b);
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(d));
+}
+
+TEST(CacheArray, InsertExistingUpdatesStateWithoutEviction)
+{
+    CacheArray c(smallGeom());
+    c.insert(0x1000, LineState::Shared);
+    const auto victim = c.insert(0x1000, LineState::Modified);
+    EXPECT_FALSE(victim.has_value());
+    EXPECT_EQ(c.state(0x1000), LineState::Modified);
+    EXPECT_EQ(c.residentLines(), 1u);
+}
+
+TEST(CacheArray, InvalidateRemovesAndReportsPriorState)
+{
+    CacheArray c(smallGeom());
+    c.insert(0x1000, LineState::Modified);
+    EXPECT_EQ(c.invalidate(0x1000), LineState::Modified);
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_EQ(c.invalidate(0x1000), LineState::Invalid);
+    EXPECT_EQ(c.residentLines(), 0u);
+}
+
+TEST(CacheArray, SetStateChangesState)
+{
+    CacheArray c(smallGeom());
+    c.insert(0x1000, LineState::Exclusive);
+    c.setState(0x1000, LineState::Shared);
+    EXPECT_EQ(c.state(0x1000), LineState::Shared);
+}
+
+TEST(CacheArray, EvictionCounterAdvances)
+{
+    CacheArray c(smallGeom());
+    const Addr stride = 8 * 64;
+    for (int i = 0; i < 5; ++i)
+        c.insert(i * stride, LineState::Shared);
+    EXPECT_EQ(c.evictions.value(), 3u); // 2 ways, 5 inserts same set
+}
+
+TEST(CacheArray, CapacityNeverExceeded)
+{
+    CacheArray c(smallGeom());
+    for (Addr a = 0; a < 64 * 1024; a += 64)
+        c.insert(a, LineState::Shared);
+    EXPECT_LE(c.residentLines(), c.capacityLines());
+    EXPECT_EQ(c.residentLines(), c.capacityLines());
+}
+
+TEST(CacheArray, FlushEmptiesEverything)
+{
+    CacheArray c(smallGeom());
+    for (Addr a = 0; a < 512; a += 64)
+        c.insert(a, LineState::Shared);
+    c.flush();
+    EXPECT_EQ(c.residentLines(), 0u);
+    for (Addr a = 0; a < 512; a += 64)
+        EXPECT_FALSE(c.contains(a));
+}
+
+/** Property sweep: different geometries keep the invariant resident <=
+ *  capacity and find what they inserted most recently. */
+class CacheGeometrySweep
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheGeometrySweep, RecentInsertsAreResident)
+{
+    const auto [sizeKb, ways] = GetParam();
+    CacheArray c(CacheGeometry{sizeKb * 1024ull, ways, 64});
+    const unsigned keep = ways; // one set's worth, same set
+    const Addr stride = c.geometry().sets() * 64;
+    for (unsigned i = 0; i < keep * 3; ++i)
+        c.insert(i * stride, LineState::Shared);
+    // The last `ways` inserts into the set must all be resident.
+    for (unsigned i = keep * 3 - ways; i < keep * 3; ++i)
+        EXPECT_TRUE(c.contains(i * stride));
+    EXPECT_LE(c.residentLines(), c.capacityLines());
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometrySweep,
+                         ::testing::Values(std::make_pair(1u, 2u),
+                                           std::make_pair(4u, 4u),
+                                           std::make_pair(32u, 4u),
+                                           std::make_pair(64u, 8u),
+                                           std::make_pair(256u, 16u)));
+
+} // namespace
+} // namespace mem
+} // namespace hyperplane

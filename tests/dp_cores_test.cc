@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Focused tests of the data-plane core models' accounting: idle-spin
+ * bookkeeping of the spinning core, halt/wake accounting of the
+ * HyperPlane core, and conservation invariants that the digest step
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dp/sdp_system.hh"
+#include "dp/spinning_core.hh"
+#include "harness/runner.hh"
+
+namespace hyperplane {
+namespace dp {
+namespace {
+
+SdpConfig
+tinyConfig(PlaneKind plane)
+{
+    SdpConfig cfg;
+    cfg.plane = plane;
+    cfg.numCores = 1;
+    cfg.numQueues = 32;
+    cfg.workload = workloads::Kind::RequestDispatching;
+    cfg.shape = traffic::Shape::PC;
+    cfg.offeredRatePerSec = 5e4;
+    cfg.warmupUs = 500.0;
+    cfg.measureUs = 4000.0;
+    cfg.seed = 17;
+    return cfg;
+}
+
+TEST(SpinningAccounting, ActiveTimeCoversTheWholeWindow)
+{
+    // A spinning core never halts: active + idle-spin accounting must
+    // cover the full measurement window.
+    auto cfg = tinyConfig(PlaneKind::Spinning);
+    SdpSystem sys(cfg);
+    sys.run();
+    const auto &a = sys.core(0).activity();
+    const auto window = usToTicks(cfg.measureUs);
+    EXPECT_NEAR(static_cast<double>(a.activeTicks),
+                static_cast<double>(window),
+                0.02 * static_cast<double>(window));
+    EXPECT_EQ(a.c0HaltTicks, 0u);
+    EXPECT_EQ(a.c1HaltTicks, 0u);
+}
+
+TEST(SpinningAccounting, PollsDwarfTasksAtLightLoad)
+{
+    auto cfg = tinyConfig(PlaneKind::Spinning);
+    SdpSystem sys(cfg);
+    const auto r = sys.run();
+    const auto &a = sys.core(0).activity();
+    EXPECT_GT(a.polls, 50 * a.tasks);
+    EXPECT_GT(a.emptyPolls, a.polls / 2);
+    EXPECT_GT(r.avgPollsPerTask, 50.0);
+}
+
+TEST(SpinningAccounting, UselessInstructionsDominateAtLightLoad)
+{
+    auto cfg = tinyConfig(PlaneKind::Spinning);
+    SdpSystem sys(cfg);
+    sys.run();
+    const auto &a = sys.core(0).activity();
+    EXPECT_GT(a.uselessInstr, 5 * a.usefulInstr);
+}
+
+TEST(HyperPlaneAccounting, HaltPlusActiveCoversWindow)
+{
+    auto cfg = tinyConfig(PlaneKind::HyperPlane);
+    SdpSystem sys(cfg);
+    sys.run();
+    const auto &a = sys.core(0).activity();
+    const auto window = usToTicks(cfg.measureUs);
+    const auto accounted =
+        a.activeTicks + a.c0HaltTicks + a.c1HaltTicks;
+    EXPECT_NEAR(static_cast<double>(accounted),
+                static_cast<double>(window),
+                0.02 * static_cast<double>(window));
+    EXPECT_GT(a.c0HaltTicks, a.activeTicks); // light load: mostly idle
+}
+
+TEST(HyperPlaneAccounting, PowerOptimizedHaltsInC1)
+{
+    auto cfg = tinyConfig(PlaneKind::HyperPlane);
+    cfg.powerOptimized = true;
+    SdpSystem sys(cfg);
+    sys.run();
+    const auto &a = sys.core(0).activity();
+    EXPECT_GT(a.c1HaltTicks, 0u);
+    EXPECT_EQ(a.c0HaltTicks, 0u);
+}
+
+TEST(HyperPlaneAccounting, WakeupsTrackArrivalBursts)
+{
+    auto cfg = tinyConfig(PlaneKind::HyperPlane);
+    SdpSystem sys(cfg);
+    const auto r = sys.run();
+    const auto &a = sys.core(0).activity();
+    // One wakeup per idle-to-busy transition; at light load nearly
+    // every completion required one.
+    EXPECT_GT(a.wakeups, r.completions / 2);
+    EXPECT_LE(a.wakeups, r.completions + 2);
+}
+
+TEST(Conservation, CompletionsPlusBacklogMatchArrivals)
+{
+    for (auto plane : {PlaneKind::Spinning, PlaneKind::HyperPlane,
+                       PlaneKind::InterruptDriven}) {
+        auto cfg = tinyConfig(plane);
+        SdpSystem sys(cfg);
+        const auto r = sys.run();
+        // Nothing is lost: everything enqueued is either dequeued or
+        // still queued (queue-level counters span the whole run).
+        std::uint64_t dequeued = 0;
+        for (QueueId q = 0; q < sys.queues().size(); ++q)
+            dequeued += sys.queues()[q].totalDequeued();
+        EXPECT_EQ(sys.queues().totalEnqueued(),
+                  dequeued + sys.queues().totalBacklog())
+            << toString(plane);
+        EXPECT_EQ(r.dropped, 0u) << toString(plane);
+    }
+}
+
+TEST(Conservation, DoorbellsMatchQueueDepths)
+{
+    auto cfg = tinyConfig(PlaneKind::HyperPlane);
+    SdpSystem sys(cfg);
+    sys.run();
+    for (QueueId q = 0; q < sys.queues().size(); ++q) {
+        EXPECT_EQ(sys.queues()[q].doorbell().count(),
+                  sys.queues()[q].depth());
+    }
+}
+
+TEST(Conservation, LatencyStatsOrdered)
+{
+    for (auto plane : {PlaneKind::Spinning, PlaneKind::HyperPlane}) {
+        const auto r = runSdp(tinyConfig(plane));
+        EXPECT_LE(r.p50LatencyUs, r.p99LatencyUs);
+        EXPECT_LE(r.p99LatencyUs, r.p999LatencyUs);
+        EXPECT_LE(r.p999LatencyUs, r.maxLatencyUs * 1.05);
+        EXPECT_GT(r.avgLatencyUs, 0.0);
+    }
+}
+
+TEST(Conservation, IpcComponentsSum)
+{
+    const auto r = runSdp(tinyConfig(PlaneKind::Spinning));
+    EXPECT_NEAR(r.usefulIpc + r.uselessIpc, r.ipc, 1e-9);
+}
+
+} // namespace
+} // namespace dp
+} // namespace hyperplane

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit and threading tests for the software QWAIT emulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "emu/emu_hyperplane.hh"
+
+namespace hyperplane {
+namespace emu {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(EmuHyperPlane, AddAssignsDistinctQids)
+{
+    EmuHyperPlane hp(8);
+    const auto a = hp.addQueue();
+    const auto b = hp.addQueue();
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_NE(*a, *b);
+}
+
+TEST(EmuHyperPlane, CapacityExhaustionReported)
+{
+    EmuHyperPlane hp(2);
+    EXPECT_TRUE(hp.addQueue().has_value());
+    EXPECT_TRUE(hp.addQueue().has_value());
+    EXPECT_FALSE(hp.addQueue().has_value());
+}
+
+TEST(EmuHyperPlane, RemoveRecyclesQid)
+{
+    EmuHyperPlane hp(2);
+    const auto a = hp.addQueue();
+    hp.addQueue();
+    hp.removeQueue(*a);
+    const auto c = hp.addQueue();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(*c, *a);
+}
+
+TEST(EmuHyperPlane, QwaitTimesOutWhenIdle)
+{
+    EmuHyperPlane hp(4);
+    hp.addQueue();
+    EXPECT_FALSE(hp.qwait(10ms).has_value());
+}
+
+TEST(EmuHyperPlane, RingMakesQueueReady)
+{
+    EmuHyperPlane hp(4);
+    const auto q = hp.addQueue();
+    hp.ring(*q);
+    const auto got = hp.qwait(100ms);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, *q);
+    EXPECT_EQ(hp.pendingItems(*q), 1u);
+}
+
+TEST(EmuHyperPlane, TakeClaimsUpToAvailable)
+{
+    EmuHyperPlane hp(4);
+    const auto q = hp.addQueue();
+    hp.ring(*q, 5);
+    EXPECT_EQ(hp.take(*q, 3), 3u);
+    EXPECT_EQ(hp.pendingItems(*q), 2u);
+    EXPECT_EQ(hp.take(*q, 10), 2u);
+    EXPECT_EQ(hp.take(*q, 1), 0u); // spurious grant claims nothing
+}
+
+TEST(EmuHyperPlane, TakeReactivatesWhenItemsRemain)
+{
+    EmuHyperPlane hp(4);
+    const auto q = hp.addQueue();
+    hp.ring(*q, 3);
+    ASSERT_TRUE(hp.qwait(100ms).has_value());
+    hp.take(*q, 1);
+    // Two remain: the QID must be grantable again without a new ring.
+    const auto again = hp.qwaitNonBlocking();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *q);
+}
+
+TEST(EmuHyperPlane, NonBlockingVariantNeverWaits)
+{
+    EmuHyperPlane hp(4);
+    hp.addQueue();
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(hp.qwaitNonBlocking().has_value());
+    EXPECT_LT(std::chrono::steady_clock::now() - t0, 50ms);
+}
+
+TEST(EmuHyperPlane, DisableInhibitsGrants)
+{
+    EmuHyperPlane hp(4);
+    const auto q = hp.addQueue();
+    hp.ring(*q);
+    hp.disable(*q);
+    EXPECT_FALSE(hp.qwaitNonBlocking().has_value());
+    hp.enable(*q);
+    EXPECT_TRUE(hp.qwaitNonBlocking().has_value());
+}
+
+TEST(EmuHyperPlane, RoundRobinAcrossQueues)
+{
+    EmuHyperPlane hp(4);
+    const auto a = hp.addQueue();
+    const auto b = hp.addQueue();
+    hp.ring(*a);
+    hp.ring(*b);
+    const auto g1 = hp.qwaitNonBlocking();
+    const auto g2 = hp.qwaitNonBlocking();
+    ASSERT_TRUE(g1.has_value() && g2.has_value());
+    EXPECT_NE(*g1, *g2);
+}
+
+TEST(EmuHyperPlane, BlockedConsumerWokenByProducerThread)
+{
+    EmuHyperPlane hp(4);
+    const auto q = hp.addQueue();
+    std::atomic<bool> got{false};
+
+    std::thread consumer([&] {
+        const auto qid = hp.qwait(2s);
+        if (qid && *qid == *q && hp.take(*qid) == 1)
+            got = true;
+    });
+    std::this_thread::sleep_for(20ms);
+    hp.ring(*q);
+    consumer.join();
+    EXPECT_TRUE(got);
+}
+
+TEST(EmuHyperPlane, ProducerConsumerThroughputStress)
+{
+    EmuHyperPlane hp(16);
+    std::vector<QueueId> qids;
+    for (int i = 0; i < 8; ++i)
+        qids.push_back(*hp.addQueue());
+    constexpr std::uint64_t itemsPerQueue = 2000;
+    std::atomic<std::uint64_t> consumed{0};
+
+    std::thread consumer([&] {
+        while (consumed < itemsPerQueue * qids.size()) {
+            const auto qid = hp.qwait(2s);
+            if (!qid)
+                break;
+            consumed += hp.take(*qid, 64);
+        }
+    });
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < itemsPerQueue; ++i)
+            for (QueueId q : qids)
+                hp.ring(q);
+    });
+    producer.join();
+    consumer.join();
+    EXPECT_EQ(consumed.load(), itemsPerQueue * qids.size());
+    for (QueueId q : qids)
+        EXPECT_EQ(hp.pendingItems(q), 0u);
+}
+
+TEST(EmuHyperPlane, WeightedPolicyFavorsHeavyQueue)
+{
+    EmuHyperPlane hp(4, core::ServicePolicy::WeightedRoundRobin);
+    const auto a = hp.addQueue();
+    const auto b = hp.addQueue();
+    hp.setWeight(*a, 3);
+    int grantsA = 0, grantsB = 0;
+    for (int i = 0; i < 200; ++i) {
+        hp.ring(*a);
+        hp.ring(*b);
+        const auto g = hp.qwaitNonBlocking();
+        ASSERT_TRUE(g.has_value());
+        (*g == *a ? grantsA : grantsB)++;
+        hp.take(*g, 10); // drain
+    }
+    EXPECT_GT(grantsA, 2 * grantsB);
+}
+
+} // namespace
+} // namespace emu
+} // namespace hyperplane

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace hyperplane {
+namespace {
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesToEventTick)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(42, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    EXPECT_EQ(eq.run(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWithoutEvents)
+{
+    EventQueue eq;
+    eq.run(100);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, CancelPreventsDispatch)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventId id = eq.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue eq;
+    const EventId id = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails)
+{
+    EventQueue eq;
+    const EventId id = eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdFails)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(invalidEventId));
+    EXPECT_FALSE(eq.cancel(9999));
+}
+
+TEST(EventQueue, PendingTracksCancellations)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, NextEventTickSkipsCancelled)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    eq.cancel(a);
+    EXPECT_EQ(eq.nextEventTick(), 20u);
+}
+
+TEST(EventQueue, AdvanceToMovesTime)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.advanceTo(50);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, DispatchedCounterAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.dispatched(), 10u);
+}
+
+TEST(EventQueue, StressManyEventsStayOrdered)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool ordered = true;
+    for (int i = 0; i < 10000; ++i) {
+        const Tick when = static_cast<Tick>((i * 7919) % 5000);
+        eq.schedule(when, [&, when] {
+            if (when < last)
+                ordered = false;
+            last = when;
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(ordered);
+}
+
+} // namespace
+} // namespace hyperplane

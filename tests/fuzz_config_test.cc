@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Randomized-configuration robustness tests: the simulator must run
+ * cleanly and keep its invariants for arbitrary (seeded, reproducible)
+ * combinations of plane, organization, workload, shape, core/queue
+ * counts, and feature flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dp/sdp_system.hh"
+#include "sim/rng.hh"
+
+namespace hyperplane {
+namespace dp {
+namespace {
+
+SdpConfig
+randomConfig(Rng &rng)
+{
+    SdpConfig cfg;
+    const PlaneKind planes[] = {
+        PlaneKind::Spinning, PlaneKind::HyperPlane,
+        PlaneKind::HyperPlaneSwReady, PlaneKind::InterruptDriven};
+    cfg.plane = planes[rng.uniformInt(4)];
+    const unsigned coreChoices[] = {1, 2, 4};
+    cfg.numCores = coreChoices[rng.uniformInt(3)];
+    const QueueOrg orgs[] = {QueueOrg::ScaleOut, QueueOrg::ScaleUp2,
+                             QueueOrg::ScaleUpAll};
+    cfg.org = orgs[rng.uniformInt(3)];
+    if (cfg.org == QueueOrg::ScaleUp2 && cfg.numCores % 2 != 0)
+        cfg.org = QueueOrg::ScaleUpAll;
+    cfg.numQueues = static_cast<unsigned>(
+        cfg.numCores * (1 + rng.uniformInt(64)));
+    cfg.workload =
+        workloads::allKinds()[rng.uniformInt(6)];
+    cfg.shape = traffic::allShapes()[rng.uniformInt(4)];
+    cfg.policy =
+        static_cast<core::ServicePolicy>(rng.uniformInt(3));
+    cfg.powerOptimized = rng.chance(0.3);
+    cfg.batchSize = 1 + static_cast<unsigned>(rng.uniformInt(8));
+    cfg.jitter = rng.chance(0.5) ? ServiceJitter::Exponential
+                                 : ServiceJitter::None;
+    cfg.imbalance = rng.chance(0.3) ? 0.2 : 0.0;
+    if (cfg.plane == PlaneKind::HyperPlane) {
+        cfg.workStealing = rng.chance(0.3);
+        cfg.inOrderQueues = rng.chance(0.3);
+        if (rng.chance(0.2))
+            cfg.backgroundQuantum = usToTicks(1.0);
+    }
+    cfg.offeredRatePerSec = 2e4 + rng.uniform() * 3e5;
+    cfg.warmupUs = 200.0;
+    cfg.measureUs = 1500.0;
+    cfg.seed = rng.next();
+    return cfg;
+}
+
+class FuzzConfig : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzConfig, RunsCleanlyAndKeepsInvariants)
+{
+    Rng rng(777 + GetParam());
+    const SdpConfig cfg = randomConfig(rng);
+    SCOPED_TRACE(std::string(toString(cfg.plane)) + "/" +
+                 toString(cfg.org) + "/" +
+                 workloads::toString(cfg.workload) + "/" +
+                 traffic::toString(cfg.shape) + " cores=" +
+                 std::to_string(cfg.numCores) + " queues=" +
+                 std::to_string(cfg.numQueues));
+
+    SdpSystem sys(cfg);
+    const SdpResults r = sys.run();
+
+    // Conservation across the whole run.
+    std::uint64_t dequeued = 0;
+    for (QueueId q = 0; q < sys.queues().size(); ++q) {
+        dequeued += sys.queues()[q].totalDequeued();
+        EXPECT_EQ(sys.queues()[q].doorbell().count(),
+                  sys.queues()[q].depth());
+    }
+    EXPECT_EQ(sys.queues().totalEnqueued(),
+              dequeued + sys.queues().totalBacklog());
+
+    // Sane digested results.
+    EXPECT_GE(r.throughputMtps, 0.0);
+    EXPECT_LE(r.p50LatencyUs, r.p99LatencyUs + 1e-9);
+    EXPECT_GE(r.activeFraction, 0.0);
+    EXPECT_LE(r.activeFraction, 1.0);
+    EXPECT_NEAR(r.usefulIpc + r.uselessIpc, r.ipc, 1e-9);
+    EXPECT_GT(r.avgCorePowerW, 0.0);
+    EXPECT_LT(r.avgCorePowerW, 15.0);
+
+    // Time accounting per core never exceeds the window materially.
+    const auto window = usToTicks(cfg.measureUs);
+    for (unsigned i = 0; i < cfg.numCores; ++i) {
+        const auto &a = sys.core(i).activity();
+        const auto accounted =
+            a.activeTicks + a.c0HaltTicks + a.c1HaltTicks;
+        EXPECT_LT(static_cast<double>(accounted),
+                  1.10 * static_cast<double>(window));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConfig, ::testing::Range(0, 24));
+
+} // namespace
+} // namespace dp
+} // namespace hyperplane

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit and property tests for GF(2^8) arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codes/gf256.hh"
+
+namespace hyperplane {
+namespace codes {
+namespace {
+
+TEST(Gf256, AdditionIsXor)
+{
+    EXPECT_EQ(gfAdd(0x57, 0x83), 0xd4);
+    EXPECT_EQ(gfAdd(0xff, 0xff), 0x00);
+}
+
+TEST(Gf256, KnownProducts)
+{
+    // 2 * 2 = 4; 0x80 * 2 = 0x11d reduced = 0x1d.
+    EXPECT_EQ(gfMul(2, 2), 4);
+    EXPECT_EQ(gfMul(0x80, 2), 0x1d);
+    EXPECT_EQ(gfMul(1, 0xab), 0xab);
+    EXPECT_EQ(gfMul(0, 0xab), 0);
+}
+
+TEST(Gf256, MultiplicationCommutes)
+{
+    for (unsigned a = 0; a < 256; a += 7) {
+        for (unsigned b = 0; b < 256; b += 11) {
+            EXPECT_EQ(gfMul(static_cast<std::uint8_t>(a),
+                            static_cast<std::uint8_t>(b)),
+                      gfMul(static_cast<std::uint8_t>(b),
+                            static_cast<std::uint8_t>(a)));
+        }
+    }
+}
+
+TEST(Gf256, MultiplicationAssociates)
+{
+    for (unsigned a = 1; a < 256; a += 31) {
+        for (unsigned b = 1; b < 256; b += 37) {
+            for (unsigned c = 1; c < 256; c += 41) {
+                const auto x = static_cast<std::uint8_t>(a);
+                const auto y = static_cast<std::uint8_t>(b);
+                const auto z = static_cast<std::uint8_t>(c);
+                EXPECT_EQ(gfMul(gfMul(x, y), z), gfMul(x, gfMul(y, z)));
+            }
+        }
+    }
+}
+
+TEST(Gf256, DistributesOverAddition)
+{
+    for (unsigned a = 0; a < 256; a += 13) {
+        for (unsigned b = 0; b < 256; b += 17) {
+            for (unsigned c = 0; c < 256; c += 19) {
+                const auto x = static_cast<std::uint8_t>(a);
+                const auto y = static_cast<std::uint8_t>(b);
+                const auto z = static_cast<std::uint8_t>(c);
+                EXPECT_EQ(gfMul(x, gfAdd(y, z)),
+                          gfAdd(gfMul(x, y), gfMul(x, z)));
+            }
+        }
+    }
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        const auto x = static_cast<std::uint8_t>(a);
+        EXPECT_EQ(gfMul(x, gfInv(x)), 1) << "element " << a;
+    }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication)
+{
+    for (unsigned a = 0; a < 256; a += 5) {
+        for (unsigned b = 1; b < 256; b += 9) {
+            const auto x = static_cast<std::uint8_t>(a);
+            const auto y = static_cast<std::uint8_t>(b);
+            EXPECT_EQ(gfMul(gfDiv(x, y), y), x);
+        }
+    }
+}
+
+TEST(Gf256, ExpLogRoundTrip)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        const auto x = static_cast<std::uint8_t>(a);
+        EXPECT_EQ(gfExp(gfLog(x)), x);
+    }
+}
+
+TEST(Gf256, AlphaIsPrimitive)
+{
+    // alpha = 2 must generate all 255 nonzero elements.
+    std::vector<bool> seen(256, false);
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+        EXPECT_FALSE(seen[x]) << "cycle shorter than 255 at " << i;
+        seen[x] = true;
+        x = gfMul(x, 2);
+    }
+    EXPECT_EQ(x, 1); // full cycle returns to 1
+}
+
+TEST(Gf256, PowMatchesRepeatedMultiplication)
+{
+    for (unsigned a : {1u, 2u, 3u, 0x53u, 0xffu}) {
+        std::uint8_t acc = 1;
+        for (unsigned n = 0; n < 20; ++n) {
+            EXPECT_EQ(gfPow(static_cast<std::uint8_t>(a), n), acc);
+            acc = gfMul(acc, static_cast<std::uint8_t>(a));
+        }
+    }
+}
+
+TEST(Gf256, PowZeroExponentIsOne)
+{
+    EXPECT_EQ(gfPow(0, 0), 1);
+    EXPECT_EQ(gfPow(7, 0), 1);
+}
+
+TEST(Gf256, MulAccumMatchesScalarLoop)
+{
+    std::vector<std::uint8_t> src(257), dst(257, 0), ref(257, 0);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i * 31 + 5);
+    const std::uint8_t c = 0x9d;
+    for (std::size_t i = 0; i < src.size(); ++i)
+        ref[i] = gfMul(src[i], c);
+    gfMulAccum(dst.data(), src.data(), src.size(), c);
+    EXPECT_EQ(dst, ref);
+    // Accumulating again doubles -> cancels (characteristic 2).
+    gfMulAccum(dst.data(), src.data(), src.size(), c);
+    for (auto b : dst)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(Gf256, MulAccumSpecialConstants)
+{
+    std::vector<std::uint8_t> src{1, 2, 3}, dst{10, 20, 30};
+    const auto orig = dst;
+    gfMulAccum(dst.data(), src.data(), 3, 0); // c = 0: no-op
+    EXPECT_EQ(dst, orig);
+    gfMulAccum(dst.data(), src.data(), 3, 1); // c = 1: plain XOR
+    EXPECT_EQ(dst, (std::vector<std::uint8_t>{11, 22, 29}));
+}
+
+TEST(Gf256, MulIntoMatchesScalar)
+{
+    std::vector<std::uint8_t> src{0, 1, 2, 0x80, 0xff}, dst(5);
+    gfMulInto(dst.data(), src.data(), 5, 0x1b);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(dst[i], gfMul(src[i], 0x1b));
+    gfMulInto(dst.data(), src.data(), 5, 0);
+    for (auto b : dst)
+        EXPECT_EQ(b, 0);
+}
+
+} // namespace
+} // namespace codes
+} // namespace hyperplane

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the experiment harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+
+namespace hyperplane {
+namespace harness {
+namespace {
+
+TEST(Harness, RoughCyclesOrderMatchesWorkloadWeight)
+{
+    // Crypto and erasure coding are the heavy tasks; encapsulation and
+    // dispatching the light ones (Figure 8's y-axis ranges).
+    const double encap =
+        roughCyclesPerItem(workloads::Kind::PacketEncapsulation);
+    const double crypto =
+        roughCyclesPerItem(workloads::Kind::CryptoForwarding);
+    const double erasure =
+        roughCyclesPerItem(workloads::Kind::ErasureCoding);
+    const double dispatch =
+        roughCyclesPerItem(workloads::Kind::RequestDispatching);
+    EXPECT_GT(crypto, 3 * encap);
+    EXPECT_GT(erasure, crypto);
+    EXPECT_LT(dispatch, 2 * encap);
+}
+
+TEST(Harness, RoughCyclesScalesWithPayload)
+{
+    EXPECT_GT(roughCyclesPerItem(workloads::Kind::CryptoForwarding,
+                                 4096),
+              2 * roughCyclesPerItem(workloads::Kind::CryptoForwarding,
+                                     1024));
+}
+
+TEST(Harness, SaturatingRateExceedsAnalyticCapacity)
+{
+    dp::SdpConfig cfg;
+    cfg.workload = workloads::Kind::PacketEncapsulation;
+    cfg.numCores = 2;
+    const double perItem = roughCyclesPerItem(cfg.workload);
+    const double capacity = 2 * clockGHz * 1e9 / perItem;
+    EXPECT_GT(saturatingRate(cfg), 1.5 * capacity);
+}
+
+TEST(Harness, CalibrateCapacityInPlausibleRange)
+{
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::HyperPlane;
+    cfg.numCores = 1;
+    cfg.numQueues = 32;
+    cfg.workload = workloads::Kind::PacketEncapsulation;
+    cfg.shape = traffic::Shape::FB;
+    cfg.seed = 3;
+    const double cap = calibrateCapacity(cfg);
+    // One core, ~1.5 us/item service: a few hundred thousand tasks/s.
+    EXPECT_GT(cap, 2e5);
+    EXPECT_LT(cap, 1e6);
+}
+
+TEST(Harness, RunAtLoadTracksOfferedFraction)
+{
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::HyperPlane;
+    cfg.numCores = 1;
+    cfg.numQueues = 32;
+    cfg.workload = workloads::Kind::PacketEncapsulation;
+    cfg.shape = traffic::Shape::FB;
+    cfg.seed = 3;
+    cfg.warmupUs = 500.0;
+    cfg.measureUs = 5000.0;
+    const auto r = runAtLoad(cfg, 6e5, 0.5);
+    EXPECT_NEAR(r.throughputMtps, 0.3, 0.05);
+}
+
+TEST(Harness, LoadSweepReturnsOnePointPerLoad)
+{
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::HyperPlane;
+    cfg.numCores = 1;
+    cfg.numQueues = 16;
+    cfg.workload = workloads::Kind::RequestDispatching;
+    cfg.seed = 3;
+    cfg.warmupUs = 300.0;
+    cfg.measureUs = 2000.0;
+    const auto points = runLoadSweep(cfg, 5e5, {0.2, 0.6});
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].loadFraction, 0.2);
+    EXPECT_LT(points[0].results.completions,
+              points[1].results.completions);
+}
+
+TEST(Harness, ZeroLoadConfigKeepsQueueingNegligible)
+{
+    dp::SdpConfig cfg;
+    cfg.workload = workloads::Kind::ErasureCoding;
+    cfg = zeroLoadConfig(cfg, 1000);
+    // Rate capped so even a 1000-queue spinning sweep fits between
+    // arrivals.
+    EXPECT_LE(cfg.offeredRatePerSec, 5000.0);
+    // Window sized for the target completion count.
+    EXPECT_NEAR(cfg.measureUs * cfg.offeredRatePerSec / 1e6, 1000.0,
+                1.0);
+}
+
+TEST(Harness, RowLabelCombinesPlaneAndShape)
+{
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::Spinning;
+    cfg.shape = traffic::Shape::NC;
+    EXPECT_EQ(rowLabel(cfg), "spinning/NC");
+}
+
+} // namespace
+} // namespace harness
+} // namespace hyperplane

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests for protocol header codecs and GRE encapsulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hh"
+#include "net/headers.hh"
+
+namespace hyperplane {
+namespace net {
+namespace {
+
+TEST(BigEndian, RoundTrip16And32)
+{
+    std::uint8_t buf[4];
+    putBe16(buf, 0xbeef);
+    EXPECT_EQ(buf[0], 0xbe);
+    EXPECT_EQ(buf[1], 0xef);
+    EXPECT_EQ(getBe16(buf), 0xbeef);
+    putBe32(buf, 0x12345678);
+    EXPECT_EQ(getBe32(buf), 0x12345678u);
+}
+
+TEST(Ethernet, RoundTrip)
+{
+    EthernetHeader h;
+    h.dst = {1, 2, 3, 4, 5, 6};
+    h.src = {7, 8, 9, 10, 11, 12};
+    h.etherType = etherTypeIpv6;
+    std::uint8_t wire[EthernetHeader::wireSize];
+    h.write(wire);
+    const auto p = EthernetHeader::parse(wire);
+    EXPECT_EQ(p.dst, h.dst);
+    EXPECT_EQ(p.src, h.src);
+    EXPECT_EQ(p.etherType, h.etherType);
+}
+
+Ipv4Header
+sampleV4()
+{
+    Ipv4Header h;
+    h.dscp = 10;
+    h.totalLength = 1500;
+    h.identification = 0x4242;
+    h.ttl = 17;
+    h.protocol = protoUdp;
+    h.src = 0x0a000001;
+    h.dst = 0xc0a80101;
+    return h;
+}
+
+TEST(Ipv4, RoundTripWithValidChecksum)
+{
+    const Ipv4Header h = sampleV4();
+    std::uint8_t wire[Ipv4Header::wireSize];
+    h.write(wire);
+    EXPECT_EQ(internetChecksum(wire, sizeof(wire)), 0);
+    const auto p = Ipv4Header::parse(wire);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->dscp, h.dscp);
+    EXPECT_EQ(p->totalLength, h.totalLength);
+    EXPECT_EQ(p->identification, h.identification);
+    EXPECT_EQ(p->ttl, h.ttl);
+    EXPECT_EQ(p->protocol, h.protocol);
+    EXPECT_EQ(p->src, h.src);
+    EXPECT_EQ(p->dst, h.dst);
+}
+
+TEST(Ipv4, CorruptChecksumRejected)
+{
+    std::uint8_t wire[Ipv4Header::wireSize];
+    sampleV4().write(wire);
+    wire[15] ^= 0x01;
+    EXPECT_FALSE(Ipv4Header::parse(wire).has_value());
+}
+
+TEST(Ipv4, WrongVersionRejected)
+{
+    std::uint8_t wire[Ipv4Header::wireSize];
+    sampleV4().write(wire);
+    wire[0] = 0x65; // version 6
+    EXPECT_FALSE(Ipv4Header::parse(wire).has_value());
+}
+
+Ipv6Header
+sampleV6()
+{
+    Ipv6Header h;
+    h.trafficClass = 0x5a;
+    h.flowLabel = 0xabcde;
+    h.payloadLength = 512;
+    h.nextHeader = protoGre;
+    h.hopLimit = 33;
+    for (int i = 0; i < 16; ++i) {
+        h.src[i] = static_cast<std::uint8_t>(i);
+        h.dst[i] = static_cast<std::uint8_t>(0xf0 + i);
+    }
+    return h;
+}
+
+TEST(Ipv6, RoundTrip)
+{
+    const Ipv6Header h = sampleV6();
+    std::uint8_t wire[Ipv6Header::wireSize];
+    h.write(wire);
+    const auto p = Ipv6Header::parse(wire);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->trafficClass, h.trafficClass);
+    EXPECT_EQ(p->flowLabel, h.flowLabel);
+    EXPECT_EQ(p->payloadLength, h.payloadLength);
+    EXPECT_EQ(p->nextHeader, h.nextHeader);
+    EXPECT_EQ(p->hopLimit, h.hopLimit);
+    EXPECT_EQ(p->src, h.src);
+    EXPECT_EQ(p->dst, h.dst);
+}
+
+TEST(Ipv6, WrongVersionRejected)
+{
+    std::uint8_t wire[Ipv6Header::wireSize];
+    sampleV6().write(wire);
+    wire[0] = 0x45;
+    EXPECT_FALSE(Ipv6Header::parse(wire).has_value());
+}
+
+TEST(Udp, RoundTrip)
+{
+    UdpHeader h;
+    h.srcPort = 4242;
+    h.dstPort = 53;
+    h.length = 100;
+    h.checksum = 0xbeef;
+    std::uint8_t wire[UdpHeader::wireSize];
+    h.write(wire);
+    const auto p = UdpHeader::parse(wire);
+    EXPECT_EQ(p.srcPort, h.srcPort);
+    EXPECT_EQ(p.dstPort, h.dstPort);
+    EXPECT_EQ(p.length, h.length);
+    EXPECT_EQ(p.checksum, h.checksum);
+}
+
+TEST(Gre, WireSizeDependsOnFlags)
+{
+    GreHeader h;
+    EXPECT_EQ(h.wireSize(), 4u);
+    h.checksumPresent = true;
+    EXPECT_EQ(h.wireSize(), 8u);
+    h.keyPresent = true;
+    EXPECT_EQ(h.wireSize(), 12u);
+}
+
+TEST(Gre, RoundTripWithKey)
+{
+    GreHeader h;
+    h.keyPresent = true;
+    h.protocolType = etherTypeIpv4;
+    h.key = 0xfeedbead;
+    std::uint8_t wire[12];
+    h.write(wire);
+    const auto p = GreHeader::parse(wire, sizeof(wire));
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(p->keyPresent);
+    EXPECT_FALSE(p->checksumPresent);
+    EXPECT_EQ(p->key, 0xfeedbeadu);
+    EXPECT_EQ(p->protocolType, etherTypeIpv4);
+}
+
+TEST(Gre, ReservedFlagBitsRejected)
+{
+    std::uint8_t wire[4] = {0x40, 0x00, 0x08, 0x00}; // routing bit set
+    EXPECT_FALSE(GreHeader::parse(wire, 4).has_value());
+}
+
+TEST(Gre, NonZeroVersionRejected)
+{
+    std::uint8_t wire[4] = {0x00, 0x01, 0x08, 0x00};
+    EXPECT_FALSE(GreHeader::parse(wire, 4).has_value());
+}
+
+TEST(Gre, TruncatedHeaderRejected)
+{
+    std::uint8_t wire[4] = {0xa0, 0x00, 0x08, 0x00}; // csum+key => 12 B
+    EXPECT_FALSE(GreHeader::parse(wire, 4).has_value());
+}
+
+PacketBuffer
+makeInnerPacket(std::size_t payload)
+{
+    PacketBuffer pkt(Ipv4Header::wireSize + payload);
+    Ipv4Header inner = sampleV4();
+    inner.totalLength =
+        static_cast<std::uint16_t>(Ipv4Header::wireSize + payload);
+    inner.write(pkt.data());
+    for (std::size_t i = 0; i < payload; ++i)
+        pkt[Ipv4Header::wireSize + i] =
+            static_cast<std::uint8_t>(i * 13 + 7);
+    return pkt;
+}
+
+TEST(GreTunnel, EncapsulateDecapsulateRoundTrip)
+{
+    PacketBuffer pkt = makeInnerPacket(256);
+    const PacketBuffer original = pkt;
+
+    Ipv6Header outer = sampleV6();
+    ASSERT_TRUE(greEncapsulate(pkt, outer, 0x1234));
+    EXPECT_EQ(pkt.size(), original.size() + Ipv6Header::wireSize + 12);
+
+    // The outer header must be valid IPv6 carrying GRE.
+    const auto v6 = Ipv6Header::parse(pkt.data());
+    ASSERT_TRUE(v6.has_value());
+    EXPECT_EQ(v6->nextHeader, protoGre);
+    EXPECT_EQ(v6->payloadLength, original.size() + 12);
+
+    const auto key = greDecapsulate(pkt);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, 0x1234u);
+    EXPECT_TRUE(pkt == original);
+}
+
+TEST(GreTunnel, EncapsulateRejectsNonIpv4Payload)
+{
+    PacketBuffer garbage(64);
+    garbage[0] = 0x00; // not version 4
+    Ipv6Header outer = sampleV6();
+    EXPECT_FALSE(greEncapsulate(garbage, outer, 1));
+}
+
+TEST(GreTunnel, EncapsulateRejectsTruncatedPacket)
+{
+    PacketBuffer tiny(4);
+    Ipv6Header outer = sampleV6();
+    EXPECT_FALSE(greEncapsulate(tiny, outer, 1));
+}
+
+TEST(GreTunnel, DecapsulateDetectsPayloadCorruption)
+{
+    PacketBuffer pkt = makeInnerPacket(64);
+    Ipv6Header outer = sampleV6();
+    ASSERT_TRUE(greEncapsulate(pkt, outer, 7));
+    // Flip a payload byte under the GRE checksum.
+    pkt[pkt.size() - 1] ^= 0xff;
+    EXPECT_FALSE(greDecapsulate(pkt).has_value());
+}
+
+TEST(GreTunnel, DecapsulateRejectsNonGre)
+{
+    PacketBuffer pkt(Ipv6Header::wireSize + 8);
+    Ipv6Header outer = sampleV6();
+    outer.nextHeader = protoUdp;
+    outer.write(pkt.data());
+    EXPECT_FALSE(greDecapsulate(pkt).has_value());
+}
+
+class GrePayloadSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GrePayloadSweep, RoundTripsAtAllSizes)
+{
+    PacketBuffer pkt = makeInnerPacket(GetParam());
+    const PacketBuffer original = pkt;
+    ASSERT_TRUE(greEncapsulate(pkt, sampleV6(), 99));
+    const auto key = greDecapsulate(pkt);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, 99u);
+    EXPECT_TRUE(pkt == original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GrePayloadSweep,
+                         ::testing::Values(0, 1, 63, 64, 65, 512, 1480));
+
+} // namespace
+} // namespace net
+} // namespace hyperplane

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the linear and log-scale histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+
+namespace hyperplane {
+namespace stats {
+namespace {
+
+TEST(Histogram, EmptyReportsZeros)
+{
+    Histogram h(0, 100, 10);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, MeanIsExactNotBinned)
+{
+    Histogram h(0, 100, 4); // very coarse bins
+    h.record(1.5);
+    h.record(2.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, MinMaxTracked)
+{
+    Histogram h(0, 100, 10);
+    h.record(7);
+    h.record(93);
+    h.record(42);
+    EXPECT_DOUBLE_EQ(h.min(), 7.0);
+    EXPECT_DOUBLE_EQ(h.max(), 93.0);
+}
+
+TEST(Histogram, UnderOverflowCounted)
+{
+    Histogram h(10, 20, 10);
+    h.record(5);
+    h.record(15);
+    h.record(25);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, MedianOfUniformData)
+{
+    Histogram h(0, 1000, 1000);
+    for (int i = 0; i < 1000; ++i)
+        h.record(i);
+    EXPECT_NEAR(h.quantile(0.5), 500.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.99), 990.0, 2.0);
+}
+
+TEST(Histogram, RecordNEquivalentToRepeats)
+{
+    Histogram a(0, 10, 10), b(0, 10, 10);
+    a.recordN(5.0, 100);
+    for (int i = 0; i < 100; ++i)
+        b.record(5.0);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(0, 10, 10);
+    h.record(5);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(Histogram, CdfMonotoneAndEndsAtOne)
+{
+    Histogram h(0, 100, 50);
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i)
+        h.record(rng.uniform(0, 100));
+    const auto cdf = h.cdf();
+    ASSERT_FALSE(cdf.empty());
+    double prev = 0.0;
+    for (const auto &[v, f] : cdf) {
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(LogHistogram, QuantileRelativeErrorBounded)
+{
+    LogHistogram h(0.01, 1.02, 2048);
+    Rng rng(2);
+    std::vector<double> samples;
+    for (int i = 0; i < 50000; ++i) {
+        const double v = rng.exponential(100.0);
+        samples.push_back(v);
+        h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const double exact =
+            samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+        const double approx = h.quantile(q);
+        EXPECT_NEAR(approx / exact, 1.0, 0.04)
+            << "quantile " << q;
+    }
+}
+
+TEST(LogHistogram, MeanExact)
+{
+    LogHistogram h;
+    h.record(10);
+    h.record(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LogHistogram, CoversManyOrdersOfMagnitude)
+{
+    LogHistogram h(0.01, 1.02, 2048);
+    h.record(0.05);
+    h.recordN(5e6, 99);
+    EXPECT_DOUBLE_EQ(h.min(), 0.05);
+    EXPECT_DOUBLE_EQ(h.max(), 5e6);
+    EXPECT_GT(h.quantile(0.99), 1e5);
+}
+
+TEST(LogHistogram, QuantileClampedToObservedRange)
+{
+    LogHistogram h;
+    h.record(42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+}
+
+TEST(LogHistogram, CdfMonotoneEndsAtOne)
+{
+    LogHistogram h(0.01, 1.02, 2048);
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i)
+        h.record(rng.exponential(42.0));
+    const auto cdf = h.cdf();
+    ASSERT_FALSE(cdf.empty());
+    double prevV = 0.0, prevF = 0.0;
+    for (const auto &[v, f] : cdf) {
+        EXPECT_GE(v, prevV);
+        EXPECT_GE(f, prevF);
+        prevV = v;
+        prevF = f;
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+    EXPECT_DOUBLE_EQ(cdf.back().first, h.max());
+}
+
+TEST(LogHistogram, ClearResets)
+{
+    LogHistogram h;
+    h.record(1.0);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace hyperplane

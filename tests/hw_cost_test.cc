@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the Section IV-C hardware cost model: the model must
+ * reproduce the paper's published constants at the paper's
+ * configuration and scale sensibly away from it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hw_cost.hh"
+
+namespace hyperplane {
+namespace core {
+namespace {
+
+TEST(HwCost, PaperAreaNumbers)
+{
+    HwCostModel m;
+    EXPECT_NEAR(m.readySetAreaMm2(), 0.13, 0.005);
+    EXPECT_NEAR(m.monitoringSetAreaMm2(), 0.21, 0.005);
+}
+
+TEST(HwCost, PaperAreaOverheadFraction)
+{
+    // "within 0.26% of the total core area, for a 16-core chip"
+    HwCostModel m;
+    EXPECT_NEAR(m.areaOverheadFraction(), 0.0026, 0.0003);
+}
+
+TEST(HwCost, PaperPowerFractions)
+{
+    // "within 6.2% of a single core; 2.1% ready + 4.1% monitoring"
+    HwCostModel m;
+    EXPECT_NEAR(m.readySetPowerFraction(), 0.021, 0.001);
+    EXPECT_NEAR(m.monitoringSetPowerFraction(), 0.041, 0.001);
+    EXPECT_NEAR(m.readySetPowerFraction() +
+                    m.monitoringSetPowerFraction(),
+                0.062, 0.001);
+    // Spread over 16 cores: well below 0.4% of total core power.
+    EXPECT_LT(m.powerOverheadFraction(), 0.004);
+}
+
+TEST(HwCost, PaperReadySetLatency)
+{
+    // RTL model: 12.25 ns for the 1024-entry ready set.
+    HwCostModel m;
+    EXPECT_NEAR(m.readySetLatencyNs(), 12.25, 0.1);
+}
+
+TEST(HwCost, QwaitLatencyCoversComponentsAndFloorsAt50)
+{
+    HwCostModel m;
+    EXPECT_EQ(m.qwaitLatencyCycles(), 50u);
+    EXPECT_EQ(m.monitoringLookupCycles(), 5u);
+    // The 50-cycle envelope exceeds ready-set latency in cycles.
+    EXPECT_GT(static_cast<double>(m.qwaitLatencyCycles()),
+              m.readySetLatencyNs() * cyclesPerNs);
+}
+
+TEST(HwCost, AreaScalesLinearlyWithEntries)
+{
+    HwCostConfig cfg;
+    cfg.readyEntries = 2048;
+    cfg.monitoringEntries = 2048;
+    HwCostModel big(cfg);
+    HwCostModel base;
+    EXPECT_NEAR(big.readySetAreaMm2() / base.readySetAreaMm2(), 2.0,
+                1e-9);
+    EXPECT_NEAR(big.monitoringSetAreaMm2() /
+                    base.monitoringSetAreaMm2(),
+                2.0, 1e-9);
+}
+
+TEST(HwCost, LatencyGrowsSubLinearlyWithEntries)
+{
+    HwCostConfig big;
+    big.readyEntries = 4096;
+    EXPECT_LT(HwCostModel(big).readySetLatencyNs(),
+              2.0 * HwCostModel().readySetLatencyNs());
+}
+
+TEST(HwCost, QwaitLatencyScalesUpForHugeReadySets)
+{
+    HwCostConfig cfg;
+    cfg.readyEntries = 1 << 16;
+    HwCostModel m(cfg);
+    EXPECT_GE(m.qwaitLatencyCycles(), 50u);
+}
+
+TEST(HwCost, FewerCoresMeanLargerRelativeOverhead)
+{
+    HwCostConfig cfg;
+    cfg.cores = 4;
+    EXPECT_GT(HwCostModel(cfg).areaOverheadFraction(),
+              HwCostModel().areaOverheadFraction());
+}
+
+} // namespace
+} // namespace core
+} // namespace hyperplane

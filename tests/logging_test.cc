@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for the logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace {
+
+TEST(Logging, WarnIncrementsCounter)
+{
+    const unsigned long before = warnCount();
+    hp_warn("test warning %d", 42);
+    EXPECT_EQ(warnCount(), before + 1);
+}
+
+TEST(Logging, InformDoesNotCountAsWarning)
+{
+    const unsigned long before = warnCount();
+    hp_inform("informational message");
+    EXPECT_EQ(warnCount(), before);
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    hp_assert(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(hp_panic("boom %d", 7), "boom 7");
+}
+
+TEST(LoggingDeath, AssertAbortsWithMessage)
+{
+    EXPECT_DEATH(hp_assert(false, "invariant %s broken", "x"),
+                 "invariant x broken");
+}
+
+TEST(LoggingDeath, FatalExitsWithErrorCode)
+{
+    EXPECT_EXIT(hp_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace
+} // namespace hyperplane

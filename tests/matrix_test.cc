@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for GF(2^8) matrices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codes/gf256.hh"
+#include "codes/matrix.hh"
+
+namespace hyperplane {
+namespace codes {
+namespace {
+
+TEST(GfMatrix, IdentityMultiplicationIsNeutral)
+{
+    GfMatrix m(3, 3);
+    std::uint8_t v = 1;
+    for (unsigned r = 0; r < 3; ++r)
+        for (unsigned c = 0; c < 3; ++c)
+            m.at(r, c) = v++;
+    EXPECT_TRUE(m.multiply(GfMatrix::identity(3)) == m);
+    EXPECT_TRUE(GfMatrix::identity(3).multiply(m) == m);
+}
+
+TEST(GfMatrix, InverseOfIdentityIsIdentity)
+{
+    const auto inv = GfMatrix::identity(4).inverted();
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_TRUE(*inv == GfMatrix::identity(4));
+}
+
+TEST(GfMatrix, InverseTimesSelfIsIdentity)
+{
+    const GfMatrix c = GfMatrix::cauchy(5, 5);
+    const auto inv = c.inverted();
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_TRUE(c.multiply(*inv) == GfMatrix::identity(5));
+    EXPECT_TRUE(inv->multiply(c) == GfMatrix::identity(5));
+}
+
+TEST(GfMatrix, SingularMatrixNotInvertible)
+{
+    GfMatrix m(2, 2);
+    m.at(0, 0) = 1;
+    m.at(0, 1) = 2;
+    m.at(1, 0) = 1;
+    m.at(1, 1) = 2; // duplicate row
+    EXPECT_FALSE(m.inverted().has_value());
+}
+
+TEST(GfMatrix, ZeroMatrixNotInvertible)
+{
+    EXPECT_FALSE(GfMatrix(3, 3).inverted().has_value());
+}
+
+TEST(GfMatrix, CauchyElementsMatchDefinition)
+{
+    const unsigned m = 3, k = 4;
+    const GfMatrix c = GfMatrix::cauchy(m, k);
+    for (unsigned i = 0; i < m; ++i) {
+        for (unsigned j = 0; j < k; ++j) {
+            const auto xi = static_cast<std::uint8_t>(i + k);
+            const auto yj = static_cast<std::uint8_t>(j);
+            EXPECT_EQ(c.at(i, j), gfInv(gfAdd(xi, yj)));
+        }
+    }
+}
+
+TEST(GfMatrix, CauchyHasNoZeroEntries)
+{
+    const GfMatrix c = GfMatrix::cauchy(8, 16);
+    for (unsigned i = 0; i < 8; ++i)
+        for (unsigned j = 0; j < 16; ++j)
+            EXPECT_NE(c.at(i, j), 0);
+}
+
+/**
+ * The property that makes Cauchy matrices MDS generators: every square
+ * submatrix is invertible.  Exhaustively check all 2x2 submatrices of a
+ * small instance.
+ */
+TEST(GfMatrix, AllCauchy2x2SubmatricesInvertible)
+{
+    const unsigned m = 4, k = 6;
+    const GfMatrix c = GfMatrix::cauchy(m, k);
+    for (unsigned r1 = 0; r1 < m; ++r1) {
+        for (unsigned r2 = r1 + 1; r2 < m; ++r2) {
+            for (unsigned c1 = 0; c1 < k; ++c1) {
+                for (unsigned c2 = c1 + 1; c2 < k; ++c2) {
+                    GfMatrix sub(2, 2);
+                    sub.at(0, 0) = c.at(r1, c1);
+                    sub.at(0, 1) = c.at(r1, c2);
+                    sub.at(1, 0) = c.at(r2, c1);
+                    sub.at(1, 1) = c.at(r2, c2);
+                    EXPECT_TRUE(sub.inverted().has_value());
+                }
+            }
+        }
+    }
+}
+
+TEST(GfMatrix, VandermondeFirstRowAllOnes)
+{
+    const GfMatrix v = GfMatrix::vandermonde(4, 5);
+    for (unsigned j = 0; j < 5; ++j)
+        EXPECT_EQ(v.at(0, j), 1);
+    // Second row: alpha^(1*j) = 2^j.
+    EXPECT_EQ(v.at(1, 0), 1);
+    EXPECT_EQ(v.at(1, 1), 2);
+    EXPECT_EQ(v.at(1, 2), 4);
+}
+
+TEST(GfMatrix, SelectRowsExtracts)
+{
+    GfMatrix m(3, 2);
+    for (unsigned r = 0; r < 3; ++r)
+        for (unsigned c = 0; c < 2; ++c)
+            m.at(r, c) = static_cast<std::uint8_t>(10 * r + c);
+    const GfMatrix sel = m.selectRows({2, 0});
+    EXPECT_EQ(sel.rows(), 2u);
+    EXPECT_EQ(sel.at(0, 0), 20);
+    EXPECT_EQ(sel.at(1, 1), 1);
+}
+
+TEST(GfMatrix, MultiplyShapes)
+{
+    GfMatrix a(2, 3), b(3, 4);
+    const GfMatrix p = a.multiply(b);
+    EXPECT_EQ(p.rows(), 2u);
+    EXPECT_EQ(p.cols(), 4u);
+}
+
+class CauchyInvertSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CauchyInvertSweep, SquareCauchyInvertsCleanly)
+{
+    const unsigned n = GetParam();
+    const GfMatrix c = GfMatrix::cauchy(n, n);
+    const auto inv = c.inverted();
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_TRUE(c.multiply(*inv) == GfMatrix::identity(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CauchyInvertSweep,
+                         ::testing::Values(1, 2, 3, 6, 10, 17, 32));
+
+} // namespace
+} // namespace codes
+} // namespace hyperplane

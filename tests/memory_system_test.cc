@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the MESI directory memory-system model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/memory_system.hh"
+
+namespace hyperplane {
+namespace mem {
+namespace {
+
+MemorySystem
+makeSystem(unsigned cores = 4)
+{
+    return MemorySystem(cores, CacheGeometry{32 * 1024, 4, 64},
+                        CacheGeometry{1024 * 1024, 16, 64});
+}
+
+TEST(MemorySystem, ColdReadMissesToMemory)
+{
+    auto m = makeSystem();
+    const auto r = m.read(0, 0x10000);
+    EXPECT_EQ(r.servedBy, AccessLevel::Memory);
+    EXPECT_EQ(r.latency, m.latencies().memAccess);
+}
+
+TEST(MemorySystem, SecondReadHitsL1)
+{
+    auto m = makeSystem();
+    m.read(0, 0x10000);
+    const auto r = m.read(0, 0x10000);
+    EXPECT_EQ(r.servedBy, AccessLevel::L1);
+    EXPECT_EQ(r.latency, m.latencies().l1Hit);
+}
+
+TEST(MemorySystem, OtherCoreReadHitsLlcAndShares)
+{
+    auto m = makeSystem();
+    m.read(0, 0x10000); // core 0 E
+    m.read(0, 0x10000);
+    const auto r = m.read(1, 0x10000);
+    // Core 0 held E: serviced by cache-to-cache forward.
+    EXPECT_EQ(r.servedBy, AccessLevel::RemoteL1);
+    EXPECT_EQ(m.l1(0).state(0x10000), LineState::Shared);
+    EXPECT_EQ(m.l1(1).state(0x10000), LineState::Shared);
+}
+
+TEST(MemorySystem, ReadAfterSharersHitsLlc)
+{
+    auto m = makeSystem();
+    m.read(0, 0x10000);
+    m.read(1, 0x10000); // both Shared, line in LLC
+    const auto r = m.read(2, 0x10000);
+    EXPECT_EQ(r.servedBy, AccessLevel::LLC);
+    EXPECT_EQ(m.l1(2).state(0x10000), LineState::Shared);
+}
+
+TEST(MemorySystem, WriteObtainsModified)
+{
+    auto m = makeSystem();
+    m.write(0, 0x10000);
+    EXPECT_EQ(m.l1(0).state(0x10000), LineState::Modified);
+}
+
+TEST(MemorySystem, SilentExclusiveToModifiedUpgrade)
+{
+    auto m = makeSystem();
+    m.read(0, 0x10000); // E
+    const std::uint64_t getmBefore = m.writeTransactions.value();
+    const auto r = m.write(0, 0x10000);
+    EXPECT_EQ(r.servedBy, AccessLevel::L1);
+    EXPECT_EQ(m.l1(0).state(0x10000), LineState::Modified);
+    // E->M is silent: no bus transaction (nothing to snoop).
+    EXPECT_EQ(m.writeTransactions.value(), getmBefore);
+}
+
+TEST(MemorySystem, WriteInvalidatesSharers)
+{
+    auto m = makeSystem();
+    m.read(0, 0x10000);
+    m.read(1, 0x10000);
+    m.read(2, 0x10000);
+    m.write(3, 0x10000);
+    EXPECT_EQ(m.l1(0).state(0x10000), LineState::Invalid);
+    EXPECT_EQ(m.l1(1).state(0x10000), LineState::Invalid);
+    EXPECT_EQ(m.l1(2).state(0x10000), LineState::Invalid);
+    EXPECT_EQ(m.l1(3).state(0x10000), LineState::Modified);
+}
+
+TEST(MemorySystem, PingPongBetweenWriters)
+{
+    auto m = makeSystem();
+    m.write(0, 0x10000);
+    const auto r1 = m.write(1, 0x10000);
+    EXPECT_EQ(r1.servedBy, AccessLevel::RemoteL1);
+    EXPECT_TRUE(r1.coherence);
+    const auto r0 = m.write(0, 0x10000);
+    EXPECT_EQ(r0.servedBy, AccessLevel::RemoteL1);
+    EXPECT_GE(m.remoteForwards.value(), 2u);
+}
+
+TEST(MemorySystem, SharedWriteUpgradePaysDirectoryLatency)
+{
+    auto m = makeSystem();
+    m.read(0, 0x10000);
+    m.read(1, 0x10000); // both S
+    const auto r = m.write(0, 0x10000);
+    EXPECT_EQ(r.latency, m.latencies().llcHit);
+    EXPECT_TRUE(r.coherence);
+    EXPECT_EQ(m.l1(1).state(0x10000), LineState::Invalid);
+}
+
+TEST(MemorySystem, AtomicRmwAddsExtraLatency)
+{
+    auto m = makeSystem();
+    m.write(0, 0x10000);
+    const auto w = m.write(0, 0x10000);
+    const auto a = m.atomicRmw(0, 0x10000);
+    EXPECT_EQ(a.latency, w.latency + m.latencies().atomicExtra);
+}
+
+TEST(MemorySystem, DeviceWriteInvalidatesAllAndFillsLlc)
+{
+    auto m = makeSystem();
+    m.read(0, 0x10000);
+    m.read(1, 0x10000);
+    m.deviceWrite(0x10000);
+    EXPECT_EQ(m.l1(0).state(0x10000), LineState::Invalid);
+    EXPECT_EQ(m.l1(1).state(0x10000), LineState::Invalid);
+    EXPECT_TRUE(m.llc().contains(0x10000));
+    const auto r = m.read(0, 0x10000);
+    EXPECT_EQ(r.servedBy, AccessLevel::LLC);
+}
+
+class RecordingSnooper : public Snooper
+{
+  public:
+    void
+    onWriteTransaction(Addr line, CoreId writer) override
+    {
+        events.emplace_back(line, writer);
+    }
+    std::vector<std::pair<Addr, CoreId>> events;
+};
+
+TEST(MemorySystem, SnooperSeesWritesInRange)
+{
+    auto m = makeSystem();
+    RecordingSnooper snoop;
+    m.watchRange(0x1000, 0x2000, &snoop);
+    m.write(2, 0x1800);
+    ASSERT_EQ(snoop.events.size(), 1u);
+    EXPECT_EQ(snoop.events[0].first, lineBase(0x1800));
+    EXPECT_EQ(snoop.events[0].second, 2u);
+}
+
+TEST(MemorySystem, SnooperIgnoresWritesOutsideRange)
+{
+    auto m = makeSystem();
+    RecordingSnooper snoop;
+    m.watchRange(0x1000, 0x2000, &snoop);
+    m.write(0, 0x3000);
+    m.read(0, 0x1800); // reads never fire the snoop
+    EXPECT_TRUE(snoop.events.empty());
+}
+
+TEST(MemorySystem, SnooperSeesDeviceWrites)
+{
+    auto m = makeSystem();
+    RecordingSnooper snoop;
+    m.watchRange(0x1000, 0x2000, &snoop);
+    m.deviceWrite(0x1040);
+    ASSERT_EQ(snoop.events.size(), 1u);
+    EXPECT_EQ(snoop.events[0].second, deviceWriter);
+}
+
+TEST(MemorySystem, SnooperNotFiredByLocalModifiedWrites)
+{
+    auto m = makeSystem();
+    RecordingSnooper snoop;
+    m.watchRange(0x1000, 0x2000, &snoop);
+    m.write(0, 0x1000); // GetM: fires
+    m.write(0, 0x1000); // M hit: silent
+    m.write(0, 0x1000);
+    EXPECT_EQ(snoop.events.size(), 1u);
+}
+
+TEST(MemorySystem, UnwatchStopsNotifications)
+{
+    auto m = makeSystem();
+    RecordingSnooper snoop;
+    m.watchRange(0x1000, 0x2000, &snoop);
+    m.unwatch(&snoop);
+    m.write(0, 0x1000);
+    EXPECT_TRUE(snoop.events.empty());
+}
+
+TEST(MemorySystem, LlcEvictionBackInvalidatesL1)
+{
+    // Tiny LLC: 2 sets x 2 ways.
+    MemorySystem m(2, CacheGeometry{32 * 1024, 4, 64},
+                   CacheGeometry{256, 2, 64});
+    const Addr a = 0x0000;
+    m.read(0, a);
+    // Fill the LLC set until `a` is evicted (stride = 2 sets x 64 B).
+    for (int i = 1; i <= 2; ++i)
+        m.read(1, a + i * 128);
+    EXPECT_FALSE(m.llc().contains(a));
+    // Inclusive hierarchy: the L1 copy must be gone too.
+    EXPECT_FALSE(m.l1(0).contains(a));
+}
+
+TEST(MemorySystem, FlushAllEmptiesCaches)
+{
+    auto m = makeSystem();
+    m.read(0, 0x10000);
+    m.write(1, 0x20000);
+    m.flushAll();
+    EXPECT_FALSE(m.l1(0).contains(0x10000));
+    EXPECT_FALSE(m.l1(1).contains(0x20000));
+    EXPECT_FALSE(m.llc().contains(0x10000));
+}
+
+TEST(MemorySystem, StatsCountersAdvance)
+{
+    auto m = makeSystem();
+    m.read(0, 0x10000);
+    m.read(0, 0x10000);
+    m.read(1, 0x50000);
+    EXPECT_GE(m.l1Hits.value(), 1u);
+    EXPECT_GE(m.memAccesses.value(), 2u);
+}
+
+} // namespace
+} // namespace mem
+} // namespace hyperplane

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the Cuckoo-hashed monitoring set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/monitoring_set.hh"
+#include "queueing/doorbell.hh"
+
+namespace hyperplane {
+namespace core {
+namespace {
+
+Addr
+db(unsigned i)
+{
+    return queueing::AddressMap::doorbellAddr(i);
+}
+
+TEST(MonitoringSet, InsertThenFind)
+{
+    MonitoringSet ms;
+    EXPECT_TRUE(ms.insert(db(0), 0));
+    const MonitorEntry *e = ms.find(db(0));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->qid, 0u);
+    EXPECT_TRUE(e->armed);
+    EXPECT_TRUE(e->valid);
+    EXPECT_EQ(ms.occupancy(), 1u);
+}
+
+TEST(MonitoringSet, DuplicateInsertRejected)
+{
+    MonitoringSet ms;
+    EXPECT_TRUE(ms.insert(db(0), 0));
+    EXPECT_FALSE(ms.insert(db(0), 1));
+    EXPECT_EQ(ms.occupancy(), 1u);
+}
+
+TEST(MonitoringSet, SubLineAddressesShareEntry)
+{
+    MonitoringSet ms;
+    EXPECT_TRUE(ms.insert(db(3) + 8, 3));
+    EXPECT_NE(ms.find(db(3)), nullptr);
+    EXPECT_NE(ms.find(db(3) + 63), nullptr);
+}
+
+TEST(MonitoringSet, RemoveFreesEntry)
+{
+    MonitoringSet ms;
+    ms.insert(db(0), 0);
+    EXPECT_TRUE(ms.remove(db(0)));
+    EXPECT_EQ(ms.find(db(0)), nullptr);
+    EXPECT_EQ(ms.occupancy(), 0u);
+    EXPECT_FALSE(ms.remove(db(0)));
+    // The slot is reusable.
+    EXPECT_TRUE(ms.insert(db(0), 7));
+}
+
+TEST(MonitoringSet, SnoopOnArmedEntryDisarmsAndReturnsQid)
+{
+    MonitoringSet ms;
+    ms.insert(db(5), 5);
+    const auto qid = ms.onWriteTransaction(db(5));
+    ASSERT_TRUE(qid.has_value());
+    EXPECT_EQ(*qid, 5u);
+    EXPECT_FALSE(ms.isArmed(db(5)));
+}
+
+TEST(MonitoringSet, SecondSnoopWhileDisarmedIsSilent)
+{
+    MonitoringSet ms;
+    ms.insert(db(5), 5);
+    ms.onWriteTransaction(db(5));
+    // Further arrivals have no effect until re-armed (Section III-B).
+    EXPECT_FALSE(ms.onWriteTransaction(db(5)).has_value());
+}
+
+TEST(MonitoringSet, RearmRestoresSnooping)
+{
+    MonitoringSet ms;
+    ms.insert(db(5), 5);
+    ms.onWriteTransaction(db(5));
+    EXPECT_TRUE(ms.arm(db(5)));
+    const auto qid = ms.onWriteTransaction(db(5));
+    ASSERT_TRUE(qid.has_value());
+    EXPECT_EQ(*qid, 5u);
+}
+
+TEST(MonitoringSet, SnoopOnUnknownLineIsSilent)
+{
+    MonitoringSet ms;
+    ms.insert(db(1), 1);
+    EXPECT_FALSE(ms.onWriteTransaction(db(999)).has_value());
+    EXPECT_FALSE(ms.arm(db(999)));
+}
+
+TEST(MonitoringSet, PaperConfigurationHoldsAThousandDoorbells)
+{
+    // The paper's 1024-entry monitoring set tracking 1000 queues: the
+    // cuckoo walk must absorb a 97.7% load factor without conflicts.
+    MonitoringSetConfig cfg;
+    cfg.capacity = 1024;
+    cfg.maxWalkSteps = 500;
+    MonitoringSet ms(cfg);
+    unsigned inserted = 0;
+    for (unsigned i = 0; i < 1000; ++i)
+        inserted += ms.insert(db(i), i) ? 1 : 0;
+    EXPECT_EQ(inserted, 1000u);
+    EXPECT_NEAR(ms.loadFactor(), 1000.0 / 1024.0, 1e-9);
+    // Every doorbell must still resolve to its QID.
+    for (unsigned i = 0; i < 1000; ++i) {
+        const MonitorEntry *e = ms.find(db(i));
+        ASSERT_NE(e, nullptr) << "qid " << i;
+        EXPECT_EQ(e->qid, i);
+    }
+}
+
+TEST(MonitoringSet, FailedInsertLeavesTableIntact)
+{
+    // Overfill a tiny table; the losing insert must not destroy any
+    // registered entry (the unwind invariant).
+    MonitoringSetConfig cfg;
+    cfg.capacity = 16;
+    cfg.maxWalkSteps = 32;
+    MonitoringSet ms(cfg);
+    std::vector<unsigned> present;
+    for (unsigned i = 0; i < 32; ++i) {
+        if (ms.insert(db(i), i))
+            present.push_back(i);
+    }
+    EXPECT_LE(present.size(), 16u);
+    EXPECT_GT(ms.insertConflicts.value(), 0u);
+    for (unsigned i : present) {
+        const MonitorEntry *e = ms.find(db(i));
+        ASSERT_NE(e, nullptr) << "qid " << i << " vanished";
+        EXPECT_EQ(e->qid, i);
+    }
+    EXPECT_EQ(ms.occupancy(), present.size());
+}
+
+TEST(MonitoringSet, BankedConfigurationStillResolves)
+{
+    MonitoringSetConfig cfg;
+    cfg.capacity = 1024;
+    cfg.banks = 4;
+    MonitoringSet ms(cfg);
+    for (unsigned i = 0; i < 600; ++i)
+        ASSERT_TRUE(ms.insert(db(i), i)) << i;
+    for (unsigned i = 0; i < 600; ++i) {
+        const auto qid = ms.onWriteTransaction(db(i));
+        ASSERT_TRUE(qid.has_value());
+        EXPECT_EQ(*qid, i);
+    }
+}
+
+TEST(MonitoringSet, StatsCountersTrackActivity)
+{
+    MonitoringSet ms;
+    ms.insert(db(0), 0);
+    ms.onWriteTransaction(db(0));
+    ms.onWriteTransaction(db(1)); // miss
+    EXPECT_EQ(ms.inserts.value(), 1u);
+    EXPECT_EQ(ms.snoops.value(), 2u);
+    EXPECT_EQ(ms.snoopMatches.value(), 1u);
+}
+
+/** Occupancy sweep: conflict-free insertion up to 85% load at 4 ways. */
+class MonitoringLoadSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(MonitoringLoadSweep, InsertsWithoutConflict)
+{
+    MonitoringSetConfig cfg;
+    cfg.capacity = 2048;
+    MonitoringSet ms(cfg);
+    const auto n =
+        static_cast<unsigned>(GetParam() * cfg.capacity);
+    for (unsigned i = 0; i < n; ++i)
+        ASSERT_TRUE(ms.insert(db(i), i)) << "at load " << GetParam();
+    EXPECT_EQ(ms.insertConflicts.value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, MonitoringLoadSweep,
+                         ::testing::Values(0.25, 0.5, 0.75, 0.85));
+
+} // namespace
+} // namespace core
+} // namespace hyperplane

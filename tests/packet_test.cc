@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the packet buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/packet.hh"
+
+namespace hyperplane {
+namespace net {
+namespace {
+
+TEST(PacketBuffer, ZeroedConstruction)
+{
+    PacketBuffer p(64);
+    EXPECT_EQ(p.size(), 64u);
+    for (std::size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(p[i], 0);
+}
+
+TEST(PacketBuffer, CopyConstructionFromBytes)
+{
+    const std::uint8_t src[] = {1, 2, 3, 4, 5};
+    PacketBuffer p(src, sizeof(src));
+    ASSERT_EQ(p.size(), 5u);
+    EXPECT_EQ(std::memcmp(p.data(), src, 5), 0);
+}
+
+TEST(PacketBuffer, PrependUsesHeadroom)
+{
+    PacketBuffer p(10);
+    const std::size_t before = p.headroom();
+    std::uint8_t *hdr = p.prepend(4);
+    EXPECT_EQ(p.headroom(), before - 4);
+    EXPECT_EQ(p.size(), 14u);
+    EXPECT_EQ(hdr, p.data());
+}
+
+TEST(PacketBuffer, PrependPreservesPayload)
+{
+    const std::uint8_t src[] = {9, 8, 7};
+    PacketBuffer p(src, sizeof(src));
+    p.prepend(2);
+    EXPECT_EQ(p[2], 9);
+    EXPECT_EQ(p[3], 8);
+    EXPECT_EQ(p[4], 7);
+}
+
+TEST(PacketBuffer, PrependBeyondHeadroomReallocates)
+{
+    const std::uint8_t src[] = {42, 43};
+    PacketBuffer p(src, sizeof(src), /*headroom=*/4);
+    p.prepend(100); // > headroom
+    EXPECT_EQ(p.size(), 102u);
+    EXPECT_EQ(p[100], 42);
+    EXPECT_EQ(p[101], 43);
+}
+
+TEST(PacketBuffer, PrependedBytesAreZeroed)
+{
+    PacketBuffer p(2);
+    std::uint8_t *hdr = p.prepend(8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(hdr[i], 0);
+}
+
+TEST(PacketBuffer, StripFrontRemovesHeader)
+{
+    const std::uint8_t src[] = {1, 2, 3, 4};
+    PacketBuffer p(src, sizeof(src));
+    p.stripFront(2);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[0], 3);
+    EXPECT_EQ(p[1], 4);
+}
+
+TEST(PacketBuffer, PrependThenStripRoundTrips)
+{
+    const std::uint8_t src[] = {5, 6, 7};
+    PacketBuffer p(src, sizeof(src));
+    PacketBuffer orig = p;
+    p.prepend(40);
+    p.stripFront(40);
+    EXPECT_TRUE(p == orig);
+}
+
+TEST(PacketBuffer, AppendGrowsTail)
+{
+    PacketBuffer p(4);
+    std::uint8_t *tail = p.append(4);
+    tail[0] = 0xaa;
+    EXPECT_EQ(p.size(), 8u);
+    EXPECT_EQ(p[4], 0xaa);
+}
+
+TEST(PacketBuffer, TruncateShortens)
+{
+    PacketBuffer p(10);
+    p.truncate(3);
+    EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(PacketBuffer, EqualityComparesContents)
+{
+    const std::uint8_t a[] = {1, 2, 3};
+    const std::uint8_t b[] = {1, 2, 4};
+    EXPECT_TRUE(PacketBuffer(a, 3) == PacketBuffer(a, 3));
+    EXPECT_FALSE(PacketBuffer(a, 3) == PacketBuffer(b, 3));
+    EXPECT_FALSE(PacketBuffer(a, 3) == PacketBuffer(a, 2));
+}
+
+TEST(PacketBuffer, EqualityIgnoresHeadroomDifferences)
+{
+    const std::uint8_t a[] = {1, 2, 3};
+    PacketBuffer p(a, 3, 16), q(a, 3, 128);
+    EXPECT_TRUE(p == q);
+}
+
+} // namespace
+} // namespace net
+} // namespace hyperplane

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the core power model and the C-state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/cstate.hh"
+
+namespace hyperplane {
+namespace power {
+namespace {
+
+TEST(CorePower, ActivePowerGrowsWithIpc)
+{
+    CorePowerModel m;
+    EXPECT_LT(m.activePowerW(0.5), m.activePowerW(2.0));
+    EXPECT_GE(m.activePowerW(0.0), m.params().staticW);
+}
+
+TEST(CorePower, ActivePowerSaturatesAtPeakIpc)
+{
+    CorePowerModel m;
+    EXPECT_DOUBLE_EQ(m.activePowerW(m.params().ipcPeak),
+                     m.activePowerW(m.params().ipcPeak * 2));
+    EXPECT_DOUBLE_EQ(m.activePowerW(m.params().ipcPeak),
+                     m.params().staticW + m.params().dynPeakW);
+}
+
+TEST(CorePower, HaltStatesOrdered)
+{
+    CorePowerModel m;
+    EXPECT_LT(m.haltPowerW(true), m.haltPowerW(false));
+    EXPECT_LT(m.haltPowerW(false), m.activePowerW(1.0));
+}
+
+TEST(CorePower, EnergyIntegratesOverTime)
+{
+    CorePowerModel m;
+    const Tick oneMs = usToTicks(1000.0);
+    m.addActive(oneMs, 2.0);
+    const double expect = m.activePowerW(2.0) * 1e-3;
+    EXPECT_NEAR(m.energyJ(), expect, expect * 1e-9);
+    EXPECT_EQ(m.accountedTicks(), oneMs);
+}
+
+TEST(CorePower, AveragePowerMixesStates)
+{
+    CorePowerModel m;
+    const Tick half = usToTicks(500.0);
+    m.addActive(half, m.params().ipcPeak);
+    m.addHalt(half, true);
+    const double expect =
+        (m.activePowerW(m.params().ipcPeak) + m.haltPowerW(true)) / 2.0;
+    EXPECT_NEAR(m.averagePowerW(), expect, 1e-9);
+}
+
+TEST(CorePower, ClearResets)
+{
+    CorePowerModel m;
+    m.addActive(1000, 1.0);
+    m.clear();
+    EXPECT_DOUBLE_EQ(m.energyJ(), 0.0);
+    EXPECT_EQ(m.accountedTicks(), 0u);
+    EXPECT_DOUBLE_EQ(m.averagePowerW(), 0.0);
+}
+
+TEST(CorePower, C1IdleNearSixteenPercentOfSaturation)
+{
+    // The Figure 12(a) calibration: C1 idle power ~16.2% of the core's
+    // power at saturation-load IPC (~1.1).
+    CorePowerModel m;
+    const double satPower = m.activePowerW(1.1);
+    EXPECT_NEAR(m.haltPowerW(true) / satPower, 0.162, 0.015);
+}
+
+TEST(CState, RunHaltAccountsIntervals)
+{
+    CorePowerModel power;
+    CStateMachine cs(power, /*useC1=*/false);
+    cs.run(0, 2.0);
+    cs.halt(1000);
+    EXPECT_EQ(cs.state(), CState::C0Halt);
+    const Tick lat = cs.wake(3000);
+    EXPECT_EQ(lat, 0u); // C0-halt wakes instantly
+    cs.finish(4000);
+    EXPECT_EQ(power.accountedTicks(), 4000u);
+    EXPECT_EQ(cs.halts.value(), 1u);
+}
+
+TEST(CState, C1WakeChargesLatency)
+{
+    CorePowerModel power;
+    CStateMachine cs(power, /*useC1=*/true);
+    cs.run(0, 1.0);
+    cs.halt(100);
+    EXPECT_EQ(cs.state(), CState::C1);
+    EXPECT_EQ(cs.c1Entries.value(), 1u);
+    const Tick lat = cs.wake(200);
+    EXPECT_EQ(lat, power.params().c1WakeLatency);
+    EXPECT_EQ(cs.state(), CState::C0Active);
+}
+
+TEST(CState, EnergyLowerWithC1)
+{
+    CorePowerModel pa, pb;
+    CStateMachine a(pa, false), b(pb, true);
+    const Tick t = usToTicks(100.0);
+    a.halt(0);
+    b.halt(0);
+    a.finish(t);
+    b.finish(t);
+    EXPECT_LT(pb.energyJ(), pa.energyJ());
+}
+
+TEST(CState, NamesReadable)
+{
+    EXPECT_STREQ(toString(CState::C0Active), "C0-active");
+    EXPECT_STREQ(toString(CState::C0Halt), "C0-halt");
+    EXPECT_STREQ(toString(CState::C1), "C1");
+}
+
+} // namespace
+} // namespace power
+} // namespace hyperplane

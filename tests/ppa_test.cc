@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the Programmable Priority Arbiters: grant semantics,
+ * gate-level equivalence, and the delay/area scaling the paper's
+ * Section IV-B argues for.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ppa.hh"
+#include "sim/rng.hh"
+
+namespace hyperplane {
+namespace core {
+namespace {
+
+BitVec
+fromBits(std::initializer_list<unsigned> setBits, unsigned n)
+{
+    BitVec v(n);
+    for (unsigned b : setBits)
+        v.set(b);
+    return v;
+}
+
+TEST(Ppa, EmptyReadyVectorGrantsNothing)
+{
+    BrentKungPpa ppa;
+    EXPECT_EQ(ppa.select(BitVec(64), 0), noGrant);
+    EXPECT_EQ(ppa.selectPrefixNetwork(BitVec(64), 10), noGrant);
+    RipplePpa rip;
+    EXPECT_EQ(rip.selectBitSlice(BitVec(64), 3), noGrant);
+}
+
+TEST(Ppa, GrantsAtOrAfterPriority)
+{
+    BrentKungPpa ppa;
+    const BitVec r = fromBits({3, 10, 50}, 64);
+    EXPECT_EQ(ppa.select(r, 0), 3);
+    EXPECT_EQ(ppa.select(r, 3), 3);
+    EXPECT_EQ(ppa.select(r, 4), 10);
+    EXPECT_EQ(ppa.select(r, 11), 50);
+}
+
+TEST(Ppa, WrapsAroundPastHighestBit)
+{
+    BrentKungPpa ppa;
+    const BitVec r = fromBits({3, 10}, 64);
+    EXPECT_EQ(ppa.select(r, 11), 3); // wrap
+    EXPECT_EQ(ppa.select(r, 63), 3);
+}
+
+TEST(Ppa, SingleBitAlwaysGranted)
+{
+    BrentKungPpa ppa;
+    const BitVec r = fromBits({17}, 100);
+    for (unsigned p = 0; p < 100; p += 7)
+        EXPECT_EQ(ppa.select(r, p), 17);
+}
+
+TEST(Ppa, RoundRobinRotationIsFair)
+{
+    // Granting then moving priority past the grant visits all ready
+    // bits in circular order.
+    BrentKungPpa ppa;
+    const BitVec r = fromBits({2, 30, 64, 90}, 128);
+    unsigned priority = 0;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+        const int g = ppa.select(r, priority);
+        ASSERT_NE(g, noGrant);
+        order.push_back(g);
+        priority = (g + 1) % 128;
+    }
+    EXPECT_EQ(order, (std::vector<int>{2, 30, 64, 90, 2, 30, 64, 90}));
+}
+
+TEST(Ppa, RippleBitSliceMatchesWordScan)
+{
+    RipplePpa ppa;
+    Rng rng(123);
+    for (int trial = 0; trial < 200; ++trial) {
+        const unsigned n = 1 + static_cast<unsigned>(rng.uniformInt(200));
+        BitVec r(n);
+        const unsigned sets = static_cast<unsigned>(rng.uniformInt(n + 1));
+        for (unsigned i = 0; i < sets; ++i)
+            r.set(static_cast<unsigned>(rng.uniformInt(n)));
+        const unsigned p = static_cast<unsigned>(rng.uniformInt(n));
+        EXPECT_EQ(ppa.selectBitSlice(r, p), ppa.select(r, p))
+            << "n=" << n << " p=" << p;
+    }
+}
+
+TEST(Ppa, BrentKungNetworkMatchesWordScan)
+{
+    BrentKungPpa ppa;
+    Rng rng(321);
+    for (int trial = 0; trial < 120; ++trial) {
+        const unsigned n = 1 + static_cast<unsigned>(rng.uniformInt(300));
+        BitVec r(n);
+        const unsigned sets = static_cast<unsigned>(rng.uniformInt(n + 1));
+        for (unsigned i = 0; i < sets; ++i)
+            r.set(static_cast<unsigned>(rng.uniformInt(n)));
+        const unsigned p = static_cast<unsigned>(rng.uniformInt(n));
+        EXPECT_EQ(ppa.selectPrefixNetwork(r, p), ppa.select(r, p))
+            << "n=" << n << " p=" << p;
+    }
+}
+
+TEST(Ppa, BothArbitersAgreeEverywhereSmall)
+{
+    // Exhaustive over all 8-bit ready vectors and priorities.
+    RipplePpa rip;
+    BrentKungPpa bk;
+    for (unsigned bits = 0; bits < 256; ++bits) {
+        BitVec r(8);
+        for (unsigned i = 0; i < 8; ++i) {
+            if (bits & (1u << i))
+                r.set(i);
+        }
+        for (unsigned p = 0; p < 8; ++p) {
+            EXPECT_EQ(rip.selectBitSlice(r, p),
+                      bk.selectPrefixNetwork(r, p))
+                << "bits=" << bits << " p=" << p;
+        }
+    }
+}
+
+TEST(Ppa, BrentKungPrefixOpCountMatchesClosedForm)
+{
+    // Brent-Kung on n = 2^k inputs uses 2n - 2 - log2(n) operators.
+    for (unsigned logn = 1; logn <= 10; ++logn) {
+        const unsigned n = 1u << logn;
+        const auto s = BrentKungPpa::networkStats(n);
+        EXPECT_EQ(s.prefixOps, 2ull * n - 2 - logn) << "n=" << n;
+    }
+}
+
+TEST(Ppa, BrentKungDepthLogarithmic)
+{
+    // Depth = 2*log2(n) - 1 prefix levels for power-of-two n >= 4
+    // (up-sweep log n + down-sweep log n - 1).
+    const auto s1024 = BrentKungPpa::networkStats(1024);
+    EXPECT_EQ(s1024.levels, 19u);
+    const auto s16 = BrentKungPpa::networkStats(16);
+    EXPECT_EQ(s16.levels, 7u);
+}
+
+TEST(Ppa, RippleDelayLinearBrentKungLogarithmic)
+{
+    RipplePpa rip;
+    BrentKungPpa bk;
+    // Ripple doubles with size; Brent-Kung grows by ~2 levels.
+    EXPECT_NEAR(rip.delayNs(2048) / rip.delayNs(1024), 2.0, 1e-9);
+    EXPECT_LT(bk.delayNs(2048) - bk.delayNs(1024), 0.2);
+    // At 1024 bits the parallel-prefix design must be far faster.
+    EXPECT_GT(rip.delayNs(1024) / bk.delayNs(1024), 10.0);
+}
+
+TEST(Ppa, DelayAndGatesMonotoneInWidth)
+{
+    BrentKungPpa bk;
+    RipplePpa rip;
+    double prevBk = 0, prevRip = 0;
+    std::uint64_t prevGates = 0;
+    for (unsigned n : {16u, 64u, 256u, 1024u, 4096u}) {
+        EXPECT_GT(bk.delayNs(n), prevBk);
+        EXPECT_GT(rip.delayNs(n), prevRip);
+        EXPECT_GT(bk.gateCount(n), prevGates);
+        prevBk = bk.delayNs(n);
+        prevRip = rip.delayNs(n);
+        prevGates = bk.gateCount(n);
+    }
+}
+
+TEST(Ppa, NamesDistinguishImplementations)
+{
+    EXPECT_EQ(RipplePpa{}.name(), "ripple");
+    EXPECT_EQ(BrentKungPpa{}.name(), "brent-kung");
+}
+
+} // namespace
+} // namespace core
+} // namespace hyperplane

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Model-equivalence property test for the QwaitUnit.
+ *
+ * A reference model captures the *intended* semantics of Algorithm 1
+ * with plain per-queue item counts: a grant must never be lost (if any
+ * queue holds items and the protocol is followed, QWAIT eventually
+ * returns it) and never duplicated (a queue with one in-flight grant is
+ * not re-granted until RECONSIDER).  The test drives the real
+ * QwaitUnit + Doorbells through long random traces of producer and
+ * consumer actions and checks the hardware against the reference after
+ * every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/qwait_unit.hh"
+#include "queueing/doorbell.hh"
+#include "sim/rng.hh"
+
+namespace hyperplane {
+namespace core {
+namespace {
+
+using queueing::AddressMap;
+using queueing::Doorbell;
+
+/** Reference bookkeeping per queue. */
+struct RefQueue
+{
+    std::uint64_t items = 0; ///< enqueued, not yet claimed
+    bool granted = false;    ///< returned by QWAIT, pre-RECONSIDER
+};
+
+class QwaitModelTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(QwaitModelTest, RandomTraceMatchesReferenceModel)
+{
+    constexpr unsigned numQueues = 24;
+    QwaitConfig cfg;
+    cfg.ready.capacity = numQueues;
+    QwaitUnit unit(cfg);
+
+    std::vector<Doorbell> doorbells;
+    std::vector<RefQueue> ref(numQueues);
+    for (QueueId q = 0; q < numQueues; ++q) {
+        doorbells.emplace_back(AddressMap::doorbellAddr(q));
+        ASSERT_TRUE(unit.qwaitAdd(q, AddressMap::doorbellAddr(q)));
+    }
+
+    Rng rng(GetParam());
+    std::uint64_t totalProduced = 0, totalConsumed = 0;
+
+    for (int step = 0; step < 4000; ++step) {
+        const unsigned action = static_cast<unsigned>(rng.uniformInt(3));
+        if (action == 0) {
+            // Producer: enqueue a burst into a random queue and ring.
+            const auto q =
+                static_cast<QueueId>(rng.uniformInt(numQueues));
+            const auto n = 1 + rng.uniformInt(4);
+            doorbells[q].increment(n);
+            ref[q].items += n;
+            totalProduced += n;
+            unit.onWriteTransaction(AddressMap::doorbellAddr(q), 0);
+        } else {
+            // Consumer: one full QWAIT iteration (Algorithm 1 body).
+            const auto qid = unit.qwait();
+            if (!qid) {
+                // Blocked: the reference must agree nothing is
+                // grantable — every queue is either empty or already
+                // granted (its grant is in flight elsewhere in a real
+                // multicore; here in-flight sets are drained within
+                // the iteration, so "granted" queues cannot exist at
+                // this point).
+                for (unsigned q = 0; q < numQueues; ++q) {
+                    EXPECT_FALSE(ref[q].items > 0 && !ref[q].granted)
+                        << "lost wakeup for queue " << q << " at step "
+                        << step;
+                }
+                continue;
+            }
+            ASSERT_LT(*qid, numQueues);
+            EXPECT_FALSE(ref[*qid].granted)
+                << "double grant of queue " << *qid;
+            ref[*qid].granted = true;
+
+            if (!unit.qwaitVerify(*qid, doorbells[*qid])) {
+                // Spurious: reference must show it empty.
+                EXPECT_EQ(ref[*qid].items, 0u);
+                ref[*qid].granted = false;
+                continue;
+            }
+            EXPECT_GT(ref[*qid].items, 0u)
+                << "verify passed an empty queue";
+
+            // Dequeue a random batch.
+            const auto want = 1 + rng.uniformInt(3);
+            const auto got = doorbells[*qid].decrement(want);
+            EXPECT_EQ(got, std::min<std::uint64_t>(want,
+                                                   ref[*qid].items));
+            ref[*qid].items -= got;
+            totalConsumed += got;
+
+            unit.qwaitReconsider(*qid, doorbells[*qid]);
+            ref[*qid].granted = false;
+        }
+
+        // Global invariant: doorbell counters mirror the reference.
+        for (unsigned q = 0; q < numQueues; ++q)
+            ASSERT_EQ(doorbells[q].count(), ref[q].items);
+    }
+
+    // Drain everything; no wakeup may have been lost.
+    for (int guard = 0; guard < 100000; ++guard) {
+        const auto qid = unit.qwait();
+        if (!qid)
+            break;
+        if (!unit.qwaitVerify(*qid, doorbells[*qid]))
+            continue;
+        const auto got = doorbells[*qid].decrement(
+            doorbells[*qid].count());
+        ref[*qid].items -= got;
+        totalConsumed += got;
+        unit.qwaitReconsider(*qid, doorbells[*qid]);
+    }
+    EXPECT_EQ(totalConsumed, totalProduced)
+        << "items lost: the notification chain dropped a wakeup";
+    for (unsigned q = 0; q < numQueues; ++q)
+        EXPECT_EQ(ref[q].items, 0u) << "queue " << q << " stranded";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QwaitModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+} // namespace
+} // namespace core
+} // namespace hyperplane

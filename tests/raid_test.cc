@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for RAID-6 P+Q parity and recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codes/raid.hh"
+#include "sim/rng.hh"
+
+namespace hyperplane {
+namespace codes {
+namespace {
+
+std::vector<Block>
+randomStripe(unsigned disks, std::size_t len, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Block> stripe(disks, Block(len));
+    for (auto &blk : stripe)
+        for (auto &b : blk)
+            b = static_cast<std::uint8_t>(rng.next());
+    return stripe;
+}
+
+TEST(Raid6, PIsXorOfBlocks)
+{
+    Raid6 raid(3);
+    std::vector<Block> stripe{{1, 2}, {4, 8}, {16, 32}};
+    const Block p = raid.computeP(stripe);
+    EXPECT_EQ(p, (Block{1 ^ 4 ^ 16, 2 ^ 8 ^ 32}));
+}
+
+TEST(Raid6, QWeightsByPowersOfG)
+{
+    Raid6 raid(2);
+    std::vector<Block> stripe{{1}, {1}};
+    // Q = g^0 * 1 ^ g^1 * 1 = 1 ^ 2 = 3.
+    EXPECT_EQ(raid.computeQ(stripe), Block{3});
+}
+
+TEST(Raid6, VerifyAcceptsCorrectParity)
+{
+    Raid6 raid(8);
+    const auto stripe = randomStripe(8, 64, 1);
+    const auto [p, q] = raid.computePQ(stripe);
+    EXPECT_TRUE(raid.verify(stripe, p, q));
+}
+
+TEST(Raid6, VerifyRejectsCorruption)
+{
+    Raid6 raid(8);
+    auto stripe = randomStripe(8, 64, 2);
+    const auto [p, q] = raid.computePQ(stripe);
+    stripe[3][17] ^= 0x01;
+    EXPECT_FALSE(raid.verify(stripe, p, q));
+}
+
+TEST(Raid6, RecoverSingleDataWithP)
+{
+    Raid6 raid(6);
+    const auto stripe = randomStripe(6, 32, 3);
+    const Block p = raid.computeP(stripe);
+    for (unsigned missing = 0; missing < 6; ++missing) {
+        auto damaged = stripe;
+        damaged[missing].clear();
+        const Block rec = raid.recoverDataWithP(damaged, p, missing);
+        EXPECT_EQ(rec, stripe[missing]) << "missing " << missing;
+    }
+}
+
+TEST(Raid6, RecoverSingleDataWithQ)
+{
+    Raid6 raid(6);
+    const auto stripe = randomStripe(6, 32, 4);
+    const Block q = raid.computeQ(stripe);
+    for (unsigned missing = 0; missing < 6; ++missing) {
+        auto damaged = stripe;
+        damaged[missing].clear();
+        const Block rec = raid.recoverDataWithQ(damaged, q, missing);
+        EXPECT_EQ(rec, stripe[missing]) << "missing " << missing;
+    }
+}
+
+TEST(Raid6, RecoverTwoDataAllPairs)
+{
+    Raid6 raid(8);
+    const auto stripe = randomStripe(8, 48, 5);
+    const auto [p, q] = raid.computePQ(stripe);
+    for (unsigned a = 0; a < 8; ++a) {
+        for (unsigned b = a + 1; b < 8; ++b) {
+            auto damaged = stripe;
+            damaged[a].clear();
+            damaged[b].clear();
+            const auto [ra, rb] = raid.recoverTwoData(damaged, p, q, a, b);
+            EXPECT_EQ(ra, stripe[a]) << "pair " << a << "," << b;
+            EXPECT_EQ(rb, stripe[b]) << "pair " << a << "," << b;
+        }
+    }
+}
+
+TEST(Raid6, SingleDiskStripe)
+{
+    Raid6 raid(1);
+    std::vector<Block> stripe{{9, 8, 7}};
+    const auto [p, q] = raid.computePQ(stripe);
+    EXPECT_EQ(p, stripe[0]); // XOR of one block is itself
+    EXPECT_EQ(q, stripe[0]); // g^0 = 1
+}
+
+TEST(Raid6, ParityOfZeroStripeIsZero)
+{
+    Raid6 raid(4);
+    std::vector<Block> stripe(4, Block(16, 0));
+    const auto [p, q] = raid.computePQ(stripe);
+    EXPECT_EQ(p, Block(16, 0));
+    EXPECT_EQ(q, Block(16, 0));
+}
+
+class RaidWidthSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RaidWidthSweep, TwoErasureRecoveryAcrossWidths)
+{
+    const unsigned disks = GetParam();
+    Raid6 raid(disks);
+    const auto stripe = randomStripe(disks, 24, disks);
+    const auto [p, q] = raid.computePQ(stripe);
+    auto damaged = stripe;
+    const unsigned a = 0, b = disks - 1;
+    damaged[a].clear();
+    damaged[b].clear();
+    const auto [ra, rb] = raid.recoverTwoData(damaged, p, q, a, b);
+    EXPECT_EQ(ra, stripe[a]);
+    EXPECT_EQ(rb, stripe[b]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RaidWidthSweep,
+                         ::testing::Values(2, 3, 4, 8, 16, 32, 255));
+
+} // namespace
+} // namespace codes
+} // namespace hyperplane

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the ready set and its service policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/ready_set.hh"
+
+namespace hyperplane {
+namespace core {
+namespace {
+
+ReadySetConfig
+cfgWith(ServicePolicy policy, unsigned cap = 64)
+{
+    ReadySetConfig cfg;
+    cfg.capacity = cap;
+    cfg.policy = policy;
+    return cfg;
+}
+
+TEST(ReadySet, EmptySelectsNothing)
+{
+    ReadySet rs(cfgWith(ServicePolicy::RoundRobin));
+    EXPECT_FALSE(rs.anyReady());
+    EXPECT_FALSE(rs.selectNext().has_value());
+}
+
+TEST(ReadySet, ActivateThenSelectClearsReadyBit)
+{
+    ReadySet rs(cfgWith(ServicePolicy::RoundRobin));
+    rs.activate(7);
+    EXPECT_TRUE(rs.isReady(7));
+    const auto qid = rs.selectNext();
+    ASSERT_TRUE(qid.has_value());
+    EXPECT_EQ(*qid, 7u);
+    EXPECT_FALSE(rs.isReady(7));
+    EXPECT_FALSE(rs.selectNext().has_value());
+}
+
+TEST(ReadySet, ActivationIdempotent)
+{
+    ReadySet rs(cfgWith(ServicePolicy::RoundRobin));
+    rs.activate(3);
+    rs.activate(3);
+    EXPECT_TRUE(rs.selectNext().has_value());
+    EXPECT_FALSE(rs.selectNext().has_value());
+}
+
+TEST(ReadySet, RoundRobinVisitsAllFairly)
+{
+    ReadySet rs(cfgWith(ServicePolicy::RoundRobin, 16));
+    std::map<QueueId, int> grants;
+    for (int round = 0; round < 30; ++round) {
+        for (QueueId q : {2u, 5u, 11u})
+            rs.activate(q);
+        const auto qid = rs.selectNext();
+        ASSERT_TRUE(qid.has_value());
+        ++grants[*qid];
+        // Drain remaining grants this round to keep state simple.
+        while (auto more = rs.selectNext())
+            ++grants[*more];
+    }
+    EXPECT_EQ(grants[2], 30);
+    EXPECT_EQ(grants[5], 30);
+    EXPECT_EQ(grants[11], 30);
+}
+
+TEST(ReadySet, RoundRobinOrderRotates)
+{
+    ReadySet rs(cfgWith(ServicePolicy::RoundRobin, 8));
+    rs.activate(1);
+    rs.activate(4);
+    rs.activate(6);
+    std::vector<QueueId> order;
+    while (auto q = rs.selectNext())
+        order.push_back(*q);
+    EXPECT_EQ(order, (std::vector<QueueId>{1, 4, 6}));
+    // Re-activate: priority continues after the last grant (7), so the
+    // circular order restarts at 1.
+    rs.activate(6);
+    rs.activate(1);
+    order.clear();
+    while (auto q = rs.selectNext())
+        order.push_back(*q);
+    EXPECT_EQ(order, (std::vector<QueueId>{1, 6}));
+}
+
+TEST(ReadySet, StrictPriorityAlwaysPicksLowest)
+{
+    ReadySet rs(cfgWith(ServicePolicy::StrictPriority, 16));
+    for (int i = 0; i < 10; ++i) {
+        rs.activate(9);
+        rs.activate(2);
+        rs.activate(14);
+        const auto q = rs.selectNext();
+        ASSERT_TRUE(q.has_value());
+        EXPECT_EQ(*q, 2u);
+        rs.deactivate(9);
+        rs.deactivate(14);
+    }
+}
+
+TEST(ReadySet, StrictPriorityCanStarve)
+{
+    ReadySet rs(cfgWith(ServicePolicy::StrictPriority, 8));
+    rs.activate(6);
+    rs.activate(1);
+    EXPECT_EQ(*rs.selectNext(), 1u);
+    rs.activate(1); // low queue keeps arriving
+    EXPECT_EQ(*rs.selectNext(), 1u);
+    EXPECT_EQ(*rs.selectNext(), 6u); // only served when 1 is idle
+}
+
+TEST(ReadySet, WeightedRoundRobinHonorsWeights)
+{
+    ReadySet rs(cfgWith(ServicePolicy::WeightedRoundRobin, 8));
+    rs.setWeight(1, 3);
+    rs.setWeight(2, 1);
+    std::map<QueueId, int> grants;
+    for (int i = 0; i < 400; ++i) {
+        rs.activate(1);
+        rs.activate(2);
+        const auto q = rs.selectNext();
+        ASSERT_TRUE(q.has_value());
+        ++grants[*q];
+    }
+    // 3:1 service ratio.
+    EXPECT_NEAR(static_cast<double>(grants[1]) / grants[2], 3.0, 0.1);
+}
+
+TEST(ReadySet, WrrPriorityPassesWhenQueueRunsDry)
+{
+    ReadySet rs(cfgWith(ServicePolicy::WeightedRoundRobin, 8));
+    rs.setWeight(1, 100); // huge credit
+    rs.activate(1);
+    rs.activate(2);
+    EXPECT_EQ(*rs.selectNext(), 1u);
+    // Queue 1 runs out of items (not re-activated): despite remaining
+    // credit the priority must pass on.
+    EXPECT_EQ(*rs.selectNext(), 2u);
+}
+
+TEST(ReadySet, DisableMasksGrantsEnableRestores)
+{
+    ReadySet rs(cfgWith(ServicePolicy::RoundRobin, 8));
+    rs.activate(3);
+    rs.disable(3);
+    EXPECT_FALSE(rs.anyReady());
+    EXPECT_FALSE(rs.selectNext().has_value());
+    EXPECT_TRUE(rs.isReady(3)); // still ready, just masked
+    rs.enable(3);
+    EXPECT_EQ(*rs.selectNext(), 3u);
+}
+
+TEST(ReadySet, DisabledQueueDoesNotBlockOthers)
+{
+    ReadySet rs(cfgWith(ServicePolicy::StrictPriority, 8));
+    rs.activate(0);
+    rs.activate(5);
+    rs.disable(0);
+    EXPECT_EQ(*rs.selectNext(), 5u);
+}
+
+TEST(ReadySet, ReadyCountHonorsMask)
+{
+    ReadySet rs(cfgWith(ServicePolicy::RoundRobin, 8));
+    rs.activate(1);
+    rs.activate(2);
+    rs.activate(3);
+    EXPECT_EQ(rs.readyCount(), 3u);
+    rs.disable(2);
+    EXPECT_EQ(rs.readyCount(), 2u);
+}
+
+TEST(ReadySet, DeactivateClearsSticky)
+{
+    ReadySet rs(cfgWith(ServicePolicy::WeightedRoundRobin, 8));
+    rs.setWeight(1, 10);
+    rs.activate(1);
+    rs.activate(2);
+    EXPECT_EQ(*rs.selectNext(), 1u);
+    rs.activate(1);
+    rs.deactivate(1); // e.g. QWAIT-REMOVE
+    EXPECT_EQ(*rs.selectNext(), 2u);
+}
+
+TEST(ReadySet, ResetClearsDynamicState)
+{
+    ReadySet rs(cfgWith(ServicePolicy::RoundRobin, 8));
+    rs.activate(4);
+    rs.disable(5);
+    rs.reset();
+    EXPECT_FALSE(rs.anyReady());
+    EXPECT_TRUE(rs.isEnabled(5));
+}
+
+TEST(ReadySet, RippleArbiterVariantBehavesIdentically)
+{
+    ReadySetConfig a = cfgWith(ServicePolicy::RoundRobin, 32);
+    ReadySetConfig b = a;
+    b.arbiter = ArbiterKind::Ripple;
+    ReadySet rsA(a), rsB(b);
+    for (QueueId q : {3u, 9u, 27u}) {
+        rsA.activate(q);
+        rsB.activate(q);
+    }
+    for (int i = 0; i < 3; ++i) {
+        const auto ga = rsA.selectNext();
+        const auto gb = rsB.selectNext();
+        ASSERT_TRUE(ga.has_value() && gb.has_value());
+        EXPECT_EQ(*ga, *gb);
+    }
+}
+
+TEST(ReadySet, GrantStatsAdvance)
+{
+    ReadySet rs(cfgWith(ServicePolicy::RoundRobin, 8));
+    rs.activate(1);
+    rs.selectNext();
+    EXPECT_EQ(rs.activations.value(), 1u);
+    EXPECT_EQ(rs.grants.value(), 1u);
+}
+
+/** Policy sweep: a single ready queue is always granted regardless of
+ *  policy. */
+class PolicySweep : public ::testing::TestWithParam<ServicePolicy>
+{
+};
+
+TEST_P(PolicySweep, LoneReadyQueueGranted)
+{
+    ReadySet rs(cfgWith(GetParam(), 128));
+    rs.activate(77);
+    const auto q = rs.selectNext();
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(*q, 77u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicySweep,
+    ::testing::Values(ServicePolicy::RoundRobin,
+                      ServicePolicy::WeightedRoundRobin,
+                      ServicePolicy::StrictPriority));
+
+} // namespace
+} // namespace core
+} // namespace hyperplane

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit and property tests for the Cauchy Reed-Solomon erasure coder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codes/reed_solomon.hh"
+#include "sim/rng.hh"
+
+namespace hyperplane {
+namespace codes {
+namespace {
+
+std::vector<Shard>
+randomData(unsigned k, std::size_t len, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Shard> data(k, Shard(len));
+    for (auto &shard : data)
+        for (auto &b : shard)
+            b = static_cast<std::uint8_t>(rng.next());
+    return data;
+}
+
+TEST(ReedSolomon, EncodeProducesParityShards)
+{
+    ReedSolomon rs(4, 2);
+    const auto data = randomData(4, 64, 1);
+    const auto parity = rs.encode(data);
+    ASSERT_EQ(parity.size(), 2u);
+    for (const auto &p : parity)
+        EXPECT_EQ(p.size(), 64u);
+}
+
+TEST(ReedSolomon, DecodeWithNoLossReturnsData)
+{
+    ReedSolomon rs(4, 2);
+    const auto data = randomData(4, 32, 2);
+    const auto parity = rs.encode(data);
+    std::vector<Shard> shards = data;
+    shards.insert(shards.end(), parity.begin(), parity.end());
+    const auto decoded = rs.decode(shards);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomon, RecoversFromParityOnlySurvivors)
+{
+    // Lose m data shards; recover from the remaining data + all parity.
+    ReedSolomon rs(3, 3);
+    const auto data = randomData(3, 48, 3);
+    const auto parity = rs.encode(data);
+    std::vector<Shard> shards(6);
+    // All data lost, all parity survives.
+    shards[3] = parity[0];
+    shards[4] = parity[1];
+    shards[5] = parity[2];
+    const auto decoded = rs.decode(shards);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomon, FailsWithTooFewSurvivors)
+{
+    ReedSolomon rs(4, 2);
+    const auto data = randomData(4, 16, 4);
+    const auto parity = rs.encode(data);
+    std::vector<Shard> shards(6);
+    shards[0] = data[0];
+    shards[1] = data[1];
+    shards[4] = parity[0]; // only 3 of 4 required survive
+    EXPECT_FALSE(rs.decode(shards).has_value());
+}
+
+TEST(ReedSolomon, ParityIsLinear)
+{
+    // parity(a XOR b) == parity(a) XOR parity(b): the code is linear.
+    ReedSolomon rs(4, 2);
+    const auto a = randomData(4, 32, 5);
+    const auto b = randomData(4, 32, 6);
+    std::vector<Shard> sum(4, Shard(32));
+    for (unsigned s = 0; s < 4; ++s)
+        for (unsigned i = 0; i < 32; ++i)
+            sum[s][i] = a[s][i] ^ b[s][i];
+    const auto pa = rs.encode(a);
+    const auto pb = rs.encode(b);
+    const auto ps = rs.encode(sum);
+    for (unsigned s = 0; s < 2; ++s)
+        for (unsigned i = 0; i < 32; ++i)
+            EXPECT_EQ(ps[s][i], pa[s][i] ^ pb[s][i]);
+}
+
+TEST(ReedSolomon, ZeroDataGivesZeroParity)
+{
+    ReedSolomon rs(5, 3);
+    std::vector<Shard> data(5, Shard(16, 0));
+    const auto parity = rs.encode(data);
+    for (const auto &p : parity)
+        for (auto b : p)
+            EXPECT_EQ(b, 0);
+}
+
+/**
+ * Property: every erasure pattern of up to m lost shards (data and/or
+ * parity) is recoverable.  Exhaustive over all patterns for RS(4, 2).
+ */
+TEST(ReedSolomon, AllTwoErasurePatternsRecoverable)
+{
+    ReedSolomon rs(4, 2);
+    const auto data = randomData(4, 24, 7);
+    const auto parity = rs.encode(data);
+    std::vector<Shard> full = data;
+    full.insert(full.end(), parity.begin(), parity.end());
+
+    for (unsigned lossA = 0; lossA < 6; ++lossA) {
+        for (unsigned lossB = lossA; lossB < 6; ++lossB) {
+            auto shards = full;
+            shards[lossA].clear();
+            shards[lossB].clear();
+            const auto decoded = rs.decode(shards);
+            ASSERT_TRUE(decoded.has_value())
+                << "losses " << lossA << "," << lossB;
+            EXPECT_EQ(*decoded, data)
+                << "losses " << lossA << "," << lossB;
+        }
+    }
+}
+
+/** Parameterized sweep over (k, m) geometries. */
+class RsGeometrySweep
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(RsGeometrySweep, WorstCaseErasureRecovers)
+{
+    const auto [k, m] = GetParam();
+    ReedSolomon rs(k, m);
+    const auto data = randomData(k, 40, k * 31 + m);
+    const auto parity = rs.encode(data);
+    std::vector<Shard> shards = data;
+    shards.insert(shards.end(), parity.begin(), parity.end());
+    // Lose the first m shards (all data when m >= k).
+    for (unsigned i = 0; i < m; ++i)
+        shards[i].clear();
+    const auto decoded = rs.decode(shards);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RsGeometrySweep,
+    ::testing::Values(std::make_pair(1u, 1u), std::make_pair(2u, 1u),
+                      std::make_pair(3u, 2u), std::make_pair(6u, 3u),
+                      std::make_pair(10u, 4u), std::make_pair(17u, 3u),
+                      std::make_pair(32u, 8u)));
+
+} // namespace
+} // namespace codes
+} // namespace hyperplane

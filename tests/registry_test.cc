@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the statistics registry and SdpSystem::dumpStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "dp/sdp_system.hh"
+#include "stats/registry.hh"
+
+namespace hyperplane {
+namespace stats {
+namespace {
+
+TEST(Registry, CountersReadAtReportTime)
+{
+    Registry reg;
+    Counter c("hits");
+    reg.add("cache.hits", c);
+    c.inc(5);
+    EXPECT_EQ(reg.value("cache.hits"), 5.0);
+    c.inc(2);
+    EXPECT_EQ(reg.value("cache.hits"), 7.0);
+}
+
+TEST(Registry, ScalarsEvaluateLazily)
+{
+    Registry reg;
+    double x = 1.0;
+    reg.addScalar("derived.x", [&x] { return x * 2; });
+    x = 21.0;
+    EXPECT_DOUBLE_EQ(reg.value("derived.x"), 42.0);
+}
+
+TEST(Registry, ReportSortedByPath)
+{
+    Registry reg;
+    Counter a("z"), b("a");
+    reg.add("z.last", a);
+    reg.add("a.first", b);
+    const std::string out = reg.report();
+    EXPECT_LT(out.find("a.first"), out.find("z.last"));
+}
+
+TEST(Registry, ReportFormatsIntegersWithoutFraction)
+{
+    Registry reg;
+    Counter c("n");
+    c.inc(123);
+    reg.add("n", c);
+    reg.addScalar("pi", [] { return 3.25; });
+    const std::string out = reg.report();
+    EXPECT_NE(out.find("n = 123\n"), std::string::npos);
+    EXPECT_NE(out.find("pi = 3.25\n"), std::string::npos);
+}
+
+TEST(Registry, AddGroupUsesCounterNames)
+{
+    Registry reg;
+    Counter a("alpha"), b("beta");
+    a.inc(1);
+    b.inc(2);
+    reg.addGroup("grp", {a, b});
+    EXPECT_EQ(reg.value("grp.alpha"), 1.0);
+    EXPECT_EQ(reg.value("grp.beta"), 2.0);
+}
+
+TEST(Registry, UnknownPathIsNaN)
+{
+    Registry reg;
+    EXPECT_TRUE(std::isnan(reg.value("nope")));
+}
+
+TEST(Registry, SdpSystemDumpContainsComponentStats)
+{
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::HyperPlane;
+    cfg.numCores = 1;
+    cfg.numQueues = 16;
+    cfg.offeredRatePerSec = 5e4;
+    cfg.warmupUs = 200.0;
+    cfg.measureUs = 2000.0;
+    cfg.seed = 5;
+    dp::SdpSystem sys(cfg);
+    sys.run();
+    std::ostringstream os;
+    sys.dumpStats(os);
+    const std::string out = os.str();
+    for (const char *key :
+         {"mem.l1_hits", "source.arrivals_generated",
+          "hyperplane0.qwait_calls", "hyperplane0.monitoring.inserts",
+          "hyperplane0.ready.grants", "core0.tasks",
+          "core0.halt_ticks"}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+    // The monitoring set still holds all 16 doorbells.
+    EXPECT_NE(out.find("hyperplane0.monitoring.occupancy = 16"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace stats
+} // namespace hyperplane

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for streaming scalar statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "stats/sampler.hh"
+
+namespace hyperplane {
+namespace stats {
+namespace {
+
+TEST(Sampler, EmptyIsZero)
+{
+    Sampler s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Sampler, SingleSample)
+{
+    Sampler s;
+    s.record(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Sampler, KnownMeanAndVariance)
+{
+    Sampler s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.record(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic dataset is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Sampler, MergeMatchesCombinedStream)
+{
+    Rng rng(9);
+    Sampler all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.gaussian(3.0, 1.5);
+        all.record(v);
+        (i % 2 == 0 ? a : b).record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Sampler, MergeWithEmptyIsIdentity)
+{
+    Sampler a, empty;
+    a.record(1.0);
+    a.record(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+
+    Sampler b;
+    b.merge(a);
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Sampler, ClearResets)
+{
+    Sampler s;
+    s.record(1.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Counter, IncrementAndName)
+{
+    Counter c("events");
+    EXPECT_EQ(c.name(), "events");
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.clear();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RateMeter, ComputesEventsPerSecond)
+{
+    RateMeter m;
+    m.start(0);
+    m.record(3000);
+    // 1 ms of simulated time at 3 GHz.
+    const Tick oneMs = usToTicks(1000.0);
+    EXPECT_NEAR(m.ratePerSecond(oneMs), 3.0e6, 1.0);
+}
+
+TEST(RateMeter, ZeroWindowIsZeroRate)
+{
+    RateMeter m;
+    m.start(100);
+    m.record(5);
+    EXPECT_DOUBLE_EQ(m.ratePerSecond(100), 0.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace hyperplane

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for traffic shapes and imbalance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "traffic/shapes.hh"
+
+namespace hyperplane {
+namespace traffic {
+namespace {
+
+double
+sum(const std::vector<double> &w)
+{
+    return std::accumulate(w.begin(), w.end(), 0.0);
+}
+
+TEST(Shapes, FbActivatesEveryQueue)
+{
+    Rng rng(1);
+    const auto w = shapeWeights(Shape::FB, 200, rng);
+    EXPECT_EQ(activeQueueCount(w), 200u);
+    for (double x : w)
+        EXPECT_DOUBLE_EQ(x, 1.0 / 200);
+}
+
+TEST(Shapes, SqActivatesExactlyOne)
+{
+    Rng rng(2);
+    const auto w = shapeWeights(Shape::SQ, 500, rng);
+    EXPECT_EQ(activeQueueCount(w), 1u);
+    EXPECT_DOUBLE_EQ(sum(w), 1.0);
+}
+
+TEST(Shapes, PcActivatesAboutTwentyFourPercent)
+{
+    Rng rng(3);
+    // 20% always + 5% of the remaining 80% => ~24% expected.
+    const auto w = shapeWeights(Shape::PC, 1000, rng);
+    const unsigned active = activeQueueCount(w);
+    EXPECT_GE(active, 200u); // at least the always-on set
+    EXPECT_NEAR(active, 240.0, 40.0);
+    EXPECT_NEAR(sum(w), 1.0, 1e-9);
+}
+
+TEST(Shapes, NcActivatesAboutHundredPlusFivePercent)
+{
+    Rng rng(4);
+    const auto w = shapeWeights(Shape::NC, 1000, rng);
+    const unsigned active = activeQueueCount(w);
+    EXPECT_GE(active, 100u);
+    EXPECT_NEAR(active, 145.0, 35.0);
+}
+
+TEST(Shapes, NcWithFewQueuesActivatesAll)
+{
+    Rng rng(5);
+    const auto w = shapeWeights(Shape::NC, 50, rng);
+    EXPECT_EQ(activeQueueCount(w), 50u);
+}
+
+TEST(Shapes, ActiveQueuesShareLoadEqually)
+{
+    Rng rng(6);
+    const auto w = shapeWeights(Shape::PC, 400, rng);
+    double firstActive = 0.0;
+    for (double x : w) {
+        if (x > 0.0) {
+            if (firstActive == 0.0)
+                firstActive = x;
+            EXPECT_DOUBLE_EQ(x, firstActive);
+        }
+    }
+}
+
+TEST(Shapes, WeightsAlwaysSumToOne)
+{
+    Rng rng(7);
+    for (Shape s : allShapes()) {
+        for (unsigned n : {1u, 10u, 100u, 1000u}) {
+            const auto w = shapeWeights(s, n, rng);
+            EXPECT_NEAR(sum(w), 1.0, 1e-9)
+                << toString(s) << " n=" << n;
+            EXPECT_GE(activeQueueCount(w), 1u);
+        }
+    }
+}
+
+TEST(Shapes, ImbalanceSkewsFirstHalfOfActives)
+{
+    Rng rng(8);
+    auto w = shapeWeights(Shape::FB, 100, rng);
+    const auto skewed = applyImbalance(w, 0.10);
+    EXPECT_NEAR(sum(skewed), 1.0, 1e-9);
+    // First active gets 1.1x the last active's weight.
+    EXPECT_NEAR(skewed[0] / skewed[99], 1.1, 1e-9);
+}
+
+TEST(Shapes, ZeroImbalanceIsIdentity)
+{
+    Rng rng(9);
+    const auto w = shapeWeights(Shape::PC, 100, rng);
+    const auto same = applyImbalance(w, 0.0);
+    for (unsigned i = 0; i < 100; ++i)
+        EXPECT_NEAR(same[i], w[i], 1e-12);
+}
+
+TEST(Shapes, ImbalancePreservesInactiveQueues)
+{
+    Rng rng(10);
+    const auto w = shapeWeights(Shape::SQ, 10, rng);
+    const auto skewed = applyImbalance(w, 0.5);
+    EXPECT_EQ(activeQueueCount(skewed), 1u);
+}
+
+TEST(Shapes, NamesRoundTrip)
+{
+    EXPECT_STREQ(toString(Shape::FB), "FB");
+    EXPECT_STREQ(toString(Shape::PC), "PC");
+    EXPECT_STREQ(toString(Shape::NC), "NC");
+    EXPECT_STREQ(toString(Shape::SQ), "SQ");
+    EXPECT_EQ(allShapes().size(), 4u);
+}
+
+} // namespace
+} // namespace traffic
+} // namespace hyperplane

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the SMT co-runner interference model (Figure 11b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dp/smt_corunner.hh"
+
+namespace hyperplane {
+namespace dp {
+namespace {
+
+TEST(SmtCoRunner, IdleSiblingLeavesSoloIpc)
+{
+    SmtCoRunner smt;
+    EXPECT_DOUBLE_EQ(smt.coRunnerIpc(0.0, 0.0), smt.params().soloIpc);
+    EXPECT_DOUBLE_EQ(smt.coRunnerIpc(0.0, 3.0), smt.params().soloIpc);
+}
+
+TEST(SmtCoRunner, SpinningSiblingIsWorstAntagonist)
+{
+    // The paper's observation: a full-tilt spinning thread hurts the
+    // co-runner more than a thread doing actual (memory-stalled) work.
+    SmtCoRunner smt;
+    const double underSpin = smt.coRunnerIpc(1.0, 2.8); // idle spin
+    const double underWork = smt.coRunnerIpc(1.0, 1.1); // real work
+    EXPECT_LT(underSpin, underWork);
+    EXPECT_LT(underWork, smt.params().soloIpc);
+}
+
+TEST(SmtCoRunner, HyperPlaneCoRunnerIpcFallsWithLoad)
+{
+    // With HyperPlane the DP thread is active roughly `load` of the
+    // time, so the co-runner degrades as load grows.
+    SmtCoRunner smt;
+    double prev = smt.params().soloIpc + 1;
+    for (double load : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const double ipc = smt.coRunnerIpc(load, 1.1);
+        EXPECT_LT(ipc, prev);
+        prev = ipc;
+    }
+}
+
+TEST(SmtCoRunner, SpinningCoRunnerIpcRisesWithLoad)
+{
+    // With spinning, activity is always 1.0 but the DP IPC *drops* as
+    // load rises (misses replace spinning), freeing issue slots.
+    SmtCoRunner smt;
+    const double atIdle = smt.coRunnerIpc(1.0, 2.8);
+    const double atSat = smt.coRunnerIpc(1.0, 1.1);
+    EXPECT_GT(atSat, atIdle);
+}
+
+TEST(SmtCoRunner, InputsClamped)
+{
+    SmtCoRunner smt;
+    EXPECT_DOUBLE_EQ(smt.coRunnerIpc(-1.0, 1.0),
+                     smt.coRunnerIpc(0.0, 1.0));
+    EXPECT_DOUBLE_EQ(smt.coRunnerIpc(2.0, 1.0),
+                     smt.coRunnerIpc(1.0, 1.0));
+    EXPECT_DOUBLE_EQ(smt.coRunnerIpc(1.0, 99.0),
+                     smt.coRunnerIpc(1.0, smt.params().ipcPeak));
+}
+
+TEST(SmtCoRunner, CustomParamsRespected)
+{
+    SmtParams p;
+    p.soloIpc = 1.0;
+    p.contention = 0.5;
+    p.ipcPeak = 2.0;
+    SmtCoRunner smt(p);
+    EXPECT_DOUBLE_EQ(smt.coRunnerIpc(1.0, 2.0), 0.5);
+}
+
+} // namespace
+} // namespace dp
+} // namespace hyperplane

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit and concurrency tests for the lock-free SPSC ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "queueing/spsc_ring.hh"
+
+namespace hyperplane {
+namespace queueing {
+namespace {
+
+TEST(SpscRing, StartsEmpty)
+{
+    SpscRing<int> ring(8);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_FALSE(ring.tryPop().has_value());
+}
+
+TEST(SpscRing, CapacityRoundsToPowerOfTwo)
+{
+    EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+    EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+    EXPECT_EQ(SpscRing<int>(9).capacity(), 16u);
+}
+
+TEST(SpscRing, PushPopFifoOrder)
+{
+    SpscRing<int> ring(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(ring.tryPush(i));
+    for (int i = 0; i < 5; ++i) {
+        const auto v = ring.tryPop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+}
+
+TEST(SpscRing, FullRingRejectsPush)
+{
+    SpscRing<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.tryPush(i));
+    EXPECT_FALSE(ring.tryPush(99));
+    EXPECT_EQ(ring.size(), 4u);
+    ring.tryPop();
+    EXPECT_TRUE(ring.tryPush(99));
+}
+
+TEST(SpscRing, WrapsAroundManyTimes)
+{
+    SpscRing<int> ring(4);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(ring.tryPush(i));
+        const auto v = ring.tryPop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+}
+
+TEST(SpscRing, MoveOnlyTypesSupported)
+{
+    SpscRing<std::unique_ptr<int>> ring(4);
+    EXPECT_TRUE(ring.tryPush(std::make_unique<int>(42)));
+    const auto v = ring.tryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(**v, 42);
+}
+
+TEST(SpscRing, TwoThreadStressPreservesSequence)
+{
+    SpscRing<std::uint64_t> ring(1024);
+    constexpr std::uint64_t total = 200000;
+    std::uint64_t received = 0;
+    bool ordered = true;
+
+    std::thread consumer([&] {
+        std::uint64_t expect = 0;
+        while (expect < total) {
+            const auto v = ring.tryPop();
+            if (!v)
+                continue;
+            if (*v != expect)
+                ordered = false;
+            ++expect;
+            ++received;
+        }
+    });
+    for (std::uint64_t i = 0; i < total; ++i) {
+        while (!ring.tryPush(i))
+            std::this_thread::yield();
+    }
+    consumer.join();
+    EXPECT_TRUE(ordered);
+    EXPECT_EQ(received, total);
+    EXPECT_TRUE(ring.empty());
+}
+
+} // namespace
+} // namespace queueing
+} // namespace hyperplane

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/table.hh"
+
+namespace hyperplane {
+namespace stats {
+namespace {
+
+TEST(Table, RendersTitleHeaderAndRows)
+{
+    Table t("My Table");
+    t.header({"a", "bb"});
+    t.row({"1", "2"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("My Table"), std::string::npos);
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+    EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignAcrossRows)
+{
+    Table t("t");
+    t.header({"col", "x"});
+    t.row({"longvalue", "1"});
+    t.row({"s", "2"});
+    const std::string s = t.str();
+    // Both data rows should place their second column at the same
+    // offset within the line.
+    const auto lineAt = [&](int n) {
+        std::size_t pos = 0;
+        for (int i = 0; i < n; ++i)
+            pos = s.find('\n', pos) + 1;
+        return s.substr(pos, s.find('\n', pos) - pos);
+    };
+    const std::string r1 = lineAt(3);
+    const std::string r2 = lineAt(4);
+    EXPECT_EQ(r1.find('1'), r2.find('2'));
+}
+
+TEST(Table, RowValuesFormatsWithPrecision)
+{
+    Table t("t");
+    t.rowValues({1.23456, 2.0}, 2);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("1.23"), std::string::npos);
+    EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(Table, RowCount)
+{
+    Table t("t");
+    EXPECT_EQ(t.rows(), 0u);
+    t.row({"x"});
+    t.row({"y"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableFmt, FixedPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(TableFmt, RatioSuffix)
+{
+    EXPECT_EQ(fmtRatio(4.12), "4.1x");
+    EXPECT_EQ(fmtRatio(16.44, 1), "16.4x");
+}
+
+} // namespace
+} // namespace stats
+} // namespace hyperplane

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for doorbells, the address map, and task queues.
+ */
+
+#include <gtest/gtest.h>
+
+#include "queueing/task_queue.hh"
+
+namespace hyperplane {
+namespace queueing {
+namespace {
+
+TEST(AddressMap, DoorbellsAreLineDisjoint)
+{
+    for (QueueId q = 0; q < 100; ++q) {
+        EXPECT_EQ(AddressMap::doorbellAddr(q) % cacheLineBytes, 0u);
+        EXPECT_EQ(lineBase(AddressMap::doorbellAddr(q)),
+                  AddressMap::doorbellAddr(q));
+        if (q > 0) {
+            EXPECT_NE(lineBase(AddressMap::doorbellAddr(q)),
+                      lineBase(AddressMap::doorbellAddr(q - 1)));
+        }
+    }
+}
+
+TEST(AddressMap, RegionsDoNotOverlap)
+{
+    const unsigned n = 4096;
+    EXPECT_LT(AddressMap::doorbellRangeEnd(n),
+              AddressMap::descriptorBase);
+    EXPECT_LT(AddressMap::descriptorAddr(n), AddressMap::tenantDoorbellBase);
+    EXPECT_LT(AddressMap::tenantDoorbellAddr(n), AddressMap::taskDataBase);
+    EXPECT_LT(AddressMap::taskDataBase, AddressMap::syncBase);
+}
+
+TEST(Doorbell, CountsUpAndDown)
+{
+    Doorbell db(0x1000);
+    EXPECT_TRUE(db.empty());
+    db.increment(3);
+    EXPECT_EQ(db.count(), 3u);
+    EXPECT_EQ(db.decrement(2), 2u);
+    EXPECT_EQ(db.count(), 1u);
+}
+
+TEST(Doorbell, DecrementClampsAtZero)
+{
+    Doorbell db(0x1000);
+    db.increment();
+    EXPECT_EQ(db.decrement(5), 1u);
+    EXPECT_TRUE(db.empty());
+    EXPECT_EQ(db.decrement(), 0u);
+}
+
+TEST(TaskQueue, EnqueueDequeueFifo)
+{
+    TaskQueue q(0, AddressMap::doorbellAddr(0),
+                AddressMap::descriptorAddr(0));
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        WorkItem item;
+        item.seq = i;
+        q.enqueue(item);
+    }
+    EXPECT_EQ(q.depth(), 5u);
+    EXPECT_EQ(q.doorbell().count(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        const auto item = q.dequeue();
+        ASSERT_TRUE(item.has_value());
+        EXPECT_EQ(item->seq, i);
+    }
+    EXPECT_FALSE(q.dequeue().has_value());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TaskQueue, DoorbellTracksDepth)
+{
+    TaskQueue q(0, AddressMap::doorbellAddr(0),
+                AddressMap::descriptorAddr(0));
+    WorkItem item;
+    q.enqueue(item);
+    q.enqueue(item);
+    q.dequeue();
+    EXPECT_EQ(q.doorbell().count(), q.depth());
+}
+
+TEST(TaskQueue, PeekDoesNotRemove)
+{
+    TaskQueue q(0, AddressMap::doorbellAddr(0),
+                AddressMap::descriptorAddr(0));
+    EXPECT_EQ(q.peek(), nullptr);
+    WorkItem item;
+    item.seq = 42;
+    q.enqueue(item);
+    ASSERT_NE(q.peek(), nullptr);
+    EXPECT_EQ(q.peek()->seq, 42u);
+    EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(TaskQueue, StatsTrackTotalsAndMaxDepth)
+{
+    TaskQueue q(0, AddressMap::doorbellAddr(0),
+                AddressMap::descriptorAddr(0));
+    WorkItem item;
+    q.enqueue(item);
+    q.enqueue(item);
+    q.enqueue(item);
+    q.dequeue();
+    EXPECT_EQ(q.totalEnqueued(), 3u);
+    EXPECT_EQ(q.totalDequeued(), 1u);
+    EXPECT_EQ(q.maxDepth(), 3u);
+}
+
+TEST(QueueSet, AllocatesDistinctAddresses)
+{
+    QueueSet set(16);
+    EXPECT_EQ(set.size(), 16u);
+    for (QueueId q = 0; q < 16; ++q) {
+        EXPECT_EQ(set[q].qid(), q);
+        EXPECT_EQ(set[q].doorbellAddr(), AddressMap::doorbellAddr(q));
+    }
+    EXPECT_EQ(set.doorbellRangeHi() - set.doorbellRangeLo(),
+              16u * cacheLineBytes);
+}
+
+TEST(QueueSet, AggregateCounters)
+{
+    QueueSet set(4);
+    WorkItem item;
+    set[0].enqueue(item);
+    set[2].enqueue(item);
+    set[2].enqueue(item);
+    EXPECT_EQ(set.totalBacklog(), 3u);
+    EXPECT_EQ(set.totalEnqueued(), 3u);
+    set[2].dequeue();
+    EXPECT_EQ(set.totalBacklog(), 2u);
+    EXPECT_EQ(set.totalEnqueued(), 3u);
+}
+
+} // namespace
+} // namespace queueing
+} // namespace hyperplane

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the tenant-side receive model (Figure 2 steps 2d-3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dp/sdp_system.hh"
+#include "dp/tenant_model.hh"
+
+namespace hyperplane {
+namespace dp {
+namespace {
+
+queueing::WorkItem
+itemAt(Tick arrival)
+{
+    queueing::WorkItem it;
+    it.arrivalTick = arrival;
+    return it;
+}
+
+TEST(TenantModel, UmwaitAddsFixedWakeCost)
+{
+    TenantParams p;
+    p.notify = TenantNotify::Umwait;
+    p.umwaitWakeCycles = 150;
+    p.receiveCycles = 100;
+    TenantModel tm(p);
+    const Tick held = tm.deliver(itemAt(1000), 5000);
+    EXPECT_EQ(held, 5000u + 150 + 100);
+    EXPECT_EQ(tm.delivered(), 1u);
+    EXPECT_NEAR(tm.latency().mean(), ticksToUs(held - 1000), 1e-9);
+}
+
+TEST(TenantModel, SpinReactionBoundedByPollLoop)
+{
+    TenantParams p;
+    p.notify = TenantNotify::Spin;
+    p.spinPollCycles = 20;
+    p.receiveCycles = 0;
+    TenantModel tm(p);
+    for (int i = 0; i < 200; ++i) {
+        const Tick held = tm.deliver(itemAt(0), 1000);
+        EXPECT_GE(held, 1000u);
+        EXPECT_LE(held, 1020u);
+    }
+}
+
+TEST(TenantModel, SpinFasterThanUmwaitOnAverage)
+{
+    TenantParams spin;
+    spin.notify = TenantNotify::Spin;
+    TenantParams umwait;
+    umwait.notify = TenantNotify::Umwait;
+    TenantModel a(spin), b(umwait);
+    for (int i = 0; i < 500; ++i) {
+        a.deliver(itemAt(0), 1000);
+        b.deliver(itemAt(0), 1000);
+    }
+    EXPECT_LT(a.latency().mean(), b.latency().mean());
+}
+
+TEST(TenantModel, ResetClearsStats)
+{
+    TenantModel tm;
+    tm.deliver(itemAt(0), 100);
+    tm.resetStats();
+    EXPECT_EQ(tm.delivered(), 0u);
+    EXPECT_EQ(tm.latency().count(), 0u);
+}
+
+TEST(TenantModel, NamesReadable)
+{
+    EXPECT_STREQ(toString(TenantNotify::Spin), "spin");
+    EXPECT_STREQ(toString(TenantNotify::Umwait), "umwait");
+}
+
+TEST(TenantModel, EndToEndLatencyReportedBySystem)
+{
+    SdpConfig cfg;
+    cfg.plane = PlaneKind::HyperPlane;
+    cfg.numCores = 1;
+    cfg.numQueues = 16;
+    cfg.offeredRatePerSec = 5e4;
+    cfg.warmupUs = 300.0;
+    cfg.measureUs = 3000.0;
+    cfg.modelTenants = true;
+    cfg.seed = 3;
+    const auto r = runSdp(cfg);
+    ASSERT_GT(r.completions, 50u);
+    // End-to-end includes the tenant hop: strictly beyond data-plane
+    // completion latency, but only by a sub-microsecond margin.
+    EXPECT_GT(r.e2eAvgLatencyUs, r.avgLatencyUs);
+    EXPECT_LT(r.e2eAvgLatencyUs, r.avgLatencyUs + 0.5);
+    EXPECT_GE(r.e2eP99LatencyUs, r.e2eAvgLatencyUs);
+}
+
+TEST(TenantModel, DisabledByDefault)
+{
+    SdpConfig cfg;
+    cfg.plane = PlaneKind::HyperPlane;
+    cfg.numCores = 1;
+    cfg.numQueues = 8;
+    cfg.offeredRatePerSec = 5e4;
+    cfg.warmupUs = 200.0;
+    cfg.measureUs = 1000.0;
+    SdpSystem sys(cfg);
+    const auto r = sys.run();
+    EXPECT_EQ(sys.tenants(), nullptr);
+    EXPECT_DOUBLE_EQ(r.e2eAvgLatencyUs, 0.0);
+}
+
+} // namespace
+} // namespace dp
+} // namespace hyperplane

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the six data-plane workloads: the real computations
+ * must be correct and the timing/footprint models sane.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codes/gf256.hh"
+#include "net/headers.hh"
+#include "workloads/crypto_forwarding.hh"
+#include "workloads/erasure_coding.hh"
+#include "workloads/packet_encapsulation.hh"
+#include "workloads/packet_steering.hh"
+#include "workloads/raid_protection.hh"
+#include "workloads/request_dispatching.hh"
+
+namespace hyperplane {
+namespace workloads {
+namespace {
+
+queueing::WorkItem
+item(std::uint64_t seq = 1, std::uint32_t payload = 1024,
+     std::uint32_t flow = 7)
+{
+    queueing::WorkItem it;
+    it.seq = seq;
+    it.payloadBytes = payload;
+    it.flowId = flow;
+    return it;
+}
+
+TEST(WorkloadFactory, CreatesAllSixKinds)
+{
+    EXPECT_EQ(allKinds().size(), 6u);
+    for (Kind k : allKinds()) {
+        const auto wl = makeWorkload(k);
+        ASSERT_NE(wl, nullptr);
+        EXPECT_EQ(wl->kind(), k);
+        EXPECT_FALSE(wl->name().empty());
+        EXPECT_GT(wl->defaultPayloadBytes(), 0u);
+    }
+}
+
+TEST(WorkloadFactory, ServiceTimesAreMicrosecondScale)
+{
+    // Section V-A: every task takes "a few microseconds".
+    for (Kind k : allKinds()) {
+        const auto wl = makeWorkload(k);
+        queueing::WorkItem it = item();
+        it.payloadBytes = wl->defaultPayloadBytes();
+        const double us = ticksToUs(wl->serviceCycles(it));
+        EXPECT_GE(us, 0.5) << wl->name();
+        EXPECT_LE(us, 15.0) << wl->name();
+    }
+}
+
+TEST(WorkloadFactory, ServiceCyclesMonotoneInPayload)
+{
+    for (Kind k : allKinds()) {
+        const auto wl = makeWorkload(k);
+        EXPECT_LE(wl->serviceCycles(item(1, 256)),
+                  wl->serviceCycles(item(1, 4096)))
+            << wl->name();
+    }
+}
+
+TEST(WorkloadFactory, DataLinesPositiveAndBounded)
+{
+    for (Kind k : allKinds()) {
+        const auto wl = makeWorkload(k);
+        const unsigned lines = wl->dataLines(item());
+        EXPECT_GE(lines, 1u) << wl->name();
+        EXPECT_LE(lines, 200u) << wl->name();
+    }
+}
+
+TEST(PacketEncapsulationTest, ProducesValidGrePacket)
+{
+    PacketEncapsulation wl(42);
+    net::PacketBuffer pkt = wl.encapsulate(item(3, 512));
+    // Outer header is IPv6 carrying GRE with the flow id as key.
+    auto key = net::greDecapsulate(pkt);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, 7u);
+    // Inner packet is valid IPv4 of the right size.
+    const auto inner = net::Ipv4Header::parse(pkt.data());
+    ASSERT_TRUE(inner.has_value());
+    EXPECT_EQ(inner->totalLength, net::Ipv4Header::wireSize + 512);
+}
+
+TEST(PacketEncapsulationTest, DeterministicAcrossInstances)
+{
+    PacketEncapsulation a(42), b(42);
+    EXPECT_TRUE(a.encapsulate(item(9)) == b.encapsulate(item(9)));
+}
+
+TEST(PacketEncapsulationTest, ExecuteCountsItems)
+{
+    PacketEncapsulation wl(1);
+    wl.execute(item(1));
+    wl.execute(item(2));
+    EXPECT_EQ(wl.processed(), 2u);
+}
+
+TEST(CryptoForwardingTest, CiphertextDecryptsBack)
+{
+    CryptoForwarding wl(42);
+    const auto ct = wl.encrypt(item(5, 100));
+    EXPECT_EQ(ct.size() % 16, 0u);
+    EXPECT_GT(ct.size(), 100u);
+}
+
+TEST(CryptoForwardingTest, DistinctItemsDistinctCiphertext)
+{
+    CryptoForwarding wl(42);
+    EXPECT_NE(wl.encrypt(item(1)), wl.encrypt(item(2)));
+}
+
+TEST(CryptoForwardingTest, CryptoIsTheSlowestPerByte)
+{
+    CryptoForwarding crypto(1);
+    PacketEncapsulation encap(1);
+    EXPECT_GT(crypto.serviceCycles(item()),
+              3 * encap.serviceCycles(item()));
+}
+
+TEST(PacketSteeringTest, SameFlowSameDestination)
+{
+    PacketSteering wl(42);
+    const unsigned d1 = wl.steer(item(1, 1024, 100));
+    const unsigned d2 = wl.steer(item(2, 1024, 100));
+    EXPECT_EQ(d1, d2);
+    EXPECT_EQ(wl.sessionCount(), 1u);
+}
+
+TEST(PacketSteeringTest, ManyFlowsSpreadAcrossDestinations)
+{
+    PacketSteering wl(42);
+    std::vector<int> hits(PacketSteering::numDestinations, 0);
+    for (std::uint32_t f = 0; f < 2000; ++f)
+        ++hits[wl.steer(item(f, 64, f))];
+    unsigned used = 0;
+    for (int h : hits)
+        used += h > 0 ? 1 : 0;
+    EXPECT_GT(used, PacketSteering::numDestinations / 2);
+}
+
+TEST(ErasureCodingTest, ParityEnablesReconstruction)
+{
+    ErasureCoding wl(42);
+    const auto it = item(11, 600);
+    const auto data = wl.makeShards(it);
+    const auto parity = wl.encode(it);
+    ASSERT_EQ(parity.size(), ErasureCoding::parityShards);
+
+    std::vector<codes::Shard> shards = data;
+    shards.insert(shards.end(), parity.begin(), parity.end());
+    shards[0].clear();
+    shards[3].clear();
+    shards[5].clear(); // lose 3 of 6 data shards
+    const auto decoded = wl.coder().decode(shards);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+}
+
+TEST(RaidProtectionTest, ParityVerifiesAndRecovers)
+{
+    RaidProtection wl(42);
+    const auto it = item(13, 800);
+    const auto stripe = wl.makeStripe(it);
+    const auto [p, q] = wl.computeParity(it);
+    EXPECT_TRUE(wl.raid().verify(stripe, p, q));
+
+    auto damaged = stripe;
+    damaged[2].clear();
+    damaged[6].clear();
+    const auto [r2, r6] = wl.raid().recoverTwoData(damaged, p, q, 2, 6);
+    EXPECT_EQ(r2, stripe[2]);
+    EXPECT_EQ(r6, stripe[6]);
+}
+
+TEST(RequestDispatchingTest, DescriptorFieldsConsistent)
+{
+    RequestDispatching wl(42);
+    const auto rpc = wl.dispatch(item(17));
+    EXPECT_LT(rpc.requestType, RequestDispatching::numRequestTypes);
+    EXPECT_EQ(rpc.targetServer / RequestDispatching::serversPerType,
+              rpc.requestType);
+    ASSERT_EQ(rpc.header.size(), 20u);
+    EXPECT_EQ(net::getBe32(rpc.header.data()), rpc.requestType);
+    EXPECT_EQ(net::getBe32(rpc.header.data() + 8), rpc.targetServer);
+}
+
+TEST(RequestDispatchingTest, DispatchDeterministicPerItem)
+{
+    RequestDispatching a(42), b(42);
+    const auto r1 = a.dispatch(item(21));
+    const auto r2 = b.dispatch(item(21));
+    EXPECT_EQ(r1.requestType, r2.requestType);
+    EXPECT_EQ(r1.targetServer, r2.targetServer);
+    EXPECT_EQ(r1.payloadChecksum, r2.payloadChecksum);
+}
+
+TEST(RequestDispatchingTest, TypesCoverTheSpace)
+{
+    RequestDispatching wl(42);
+    for (std::uint64_t s = 0; s < 600; ++s)
+        wl.execute(item(s));
+    unsigned nonEmpty = 0;
+    for (auto c : wl.typeCounts())
+        nonEmpty += c > 0 ? 1 : 0;
+    EXPECT_GT(nonEmpty, RequestDispatching::numRequestTypes / 2);
+}
+
+/** Parameterized: execute() runs cleanly at many payload sizes. */
+class WorkloadExecuteSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>>
+{
+};
+
+TEST_P(WorkloadExecuteSweep, ExecutesWithoutError)
+{
+    const Kind kind = allKinds()[std::get<0>(GetParam())];
+    const std::uint32_t payload = std::get<1>(GetParam());
+    const auto wl = makeWorkload(kind, 7);
+    for (std::uint64_t s = 0; s < 3; ++s)
+        wl->execute(item(s, payload, static_cast<std::uint32_t>(s)));
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSizes, WorkloadExecuteSweep,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(64u, 256u, 1024u, 1500u)));
+
+} // namespace
+} // namespace workloads
+} // namespace hyperplane
