@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_monitoring_set.dir/abl_monitoring_set.cpp.o"
+  "CMakeFiles/abl_monitoring_set.dir/abl_monitoring_set.cpp.o.d"
+  "abl_monitoring_set"
+  "abl_monitoring_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_monitoring_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ppa.dir/abl_ppa.cpp.o"
+  "CMakeFiles/abl_ppa.dir/abl_ppa.cpp.o.d"
+  "abl_ppa"
+  "abl_ppa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ppa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_qwait_latency.dir/abl_qwait_latency.cpp.o"
+  "CMakeFiles/abl_qwait_latency.dir/abl_qwait_latency.cpp.o.d"
+  "abl_qwait_latency"
+  "abl_qwait_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_qwait_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_notification_mechanisms.dir/ext_notification_mechanisms.cpp.o"
+  "CMakeFiles/ext_notification_mechanisms.dir/ext_notification_mechanisms.cpp.o.d"
+  "ext_notification_mechanisms"
+  "ext_notification_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_notification_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

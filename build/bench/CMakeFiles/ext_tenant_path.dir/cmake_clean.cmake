@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tenant_path.dir/ext_tenant_path.cpp.o"
+  "CMakeFiles/ext_tenant_path.dir/ext_tenant_path.cpp.o.d"
+  "ext_tenant_path"
+  "ext_tenant_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tenant_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_work_stealing.cpp" "bench/CMakeFiles/ext_work_stealing.dir/ext_work_stealing.cpp.o" "gcc" "bench/CMakeFiles/ext_work_stealing.dir/ext_work_stealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_work_stealing.dir/ext_work_stealing.cpp.o"
+  "CMakeFiles/ext_work_stealing.dir/ext_work_stealing.cpp.o.d"
+  "ext_work_stealing"
+  "ext_work_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_work_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multicore_tail.dir/fig10_multicore_tail.cpp.o"
+  "CMakeFiles/fig10_multicore_tail.dir/fig10_multicore_tail.cpp.o.d"
+  "fig10_multicore_tail"
+  "fig10_multicore_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multicore_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_work_proportionality.dir/fig11_work_proportionality.cpp.o"
+  "CMakeFiles/fig11_work_proportionality.dir/fig11_work_proportionality.cpp.o.d"
+  "fig11_work_proportionality"
+  "fig11_work_proportionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_work_proportionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

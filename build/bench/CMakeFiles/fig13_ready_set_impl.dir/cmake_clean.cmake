@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ready_set_impl.dir/fig13_ready_set_impl.cpp.o"
+  "CMakeFiles/fig13_ready_set_impl.dir/fig13_ready_set_impl.cpp.o.d"
+  "fig13_ready_set_impl"
+  "fig13_ready_set_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ready_set_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

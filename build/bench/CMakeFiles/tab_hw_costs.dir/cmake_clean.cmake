@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_hw_costs.dir/tab_hw_costs.cpp.o"
+  "CMakeFiles/tab_hw_costs.dir/tab_hw_costs.cpp.o.d"
+  "tab_hw_costs"
+  "tab_hw_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_hw_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

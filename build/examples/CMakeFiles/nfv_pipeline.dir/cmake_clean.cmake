@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_pipeline.dir/nfv_pipeline.cpp.o"
+  "CMakeFiles/nfv_pipeline.dir/nfv_pipeline.cpp.o.d"
+  "nfv_pipeline"
+  "nfv_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_sdp.dir/simulate_sdp.cpp.o"
+  "CMakeFiles/simulate_sdp.dir/simulate_sdp.cpp.o.d"
+  "simulate_sdp"
+  "simulate_sdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_sdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

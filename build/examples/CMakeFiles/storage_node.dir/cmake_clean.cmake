@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_node.dir/storage_node.cpp.o"
+  "CMakeFiles/storage_node.dir/storage_node.cpp.o.d"
+  "storage_node"
+  "storage_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

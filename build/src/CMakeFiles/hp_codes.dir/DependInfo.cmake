@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/gf256.cc" "src/CMakeFiles/hp_codes.dir/codes/gf256.cc.o" "gcc" "src/CMakeFiles/hp_codes.dir/codes/gf256.cc.o.d"
+  "/root/repo/src/codes/matrix.cc" "src/CMakeFiles/hp_codes.dir/codes/matrix.cc.o" "gcc" "src/CMakeFiles/hp_codes.dir/codes/matrix.cc.o.d"
+  "/root/repo/src/codes/raid.cc" "src/CMakeFiles/hp_codes.dir/codes/raid.cc.o" "gcc" "src/CMakeFiles/hp_codes.dir/codes/raid.cc.o.d"
+  "/root/repo/src/codes/reed_solomon.cc" "src/CMakeFiles/hp_codes.dir/codes/reed_solomon.cc.o" "gcc" "src/CMakeFiles/hp_codes.dir/codes/reed_solomon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_codes.dir/codes/gf256.cc.o"
+  "CMakeFiles/hp_codes.dir/codes/gf256.cc.o.d"
+  "CMakeFiles/hp_codes.dir/codes/matrix.cc.o"
+  "CMakeFiles/hp_codes.dir/codes/matrix.cc.o.d"
+  "CMakeFiles/hp_codes.dir/codes/raid.cc.o"
+  "CMakeFiles/hp_codes.dir/codes/raid.cc.o.d"
+  "CMakeFiles/hp_codes.dir/codes/reed_solomon.cc.o"
+  "CMakeFiles/hp_codes.dir/codes/reed_solomon.cc.o.d"
+  "libhp_codes.a"
+  "libhp_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

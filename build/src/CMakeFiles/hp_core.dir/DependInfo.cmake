@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bitvec.cc" "src/CMakeFiles/hp_core.dir/core/bitvec.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/bitvec.cc.o.d"
+  "/root/repo/src/core/driver.cc" "src/CMakeFiles/hp_core.dir/core/driver.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/driver.cc.o.d"
+  "/root/repo/src/core/hw_cost.cc" "src/CMakeFiles/hp_core.dir/core/hw_cost.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/hw_cost.cc.o.d"
+  "/root/repo/src/core/monitoring_set.cc" "src/CMakeFiles/hp_core.dir/core/monitoring_set.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/monitoring_set.cc.o.d"
+  "/root/repo/src/core/ppa.cc" "src/CMakeFiles/hp_core.dir/core/ppa.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/ppa.cc.o.d"
+  "/root/repo/src/core/qwait_unit.cc" "src/CMakeFiles/hp_core.dir/core/qwait_unit.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/qwait_unit.cc.o.d"
+  "/root/repo/src/core/ready_set.cc" "src/CMakeFiles/hp_core.dir/core/ready_set.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/ready_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

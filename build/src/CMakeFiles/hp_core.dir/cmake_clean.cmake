@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_core.dir/core/bitvec.cc.o"
+  "CMakeFiles/hp_core.dir/core/bitvec.cc.o.d"
+  "CMakeFiles/hp_core.dir/core/driver.cc.o"
+  "CMakeFiles/hp_core.dir/core/driver.cc.o.d"
+  "CMakeFiles/hp_core.dir/core/hw_cost.cc.o"
+  "CMakeFiles/hp_core.dir/core/hw_cost.cc.o.d"
+  "CMakeFiles/hp_core.dir/core/monitoring_set.cc.o"
+  "CMakeFiles/hp_core.dir/core/monitoring_set.cc.o.d"
+  "CMakeFiles/hp_core.dir/core/ppa.cc.o"
+  "CMakeFiles/hp_core.dir/core/ppa.cc.o.d"
+  "CMakeFiles/hp_core.dir/core/qwait_unit.cc.o"
+  "CMakeFiles/hp_core.dir/core/qwait_unit.cc.o.d"
+  "CMakeFiles/hp_core.dir/core/ready_set.cc.o"
+  "CMakeFiles/hp_core.dir/core/ready_set.cc.o.d"
+  "libhp_core.a"
+  "libhp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_crypto.dir/crypto/aes.cc.o"
+  "CMakeFiles/hp_crypto.dir/crypto/aes.cc.o.d"
+  "CMakeFiles/hp_crypto.dir/crypto/cbc.cc.o"
+  "CMakeFiles/hp_crypto.dir/crypto/cbc.cc.o.d"
+  "libhp_crypto.a"
+  "libhp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/dp_core.cc" "src/CMakeFiles/hp_dp.dir/dp/dp_core.cc.o" "gcc" "src/CMakeFiles/hp_dp.dir/dp/dp_core.cc.o.d"
+  "/root/repo/src/dp/hyperplane_core.cc" "src/CMakeFiles/hp_dp.dir/dp/hyperplane_core.cc.o" "gcc" "src/CMakeFiles/hp_dp.dir/dp/hyperplane_core.cc.o.d"
+  "/root/repo/src/dp/interrupt_core.cc" "src/CMakeFiles/hp_dp.dir/dp/interrupt_core.cc.o" "gcc" "src/CMakeFiles/hp_dp.dir/dp/interrupt_core.cc.o.d"
+  "/root/repo/src/dp/sdp_system.cc" "src/CMakeFiles/hp_dp.dir/dp/sdp_system.cc.o" "gcc" "src/CMakeFiles/hp_dp.dir/dp/sdp_system.cc.o.d"
+  "/root/repo/src/dp/smt_corunner.cc" "src/CMakeFiles/hp_dp.dir/dp/smt_corunner.cc.o" "gcc" "src/CMakeFiles/hp_dp.dir/dp/smt_corunner.cc.o.d"
+  "/root/repo/src/dp/spinning_core.cc" "src/CMakeFiles/hp_dp.dir/dp/spinning_core.cc.o" "gcc" "src/CMakeFiles/hp_dp.dir/dp/spinning_core.cc.o.d"
+  "/root/repo/src/dp/sw_ready_set_core.cc" "src/CMakeFiles/hp_dp.dir/dp/sw_ready_set_core.cc.o" "gcc" "src/CMakeFiles/hp_dp.dir/dp/sw_ready_set_core.cc.o.d"
+  "/root/repo/src/dp/tenant_model.cc" "src/CMakeFiles/hp_dp.dir/dp/tenant_model.cc.o" "gcc" "src/CMakeFiles/hp_dp.dir/dp/tenant_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

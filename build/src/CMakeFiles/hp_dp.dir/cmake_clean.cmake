@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_dp.dir/dp/dp_core.cc.o"
+  "CMakeFiles/hp_dp.dir/dp/dp_core.cc.o.d"
+  "CMakeFiles/hp_dp.dir/dp/hyperplane_core.cc.o"
+  "CMakeFiles/hp_dp.dir/dp/hyperplane_core.cc.o.d"
+  "CMakeFiles/hp_dp.dir/dp/interrupt_core.cc.o"
+  "CMakeFiles/hp_dp.dir/dp/interrupt_core.cc.o.d"
+  "CMakeFiles/hp_dp.dir/dp/sdp_system.cc.o"
+  "CMakeFiles/hp_dp.dir/dp/sdp_system.cc.o.d"
+  "CMakeFiles/hp_dp.dir/dp/smt_corunner.cc.o"
+  "CMakeFiles/hp_dp.dir/dp/smt_corunner.cc.o.d"
+  "CMakeFiles/hp_dp.dir/dp/spinning_core.cc.o"
+  "CMakeFiles/hp_dp.dir/dp/spinning_core.cc.o.d"
+  "CMakeFiles/hp_dp.dir/dp/sw_ready_set_core.cc.o"
+  "CMakeFiles/hp_dp.dir/dp/sw_ready_set_core.cc.o.d"
+  "CMakeFiles/hp_dp.dir/dp/tenant_model.cc.o"
+  "CMakeFiles/hp_dp.dir/dp/tenant_model.cc.o.d"
+  "libhp_dp.a"
+  "libhp_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

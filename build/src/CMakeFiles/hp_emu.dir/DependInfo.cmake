@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/data_plane_pool.cc" "src/CMakeFiles/hp_emu.dir/emu/data_plane_pool.cc.o" "gcc" "src/CMakeFiles/hp_emu.dir/emu/data_plane_pool.cc.o.d"
+  "/root/repo/src/emu/emu_hyperplane.cc" "src/CMakeFiles/hp_emu.dir/emu/emu_hyperplane.cc.o" "gcc" "src/CMakeFiles/hp_emu.dir/emu/emu_hyperplane.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

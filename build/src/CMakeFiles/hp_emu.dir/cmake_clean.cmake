@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_emu.dir/emu/data_plane_pool.cc.o"
+  "CMakeFiles/hp_emu.dir/emu/data_plane_pool.cc.o.d"
+  "CMakeFiles/hp_emu.dir/emu/emu_hyperplane.cc.o"
+  "CMakeFiles/hp_emu.dir/emu/emu_hyperplane.cc.o.d"
+  "libhp_emu.a"
+  "libhp_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/hp_harness.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/hp_harness.dir/harness/runner.cc.o"
+  "CMakeFiles/hp_harness.dir/harness/runner.cc.o.d"
+  "libhp_harness.a"
+  "libhp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

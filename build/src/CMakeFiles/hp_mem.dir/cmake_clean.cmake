@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/hp_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/hp_mem.dir/mem/memory_system.cc.o"
+  "CMakeFiles/hp_mem.dir/mem/memory_system.cc.o.d"
+  "libhp_mem.a"
+  "libhp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_net.dir/net/checksum.cc.o"
+  "CMakeFiles/hp_net.dir/net/checksum.cc.o.d"
+  "CMakeFiles/hp_net.dir/net/headers.cc.o"
+  "CMakeFiles/hp_net.dir/net/headers.cc.o.d"
+  "CMakeFiles/hp_net.dir/net/packet.cc.o"
+  "CMakeFiles/hp_net.dir/net/packet.cc.o.d"
+  "libhp_net.a"
+  "libhp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/core_power.cc" "src/CMakeFiles/hp_power.dir/power/core_power.cc.o" "gcc" "src/CMakeFiles/hp_power.dir/power/core_power.cc.o.d"
+  "/root/repo/src/power/cstate.cc" "src/CMakeFiles/hp_power.dir/power/cstate.cc.o" "gcc" "src/CMakeFiles/hp_power.dir/power/cstate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

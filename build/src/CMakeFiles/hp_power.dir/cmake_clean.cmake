@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_power.dir/power/core_power.cc.o"
+  "CMakeFiles/hp_power.dir/power/core_power.cc.o.d"
+  "CMakeFiles/hp_power.dir/power/cstate.cc.o"
+  "CMakeFiles/hp_power.dir/power/cstate.cc.o.d"
+  "libhp_power.a"
+  "libhp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

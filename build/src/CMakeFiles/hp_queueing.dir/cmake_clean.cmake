@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_queueing.dir/queueing/doorbell.cc.o"
+  "CMakeFiles/hp_queueing.dir/queueing/doorbell.cc.o.d"
+  "CMakeFiles/hp_queueing.dir/queueing/task_queue.cc.o"
+  "CMakeFiles/hp_queueing.dir/queueing/task_queue.cc.o.d"
+  "libhp_queueing.a"
+  "libhp_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/hp_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/hp_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/hp_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/hp_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/hp_sim.dir/sim/rng.cc.o.d"
+  "libhp_sim.a"
+  "libhp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/hp_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/hp_stats.dir/stats/registry.cc.o"
+  "CMakeFiles/hp_stats.dir/stats/registry.cc.o.d"
+  "CMakeFiles/hp_stats.dir/stats/sampler.cc.o"
+  "CMakeFiles/hp_stats.dir/stats/sampler.cc.o.d"
+  "CMakeFiles/hp_stats.dir/stats/table.cc.o"
+  "CMakeFiles/hp_stats.dir/stats/table.cc.o.d"
+  "libhp_stats.a"
+  "libhp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

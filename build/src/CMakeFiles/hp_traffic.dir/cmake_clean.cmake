@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_traffic.dir/traffic/load_controller.cc.o"
+  "CMakeFiles/hp_traffic.dir/traffic/load_controller.cc.o.d"
+  "CMakeFiles/hp_traffic.dir/traffic/poisson_source.cc.o"
+  "CMakeFiles/hp_traffic.dir/traffic/poisson_source.cc.o.d"
+  "CMakeFiles/hp_traffic.dir/traffic/shapes.cc.o"
+  "CMakeFiles/hp_traffic.dir/traffic/shapes.cc.o.d"
+  "libhp_traffic.a"
+  "libhp_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/crypto_forwarding.cc" "src/CMakeFiles/hp_workloads.dir/workloads/crypto_forwarding.cc.o" "gcc" "src/CMakeFiles/hp_workloads.dir/workloads/crypto_forwarding.cc.o.d"
+  "/root/repo/src/workloads/erasure_coding.cc" "src/CMakeFiles/hp_workloads.dir/workloads/erasure_coding.cc.o" "gcc" "src/CMakeFiles/hp_workloads.dir/workloads/erasure_coding.cc.o.d"
+  "/root/repo/src/workloads/packet_encapsulation.cc" "src/CMakeFiles/hp_workloads.dir/workloads/packet_encapsulation.cc.o" "gcc" "src/CMakeFiles/hp_workloads.dir/workloads/packet_encapsulation.cc.o.d"
+  "/root/repo/src/workloads/packet_steering.cc" "src/CMakeFiles/hp_workloads.dir/workloads/packet_steering.cc.o" "gcc" "src/CMakeFiles/hp_workloads.dir/workloads/packet_steering.cc.o.d"
+  "/root/repo/src/workloads/raid_protection.cc" "src/CMakeFiles/hp_workloads.dir/workloads/raid_protection.cc.o" "gcc" "src/CMakeFiles/hp_workloads.dir/workloads/raid_protection.cc.o.d"
+  "/root/repo/src/workloads/request_dispatching.cc" "src/CMakeFiles/hp_workloads.dir/workloads/request_dispatching.cc.o" "gcc" "src/CMakeFiles/hp_workloads.dir/workloads/request_dispatching.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/hp_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/hp_workloads.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

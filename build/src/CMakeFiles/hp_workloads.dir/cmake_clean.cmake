@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_workloads.dir/workloads/crypto_forwarding.cc.o"
+  "CMakeFiles/hp_workloads.dir/workloads/crypto_forwarding.cc.o.d"
+  "CMakeFiles/hp_workloads.dir/workloads/erasure_coding.cc.o"
+  "CMakeFiles/hp_workloads.dir/workloads/erasure_coding.cc.o.d"
+  "CMakeFiles/hp_workloads.dir/workloads/packet_encapsulation.cc.o"
+  "CMakeFiles/hp_workloads.dir/workloads/packet_encapsulation.cc.o.d"
+  "CMakeFiles/hp_workloads.dir/workloads/packet_steering.cc.o"
+  "CMakeFiles/hp_workloads.dir/workloads/packet_steering.cc.o.d"
+  "CMakeFiles/hp_workloads.dir/workloads/raid_protection.cc.o"
+  "CMakeFiles/hp_workloads.dir/workloads/raid_protection.cc.o.d"
+  "CMakeFiles/hp_workloads.dir/workloads/request_dispatching.cc.o"
+  "CMakeFiles/hp_workloads.dir/workloads/request_dispatching.cc.o.d"
+  "CMakeFiles/hp_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/hp_workloads.dir/workloads/workload.cc.o.d"
+  "libhp_workloads.a"
+  "libhp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aes_test.cc" "tests/CMakeFiles/hp_tests.dir/aes_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/aes_test.cc.o.d"
+  "/root/repo/tests/bitvec_test.cc" "tests/CMakeFiles/hp_tests.dir/bitvec_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/bitvec_test.cc.o.d"
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/hp_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/calibration_test.cc" "tests/CMakeFiles/hp_tests.dir/calibration_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/calibration_test.cc.o.d"
+  "/root/repo/tests/checksum_test.cc" "tests/CMakeFiles/hp_tests.dir/checksum_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/checksum_test.cc.o.d"
+  "/root/repo/tests/data_plane_pool_test.cc" "tests/CMakeFiles/hp_tests.dir/data_plane_pool_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/data_plane_pool_test.cc.o.d"
+  "/root/repo/tests/dp_cores_test.cc" "tests/CMakeFiles/hp_tests.dir/dp_cores_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/dp_cores_test.cc.o.d"
+  "/root/repo/tests/driver_test.cc" "tests/CMakeFiles/hp_tests.dir/driver_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/driver_test.cc.o.d"
+  "/root/repo/tests/emu_test.cc" "tests/CMakeFiles/hp_tests.dir/emu_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/emu_test.cc.o.d"
+  "/root/repo/tests/event_queue_test.cc" "tests/CMakeFiles/hp_tests.dir/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/event_queue_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/hp_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/fuzz_config_test.cc" "tests/CMakeFiles/hp_tests.dir/fuzz_config_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/fuzz_config_test.cc.o.d"
+  "/root/repo/tests/gf256_test.cc" "tests/CMakeFiles/hp_tests.dir/gf256_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/gf256_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/hp_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/headers_test.cc" "tests/CMakeFiles/hp_tests.dir/headers_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/headers_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/hp_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/hw_cost_test.cc" "tests/CMakeFiles/hp_tests.dir/hw_cost_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/hw_cost_test.cc.o.d"
+  "/root/repo/tests/logging_test.cc" "tests/CMakeFiles/hp_tests.dir/logging_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/logging_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/hp_tests.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/memory_system_test.cc" "tests/CMakeFiles/hp_tests.dir/memory_system_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/memory_system_test.cc.o.d"
+  "/root/repo/tests/monitoring_set_test.cc" "tests/CMakeFiles/hp_tests.dir/monitoring_set_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/monitoring_set_test.cc.o.d"
+  "/root/repo/tests/packet_test.cc" "tests/CMakeFiles/hp_tests.dir/packet_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/packet_test.cc.o.d"
+  "/root/repo/tests/poisson_source_test.cc" "tests/CMakeFiles/hp_tests.dir/poisson_source_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/poisson_source_test.cc.o.d"
+  "/root/repo/tests/power_test.cc" "tests/CMakeFiles/hp_tests.dir/power_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/power_test.cc.o.d"
+  "/root/repo/tests/ppa_test.cc" "tests/CMakeFiles/hp_tests.dir/ppa_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/ppa_test.cc.o.d"
+  "/root/repo/tests/qwait_model_test.cc" "tests/CMakeFiles/hp_tests.dir/qwait_model_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/qwait_model_test.cc.o.d"
+  "/root/repo/tests/qwait_unit_test.cc" "tests/CMakeFiles/hp_tests.dir/qwait_unit_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/qwait_unit_test.cc.o.d"
+  "/root/repo/tests/raid_test.cc" "tests/CMakeFiles/hp_tests.dir/raid_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/raid_test.cc.o.d"
+  "/root/repo/tests/ready_set_test.cc" "tests/CMakeFiles/hp_tests.dir/ready_set_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/ready_set_test.cc.o.d"
+  "/root/repo/tests/reed_solomon_test.cc" "tests/CMakeFiles/hp_tests.dir/reed_solomon_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/reed_solomon_test.cc.o.d"
+  "/root/repo/tests/registry_test.cc" "tests/CMakeFiles/hp_tests.dir/registry_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/registry_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/hp_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/sampler_test.cc" "tests/CMakeFiles/hp_tests.dir/sampler_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/sampler_test.cc.o.d"
+  "/root/repo/tests/sdp_system_test.cc" "tests/CMakeFiles/hp_tests.dir/sdp_system_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/sdp_system_test.cc.o.d"
+  "/root/repo/tests/shapes_test.cc" "tests/CMakeFiles/hp_tests.dir/shapes_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/shapes_test.cc.o.d"
+  "/root/repo/tests/smt_corunner_test.cc" "tests/CMakeFiles/hp_tests.dir/smt_corunner_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/smt_corunner_test.cc.o.d"
+  "/root/repo/tests/spsc_ring_test.cc" "tests/CMakeFiles/hp_tests.dir/spsc_ring_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/spsc_ring_test.cc.o.d"
+  "/root/repo/tests/table_test.cc" "tests/CMakeFiles/hp_tests.dir/table_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/table_test.cc.o.d"
+  "/root/repo/tests/task_queue_test.cc" "tests/CMakeFiles/hp_tests.dir/task_queue_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/task_queue_test.cc.o.d"
+  "/root/repo/tests/tenant_model_test.cc" "tests/CMakeFiles/hp_tests.dir/tenant_model_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/tenant_model_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/hp_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/hp_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
