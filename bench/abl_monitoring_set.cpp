@@ -40,7 +40,7 @@ conflictRate(unsigned ways, unsigned walkSteps, double targetLoad,
         // Random line-aligned doorbell addresses (driver-allocated).
         const Addr addr = queueing::AddressMap::doorbellBase +
                           rng.uniformInt(1u << 24) * cacheLineBytes;
-        if (!ms.insert(addr, i))
+        if (ms.insert(addr, i) != core::MonitoringSet::InsertResult::Ok)
             ++failures;
     }
     return static_cast<double>(failures) / inserts;

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Extension benchmark: fault injection and recovery.
+ *
+ * HyperPlane replaces polling with edge-triggered coherence snoops, so a
+ * lost doorbell write is not "one late packet" — it strands the queue
+ * until an unrelated arrival happens to ring the same doorbell.  This
+ * experiment injects lost doorbells at increasing rates and compares an
+ * unprotected plane against one running the recovery machinery (periodic
+ * watchdog QWAIT-VERIFY sweep + graceful degradation to software
+ * polling): tail latency degrades gracefully toward the watchdog period
+ * instead of diverging, and the lost-notification ledger stays balanced.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+int
+main()
+{
+    harness::printTableI();
+    harness::printExperimentBanner(
+        "Extension: fault injection + recovery",
+        "lost-doorbell rate vs tail latency, with and without the "
+        "watchdog/degradation machinery\n(packet encapsulation, 2 "
+        "cores, 48 queues, 0.2 Mtps, 25 us watchdog period)");
+
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::HyperPlane;
+    cfg.numCores = 2;
+    cfg.numQueues = 48;
+    cfg.workload = workloads::Kind::PacketEncapsulation;
+    cfg.shape = traffic::Shape::FB;
+    cfg.offeredRatePerSec = 2e5;
+    cfg.warmupUs = 1000.0;
+    cfg.measureUs = 20000.0;
+    cfg.seed = 97;
+    cfg.recovery.watchdogPeriodUs = 25.0;
+
+    const std::vector<double> rates{0.0, 0.01, 0.02, 0.05, 0.10};
+
+    struct Variant
+    {
+        const char *name;
+        bool recovery;
+    };
+    const Variant variants[] = {
+        {"no recovery", false},
+        {"watchdog + degradation", true},
+    };
+
+    stats::Table t("p99 latency (us) vs lost-doorbell rate");
+    std::vector<std::string> header{"config"};
+    for (double r : rates)
+        header.push_back(stats::fmt(r * 100, 0) + "%");
+    header.push_back("stuck@10%");
+    t.header(std::move(header));
+
+    std::vector<harness::FaultPoint> recovered;
+    for (const auto &v : variants) {
+        const auto sweep = harness::runFaultSweep(cfg, rates, v.recovery);
+        std::vector<std::string> row{v.name};
+        for (const auto &pt : sweep)
+            row.push_back(stats::fmt(pt.results.p99LatencyUs, 1));
+        row.push_back(
+            std::to_string(sweep.back().results.stuckQueues));
+        t.row(std::move(row));
+        if (v.recovery)
+            recovered = sweep;
+    }
+    t.print();
+
+    stats::Table ledger("Recovery accounting (with recovery)");
+    ledger.header({"drop rate", "lost", "watchdog", "self-heal",
+                   "open", "sweeps", "p99.9 (us)"});
+    for (const auto &pt : recovered) {
+        const auto &r = pt.results;
+        ledger.row({stats::fmt(pt.dropRate * 100, 0) + "%",
+                    std::to_string(r.lostInjected),
+                    std::to_string(r.watchdogRecoveries),
+                    std::to_string(r.selfRecoveries),
+                    std::to_string(r.lostOutstanding),
+                    std::to_string(r.watchdogSweeps),
+                    stats::fmt(r.p999LatencyUs, 1)});
+    }
+    ledger.print();
+
+    std::puts("Expected: without recovery the tail diverges and queues "
+              "strand as drops accumulate; with the\nwatchdog the p99 "
+              "stays bounded near the sweep period and every lost "
+              "notification is recovered\n(lost == watchdog + "
+              "self-heal, none open).");
+    return 0;
+}

@@ -51,7 +51,8 @@ HyperPlaneDriver::connect(QueueId qid)
         // Tentatively reserve so re-draws cannot return it.
         slots_[slot] = true;
         --freeCount_;
-        if (unit_.qwaitAdd(qid, doorbell)) {
+        const AddResult res = unit_.qwaitAdd(qid, doorbell);
+        if (res == AddResult::Ok) {
             // Roll back the slots we burned on conflicting addresses.
             for (unsigned t : tried) {
                 slots_[t] = false;
@@ -60,6 +61,14 @@ HyperPlaneDriver::connect(QueueId qid)
             byQid_.emplace(qid, static_cast<unsigned>(slot));
             return doorbell;
         }
+        if (res == AddResult::DuplicateQid) {
+            // The queue is already bound (outside this driver): no
+            // address redraw can succeed.
+            slots_[slot] = false;
+            ++freeCount_;
+            break;
+        }
+        // Conflict / address collision: redraw a different doorbell.
         tried.push_back(static_cast<unsigned>(slot));
     }
     for (unsigned t : tried) {

@@ -94,12 +94,14 @@ MonitoringSet::find(Addr doorbell) const
     return const_cast<MonitoringSet *>(this)->findMutable(doorbell);
 }
 
-bool
+MonitoringSet::InsertResult
 MonitoringSet::insert(Addr doorbell, QueueId qid)
 {
     const Addr tag = lineBase(doorbell);
-    if (findMutable(tag) != nullptr)
-        return false; // already registered
+    if (findMutable(tag) != nullptr) {
+        duplicateInserts.inc();
+        return InsertResult::Duplicate;
+    }
 
     const unsigned bank = bankOf(tag);
     MonitorEntry incoming{tag, qid, /*armed=*/true, /*valid=*/true};
@@ -119,7 +121,7 @@ MonitoringSet::insert(Addr doorbell, QueueId qid)
                 ++occupancy_;
                 inserts.inc();
                 walkSteps.inc(step);
-                return true;
+                return InsertResult::Ok;
             }
         }
         // All candidates full: displace the occupant of the current way
@@ -135,7 +137,7 @@ MonitoringSet::insert(Addr doorbell, QueueId qid)
         std::swap(incoming, **it);
     walkSteps.inc(cfg_.maxWalkSteps);
     insertConflicts.inc();
-    return false;
+    return InsertResult::Conflict;
 }
 
 bool
@@ -169,6 +171,16 @@ MonitoringSet::arm(Addr doorbell)
     if (e == nullptr)
         return false;
     e->armed = true;
+    return true;
+}
+
+bool
+MonitoringSet::disarm(Addr doorbell)
+{
+    MonitorEntry *e = findMutable(doorbell);
+    if (e == nullptr || !e->armed)
+        return false;
+    e->armed = false;
     return true;
 }
 

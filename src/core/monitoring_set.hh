@@ -69,14 +69,23 @@ class MonitoringSet
 
     const MonitoringSetConfig &config() const { return cfg_; }
 
+    /** Outcome of an insert() attempt. */
+    enum class InsertResult : std::uint8_t
+    {
+        Ok,        ///< inserted and armed
+        Duplicate, ///< doorbell line already registered; retrying the
+                   ///< same address can never succeed
+        Conflict,  ///< Cuckoo walk failed; reallocate the address
+    };
+
     /**
      * QWAIT-ADD: associate @p doorbell with @p qid and arm it.
      *
-     * @return false on a Cuckoo conflict (the driver must reallocate the
-     *         doorbell address and retry) or if the doorbell line is
-     *         already registered.
+     * Duplicate registrations and Cuckoo conflicts are reported
+     * separately (and counted separately) so the driver's reallocation
+     * loop only retries the case a fresh address can fix.
      */
-    bool insert(Addr doorbell, QueueId qid);
+    InsertResult insert(Addr doorbell, QueueId qid);
 
     /**
      * QWAIT-REMOVE: drop the entry for @p doorbell.
@@ -99,6 +108,14 @@ class MonitoringSet
      */
     bool arm(Addr doorbell);
 
+    /**
+     * Clear the monitoring bit for @p doorbell without consuming a
+     * snoop (watchdog recovery path).
+     * @return false if the doorbell is not registered or already
+     *         disarmed.
+     */
+    bool disarm(Addr doorbell);
+
     /** Entry lookup (tests/inspection). */
     const MonitorEntry *find(Addr doorbell) const;
 
@@ -116,6 +133,7 @@ class MonitoringSet
 
     stats::Counter inserts{"inserts"};
     stats::Counter insertConflicts{"insert_conflicts"};
+    stats::Counter duplicateInserts{"duplicate_inserts"};
     stats::Counter walkSteps{"cuckoo_walk_steps"};
     stats::Counter snoops{"snoop_lookups"};
     stats::Counter snoopMatches{"snoop_matches"};

@@ -10,18 +10,40 @@ QwaitUnit::QwaitUnit(const QwaitConfig &cfg)
 {
 }
 
-bool
+const char *
+toString(AddResult r)
+{
+    switch (r) {
+      case AddResult::Ok:
+        return "ok";
+      case AddResult::Conflict:
+        return "conflict";
+      case AddResult::DuplicateAddr:
+        return "duplicate-addr";
+      case AddResult::DuplicateQid:
+        return "duplicate-qid";
+    }
+    return "?";
+}
+
+AddResult
 QwaitUnit::qwaitAdd(QueueId qid, Addr doorbell)
 {
     hp_assert(qid < readySet_.capacity(),
               "qid %u exceeds ready set capacity %u", qid,
               readySet_.capacity());
     if (doorbellByQid_.count(qid) != 0)
-        return false; // qid already bound
-    if (!monitoring_.insert(doorbell, qid))
-        return false; // cuckoo conflict: driver must reallocate
+        return AddResult::DuplicateQid;
+    switch (monitoring_.insert(doorbell, qid)) {
+      case MonitoringSet::InsertResult::Duplicate:
+        return AddResult::DuplicateAddr;
+      case MonitoringSet::InsertResult::Conflict:
+        return AddResult::Conflict;
+      case MonitoringSet::InsertResult::Ok:
+        break;
+    }
     doorbellByQid_.emplace(qid, lineBase(doorbell));
-    return true;
+    return AddResult::Ok;
 }
 
 std::optional<Addr>
@@ -31,8 +53,17 @@ QwaitUnit::addQueueWithRealloc(QueueId qid,
 {
     for (unsigned attempt = 0; attempt < maxTries; ++attempt) {
         const Addr doorbell = allocate();
-        if (qwaitAdd(qid, doorbell))
+        switch (qwaitAdd(qid, doorbell)) {
+          case AddResult::Ok:
             return lineBase(doorbell);
+          case AddResult::DuplicateQid:
+            // No address can fix a bound qid; spinning the allocator
+            // would only burn the retry budget.
+            return std::nullopt;
+          case AddResult::Conflict:
+          case AddResult::DuplicateAddr:
+            break; // draw a fresh address and retry
+        }
     }
     return std::nullopt;
 }
@@ -100,6 +131,35 @@ QwaitUnit::qwaitEnable(QueueId qid)
 {
     readySet_.enable(qid);
     if (readySet_.isReady(qid) && wakeCallback_)
+        wakeCallback_();
+}
+
+bool
+QwaitUnit::watchdogVerify(QueueId qid, const queueing::Doorbell &doorbell)
+{
+    auto it = doorbellByQid_.find(qid);
+    if (it == doorbellByQid_.end())
+        return false; // not bound (e.g. demoted to software polling)
+    if (doorbell.empty() || !monitoring_.isArmed(it->second) ||
+        readySet_.isReady(qid)) {
+        return false; // healthy
+    }
+    // Armed entry + nonempty doorbell + not ready: the write transaction
+    // never arrived.  Replay exactly what the snoop would have done; a
+    // late (delayed) snoop now finds the entry disarmed and no-ops, so
+    // recovery is idempotent.
+    monitoring_.disarm(it->second);
+    readySet_.activate(qid);
+    if (wakeCallback_)
+        wakeCallback_();
+    return true;
+}
+
+void
+QwaitUnit::injectSpuriousActivation(QueueId qid)
+{
+    readySet_.activate(qid);
+    if (wakeCallback_)
         wakeCallback_();
 }
 

@@ -49,6 +49,17 @@ struct QwaitConfig
     Tick qwaitLatency = 50;
 };
 
+/** Outcome of a QWAIT-ADD attempt. */
+enum class AddResult : std::uint8_t
+{
+    Ok,            ///< bound and monitoring
+    Conflict,      ///< Cuckoo conflict; reallocate the address and retry
+    DuplicateAddr, ///< doorbell line already monitored (by another qid)
+    DuplicateQid,  ///< qid already bound; retrying can never succeed
+};
+
+const char *toString(AddResult r);
+
 /**
  * The HyperPlane notification subsystem, shared by all data-plane cores.
  */
@@ -63,10 +74,11 @@ class QwaitUnit : public mem::Snooper
 
     /**
      * QWAIT-ADD: bind @p doorbell to @p qid and start monitoring.
-     * @return false on a monitoring-set conflict; the driver should
-     *         reallocate the doorbell address and retry.
+     * Only AddResult::Conflict (and DuplicateAddr, under an address
+     * allocator that can re-draw a taken line) is worth retrying with a
+     * fresh address; DuplicateQid is a caller bug or a benign re-bind.
      */
-    bool qwaitAdd(QueueId qid, Addr doorbell);
+    AddResult qwaitAdd(QueueId qid, Addr doorbell);
 
     /**
      * The driver's allocation loop from Algorithm 1: repeatedly draw a
@@ -119,6 +131,25 @@ class QwaitUnit : public mem::Snooper
      */
     void qwaitEnable(QueueId qid);
     void qwaitDisable(QueueId qid) { readySet_.disable(qid); }
+
+    // --- Recovery / fault-injection hooks ----------------------------
+
+    /**
+     * Watchdog audit of one queue: if its monitoring entry is armed
+     * while the doorbell already advertises work and the queue is not
+     * ready, the doorbell snoop was lost — replay the activation
+     * (disarm + activate + wake), exactly what the missed write
+     * transaction would have done.
+     *
+     * @return true if a lost notification was recovered.
+     */
+    bool watchdogVerify(QueueId qid, const queueing::Doorbell &doorbell);
+
+    /**
+     * Fault injection: activate @p qid in the ready set with no backing
+     * work (a spurious wake source).  QWAIT-VERIFY filters the result.
+     */
+    void injectSpuriousActivation(QueueId qid);
 
     // --- Coherence snoop path (Figure 4, steps 1-3) -------------------
 

@@ -1,5 +1,7 @@
 #include "dp/hyperplane_core.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace hyperplane {
@@ -33,7 +35,9 @@ HyperPlaneCore::start()
 {
     running_ = true;
     halted_ = false;
+    ++pollEpoch_; // void poll timers left over from a previous run
     freeAt_ = eq_.now();
+    lastFallbackSweep_ = freeAt_;
     eq_.schedule(freeAt_, [this] { step(); });
 }
 
@@ -71,6 +75,77 @@ HyperPlaneCore::setBackgroundTask(Tick quantumCycles, double ipc)
 {
     backgroundQuantum_ = quantumCycles;
     backgroundIpc_ = ipc;
+}
+
+void
+HyperPlaneCore::setFallback(fault::FallbackSet *fallback, Tick pollPeriod)
+{
+    fallback_ = fallback;
+    fallbackPollPeriod_ = std::max<Tick>(1, pollPeriod);
+}
+
+unsigned
+HyperPlaneCore::sweepFallback()
+{
+    if (fallback_ == nullptr || fallback_->empty())
+        return 0;
+    fallback_->polls.inc();
+    unsigned served = 0;
+    // Iterate a snapshot so servicing is insensitive to membership
+    // changes the watchdog makes between events.
+    const std::vector<QueueId> members = fallback_->queues();
+    for (QueueId qid : members) {
+        queueing::TaskQueue &q = queues_[qid];
+        // Software poll: tight-loop sweep check + doorbell read (the
+        // demoted set is small, so the loop stays branch-predicted).
+        Tick cost = params_.tightLoopCycles;
+        cost += mem_.read(id_, q.doorbellAddr()).latency;
+        const bool hasWork = !q.doorbell().empty();
+        chargeActive(cost, params_.tightLoopInstr, hasWork);
+        freeAt_ += cost;
+        ++activity_.polls;
+        if (!hasWork) {
+            ++activity_.emptyPolls;
+            continue;
+        }
+        for (unsigned b = 0; b < batch_; ++b) {
+            Tick dcost = params_.dequeueCycles;
+            dcost += mem_.atomicRmw(id_, q.doorbellAddr()).latency;
+            dcost += mem_.read(id_, q.descriptorAddr()).latency;
+            auto item = q.dequeue();
+            chargeActive(dcost, params_.dequeueInstr, item.has_value());
+            freeAt_ += dcost;
+            if (!item)
+                break;
+            freeAt_ += processItem(*item);
+            ++served;
+            ++fallbackServed_;
+            fallback_->tasksServed.inc();
+            if (q.empty())
+                break;
+        }
+    }
+    lastFallbackSweep_ = freeAt_;
+    return served;
+}
+
+void
+HyperPlaneCore::haltWithPollTimeout()
+{
+    halted_ = true;
+    haltStart_ = freeAt_;
+    // Bounded halt: a doorbell wake may arrive first; otherwise the
+    // poll timer re-runs the loop.  The epoch guard voids this timer if
+    // a wake (or a newer halt) supersedes it.
+    const std::uint64_t epoch = ++pollEpoch_;
+    eq_.schedule(freeAt_ + fallbackPollPeriod_, [this, epoch] {
+        if (!running_ || !halted_ || epoch != pollEpoch_)
+            return;
+        halted_ = false;
+        accountHalt(eq_.now());
+        freeAt_ = eq_.now() + (powerOpt_ ? c1WakeLatency_ : 0);
+        eq_.schedule(freeAt_, [this] { step(); });
+    });
 }
 
 std::optional<std::pair<QueueId, core::QwaitUnit *>>
@@ -112,6 +187,7 @@ HyperPlaneCore::wake()
 {
     if (!running_ || !halted_)
         return;
+    ++pollEpoch_; // a real wake supersedes any pending poll timer
     halted_ = false;
     const Tick now = eq_.now();
     accountHalt(now);
@@ -135,9 +211,33 @@ HyperPlaneCore::step()
     if (!running_)
         return;
 
+    // Mandatory fallback service: demoted queues make progress at
+    // bounded latency even while hardware grants keep the core busy.
+    bool sweptThisStep = false;
+    unsigned fallbackHits = 0;
+    if (fallback_ != nullptr && !fallback_->empty() &&
+        freeAt_ >= lastFallbackSweep_ + fallbackPollPeriod_) {
+        fallbackHits = sweepFallback();
+        sweptThisStep = true;
+    }
+
     // QWAIT (Figure 4, steps 4-5), with optional remote stealing.
     const auto grant = qwaitAll();
     if (!grant) {
+        if (fallback_ != nullptr && !fallback_->empty()) {
+            // No hardware grant: poll the demoted queues in software.
+            if (!sweptThisStep)
+                fallbackHits = sweepFallback();
+            if (fallbackHits > 0) {
+                eq_.schedule(freeAt_, [this] { step(); });
+                return;
+            }
+            if (backgroundQuantum_ == 0) {
+                haltWithPollTimeout();
+                return;
+            }
+            // Fall through: the background quantum re-polls anyway.
+        }
         if (backgroundQuantum_ > 0) {
             // Non-blocking QWAIT: run a low-priority quantum, re-poll.
             activity_.backgroundTicks += backgroundQuantum_;

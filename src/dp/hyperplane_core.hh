@@ -19,6 +19,7 @@
 
 #include "core/qwait_unit.hh"
 #include "dp/dp_core.hh"
+#include "fault/fallback_set.hh"
 
 namespace hyperplane {
 namespace dp {
@@ -86,6 +87,19 @@ class HyperPlaneCore : public DataPlaneCore
     /** Items served from remote (stolen) ready sets. */
     std::uint64_t stolen() const { return stolen_; }
 
+    /**
+     * Graceful degradation: also service the cluster's software-polled
+     * fallback set (queues the monitoring set could not hold).  While
+     * the set is non-empty the core never halts indefinitely — an
+     * epoch-guarded poll timer bounds every halt by @p pollPeriod, and
+     * a sweep is forced at least once per period even when hardware
+     * queues keep the core saturated.
+     */
+    void setFallback(fault::FallbackSet *fallback, Tick pollPeriod);
+
+    /** Tasks this core served from the fallback set. */
+    std::uint64_t fallbackServed() const { return fallbackServed_; }
+
   protected:
     /**
      * Cycles one QWAIT instruction occupies the core.  The software
@@ -103,6 +117,13 @@ class HyperPlaneCore : public DataPlaneCore
      *  @return (qid, owning unit) or nullopt; charges latency. */
     std::optional<std::pair<QueueId, core::QwaitUnit *>> qwaitAll();
 
+    /** Software-poll every fallback queue once; drains hits.
+     *  @return Items served. */
+    unsigned sweepFallback();
+
+    /** Halt with a poll-timer bound (fallback set non-empty). */
+    void haltWithPollTimeout();
+
     core::QwaitUnit &qwait_;
     bool powerOpt_;
     Tick c1WakeLatency_;
@@ -115,6 +136,13 @@ class HyperPlaneCore : public DataPlaneCore
     Tick backgroundQuantum_ = 0;
     double backgroundIpc_ = 1.5;
     std::uint64_t stolen_ = 0;
+    fault::FallbackSet *fallback_ = nullptr;
+    Tick fallbackPollPeriod_ = 3000;
+    Tick lastFallbackSweep_ = 0;
+    std::uint64_t fallbackServed_ = 0;
+    /** Invalidates in-flight poll-timeout events when a real wake (or
+     *  a newer halt) supersedes them. */
+    std::uint64_t pollEpoch_ = 0;
 };
 
 } // namespace dp

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <ostream>
+#include <stdexcept>
+#include <string>
 
 #include "stats/registry.hh"
 
@@ -59,8 +61,93 @@ toString(QueueOrg o)
     return "?";
 }
 
+void
+SdpConfig::validate() const
+{
+    auto fail = [](const std::string &msg) {
+        throw std::invalid_argument("SdpConfig: " + msg);
+    };
+    auto rate01 = [&fail](double v, const char *name) {
+        if (!(v >= 0.0 && v <= 1.0))
+            fail(std::string(name) + " must be in [0, 1]");
+    };
+
+    if (numCores == 0)
+        fail("numCores must be >= 1");
+    if (numQueues == 0)
+        fail("numQueues must be >= 1");
+    unsigned clusters = 1;
+    switch (org) {
+      case QueueOrg::ScaleOut:
+        clusters = numCores;
+        break;
+      case QueueOrg::ScaleUp2:
+        clusters = std::max(1u, numCores / 2);
+        break;
+      case QueueOrg::ScaleUpAll:
+        clusters = 1;
+        break;
+    }
+    if (numQueues < clusters)
+        fail("need at least one queue per cluster (numQueues < clusters)");
+    if (numCores % clusters != 0)
+        fail("cores must divide evenly into clusters");
+
+    if (monitoringWays < 2 || monitoringWays > 8)
+        fail("monitoringWays must be in [2, 8]");
+    if (monitoringBanks == 0)
+        fail("monitoringBanks must be >= 1");
+    if (monitoringMaxWalkSteps == 0)
+        fail("monitoringMaxWalkSteps must be >= 1");
+    if (monitoringCapacity != 0) {
+        const unsigned slice = monitoringWays * monitoringBanks;
+        if (monitoringCapacity < slice)
+            fail("monitoringCapacity must be >= ways * banks");
+        if (monitoringCapacity % slice != 0)
+            fail("monitoringCapacity must divide evenly into "
+                 "banks * ways");
+    }
+
+    if (batchSize == 0)
+        fail("batchSize must be >= 1");
+    if (!(offeredRatePerSec > 0.0))
+        fail("offeredRatePerSec must be > 0");
+    if (!(measureUs > 0.0))
+        fail("measureUs must be > 0");
+    if (warmupUs < 0.0)
+        fail("warmupUs must be >= 0");
+    if (maxQueueDepth == 0)
+        fail("maxQueueDepth must be >= 1");
+
+    rate01(fault.dropSnoopRate, "fault.dropSnoopRate");
+    rate01(fault.delaySnoopRate, "fault.delaySnoopRate");
+    rate01(fault.addConflictRate, "fault.addConflictRate");
+    rate01(fault.suppressWakeRate, "fault.suppressWakeRate");
+    if (fault.delaySnoopRate > 0.0 && !(fault.delayMeanUs > 0.0))
+        fail("fault.delayMeanUs must be > 0 when snoops are delayed");
+    if (fault.spuriousWakesPerSec < 0.0)
+        fail("fault.spuriousWakesPerSec must be >= 0");
+    if (fault.stormRatePerSec < 0.0)
+        fail("fault.stormRatePerSec must be >= 0");
+    if (fault.stormRatePerSec > 0.0 && fault.stormBurst == 0)
+        fail("fault.stormBurst must be >= 1 when storms are enabled");
+    if (fault.stormQueue != invalidQueueId &&
+        fault.stormQueue >= numQueues) {
+        fail("fault.stormQueue out of range");
+    }
+
+    if (recovery.watchdog && !(recovery.watchdogPeriodUs > 0.0))
+        fail("recovery.watchdogPeriodUs must be > 0");
+    if (recovery.gracefulDegradation) {
+        if (recovery.addMaxTries == 0)
+            fail("recovery.addMaxTries must be >= 1");
+        if (recovery.fallbackPollPeriod == 0)
+            fail("recovery.fallbackPollPeriod must be >= 1");
+    }
+}
+
 SdpSystem::SdpSystem(const SdpConfig &cfg)
-    : cfg_(cfg), queues_(cfg.numQueues)
+    : cfg_((cfg.validate(), cfg)), queues_(cfg.numQueues)
 {
     build();
 }
@@ -130,6 +217,16 @@ SdpSystem::build()
     const bool hyper = cfg_.plane == PlaneKind::HyperPlane ||
                        cfg_.plane == PlaneKind::HyperPlaneSwReady;
 
+    if (cfg_.fault.any()) {
+        faults_ = std::make_unique<fault::FaultInjector>(
+            cfg_.fault, cfg_.seed ^ 0xfa017ULL);
+    }
+    fallbacks_.resize(clusters);
+    if (hyper && cfg_.recovery.gracefulDegradation) {
+        for (auto &fb : fallbacks_)
+            fb = std::make_unique<fault::FallbackSet>();
+    }
+
     if (hyper) {
         // One QwaitUnit per cluster, snooping that cluster's doorbell
         // address slice.
@@ -138,8 +235,14 @@ SdpSystem::build()
             const unsigned span = c + 1 == clusters
                 ? cfg_.numQueues - c * queuesPerCluster
                 : queuesPerCluster;
-            qcfg.monitoring.capacity = roundUpTo(
-                std::max(1024u, span + span / 4), qcfg.monitoring.ways);
+            qcfg.monitoring.ways = cfg_.monitoringWays;
+            qcfg.monitoring.banks = cfg_.monitoringBanks;
+            qcfg.monitoring.maxWalkSteps = cfg_.monitoringMaxWalkSteps;
+            const unsigned slice =
+                cfg_.monitoringWays * cfg_.monitoringBanks;
+            qcfg.monitoring.capacity = cfg_.monitoringCapacity != 0
+                ? cfg_.monitoringCapacity
+                : roundUpTo(std::max(1024u, span + span / 4), slice);
             qcfg.ready.capacity = cfg_.numQueues;
             qcfg.ready.policy = cfg_.policy;
             qcfg.qwaitLatency = cfg_.qwaitLatency;
@@ -149,17 +252,21 @@ SdpSystem::build()
             const QueueId hi = c + 1 == clusters
                 ? cfg_.numQueues
                 : lo + queuesPerCluster;
-            for (QueueId q = lo; q < hi; ++q) {
-                const bool ok =
-                    unit->qwaitAdd(q, queues_[q].doorbellAddr());
-                hp_assert(ok, "QWAIT-ADD failed for qid %u", q);
-            }
+            for (QueueId q = lo; q < hi; ++q)
+                bindQueue(*unit, c, q);
             mem_->watchRange(
                 queueing::AddressMap::doorbellAddr(lo),
                 queueing::AddressMap::doorbellAddr(hi - 1) +
                     cacheLineBytes,
                 unit.get());
             qwaitUnits_.push_back(std::move(unit));
+        }
+        if (faults_ && (cfg_.fault.dropSnoopRate > 0.0 ||
+                        cfg_.fault.delaySnoopRate > 0.0)) {
+            mem_->setSnoopInterposer(
+                [this](Addr line, CoreId writer, mem::Snooper *target) {
+                    return interposeSnoop(line, writer, target);
+                });
         }
     }
 
@@ -206,6 +313,10 @@ SdpSystem::build()
             }
             hpc->setInOrder(cfg_.inOrderQueues);
             hpc->setBackgroundTask(cfg_.backgroundQuantum);
+            if (fallbacks_[c]) {
+                hpc->setFallback(fallbacks_[c].get(),
+                                 cfg_.recovery.fallbackPollPeriod);
+            }
             core = std::move(hpc);
         }
         core->assignQueues(std::move(subset));
@@ -232,31 +343,45 @@ SdpSystem::build()
             }
         }
         // Wake one halted core of the cluster per ready-queue arrival;
-        // with stealing enabled, fall back to any halted core.
+        // with stealing enabled, fall back to any halted core.  The
+        // callback is the injection point for wake suppression; the
+        // watchdog's re-fire path bypasses it via deliverWake().
         for (unsigned c = 0; c < clusters; ++c) {
-            qwaitUnits_[c]->setWakeCallback([this, c, coresPerCluster] {
-                const unsigned base = c * coresPerCluster;
-                for (unsigned k = 0; k < coresPerCluster; ++k) {
-                    auto *hpc = static_cast<HyperPlaneCore *>(
-                        cores_[base + k].get());
-                    if (hpc->halted()) {
-                        hpc->wake();
-                        return;
-                    }
-                }
-                if (cfg_.workStealing) {
-                    for (auto &corePtr : cores_) {
-                        auto *hpc = static_cast<HyperPlaneCore *>(
-                            corePtr.get());
-                        if (hpc->halted()) {
-                            hpc->wake();
-                            return;
-                        }
-                    }
-                }
+            qwaitUnits_[c]->setWakeCallback([this, c] {
+                if (faults_ && faults_->rollSuppressWake())
+                    return;
+                deliverWake(c);
             });
         }
+        // Recovery machinery: the watchdog owns the periodic sweep and
+        // the promotion retries for demoted queues.
+        if (cfg_.recovery.enabled()) {
+            std::vector<fault::WatchdogCluster> wclusters;
+            for (unsigned c = 0; c < clusters; ++c) {
+                fault::WatchdogCluster wc;
+                wc.unit = qwaitUnits_[c].get();
+                wc.fallback = fallbacks_[c].get();
+                const QueueId lo = c * queuesPerCluster;
+                const QueueId hi = c + 1 == clusters
+                    ? cfg_.numQueues
+                    : lo + queuesPerCluster;
+                for (QueueId q = lo; q < hi; ++q)
+                    wc.qids.push_back(q);
+                wc.deliverWake = [this, c] { return deliverWake(c); };
+                wclusters.push_back(std::move(wc));
+            }
+            watchdog_ = std::make_unique<fault::Watchdog>(
+                eq_, queues_, std::move(wclusters), faults_.get(),
+                cfg_.recovery);
+            watchdog_->start();
+        }
+        // Free-running injectors (spurious activations need a unit).
+        if (faults_ && cfg_.fault.spuriousWakesPerSec > 0.0)
+            scheduleSpuriousWake();
     }
+    // Doorbell storms are tenant behaviour: they hit every plane kind.
+    if (faults_ && cfg_.fault.stormRatePerSec > 0.0)
+        scheduleStormBurst();
 
     // Traffic source.
     traffic::SourceConfig scfg;
@@ -276,6 +401,182 @@ SdpSystem::build()
         [this](QueueId qid, const queueing::WorkItem &item) {
             onArrival(qid, item);
         });
+}
+
+void
+SdpSystem::bindQueue(core::QwaitUnit &unit, unsigned cluster, QueueId qid)
+{
+    // Algorithm 1's reallocation loop, adapted to the fixed per-queue
+    // address map: retries ride out injected conflict pressure; a
+    // genuinely full table needs demotion, not another walk.
+    const unsigned tries = std::max(1u, cfg_.recovery.addMaxTries);
+    for (unsigned t = 0; t < tries; ++t) {
+        if (faults_ && faults_->rollAddConflict())
+            continue;
+        const auto res = unit.qwaitAdd(qid, queues_[qid].doorbellAddr());
+        if (res == core::AddResult::Ok)
+            return;
+        if (res != core::AddResult::Conflict)
+            break; // duplicate: no retry can fix it
+    }
+    if (cfg_.recovery.gracefulDegradation && fallbacks_[cluster]) {
+        fallbacks_[cluster]->add(qid);
+        return;
+    }
+    hp_fatal("QWAIT-ADD failed for qid %u (monitoring set full or "
+             "conflicted; enable recovery.gracefulDegradation)",
+             qid);
+}
+
+bool
+SdpSystem::deliverWake(unsigned cluster)
+{
+    const unsigned coresPerCluster = cfg_.numCores / numClusters();
+    const unsigned base = cluster * coresPerCluster;
+    for (unsigned k = 0; k < coresPerCluster; ++k) {
+        auto *hpc =
+            static_cast<HyperPlaneCore *>(cores_[base + k].get());
+        if (hpc->halted()) {
+            hpc->wake();
+            return true;
+        }
+    }
+    if (cfg_.workStealing) {
+        for (auto &corePtr : cores_) {
+            auto *hpc = static_cast<HyperPlaneCore *>(corePtr.get());
+            if (hpc->halted()) {
+                hpc->wake();
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+core::QwaitUnit *
+SdpSystem::unitForSnooper(mem::Snooper *s)
+{
+    for (auto &u : qwaitUnits_) {
+        if (u.get() == s)
+            return u.get();
+    }
+    return nullptr;
+}
+
+void
+SdpSystem::deliverSnoop(mem::Snooper *target, Addr line, CoreId writer)
+{
+    // A snoop reaching an armed entry of a lost queue closes the
+    // episode: the activation it triggers is the self-recovery.
+    if (core::QwaitUnit *unit = unitForSnooper(target)) {
+        const core::MonitorEntry *e = unit->monitoringSet().find(line);
+        if (e != nullptr && e->armed && faults_ &&
+            faults_->isLost(e->qid)) {
+            faults_->recordSelfRecovery(e->qid);
+        }
+    }
+    target->onWriteTransaction(line, writer);
+}
+
+bool
+SdpSystem::interposeSnoop(Addr line, CoreId writer, mem::Snooper *target)
+{
+    core::QwaitUnit *unit = unitForSnooper(target);
+    if (unit == nullptr)
+        return false; // unknown snooper: deliver normally
+
+    if (faults_->rollDropSnoop()) {
+        // A drop only loses work if it would have activated a queue
+        // that actually has items: armed entry, not ready, nonempty
+        // doorbell (the storm tenant's empty writes carry no work).
+        const core::MonitorEntry *e = unit->monitoringSet().find(line);
+        if (e != nullptr && e->armed &&
+            !unit->readySet().isReady(e->qid) &&
+            !queues_[e->qid].doorbell().empty()) {
+            faults_->recordLost(e->qid);
+        } else {
+            faults_->harmlessDrops.inc();
+        }
+        return true; // swallowed
+    }
+    if (const auto delay = faults_->rollDelaySnoop()) {
+        eq_.scheduleIn(*delay, [this, line, writer, target] {
+            deliverSnoop(target, line, writer);
+        });
+        return true; // in flight
+    }
+    deliverSnoop(target, line, writer);
+    return true;
+}
+
+void
+SdpSystem::scheduleSpuriousWake()
+{
+    const double gapUs = faults_->nextSpuriousGapUs();
+    eq_.scheduleIn(std::max<Tick>(1, usToTicks(gapUs)), [this] {
+        const auto qid = static_cast<QueueId>(
+            faults_->pickSpuriousTarget(cfg_.numQueues));
+        qwaitUnits_[clusterOf(qid)]->injectSpuriousActivation(qid);
+        faults_->spuriousInjected.inc();
+        scheduleSpuriousWake();
+    });
+}
+
+void
+SdpSystem::scheduleStormBurst()
+{
+    const double gapUs = faults_->nextStormGapUs();
+    eq_.scheduleIn(std::max<Tick>(1, usToTicks(gapUs)), [this] {
+        const QueueId victim = cfg_.fault.stormQueue != invalidQueueId
+            ? cfg_.fault.stormQueue
+            : static_cast<QueueId>(
+                  faults_->pickStormTarget(cfg_.numQueues));
+        // Doorbell writes with no enqueued work: each one raises a
+        // write transaction (and a spurious activation if the entry is
+        // armed) that QWAIT-VERIFY then filters.
+        for (unsigned i = 0; i < std::max(1u, cfg_.fault.stormBurst);
+             ++i) {
+            faults_->stormWrites.inc();
+            mem_->deviceWrite(queues_[victim].doorbellAddr());
+        }
+        scheduleStormBurst();
+    });
+}
+
+fault::FallbackSet *
+SdpSystem::fallbackSet(unsigned cluster)
+{
+    if (cluster >= fallbacks_.size())
+        return nullptr;
+    return fallbacks_[cluster].get();
+}
+
+std::uint64_t
+SdpSystem::stuckQueues() const
+{
+    std::uint64_t stuck = 0;
+    for (QueueId qid = 0; qid < cfg_.numQueues; ++qid) {
+        if (queues_[qid].depth() == 0)
+            continue;
+        const unsigned c = clusterOf(qid);
+        if (c < fallbacks_.size() && fallbacks_[c] &&
+            fallbacks_[c]->contains(qid)) {
+            continue; // software-polled: progress guaranteed
+        }
+        if (c >= qwaitUnits_.size())
+            continue; // polling/interrupt planes cannot lose snoops
+        const core::QwaitUnit &unit = *qwaitUnits_[c];
+        const auto db = unit.doorbellOf(qid);
+        if (!db) {
+            ++stuck; // nonempty but nobody is watching it
+            continue;
+        }
+        if (unit.monitoringSet().isArmed(*db) &&
+            !unit.readySet().isReady(qid)) {
+            ++stuck; // armed + nonempty + not ready: the lost state
+        }
+    }
+    return stuck;
 }
 
 void
@@ -445,6 +746,32 @@ SdpSystem::digest(Tick windowTicks)
         r.e2eAvgLatencyUs = tenants_->latency().mean();
         r.e2eP99LatencyUs = tenants_->latency().quantile(0.99);
     }
+
+    if (faults_) {
+        r.snoopsDropped = faults_->snoopsDropped.value();
+        r.snoopsDelayed = faults_->snoopsDelayed.value();
+        r.lostInjected = faults_->lostInjected.value();
+        r.watchdogRecoveries = faults_->watchdogRecovered.value();
+        r.selfRecoveries = faults_->selfRecovered.value();
+        r.lostOutstanding = faults_->outstandingLost();
+        r.wakesSuppressed = faults_->wakesSuppressed.value();
+        r.spuriousInjected = faults_->spuriousInjected.value();
+        r.stormWrites = faults_->stormWrites.value();
+    }
+    if (watchdog_) {
+        r.watchdogSweeps = watchdog_->sweeps.value();
+        r.wakeRefires = watchdog_->wakeRefires.value();
+        if (!faults_)
+            r.watchdogRecoveries = watchdog_->recoveries.value();
+    }
+    for (const auto &fb : fallbacks_) {
+        if (!fb)
+            continue;
+        r.demotions += fb->demotions.value();
+        r.promotions += fb->promotions.value();
+        r.fallbackTasks += fb->tasksServed.value();
+    }
+    r.stuckQueues = stuckQueues();
     return r;
 }
 
@@ -472,6 +799,34 @@ SdpSystem::dumpStats(std::ostream &os) const
         reg.addScalar(p + ".monitoring.occupancy", [&u] {
             return static_cast<double>(u.monitoringSet().occupancy());
         });
+    }
+    if (faults_) {
+        reg.addGroup("fault",
+                     {faults_->snoopsDropped, faults_->harmlessDrops,
+                      faults_->snoopsDelayed,
+                      faults_->forcedAddConflicts,
+                      faults_->wakesSuppressed, faults_->spuriousInjected,
+                      faults_->stormWrites, faults_->lostInjected,
+                      faults_->watchdogRecovered,
+                      faults_->selfRecovered});
+        reg.addScalar("fault.lost_outstanding", [this] {
+            return static_cast<double>(faults_->outstandingLost());
+        });
+    }
+    if (watchdog_) {
+        reg.addGroup("watchdog",
+                     {watchdog_->sweeps, watchdog_->recoveries,
+                      watchdog_->earlyRecoveries, watchdog_->wakeRefires,
+                      watchdog_->promotions,
+                      watchdog_->runtimeDemotions});
+    }
+    for (unsigned c = 0; c < fallbacks_.size(); ++c) {
+        if (!fallbacks_[c])
+            continue;
+        const auto &fb = *fallbacks_[c];
+        reg.addGroup("fallback" + std::to_string(c),
+                     {fb.demotions, fb.promotions, fb.polls,
+                      fb.tasksServed});
     }
     for (unsigned i = 0; i < cores_.size(); ++i) {
         const CoreActivity &a = cores_[i]->activity();

@@ -21,6 +21,10 @@
 #include "core/qwait_unit.hh"
 #include "dp/dp_core.hh"
 #include "dp/hyperplane_core.hh"
+#include "fault/fallback_set.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
+#include "fault/watchdog.hh"
 #include "dp/smt_corunner.hh"
 #include "dp/tenant_model.hh"
 #include "power/core_power.hh"
@@ -96,6 +100,27 @@ struct SdpConfig
     CoreTimingParams timing{};
     power::PowerParams power{};
     SmtParams smt{};
+    /**
+     * Monitoring-set geometry.  Capacity 0 auto-sizes each cluster's
+     * table to its queue span + 25% over-provisioning (the paper's
+     * regime); nonzero values pin the per-cluster capacity, which is
+     * how the saturation/degradation tests force demotions.
+     */
+    unsigned monitoringCapacity = 0;
+    unsigned monitoringWays = 4;
+    unsigned monitoringBanks = 1;
+    unsigned monitoringMaxWalkSteps = 64;
+    /** Fault campaign to inject (defaults to all-zero: no faults). */
+    fault::FaultPlan fault{};
+    /** Recovery mechanisms (watchdog sweep, graceful degradation). */
+    fault::RecoveryConfig recovery{};
+
+    /**
+     * Reject degenerate configurations with a descriptive
+     * std::invalid_argument instead of downstream UB/asserts.  Called
+     * at the top of SdpSystem construction.
+     */
+    void validate() const;
 };
 
 /** Digested results of one experiment point. */
@@ -125,6 +150,29 @@ struct SdpResults
     /** End-to-end (tenant-held) latency, when modelTenants is set. */
     double e2eAvgLatencyUs = 0.0;
     double e2eP99LatencyUs = 0.0;
+
+    // --- Fault campaign + recovery accounting (tentpole) -------------
+
+    std::uint64_t snoopsDropped = 0;
+    std::uint64_t snoopsDelayed = 0;
+    /** Drops that opened a lost-notification episode. */
+    std::uint64_t lostInjected = 0;
+    std::uint64_t watchdogRecoveries = 0;
+    std::uint64_t selfRecoveries = 0;
+    /** Lost episodes still open when the run ended. */
+    std::uint64_t lostOutstanding = 0;
+    std::uint64_t wakesSuppressed = 0;
+    std::uint64_t wakeRefires = 0;
+    std::uint64_t spuriousInjected = 0;
+    std::uint64_t stormWrites = 0;
+    std::uint64_t watchdogSweeps = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t promotions = 0;
+    /** Tasks served via the software-polled fallback path. */
+    std::uint64_t fallbackTasks = 0;
+    /** Queues stranded at end of run: nonempty + armed + not ready +
+     *  not software-polled (0 whenever recovery is working). */
+    std::uint64_t stuckQueues = 0;
 };
 
 /** One simulated software-data-plane instance. */
@@ -155,6 +203,22 @@ class SdpSystem
     /** The QwaitUnit of a cluster (null for spinning planes). */
     core::QwaitUnit *qwaitUnit(unsigned cluster);
 
+    /** The fault injector (null when the plan is all-zero). */
+    fault::FaultInjector *faultInjector() { return faults_.get(); }
+
+    /** The watchdog (null unless recovery machinery is enabled). */
+    fault::Watchdog *watchdog() { return watchdog_.get(); }
+
+    /** A cluster's fallback set (null without graceful degradation). */
+    fault::FallbackSet *fallbackSet(unsigned cluster);
+
+    /**
+     * Queues currently stranded: nonempty, hardware-monitored with the
+     * entry armed, not in the ready set, and not software-polled — the
+     * lost-notification end state recovery must prevent.
+     */
+    std::uint64_t stuckQueues() const;
+
     DataPlaneCore &core(unsigned idx) { return *cores_[idx]; }
 
     /** Latency distribution of the measurement window, microseconds. */
@@ -182,6 +246,20 @@ class SdpSystem
     void onCompletion(const queueing::WorkItem &item, Tick when);
     SdpResults digest(Tick windowTicks);
 
+    // --- fault wiring -------------------------------------------------
+    /** Wake one halted core of @p cluster. @return true if one woke. */
+    bool deliverWake(unsigned cluster);
+    /** Map a registered snooper back to its QwaitUnit. */
+    core::QwaitUnit *unitForSnooper(mem::Snooper *s);
+    /** Deliver a (possibly delayed) snoop, keeping the lost ledger. */
+    void deliverSnoop(mem::Snooper *target, Addr line, CoreId writer);
+    /** Snoop-path interposition: drop / delay / deliver + ledger. */
+    bool interposeSnoop(Addr line, CoreId writer, mem::Snooper *target);
+    /** Bind one queue with retries; demote on exhaustion. */
+    void bindQueue(core::QwaitUnit &unit, unsigned cluster, QueueId qid);
+    void scheduleSpuriousWake();
+    void scheduleStormBurst();
+
     SdpConfig cfg_;
     EventQueue eq_;
     std::unique_ptr<mem::MemorySystem> mem_;
@@ -196,6 +274,10 @@ class SdpSystem
     std::vector<unsigned> coreCluster_;
     std::unique_ptr<traffic::PoissonSource> source_;
     std::unique_ptr<TenantModel> tenants_;
+    std::unique_ptr<fault::FaultInjector> faults_;
+    /** One fallback set per cluster (entries null w/o degradation). */
+    std::vector<std::unique_ptr<fault::FallbackSet>> fallbacks_;
+    std::unique_ptr<fault::Watchdog> watchdog_;
     stats::LogHistogram latency_{0.01, 1.02, 2048};
     bool measuring_ = false;
     Tick measureStart_ = 0;

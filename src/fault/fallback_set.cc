@@ -1,0 +1,36 @@
+#include "fault/fallback_set.hh"
+
+#include <algorithm>
+
+namespace hyperplane {
+namespace fault {
+
+bool
+FallbackSet::add(QueueId qid)
+{
+    if (contains(qid))
+        return false;
+    qids_.push_back(qid);
+    demotions.inc();
+    return true;
+}
+
+bool
+FallbackSet::remove(QueueId qid)
+{
+    auto it = std::find(qids_.begin(), qids_.end(), qid);
+    if (it == qids_.end())
+        return false;
+    qids_.erase(it);
+    promotions.inc();
+    return true;
+}
+
+bool
+FallbackSet::contains(QueueId qid) const
+{
+    return std::find(qids_.begin(), qids_.end(), qid) != qids_.end();
+}
+
+} // namespace fault
+} // namespace hyperplane

@@ -1,0 +1,116 @@
+#include "fault/watchdog.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace fault {
+
+Watchdog::Watchdog(EventQueue &eq, queueing::QueueSet &queues,
+                   std::vector<WatchdogCluster> clusters,
+                   FaultInjector *injector, const RecoveryConfig &cfg)
+    : eq_(eq), queues_(queues), clusters_(std::move(clusters)),
+      injector_(injector), cfg_(cfg),
+      periodTicks_(std::max<Tick>(1, usToTicks(cfg.watchdogPeriodUs)))
+{
+}
+
+void
+Watchdog::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    scheduleNext();
+}
+
+void
+Watchdog::stop()
+{
+    running_ = false;
+}
+
+void
+Watchdog::scheduleNext()
+{
+    eq_.scheduleIn(periodTicks_, [this] {
+        if (!running_)
+            return;
+        sweepOnce();
+        scheduleNext();
+    });
+}
+
+void
+Watchdog::sweepOnce()
+{
+    sweeps.inc();
+    for (auto &c : clusters_)
+        sweepCluster(c);
+}
+
+void
+Watchdog::sweepCluster(WatchdogCluster &c)
+{
+    hp_assert(c.unit != nullptr, "watchdog cluster without a unit");
+
+    if (cfg_.watchdog) {
+        // 1. Lost-notification scan: an armed entry whose doorbell
+        //    already advertises work missed its snoop.  Replay the
+        //    activation (QWAIT-VERIFY semantics).
+        for (QueueId qid : c.qids) {
+            if (c.fallback != nullptr && c.fallback->contains(qid))
+                continue; // software-polled; cannot lose notifications
+            if (!c.unit->watchdogVerify(qid, queues_[qid].doorbell()))
+                continue;
+            if (injector_ == nullptr ||
+                injector_->recordWatchdogRecovery(qid)) {
+                recoveries.inc();
+            } else {
+                // Not in the lost ledger: a delayed snoop is still in
+                // flight and the sweep beat it to the activation.
+                earlyRecoveries.inc();
+            }
+            if (cfg_.demoteAfterRecoveries > 0 && c.fallback != nullptr &&
+                ++recoveryCount_[qid] >= cfg_.demoteAfterRecoveries) {
+                // Chronically lossy binding: give up on the hardware
+                // path and poll it in software instead.
+                c.unit->qwaitRemove(qid);
+                c.fallback->add(qid);
+                runtimeDemotions.inc();
+                recoveryCount_.erase(qid);
+            }
+        }
+    }
+
+    // 2. Promotion retries: capacity may have freed since demotion.
+    if (c.fallback != nullptr && !c.fallback->empty()) {
+        const std::vector<QueueId> demoted = c.fallback->queues();
+        for (QueueId qid : demoted) {
+            if (injector_ != nullptr && injector_->rollAddConflict())
+                continue; // injected pressure still holds the slot
+            if (c.unit->qwaitAdd(qid, queues_[qid].doorbellAddr()) !=
+                core::AddResult::Ok) {
+                continue;
+            }
+            c.fallback->remove(qid);
+            promotions.inc();
+            // Items enqueued while demoted predate the fresh armed
+            // entry; audit once so they are not orphaned.
+            c.unit->watchdogVerify(qid, queues_[qid].doorbell());
+        }
+    }
+
+    // 3. Wake re-fire: ready work but every core asleep means a wake
+    //    callback was lost (e.g. injected suppression).  Runs in every
+    //    sweep — it only acts when a wake has demonstrably gone
+    //    missing, so it is pure recovery.
+    if (c.unit->readySet().anyReady() && c.deliverWake &&
+        c.deliverWake()) {
+        wakeRefires.inc();
+    }
+}
+
+} // namespace fault
+} // namespace hyperplane

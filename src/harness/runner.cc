@@ -67,5 +67,20 @@ zeroLoadConfig(dp::SdpConfig cfg, std::uint64_t targetCompletions)
     return cfg;
 }
 
+std::vector<FaultPoint>
+runFaultSweep(dp::SdpConfig cfg, const std::vector<double> &dropRates,
+              bool withRecovery)
+{
+    cfg.recovery.watchdog = withRecovery;
+    cfg.recovery.gracefulDegradation = withRecovery;
+    std::vector<FaultPoint> out;
+    out.reserve(dropRates.size());
+    for (double rate : dropRates) {
+        cfg.fault.dropSnoopRate = rate;
+        out.push_back({rate, runSdp(cfg)});
+    }
+    return out;
+}
+
 } // namespace harness
 } // namespace hyperplane

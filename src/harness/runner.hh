@@ -56,6 +56,22 @@ std::vector<LoadPoint> runLoadSweep(const dp::SdpConfig &cfg,
 dp::SdpConfig zeroLoadConfig(dp::SdpConfig cfg,
                              std::uint64_t targetCompletions = 1500);
 
+/** One (fault-rate, results) sample of a fault campaign sweep. */
+struct FaultPoint
+{
+    double dropRate;
+    dp::SdpResults results;
+};
+
+/**
+ * Sweep the lost-doorbell rate across @p dropRates, holding offered
+ * load fixed.  @p withRecovery arms the watchdog + graceful
+ * degradation; without it the sweep shows the stranding baseline.
+ */
+std::vector<FaultPoint> runFaultSweep(dp::SdpConfig cfg,
+                                      const std::vector<double> &dropRates,
+                                      bool withRecovery);
+
 } // namespace harness
 } // namespace hyperplane
 

@@ -237,6 +237,8 @@ MemorySystem::notifySnoopers(Addr line, CoreId writer)
     for (const auto &w : watches_) {
         if (line >= w.lo && line < w.hi) {
             snoopHits.inc();
+            if (interposer_ && interposer_(line, writer, w.snooper))
+                continue; // interposer owns delivery (fault injection)
             w.snooper->onWriteTransaction(line, writer);
         }
     }

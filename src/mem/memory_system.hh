@@ -18,6 +18,7 @@
 #ifndef HYPERPLANE_MEM_MEMORY_SYSTEM_HH
 #define HYPERPLANE_MEM_MEMORY_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -119,6 +120,22 @@ class MemorySystem
     /** Drop a previously registered snooper (all its ranges). */
     void unwatch(Snooper *snooper);
 
+    /**
+     * Interposer on the snoop-delivery path (fault injection).  Called
+     * once per (matching range, write transaction) before the snooper
+     * would be notified; returning true means the interposer took
+     * ownership of delivery (dropped it, delayed it, or delivered it
+     * itself) and the memory system must not call the snooper.
+     */
+    using SnoopInterposer =
+        std::function<bool(Addr line, CoreId writer, Snooper *target)>;
+
+    /** Install (or clear, with an empty function) the interposer. */
+    void setSnoopInterposer(SnoopInterposer interposer)
+    {
+        interposer_ = std::move(interposer);
+    }
+
     unsigned numCores() const { return static_cast<unsigned>(l1s_.size()); }
     CacheArray &l1(CoreId core);
     const CacheArray &l1(CoreId core) const;
@@ -166,6 +183,7 @@ class MemorySystem
     std::vector<CacheArray> l1s_;
     CacheArray llc_;
     std::vector<WatchedRange> watches_;
+    SnoopInterposer interposer_;
 };
 
 } // namespace mem

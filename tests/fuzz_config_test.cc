@@ -48,6 +48,28 @@ randomConfig(Rng &rng)
         if (rng.chance(0.2))
             cfg.backgroundQuantum = usToTicks(1.0);
     }
+    const bool hyper = cfg.plane == PlaneKind::HyperPlane ||
+                       cfg.plane == PlaneKind::HyperPlaneSwReady;
+    if (hyper && rng.chance(0.4)) {
+        // Fault-campaign dimension: lossy notification paths with the
+        // recovery machinery armed.  The invariants below must survive
+        // any of these combinations.
+        cfg.fault.dropSnoopRate = rng.chance(0.7) ? 0.1 * rng.uniform()
+                                                  : 0.0;
+        cfg.fault.delaySnoopRate = rng.chance(0.5) ? 0.1 * rng.uniform()
+                                                   : 0.0;
+        cfg.fault.suppressWakeRate =
+            rng.chance(0.3) ? 0.1 * rng.uniform() : 0.0;
+        if (rng.chance(0.3))
+            cfg.fault.spuriousWakesPerSec = 2e3;
+        if (rng.chance(0.3)) {
+            cfg.fault.stormRatePerSec = 2e3;
+            cfg.fault.stormBurst = 4;
+        }
+        cfg.recovery.watchdog = true;
+        cfg.recovery.gracefulDegradation = true;
+        cfg.recovery.watchdogPeriodUs = 50.0;
+    }
     cfg.offeredRatePerSec = 2e4 + rng.uniform() * 3e5;
     cfg.warmupUs = 200.0;
     cfg.measureUs = 1500.0;
@@ -82,6 +104,20 @@ TEST_P(FuzzConfig, RunsCleanlyAndKeepsInvariants)
     }
     EXPECT_EQ(sys.queues().totalEnqueued(),
               dequeued + sys.queues().totalBacklog());
+
+    // Fault campaigns: the lost-notification ledger must balance, and
+    // after (at most) two watchdog sweeps nothing may remain stuck —
+    // drops just before the cutoff are rescued by the first sweep.
+    if (auto *inj = sys.faultInjector()) {
+        EXPECT_EQ(inj->lostInjected.value(),
+                  inj->watchdogRecovered.value() +
+                      inj->selfRecovered.value() + inj->outstandingLost());
+    }
+    if (sys.watchdog()) {
+        sys.watchdog()->sweepOnce();
+        sys.watchdog()->sweepOnce();
+        EXPECT_EQ(sys.stuckQueues(), 0u);
+    }
 
     // Sane digested results.
     EXPECT_GE(r.throughputMtps, 0.0);

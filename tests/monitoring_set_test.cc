@@ -23,7 +23,7 @@ db(unsigned i)
 TEST(MonitoringSet, InsertThenFind)
 {
     MonitoringSet ms;
-    EXPECT_TRUE(ms.insert(db(0), 0));
+    EXPECT_EQ(ms.insert(db(0), 0), MonitoringSet::InsertResult::Ok);
     const MonitorEntry *e = ms.find(db(0));
     ASSERT_NE(e, nullptr);
     EXPECT_EQ(e->qid, 0u);
@@ -35,15 +35,17 @@ TEST(MonitoringSet, InsertThenFind)
 TEST(MonitoringSet, DuplicateInsertRejected)
 {
     MonitoringSet ms;
-    EXPECT_TRUE(ms.insert(db(0), 0));
-    EXPECT_FALSE(ms.insert(db(0), 1));
+    EXPECT_EQ(ms.insert(db(0), 0), MonitoringSet::InsertResult::Ok);
+    EXPECT_EQ(ms.insert(db(0), 1),
+              MonitoringSet::InsertResult::Duplicate);
+    EXPECT_EQ(ms.duplicateInserts.value(), 1u);
     EXPECT_EQ(ms.occupancy(), 1u);
 }
 
 TEST(MonitoringSet, SubLineAddressesShareEntry)
 {
     MonitoringSet ms;
-    EXPECT_TRUE(ms.insert(db(3) + 8, 3));
+    EXPECT_EQ(ms.insert(db(3) + 8, 3), MonitoringSet::InsertResult::Ok);
     EXPECT_NE(ms.find(db(3)), nullptr);
     EXPECT_NE(ms.find(db(3) + 63), nullptr);
 }
@@ -57,7 +59,7 @@ TEST(MonitoringSet, RemoveFreesEntry)
     EXPECT_EQ(ms.occupancy(), 0u);
     EXPECT_FALSE(ms.remove(db(0)));
     // The slot is reusable.
-    EXPECT_TRUE(ms.insert(db(0), 7));
+    EXPECT_EQ(ms.insert(db(0), 7), MonitoringSet::InsertResult::Ok);
 }
 
 TEST(MonitoringSet, SnoopOnArmedEntryDisarmsAndReturnsQid)
@@ -90,6 +92,18 @@ TEST(MonitoringSet, RearmRestoresSnooping)
     EXPECT_EQ(*qid, 5u);
 }
 
+TEST(MonitoringSet, DisarmSuppressesSnoopUntilRearm)
+{
+    MonitoringSet ms;
+    ms.insert(db(2), 2);
+    EXPECT_TRUE(ms.disarm(db(2)));
+    EXPECT_FALSE(ms.disarm(db(2))); // already disarmed
+    EXPECT_FALSE(ms.disarm(db(9))); // not registered
+    EXPECT_FALSE(ms.onWriteTransaction(db(2)).has_value());
+    EXPECT_TRUE(ms.arm(db(2)));
+    EXPECT_EQ(*ms.onWriteTransaction(db(2)), 2u);
+}
+
 TEST(MonitoringSet, SnoopOnUnknownLineIsSilent)
 {
     MonitoringSet ms;
@@ -108,7 +122,8 @@ TEST(MonitoringSet, PaperConfigurationHoldsAThousandDoorbells)
     MonitoringSet ms(cfg);
     unsigned inserted = 0;
     for (unsigned i = 0; i < 1000; ++i)
-        inserted += ms.insert(db(i), i) ? 1 : 0;
+        inserted +=
+            ms.insert(db(i), i) == MonitoringSet::InsertResult::Ok;
     EXPECT_EQ(inserted, 1000u);
     EXPECT_NEAR(ms.loadFactor(), 1000.0 / 1024.0, 1e-9);
     // Every doorbell must still resolve to its QID.
@@ -129,7 +144,7 @@ TEST(MonitoringSet, FailedInsertLeavesTableIntact)
     MonitoringSet ms(cfg);
     std::vector<unsigned> present;
     for (unsigned i = 0; i < 32; ++i) {
-        if (ms.insert(db(i), i))
+        if (ms.insert(db(i), i) == MonitoringSet::InsertResult::Ok)
             present.push_back(i);
     }
     EXPECT_LE(present.size(), 16u);
@@ -149,7 +164,8 @@ TEST(MonitoringSet, BankedConfigurationStillResolves)
     cfg.banks = 4;
     MonitoringSet ms(cfg);
     for (unsigned i = 0; i < 600; ++i)
-        ASSERT_TRUE(ms.insert(db(i), i)) << i;
+        ASSERT_EQ(ms.insert(db(i), i), MonitoringSet::InsertResult::Ok)
+            << i;
     for (unsigned i = 0; i < 600; ++i) {
         const auto qid = ms.onWriteTransaction(db(i));
         ASSERT_TRUE(qid.has_value());
@@ -181,7 +197,8 @@ TEST_P(MonitoringLoadSweep, InsertsWithoutConflict)
     const auto n =
         static_cast<unsigned>(GetParam() * cfg.capacity);
     for (unsigned i = 0; i < n; ++i)
-        ASSERT_TRUE(ms.insert(db(i), i)) << "at load " << GetParam();
+        ASSERT_EQ(ms.insert(db(i), i), MonitoringSet::InsertResult::Ok)
+            << "at load " << GetParam();
     EXPECT_EQ(ms.insertConflicts.value(), 0u);
 }
 

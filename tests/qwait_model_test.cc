@@ -50,7 +50,8 @@ TEST_P(QwaitModelTest, RandomTraceMatchesReferenceModel)
     std::vector<RefQueue> ref(numQueues);
     for (QueueId q = 0; q < numQueues; ++q) {
         doorbells.emplace_back(AddressMap::doorbellAddr(q));
-        ASSERT_TRUE(unit.qwaitAdd(q, AddressMap::doorbellAddr(q)));
+        ASSERT_EQ(unit.qwaitAdd(q, AddressMap::doorbellAddr(q)),
+                  AddResult::Ok);
     }
 
     Rng rng(GetParam());

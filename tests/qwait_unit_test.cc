@@ -26,7 +26,8 @@ smallConfig()
 TEST(QwaitUnit, AddBindsDoorbellToQid)
 {
     QwaitUnit unit(smallConfig());
-    EXPECT_TRUE(unit.qwaitAdd(3, AddressMap::doorbellAddr(3)));
+    EXPECT_EQ(unit.qwaitAdd(3, AddressMap::doorbellAddr(3)),
+              AddResult::Ok);
     const auto addr = unit.doorbellOf(3);
     ASSERT_TRUE(addr.has_value());
     EXPECT_EQ(*addr, AddressMap::doorbellAddr(3));
@@ -35,8 +36,13 @@ TEST(QwaitUnit, AddBindsDoorbellToQid)
 TEST(QwaitUnit, AddRejectsDuplicateQid)
 {
     QwaitUnit unit(smallConfig());
-    EXPECT_TRUE(unit.qwaitAdd(3, AddressMap::doorbellAddr(3)));
-    EXPECT_FALSE(unit.qwaitAdd(3, AddressMap::doorbellAddr(4)));
+    EXPECT_EQ(unit.qwaitAdd(3, AddressMap::doorbellAddr(3)),
+              AddResult::Ok);
+    EXPECT_EQ(unit.qwaitAdd(3, AddressMap::doorbellAddr(4)),
+              AddResult::DuplicateQid);
+    // Same doorbell from a different queue is an address duplicate.
+    EXPECT_EQ(unit.qwaitAdd(4, AddressMap::doorbellAddr(3)),
+              AddResult::DuplicateAddr);
 }
 
 TEST(QwaitUnit, RemoveUnbinds)
@@ -47,7 +53,8 @@ TEST(QwaitUnit, RemoveUnbinds)
     EXPECT_FALSE(unit.doorbellOf(3).has_value());
     EXPECT_FALSE(unit.qwaitRemove(3));
     // Rebinding after removal works.
-    EXPECT_TRUE(unit.qwaitAdd(3, AddressMap::doorbellAddr(3)));
+    EXPECT_EQ(unit.qwaitAdd(3, AddressMap::doorbellAddr(3)),
+              AddResult::Ok);
 }
 
 TEST(QwaitUnit, ReallocLoopRetriesUntilSuccess)
@@ -257,6 +264,68 @@ TEST(QwaitUnit, PolicyOrderAppliedAcrossQueues)
     EXPECT_EQ(*unit.qwait(), 10u);
     EXPECT_EQ(*unit.qwait(), 20u);
     EXPECT_EQ(*unit.qwait(), 30u);
+}
+
+TEST(QwaitUnit, InjectedSpuriousActivationCountsAsSpuriousWakeup)
+{
+    QwaitUnit unit(smallConfig());
+    EXPECT_EQ(unit.qwaitAdd(8, AddressMap::doorbellAddr(8)),
+              AddResult::Ok);
+    Doorbell db(AddressMap::doorbellAddr(8)); // empty
+    int wakes = 0;
+    unit.setWakeCallback([&] { ++wakes; });
+    unit.injectSpuriousActivation(8);
+    EXPECT_EQ(wakes, 1); // the fault wakes a core...
+    const auto qid = unit.qwait();
+    ASSERT_TRUE(qid.has_value());
+    // ...and VERIFY filters it, charging the spurious-wakeup counter.
+    EXPECT_FALSE(unit.qwaitVerify(*qid, db));
+    EXPECT_EQ(unit.spuriousWakeups.value(), 1u);
+    // The filtered grant must not resurface without a new write.
+    EXPECT_FALSE(unit.qwait().has_value());
+}
+
+TEST(QwaitUnit, WatchdogVerifyRescuesArmedNonEmptyQueue)
+{
+    QwaitUnit unit(smallConfig());
+    EXPECT_EQ(unit.qwaitAdd(11, AddressMap::doorbellAddr(11)),
+              AddResult::Ok);
+    Doorbell db(AddressMap::doorbellAddr(11));
+    int wakes = 0;
+    unit.setWakeCallback([&] { ++wakes; });
+
+    // Healthy states are left alone: empty doorbell...
+    EXPECT_FALSE(unit.watchdogVerify(11, db));
+    // ...unbound queue...
+    EXPECT_FALSE(unit.watchdogVerify(12, db));
+    EXPECT_EQ(wakes, 0);
+
+    // The lost-notification state: producer enqueued (doorbell rung)
+    // but the snoop never arrived, so the entry is still armed.
+    db.increment();
+    EXPECT_TRUE(unit.watchdogVerify(11, db));
+    EXPECT_EQ(wakes, 1);
+
+    // Already-ready queues are not double-activated.
+    EXPECT_FALSE(unit.watchdogVerify(11, db));
+    EXPECT_EQ(wakes, 1);
+    EXPECT_EQ(*unit.qwait(), 11u);
+}
+
+TEST(QwaitUnit, WatchdogVerifyIsIdempotentWithLateSnoop)
+{
+    // A delayed snoop that finally lands after the watchdog already
+    // rescued the queue must not produce a second grant: the rescue
+    // disarmed the entry, so the late write is absorbed.
+    QwaitUnit unit(smallConfig());
+    EXPECT_EQ(unit.qwaitAdd(13, AddressMap::doorbellAddr(13)),
+              AddResult::Ok);
+    Doorbell db(AddressMap::doorbellAddr(13));
+    db.increment();
+    EXPECT_TRUE(unit.watchdogVerify(13, db));
+    unit.onWriteTransaction(AddressMap::doorbellAddr(13), 0); // late
+    EXPECT_EQ(*unit.qwait(), 13u);
+    EXPECT_FALSE(unit.qwait().has_value()); // exactly one grant
 }
 
 TEST(QwaitUnit, QwaitLatencyFromConfig)

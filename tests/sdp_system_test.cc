@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "dp/sdp_system.hh"
 #include "harness/runner.hh"
 
@@ -236,6 +238,64 @@ TEST(SdpSystem, ClusteredOrganizationsPartitionQueues)
     EXPECT_EQ(sys.core(2).assignedQueues().front(), 32u);
     EXPECT_TRUE(sys.qwaitUnit(0)->doorbellOf(0).has_value());
     EXPECT_FALSE(sys.qwaitUnit(0)->doorbellOf(32).has_value());
+}
+
+TEST(SdpConfigValidate, RejectsDegenerateConfigs)
+{
+    auto expectRejected = [](auto mutate) {
+        SdpConfig cfg = baseConfig(PlaneKind::HyperPlane);
+        mutate(cfg);
+        EXPECT_THROW(cfg.validate(), std::invalid_argument);
+        EXPECT_THROW(SdpSystem sys(cfg), std::invalid_argument);
+    };
+    expectRejected([](SdpConfig &c) { c.numCores = 0; });
+    expectRejected([](SdpConfig &c) { c.numQueues = 0; });
+    expectRejected([](SdpConfig &c) { c.monitoringWays = 0; });
+    expectRejected([](SdpConfig &c) { c.monitoringWays = 1; });
+    expectRejected([](SdpConfig &c) { c.monitoringWays = 9; });
+    expectRejected([](SdpConfig &c) { c.monitoringBanks = 0; });
+    expectRejected([](SdpConfig &c) { c.monitoringMaxWalkSteps = 0; });
+    expectRejected([](SdpConfig &c) { c.monitoringCapacity = 3; });
+    expectRejected([](SdpConfig &c) { c.batchSize = 0; });
+    expectRejected([](SdpConfig &c) { c.offeredRatePerSec = 0.0; });
+    expectRejected([](SdpConfig &c) { c.measureUs = 0.0; });
+    expectRejected([](SdpConfig &c) { c.maxQueueDepth = 0; });
+    expectRejected([](SdpConfig &c) { c.fault.dropSnoopRate = 1.5; });
+    expectRejected([](SdpConfig &c) { c.fault.suppressWakeRate = -0.1; });
+    expectRejected([](SdpConfig &c) {
+        c.fault.delaySnoopRate = 0.1;
+        c.fault.delayMeanUs = 0.0;
+    });
+    expectRejected([](SdpConfig &c) {
+        c.fault.stormRatePerSec = 1e3;
+        c.fault.stormBurst = 0;
+    });
+    expectRejected([](SdpConfig &c) {
+        c.fault.stormRatePerSec = 1e3;
+        c.fault.stormQueue = c.numQueues;
+    });
+    expectRejected([](SdpConfig &c) {
+        c.recovery.watchdog = true;
+        c.recovery.watchdogPeriodUs = 0.0;
+    });
+    expectRejected([](SdpConfig &c) {
+        c.recovery.gracefulDegradation = true;
+        c.recovery.addMaxTries = 0;
+    });
+    expectRejected([](SdpConfig &c) {
+        c.numCores = 4;
+        c.numQueues = 2;
+        c.org = QueueOrg::ScaleOut; // fewer queues than clusters
+    });
+}
+
+TEST(SdpConfigValidate, AcceptsEveryDefaultPlane)
+{
+    for (PlaneKind k :
+         {PlaneKind::Spinning, PlaneKind::HyperPlane,
+          PlaneKind::HyperPlaneSwReady, PlaneKind::InterruptDriven}) {
+        EXPECT_NO_THROW(baseConfig(k).validate());
+    }
 }
 
 } // namespace
