@@ -13,13 +13,14 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
@@ -29,6 +30,7 @@ main()
 
     stats::Table t("Batch-size sweep");
     t.header({"batch", "peak Mtps", "p99 us @50% load"});
+    std::vector<harness::NamedSweep> sweeps;
     for (unsigned batch : {1u, 2u, 4u, 8u, 16u}) {
         dp::SdpConfig cfg;
         cfg.plane = dp::PlaneKind::HyperPlane;
@@ -45,8 +47,13 @@ main()
         const auto mid = harness::runAtLoad(cfg, cap, 0.5);
         t.row({std::to_string(batch), stats::fmt(peak.throughputMtps),
                stats::fmt(mid.p99LatencyUs, 2)});
+        sweeps.push_back({"batch" + std::to_string(batch),
+                          {{0.5, mid}, {1.0, peak}}});
     }
     t.print();
+
+    if (const char *path = harness::argValue(argc, argv, "--json"))
+        harness::writeTextFile(path, harness::loadSweepJson(sweeps));
 
     std::puts("Expected: modest peak-throughput gains from amortized "
               "notification overhead, at the cost\nof tail latency at "

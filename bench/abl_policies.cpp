@@ -12,13 +12,14 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
@@ -30,6 +31,7 @@ main()
     stats::Table ta("Aggregate at 70% load (packet encapsulation, 64 "
                     "queues FB)");
     ta.header({"policy", "throughput Mtps", "avg us", "p99 us"});
+    std::vector<harness::NamedSweep> sweeps;
     for (auto policy : {core::ServicePolicy::RoundRobin,
                         core::ServicePolicy::WeightedRoundRobin,
                         core::ServicePolicy::StrictPriority}) {
@@ -47,6 +49,7 @@ main()
         ta.row({core::toString(policy), stats::fmt(r.throughputMtps),
                 stats::fmt(r.avgLatencyUs, 2),
                 stats::fmt(r.p99LatencyUs, 2)});
+        sweeps.push_back({core::toString(policy), {{0.7, r}}});
     }
     ta.print();
 
@@ -88,6 +91,9 @@ main()
                 stats::fmt(cold.quantile(0.99), 2)});
     }
     tb.print();
+
+    if (const char *path = harness::argValue(argc, argv, "--json"))
+        harness::writeTextFile(path, harness::loadSweepJson(sweeps));
 
     std::puts("Expected: aggregate rows nearly identical (the paper's "
               "observation); WRR pulls the\nweighted class's tail "

@@ -15,13 +15,14 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
@@ -50,6 +51,7 @@ main()
     header.push_back("stolen@90%");
     t.header(std::move(header));
 
+    std::vector<harness::NamedSweep> sweeps;
     for (const auto &v : variants) {
         dp::SdpConfig cfg;
         cfg.plane = dp::PlaneKind::HyperPlane;
@@ -64,20 +66,20 @@ main()
         cfg.warmupUs = 1500.0;
         cfg.measureUs = 8000.0;
         const double cap = harness::calibrateCapacity(cfg);
+        const auto points = harness::runLoadSweep(cfg, cap, loads);
         std::vector<std::string> row{v.name};
-        std::uint64_t stolen = 0;
-        for (double l : loads) {
-            const auto r = harness::runAtLoad(cfg, cap, l);
-            row.push_back(stats::fmt(r.p99LatencyUs, 1));
-            if (l == loads.back())
-                stolen = r.stolenGrants;
-        }
-        row.push_back(std::to_string(stolen));
+        for (const auto &pt : points)
+            row.push_back(stats::fmt(pt.results.p99LatencyUs, 1));
+        row.push_back(std::to_string(points.back().results.stolenGrants));
         t.row(std::move(row));
         std::printf("  (%s saturates at %.2f Mtps)\n", v.name,
                     cap / 1e6);
+        sweeps.push_back({v.name, points});
     }
     t.print();
+
+    if (const char *path = harness::argValue(argc, argv, "--json"))
+        harness::writeTextFile(path, harness::loadSweepJson(sweeps));
 
     std::puts("Expected: imbalance inflates scale-out tails at high "
               "load; stealing pulls them back toward\nthe scale-up "

@@ -13,6 +13,7 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
@@ -46,7 +47,8 @@ struct Series
 
 void
 panel(const char *title, traffic::Shape shape,
-      const std::vector<Series> &series)
+      const std::vector<Series> &series,
+      std::vector<harness::NamedSweep> &sweeps)
 {
     stats::Table t(title);
     std::vector<std::string> header{"config"};
@@ -62,14 +64,14 @@ panel(const char *title, traffic::Shape shape,
         // Calibrate saturation throughput for THIS configuration so the
         // load axis means the same thing the paper's does.
         const double capacity = harness::calibrateCapacity(cfg);
+        const auto points = harness::runLoadSweep(cfg, capacity, loads);
         std::vector<std::string> row{s.name};
-        for (double l : loads) {
-            const auto r = harness::runAtLoad(cfg, capacity, l);
-            row.push_back(stats::fmt(r.p99LatencyUs, 1));
-        }
+        for (const auto &pt : points)
+            row.push_back(stats::fmt(pt.results.p99LatencyUs, 1));
         t.row(std::move(row));
         std::printf("  (%s saturates at %.2f Mtps)\n", s.name.c_str(),
                     capacity / 1e6);
+        sweeps.push_back({s.name, points});
     }
     t.print();
 }
@@ -77,13 +79,14 @@ panel(const char *title, traffic::Shape shape,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
         "Figure 10", "multicore 99% tail latency vs load "
                      "(packet encapsulation, 4 cores, 400 queues)");
 
+    std::vector<harness::NamedSweep> sweeps;
     panel("Fig 10(a): fully balanced traffic (p99, us)",
           traffic::Shape::FB,
           {
@@ -99,7 +102,8 @@ main()
                dp::QueueOrg::ScaleUp2, 0.0},
               {"hyperplane-scale-up-4", dp::PlaneKind::HyperPlane,
                dp::QueueOrg::ScaleUpAll, 0.0},
-          });
+          },
+          sweeps);
 
     panel("Fig 10(b): proportionally concentrated traffic (p99, us)",
           traffic::Shape::PC,
@@ -116,7 +120,11 @@ main()
                dp::QueueOrg::ScaleOut, 0.10},
               {"hyperplane-scale-up-2", dp::PlaneKind::HyperPlane,
                dp::QueueOrg::ScaleUp2, 0.0},
-          });
+          },
+          sweeps);
+
+    if (const char *path = harness::argValue(argc, argv, "--json"))
+        harness::writeTextFile(path, harness::loadSweepJson(sweeps));
 
     std::puts("Expected shape: HyperPlane below spinning at every "
               "pre-saturation load; scale-up helps\nHyperPlane but "

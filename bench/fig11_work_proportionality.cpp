@@ -12,13 +12,14 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
@@ -44,15 +45,15 @@ main()
 
     cfg.plane = dp::PlaneKind::Spinning;
     const double spinCap = harness::calibrateCapacity(cfg);
+    const auto spinPts = harness::runLoadSweep(cfg, spinCap, loads);
     cfg.plane = dp::PlaneKind::HyperPlane;
     const double hpCap = harness::calibrateCapacity(cfg);
+    const auto hpPts = harness::runLoadSweep(cfg, hpCap, loads);
 
-    for (double l : loads) {
-        cfg.plane = dp::PlaneKind::Spinning;
-        const auto spin = harness::runAtLoad(cfg, spinCap, l);
-        cfg.plane = dp::PlaneKind::HyperPlane;
-        const auto hp = harness::runAtLoad(cfg, hpCap, l);
-
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const auto &spin = spinPts[i].results;
+        const auto &hp = hpPts[i].results;
+        const double l = loads[i];
         ta.row({stats::fmt(l * 100, 0) + "%", stats::fmt(spin.ipc, 2),
                 stats::fmt(spin.usefulIpc, 2),
                 stats::fmt(spin.uselessIpc, 2), stats::fmt(hp.ipc, 2)});
@@ -62,6 +63,12 @@ main()
     }
     ta.print();
     tb.print();
+
+    if (const char *path = harness::argValue(argc, argv, "--json")) {
+        harness::writeTextFile(
+            path, harness::loadSweepJson(
+                      {{"spinning", spinPts}, {"hyperplane", hpPts}}));
+    }
 
     std::puts("Expected shape: spinning IPC is highest at zero load "
               "(all useless) and decreases with load;\nHyperPlane IPC "

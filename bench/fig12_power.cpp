@@ -13,6 +13,7 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
@@ -37,7 +38,7 @@ baseCfg()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
@@ -90,25 +91,31 @@ main()
     cfg.shape = traffic::Shape::FB;
     cfg.org = dp::QueueOrg::ScaleUpAll;
     cfg.jitter = dp::ServiceJitter::None;
+    const std::vector<double> loads{0.01, 0.25, 0.5, 0.75, 0.9};
     cfg.plane = dp::PlaneKind::Spinning;
     const double cSpin = harness::calibrateCapacity(cfg);
+    const auto spinPts = harness::runLoadSweep(cfg, cSpin, loads);
     cfg.plane = dp::PlaneKind::HyperPlane;
     const double cHp = harness::calibrateCapacity(cfg);
+    const auto hpPts = harness::runLoadSweep(cfg, cHp, loads);
+    cfg.powerOptimized = true;
+    const auto hpPwrPts = harness::runLoadSweep(cfg, cHp, loads);
 
-    for (double l : {0.01, 0.25, 0.5, 0.75, 0.9}) {
-        cfg.plane = dp::PlaneKind::Spinning;
-        cfg.powerOptimized = false;
-        const auto spin = harness::runAtLoad(cfg, cSpin, l);
-        cfg.plane = dp::PlaneKind::HyperPlane;
-        const auto hp = harness::runAtLoad(cfg, cHp, l);
-        cfg.powerOptimized = true;
-        const auto hpPwr = harness::runAtLoad(cfg, cHp, l);
-        tb.row({stats::fmt(l * 100, 0) + "%",
-                stats::fmt(spin.p99LatencyUs, 2),
-                stats::fmt(hp.p99LatencyUs, 2),
-                stats::fmt(hpPwr.p99LatencyUs, 2)});
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        tb.row({stats::fmt(loads[i] * 100, 0) + "%",
+                stats::fmt(spinPts[i].results.p99LatencyUs, 2),
+                stats::fmt(hpPts[i].results.p99LatencyUs, 2),
+                stats::fmt(hpPwrPts[i].results.p99LatencyUs, 2)});
     }
     tb.print();
+
+    if (const char *path = harness::argValue(argc, argv, "--json")) {
+        harness::writeTextFile(
+            path, harness::loadSweepJson(
+                      {{"spinning", spinPts},
+                       {"hyperplane", hpPts},
+                       {"hyperplane-power-opt", hpPwrPts}}));
+    }
 
     std::puts("Expected shape: spinning burns MORE power at zero load "
               "than at saturation; power-optimized\nHyperPlane idles "

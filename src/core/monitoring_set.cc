@@ -137,6 +137,10 @@ MonitoringSet::insert(Addr doorbell, QueueId qid)
         std::swap(incoming, **it);
     walkSteps.inc(cfg_.maxWalkSteps);
     insertConflicts.inc();
+    if (HP_TRACE_ON(tracer_)) {
+        tracer_->instant(trace::Stage::MonitorConflict, track_,
+                         tracer_->now(), qid, tag);
+    }
     return InsertResult::Conflict;
 }
 
@@ -161,6 +165,10 @@ MonitoringSet::onWriteTransaction(Addr line)
         return std::nullopt;
     e->armed = false;
     snoopMatches.inc();
+    if (HP_TRACE_ON(tracer_)) {
+        tracer_->instant(trace::Stage::MonitorHit, track_,
+                         tracer_->now(), e->qid, line);
+    }
     return e->qid;
 }
 

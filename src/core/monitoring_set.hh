@@ -24,6 +24,7 @@
 
 #include "sim/types.hh"
 #include "stats/sampler.hh"
+#include "trace/trace.hh"
 
 namespace hyperplane {
 namespace core {
@@ -125,6 +126,16 @@ class MonitoringSet
     /** Number of valid entries. */
     unsigned occupancy() const { return occupancy_; }
 
+    /**
+     * Attach a tracer: armed snoop matches stamp monitor_hit and
+     * failed Cuckoo walks stamp monitor_conflict on @p track.
+     */
+    void setTracer(trace::Tracer *tracer, std::uint32_t track)
+    {
+        tracer_ = tracer;
+        track_ = track;
+    }
+
     /** Fraction of capacity in use. */
     double loadFactor() const
     {
@@ -156,6 +167,8 @@ class MonitoringSet
     /** banks * ways * rows entries, flattened. */
     std::vector<MonitorEntry> table_;
     unsigned occupancy_ = 0;
+    trace::Tracer *tracer_ = nullptr;
+    std::uint32_t track_ = 0;
 };
 
 } // namespace core

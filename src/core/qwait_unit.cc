@@ -108,9 +108,12 @@ QwaitUnit::qwaitVerify(QueueId qid, const queueing::Doorbell &doorbell)
     if (doorbell.empty()) {
         monitoring_.arm(doorbell.addr());
         spuriousWakeups.inc();
+        if (HP_TRACE_ON(tracer_)) {
+            tracer_->instant(trace::Stage::SpuriousWake, track_,
+                             tracer_->now(), qid);
+        }
         return false;
     }
-    (void)qid;
     return true;
 }
 
@@ -150,6 +153,8 @@ QwaitUnit::watchdogVerify(QueueId qid, const queueing::Doorbell &doorbell)
     // recovery is idempotent.
     monitoring_.disarm(it->second);
     readySet_.activate(qid);
+    if (activationHook_)
+        activationHook_(qid);
     if (wakeCallback_)
         wakeCallback_();
     return true;
@@ -159,6 +164,8 @@ void
 QwaitUnit::injectSpuriousActivation(QueueId qid)
 {
     readySet_.activate(qid);
+    if (activationHook_)
+        activationHook_(qid);
     if (wakeCallback_)
         wakeCallback_();
 }
@@ -169,6 +176,8 @@ QwaitUnit::onWriteTransaction(Addr line, CoreId writer)
     (void)writer;
     if (auto qid = monitoring_.onWriteTransaction(line)) {
         readySet_.activate(*qid);
+        if (activationHook_)
+            activationHook_(*qid);
         // Fired on every activation: the system wakes (at most) one
         // halted core per ready-queue arrival.
         if (wakeCallback_)

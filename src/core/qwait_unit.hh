@@ -164,6 +164,30 @@ class QwaitUnit : public mem::Snooper
         wakeCallback_ = std::move(cb);
     }
 
+    /**
+     * Observability hook: fired once per notification-path activation
+     * (snoop hit, watchdog replay, injected spurious activation) with
+     * the activated qid — the ready-set re-activations of
+     * QWAIT-RECONSIDER are not notifications and do not fire it.
+     */
+    void setActivationHook(std::function<void(QueueId)> hook)
+    {
+        activationHook_ = std::move(hook);
+    }
+
+    /**
+     * Attach a tracer under hardware track @p track: forwards to the
+     * monitoring and ready sets and stamps spurious_wake instants when
+     * QWAIT-VERIFY filters an empty grant.
+     */
+    void setTracer(trace::Tracer *tracer, std::uint32_t track)
+    {
+        tracer_ = tracer;
+        track_ = track;
+        monitoring_.setTracer(tracer, track);
+        readySet_.setTracer(tracer, track);
+    }
+
     /** QWAIT instruction latency, cycles. */
     Tick qwaitLatency() const { return cfg_.qwaitLatency; }
 
@@ -182,6 +206,9 @@ class QwaitUnit : public mem::Snooper
     ReadySet readySet_;
     std::unordered_map<QueueId, Addr> doorbellByQid_;
     std::function<void()> wakeCallback_;
+    std::function<void(QueueId)> activationHook_;
+    trace::Tracer *tracer_ = nullptr;
+    std::uint32_t track_ = 0;
 };
 
 } // namespace core

@@ -41,6 +41,10 @@ ReadySet::activate(QueueId qid)
     hp_assert(qid < cfg_.capacity, "qid out of range");
     ready_.set(qid);
     activations.inc();
+    if (HP_TRACE_ON(tracer_)) {
+        tracer_->instant(trace::Stage::ReadyActivate, track_,
+                         tracer_->now(), qid);
+    }
 }
 
 void
@@ -108,6 +112,10 @@ ReadySet::selectNext()
         --stickyCredit_;
         ready_.clear(stickyQid_);
         grants.inc();
+        if (HP_TRACE_ON(tracer_)) {
+            tracer_->instant(trace::Stage::ReadyGrant, track_,
+                             tracer_->now(), stickyQid_);
+        }
         return stickyQid_;
     }
 
@@ -122,6 +130,10 @@ ReadySet::selectNext()
     const auto qid = static_cast<QueueId>(grant);
     ready_.clear(qid);
     grants.inc();
+    if (HP_TRACE_ON(tracer_)) {
+        tracer_->instant(trace::Stage::ReadyGrant, track_,
+                         tracer_->now(), qid);
+    }
 
     switch (cfg_.policy) {
       case ServicePolicy::RoundRobin:

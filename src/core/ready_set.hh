@@ -23,6 +23,7 @@
 #include "core/ppa.hh"
 #include "sim/types.hh"
 #include "stats/sampler.hh"
+#include "trace/trace.hh"
 
 namespace hyperplane {
 namespace core {
@@ -108,6 +109,16 @@ class ReadySet
     /** Reset dynamic state (ready bits, priority, counters). */
     void reset();
 
+    /**
+     * Attach a tracer: activations stamp ready_activate and grants
+     * stamp ready_grant on @p track.
+     */
+    void setTracer(trace::Tracer *tracer, std::uint32_t track)
+    {
+        tracer_ = tracer;
+        track_ = track;
+    }
+
     stats::Counter activations{"activations"};
     stats::Counter grants{"grants"};
 
@@ -121,6 +132,8 @@ class ReadySet
     /** WRR sticky state: queue holding priority and remaining credit. */
     QueueId stickyQid_ = invalidQueueId;
     std::uint32_t stickyCredit_ = 0;
+    trace::Tracer *tracer_ = nullptr;
+    std::uint32_t track_ = 0;
 };
 
 } // namespace core

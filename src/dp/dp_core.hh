@@ -20,6 +20,7 @@
 #include "queueing/task_queue.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "trace/trace.hh"
 #include "workloads/workload.hh"
 
 namespace hyperplane {
@@ -145,6 +146,9 @@ class DataPlaneCore
         completionHook_ = std::move(hook);
     }
 
+    /** Attach a tracer; events stamp on this core's track (= id). */
+    virtual void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
     /** Reset activity counters at the measurement boundary. */
     virtual void resetStats() { activity_.clear(); }
 
@@ -187,6 +191,7 @@ class DataPlaneCore
     Rng rng_;
     std::vector<QueueId> qids_;
     CompletionHook completionHook_;
+    trace::Tracer *tracer_ = nullptr;
     CoreActivity activity_;
     Tick freeAt_ = 0;
     bool running_ = false;

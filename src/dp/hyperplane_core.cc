@@ -117,6 +117,10 @@ HyperPlaneCore::sweepFallback()
             freeAt_ += dcost;
             if (!item)
                 break;
+            if (HP_TRACE_ON(tracer_)) {
+                tracer_->instant(trace::Stage::FallbackServe, id_,
+                                 freeAt_, qid, item->seq);
+            }
             freeAt_ += processItem(*item);
             ++served;
             ++fallbackServed_;
@@ -134,6 +138,7 @@ HyperPlaneCore::haltWithPollTimeout()
 {
     halted_ = true;
     haltStart_ = freeAt_;
+    traceHaltBegin(freeAt_);
     // Bounded halt: a doorbell wake may arrive first; otherwise the
     // poll timer re-runs the loop.  The epoch guard voids this timer if
     // a wake (or a newer halt) supersedes it.
@@ -142,6 +147,7 @@ HyperPlaneCore::haltWithPollTimeout()
         if (!running_ || !halted_ || epoch != pollEpoch_)
             return;
         halted_ = false;
+        traceHaltEnd(eq_.now());
         accountHalt(eq_.now());
         freeAt_ = eq_.now() + (powerOpt_ ? c1WakeLatency_ : 0);
         eq_.schedule(freeAt_, [this] { step(); });
@@ -190,6 +196,9 @@ HyperPlaneCore::wake()
     ++pollEpoch_; // a real wake supersedes any pending poll timer
     halted_ = false;
     const Tick now = eq_.now();
+    traceHaltEnd(now);
+    if (HP_TRACE_ON(tracer_))
+        tracer_->instant(trace::Stage::Wake, id_, now);
     accountHalt(now);
     ++activity_.wakeups;
     freeAt_ = now + (powerOpt_ ? c1WakeLatency_ : 0);
@@ -202,7 +211,25 @@ HyperPlaneCore::finalize(Tick endTick)
     if (halted_) {
         accountHalt(endTick);
         haltStart_ = endTick;
+        // Close the open halt span so traces end well-formed.
+        traceHaltEnd(endTick);
     }
+}
+
+void
+HyperPlaneCore::traceHaltBegin(Tick t)
+{
+    if (HP_TRACE_ON(tracer_))
+        tracer_->begin(trace::Stage::Halt, id_, t);
+}
+
+void
+HyperPlaneCore::traceHaltEnd(Tick t)
+{
+    // A wake event can fire between eq_.now() and the halting step's
+    // freeAt_; clamp so the span never closes before it opened.
+    if (HP_TRACE_ON(tracer_))
+        tracer_->end(trace::Stage::Halt, id_, std::max(t, haltStart_));
 }
 
 void
@@ -252,10 +279,17 @@ HyperPlaneCore::step()
         // No ready queue: halt until the wake callback fires.
         halted_ = true;
         haltStart_ = freeAt_;
+        traceHaltBegin(freeAt_);
         return;
     }
     const QueueId qid = grant->first;
     core::QwaitUnit &unit = *grant->second;
+
+    // QWAIT returned a grant: the notification has reached software.
+    if (HP_TRACE_ON(tracer_))
+        tracer_->instant(trace::Stage::QwaitReturn, id_, freeAt_, qid);
+    if (breakdown_ != nullptr)
+        breakdown_->onGrant(qid, freeAt_);
 
     queueing::TaskQueue &q = queues_[qid];
 
@@ -267,6 +301,8 @@ HyperPlaneCore::step()
     freeAt_ += vcost;
 
     if (ready) {
+        if (HP_TRACE_ON(tracer_))
+            tracer_->begin(trace::Stage::Service, id_, freeAt_, qid);
         // Dequeue up to batch_ items (step 6).
         std::vector<queueing::WorkItem> items;
         items.reserve(batch_);
@@ -298,6 +334,9 @@ HyperPlaneCore::step()
         // Transport processing (step 8).
         for (const auto &item : items)
             freeAt_ += processItem(item);
+
+        if (HP_TRACE_ON(tracer_))
+            tracer_->end(trace::Stage::Service, id_, freeAt_, qid);
 
         if (inOrder_) {
             // In-order (flow-stateful) mode: RECONSIDER follows

@@ -20,6 +20,7 @@
 #include "core/qwait_unit.hh"
 #include "dp/dp_core.hh"
 #include "fault/fallback_set.hh"
+#include "trace/latency_breakdown.hh"
 
 namespace hyperplane {
 namespace dp {
@@ -100,6 +101,12 @@ class HyperPlaneCore : public DataPlaneCore
     /** Tasks this core served from the fallback set. */
     std::uint64_t fallbackServed() const { return fallbackServed_; }
 
+    /** Attach the per-stage latency-breakdown tracker (may be null). */
+    void setBreakdown(trace::LatencyBreakdown *breakdown)
+    {
+        breakdown_ = breakdown;
+    }
+
   protected:
     /**
      * Cycles one QWAIT instruction occupies the core.  The software
@@ -124,6 +131,10 @@ class HyperPlaneCore : public DataPlaneCore
     /** Halt with a poll-timer bound (fallback set non-empty). */
     void haltWithPollTimeout();
 
+    /** Stamp the halt-span open/close events around halted_. */
+    void traceHaltBegin(Tick t);
+    void traceHaltEnd(Tick t);
+
     core::QwaitUnit &qwait_;
     bool powerOpt_;
     Tick c1WakeLatency_;
@@ -143,6 +154,7 @@ class HyperPlaneCore : public DataPlaneCore
     /** Invalidates in-flight poll-timeout events when a real wake (or
      *  a newer halt) supersedes them. */
     std::uint64_t pollEpoch_ = 0;
+    trace::LatencyBreakdown *breakdown_ = nullptr;
 };
 
 } // namespace dp

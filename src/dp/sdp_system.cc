@@ -6,6 +6,7 @@
 #include <string>
 
 #include "stats/registry.hh"
+#include "trace/chrome_trace.hh"
 
 #include "dp/interrupt_core.hh"
 #include "dp/spinning_core.hh"
@@ -136,6 +137,11 @@ SdpConfig::validate() const
         fail("fault.stormQueue out of range");
     }
 
+    if (trace.enable && trace.bufferCapacity == 0)
+        fail("trace.bufferCapacity must be >= 1 when tracing");
+    if (trace.sampleEveryUs < 0.0)
+        fail("trace.sampleEveryUs must be >= 0");
+
     if (recovery.watchdog && !(recovery.watchdogPeriodUs > 0.0))
         fail("recovery.watchdogPeriodUs must be > 0");
     if (recovery.gracefulDegradation) {
@@ -197,8 +203,17 @@ SdpSystem::build()
     hp_assert(cfg_.numCores % numClusters() == 0,
               "cores must divide evenly into clusters");
 
+    if (trace::kCompiledIn && cfg_.trace.enable) {
+        tracer_ = std::make_unique<trace::Tracer>(
+            cfg_.trace.bufferCapacity);
+        tracer_->setClock([this] { return eq_.now(); });
+        tracer_->setEnabled(true);
+        breakdown_ = std::make_unique<trace::LatencyBreakdown>();
+    }
+
     mem_ = std::make_unique<mem::MemorySystem>(cfg_.numCores, l1Geom,
                                                llcGeom);
+    mem_->setTracer(tracer_.get());
     workload_ = makeWorkload(cfg_.workload, cfg_.seed);
 
     // Traffic shape -> per-queue weights (+ optional static imbalance).
@@ -252,6 +267,15 @@ SdpSystem::build()
             const QueueId hi = c + 1 == clusters
                 ? cfg_.numQueues
                 : lo + queuesPerCluster;
+            unit->setTracer(tracer_.get(),
+                            trace::trackHardwareBase + c);
+            if (breakdown_) {
+                const Tick lookup =
+                    unit->monitoringSet().config().lookupCycles;
+                unit->setActivationHook([this, lookup](QueueId q) {
+                    breakdown_->onActivate(q, eq_.now(), lookup);
+                });
+            }
             for (QueueId q = lo; q < hi; ++q)
                 bindQueue(*unit, c, q);
             mem_->watchRange(
@@ -319,6 +343,9 @@ SdpSystem::build()
             }
             core = std::move(hpc);
         }
+        core->setTracer(tracer_.get());
+        if (auto *hpc = dynamic_cast<HyperPlaneCore *>(core.get()))
+            hpc->setBreakdown(breakdown_.get());
         core->assignQueues(std::move(subset));
         core->setCompletionHook(
             [this](const queueing::WorkItem &item, Tick when) {
@@ -373,6 +400,7 @@ SdpSystem::build()
             watchdog_ = std::make_unique<fault::Watchdog>(
                 eq_, queues_, std::move(wclusters), faults_.get(),
                 cfg_.recovery);
+            watchdog_->setTracer(tracer_.get());
             watchdog_->start();
         }
         // Free-running injectors (spurious activations need a unit).
@@ -401,6 +429,13 @@ SdpSystem::build()
         [this](QueueId qid, const queueing::WorkItem &item) {
             onArrival(qid, item);
         });
+
+    registerStats();
+    if (cfg_.trace.sampleEveryUs > 0.0) {
+        sampler_ = std::make_unique<trace::RegistrySampler>(
+            eq_, registry_, cfg_.trace.samplePaths,
+            usToTicks(cfg_.trace.sampleEveryUs));
+    }
 }
 
 void
@@ -497,9 +532,20 @@ SdpSystem::interposeSnoop(Addr line, CoreId writer, mem::Snooper *target)
         } else {
             faults_->harmlessDrops.inc();
         }
+        if (HP_TRACE_ON(tracer_.get())) {
+            tracer_->instant(trace::Stage::SnoopDropped,
+                             trace::trackDevice, eq_.now(),
+                             e != nullptr ? e->qid : invalidQueueId,
+                             line);
+        }
         return true; // swallowed
     }
     if (const auto delay = faults_->rollDelaySnoop()) {
+        if (HP_TRACE_ON(tracer_.get())) {
+            tracer_->instant(trace::Stage::SnoopDelayed,
+                             trace::trackDevice, eq_.now(),
+                             invalidQueueId, line);
+        }
         eq_.scheduleIn(*delay, [this, line, writer, target] {
             deliverSnoop(target, line, writer);
         });
@@ -582,7 +628,15 @@ SdpSystem::stuckQueues() const
 void
 SdpSystem::onArrival(QueueId qid, const queueing::WorkItem &item)
 {
-    (void)item;
+    // The hook runs after the enqueue but before the doorbell write's
+    // snoop, so depth() == 1 identifies the empty->non-empty transition
+    // that carries a fresh notification.
+    if (breakdown_ && queues_[qid].depth() == 1)
+        breakdown_->onDoorbell(qid, item.seq, item.arrivalTick);
+    if (HP_TRACE_ON(tracer_.get())) {
+        tracer_->instant(trace::Stage::DoorbellWrite, trace::trackDevice,
+                         item.arrivalTick, qid, item.seq);
+    }
     const unsigned c = clusterOf(qid);
     ++clusterBacklogs_[c];
     if (cfg_.plane == PlaneKind::Spinning) {
@@ -620,6 +674,8 @@ SdpSystem::onCompletion(const queueing::WorkItem &item, Tick when)
         if (b > 0)
             --b;
     }
+    if (breakdown_)
+        breakdown_->onCompletion(item.qid, item.seq, when);
     if (!measuring_ || when < measureStart_)
         return;
     ++completions_;
@@ -634,6 +690,8 @@ SdpSystem::run()
     for (auto &core : cores_)
         core->start();
     source_->start();
+    if (sampler_)
+        sampler_->start();
 
     const Tick warmupEnd = eq_.now() + usToTicks(cfg_.warmupUs);
     eq_.run(warmupEnd);
@@ -647,6 +705,8 @@ SdpSystem::run()
         core->resetStats();
     if (tenants_)
         tenants_->resetStats();
+    if (breakdown_)
+        breakdown_->clear();
     const std::uint64_t genAtStart = source_->generated();
     const std::uint64_t dropAtStart = source_->dropped();
 
@@ -664,6 +724,8 @@ SdpSystem::run()
     for (auto &core : cores_)
         core->stop();
     source_->stop();
+    if (sampler_)
+        sampler_->stop();
     return r;
 }
 
@@ -771,14 +833,33 @@ SdpSystem::digest(Tick windowTicks)
         r.promotions += fb->promotions.value();
         r.fallbackTasks += fb->tasksServed.value();
     }
+    if (breakdown_) {
+        r.breakdownSamples = breakdown_->samples();
+        r.breakdownIncomplete = breakdown_->incomplete();
+        if (breakdown_->endToEndUs().count() > 0) {
+            r.avgDoorbellToSnoopUs =
+                breakdown_->doorbellToSnoopUs().mean();
+            r.avgSnoopToReadyUs = breakdown_->snoopToReadyUs().mean();
+            r.avgReadyToGrantUs = breakdown_->readyToGrantUs().mean();
+            r.avgGrantToCompletionUs =
+                breakdown_->grantToCompletionUs().mean();
+            r.breakdownE2eAvgUs = breakdown_->endToEndUs().mean();
+            r.breakdownE2eP99Us =
+                breakdown_->endToEndUs().quantile(0.99);
+        }
+    }
+    if (tracer_) {
+        r.traceEvents = tracer_->recorded();
+        r.traceDropped = tracer_->dropped();
+    }
     r.stuckQueues = stuckQueues();
     return r;
 }
 
 void
-SdpSystem::dumpStats(std::ostream &os) const
+SdpSystem::registerStats()
 {
-    stats::Registry reg;
+    stats::Registry &reg = registry_;
     reg.addGroup("mem",
                  {mem_->l1Hits, mem_->llcHits, mem_->remoteForwards,
                   mem_->memAccesses, mem_->invalidations,
@@ -854,7 +935,44 @@ SdpSystem::dumpStats(std::ostream &os) const
             return static_cast<double>(a.wakeups);
         });
     }
-    os << reg.report();
+    if (tracer_) {
+        reg.addScalar("trace.events", [this] {
+            return static_cast<double>(tracer_->recorded());
+        });
+        reg.addScalar("trace.dropped", [this] {
+            return static_cast<double>(tracer_->dropped());
+        });
+    }
+    if (breakdown_) {
+        reg.addScalar("trace.breakdown_samples", [this] {
+            return static_cast<double>(breakdown_->samples());
+        });
+        reg.addScalar("trace.breakdown_incomplete", [this] {
+            return static_cast<double>(breakdown_->incomplete());
+        });
+        reg.addScalar("trace.breakdown_open", [this] {
+            return static_cast<double>(breakdown_->open());
+        });
+    }
+    reg.addScalar("system.completions", [this] {
+        return static_cast<double>(completions_);
+    });
+}
+
+void
+SdpSystem::dumpStats(std::ostream &os) const
+{
+    os << registry_.report();
+}
+
+void
+SdpSystem::writeChromeTrace(std::ostream &os) const
+{
+    if (tracer_) {
+        trace::writeChromeTrace(os, *tracer_);
+    } else {
+        os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n";
+    }
 }
 
 SdpResults

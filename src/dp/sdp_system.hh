@@ -29,6 +29,11 @@
 #include "dp/tenant_model.hh"
 #include "power/core_power.hh"
 #include "stats/histogram.hh"
+#include "stats/registry.hh"
+#include "trace/latency_breakdown.hh"
+#include "trace/timeseries.hh"
+#include "trace/trace.hh"
+#include "trace/trace_config.hh"
 #include "traffic/poisson_source.hh"
 #include "traffic/shapes.hh"
 #include "workloads/workload.hh"
@@ -114,6 +119,8 @@ struct SdpConfig
     fault::FaultPlan fault{};
     /** Recovery mechanisms (watchdog sweep, graceful degradation). */
     fault::RecoveryConfig recovery{};
+    /** Observability: event tracing, latency breakdown, sampling. */
+    trace::TraceConfig trace{};
 
     /**
      * Reject degenerate configurations with a descriptive
@@ -173,6 +180,23 @@ struct SdpResults
     /** Queues stranded at end of run: nonempty + armed + not ready +
      *  not software-polled (0 whenever recovery is working). */
     std::uint64_t stuckQueues = 0;
+
+    // --- Observability (trace.enable) --------------------------------
+
+    /** Notification episodes with a full per-stage record. */
+    std::uint64_t breakdownSamples = 0;
+    /** Episodes closed without one (e.g. fallback-served). */
+    std::uint64_t breakdownIncomplete = 0;
+    /** Mean per-stage latencies, us (sum == breakdownE2eAvgUs). */
+    double avgDoorbellToSnoopUs = 0.0;
+    double avgSnoopToReadyUs = 0.0;
+    double avgReadyToGrantUs = 0.0;
+    double avgGrantToCompletionUs = 0.0;
+    double breakdownE2eAvgUs = 0.0;
+    double breakdownE2eP99Us = 0.0;
+    /** Events recorded / evicted by the trace ring buffer. */
+    std::uint64_t traceEvents = 0;
+    std::uint64_t traceDropped = 0;
 };
 
 /** One simulated software-data-plane instance. */
@@ -233,6 +257,25 @@ class SdpSystem
     /** Per-queue weights after shape + imbalance application. */
     const std::vector<double> &weights() const { return weights_; }
 
+    /** The event tracer (null unless config().trace.enable and the
+     *  subsystem is compiled in). */
+    trace::Tracer *tracer() { return tracer_.get(); }
+
+    /** The per-stage latency breakdown (null when not tracing). */
+    trace::LatencyBreakdown *breakdown() { return breakdown_.get(); }
+
+    /** Sampled counter time series (null unless trace.sampleEveryUs). */
+    const trace::TimeSeries *timeSeries() const
+    {
+        return sampler_ ? &sampler_->series() : nullptr;
+    }
+
+    /** The system's stat registry (populated at construction). */
+    const stats::Registry &registry() const { return registry_; }
+
+    /** Export the event buffer as Chrome/Perfetto trace JSON. */
+    void writeChromeTrace(std::ostream &os) const;
+
     /**
      * Dump every component's statistics as sorted "path = value" lines
      * (gem5-style stats report).
@@ -241,6 +284,7 @@ class SdpSystem
 
   private:
     void build();
+    void registerStats();
     unsigned clusterOf(QueueId qid) const;
     void onArrival(QueueId qid, const queueing::WorkItem &item);
     void onCompletion(const queueing::WorkItem &item, Tick when);
@@ -278,6 +322,10 @@ class SdpSystem
     /** One fallback set per cluster (entries null w/o degradation). */
     std::vector<std::unique_ptr<fault::FallbackSet>> fallbacks_;
     std::unique_ptr<fault::Watchdog> watchdog_;
+    std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<trace::LatencyBreakdown> breakdown_;
+    std::unique_ptr<trace::RegistrySampler> sampler_;
+    stats::Registry registry_;
     stats::LogHistogram latency_{0.01, 1.02, 2048};
     bool measuring_ = false;
     Tick measureStart_ = 0;

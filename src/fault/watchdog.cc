@@ -46,6 +46,10 @@ void
 Watchdog::sweepOnce()
 {
     sweeps.inc();
+    if (HP_TRACE_ON(tracer_)) {
+        tracer_->instant(trace::Stage::WatchdogSweep,
+                         trace::trackWatchdog, tracer_->now());
+    }
     for (auto &c : clusters_)
         sweepCluster(c);
 }
@@ -64,6 +68,11 @@ Watchdog::sweepCluster(WatchdogCluster &c)
                 continue; // software-polled; cannot lose notifications
             if (!c.unit->watchdogVerify(qid, queues_[qid].doorbell()))
                 continue;
+            if (HP_TRACE_ON(tracer_)) {
+                tracer_->instant(trace::Stage::WatchdogRecovery,
+                                 trace::trackWatchdog, tracer_->now(),
+                                 qid);
+            }
             if (injector_ == nullptr ||
                 injector_->recordWatchdogRecovery(qid)) {
                 recoveries.inc();
@@ -80,6 +89,11 @@ Watchdog::sweepCluster(WatchdogCluster &c)
                 c.fallback->add(qid);
                 runtimeDemotions.inc();
                 recoveryCount_.erase(qid);
+                if (HP_TRACE_ON(tracer_)) {
+                    tracer_->instant(trace::Stage::Demotion,
+                                     trace::trackWatchdog,
+                                     tracer_->now(), qid);
+                }
             }
         }
     }
@@ -96,6 +110,11 @@ Watchdog::sweepCluster(WatchdogCluster &c)
             }
             c.fallback->remove(qid);
             promotions.inc();
+            if (HP_TRACE_ON(tracer_)) {
+                tracer_->instant(trace::Stage::Promotion,
+                                 trace::trackWatchdog, tracer_->now(),
+                                 qid);
+            }
             // Items enqueued while demoted predate the fresh armed
             // entry; audit once so they are not orphaned.
             c.unit->watchdogVerify(qid, queues_[qid].doorbell());
@@ -109,6 +128,10 @@ Watchdog::sweepCluster(WatchdogCluster &c)
     if (c.unit->readySet().anyReady() && c.deliverWake &&
         c.deliverWake()) {
         wakeRefires.inc();
+        if (HP_TRACE_ON(tracer_)) {
+            tracer_->instant(trace::Stage::WakeRefire,
+                             trace::trackWatchdog, tracer_->now());
+        }
     }
 }
 

@@ -29,6 +29,7 @@
 #include "queueing/task_queue.hh"
 #include "sim/event_queue.hh"
 #include "stats/sampler.hh"
+#include "trace/trace.hh"
 
 namespace hyperplane {
 namespace fault {
@@ -69,6 +70,9 @@ class Watchdog
     /** Run one sweep immediately (tests, end-of-run audits). */
     void sweepOnce();
 
+    /** Attach a tracer; events stamp on the watchdog track. */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
     stats::Counter sweeps{"watchdog_sweeps"};
     /** Lost-ledger queues rescued by a sweep. */
     stats::Counter recoveries{"watchdog_recoveries"};
@@ -91,6 +95,7 @@ class Watchdog
     RecoveryConfig cfg_;
     Tick periodTicks_;
     bool running_ = false;
+    trace::Tracer *tracer_ = nullptr;
     /** Watchdog recoveries per queue (runtime-demotion threshold). */
     std::unordered_map<QueueId, unsigned> recoveryCount_;
 };

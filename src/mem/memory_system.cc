@@ -237,6 +237,11 @@ MemorySystem::notifySnoopers(Addr line, CoreId writer)
     for (const auto &w : watches_) {
         if (line >= w.lo && line < w.hi) {
             snoopHits.inc();
+            if (HP_TRACE_ON(tracer_)) {
+                tracer_->instant(trace::Stage::SnoopDeliver,
+                                 trace::trackDevice, tracer_->now(),
+                                 invalidQueueId, line);
+            }
             if (interposer_ && interposer_(line, writer, w.snooper))
                 continue; // interposer owns delivery (fault injection)
             w.snooper->onWriteTransaction(line, writer);

@@ -25,6 +25,7 @@
 #include "mem/cache.hh"
 #include "sim/types.hh"
 #include "stats/sampler.hh"
+#include "trace/trace.hh"
 
 namespace hyperplane {
 namespace mem {
@@ -136,6 +137,12 @@ class MemorySystem
         interposer_ = std::move(interposer);
     }
 
+    /**
+     * Attach a tracer: every snoop delivery in a watched range stamps a
+     * snoop_deliver instant (null detaches).
+     */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
     unsigned numCores() const { return static_cast<unsigned>(l1s_.size()); }
     CacheArray &l1(CoreId core);
     const CacheArray &l1(CoreId core) const;
@@ -184,6 +191,7 @@ class MemorySystem
     CacheArray llc_;
     std::vector<WatchedRange> watches_;
     SnoopInterposer interposer_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace mem

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the machine-readable
+ * exporters (stats::Registry::reportJson, the Chrome-trace writer, the
+ * time-series snapshots, and the harness run exports).  Emission only —
+ * parsing stays out of the library.
+ */
+
+#ifndef HYPERPLANE_STATS_JSON_HH
+#define HYPERPLANE_STATS_JSON_HH
+
+#include <string>
+#include <string_view>
+
+namespace hyperplane {
+namespace stats {
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes). */
+std::string jsonEscape(std::string_view s);
+
+/** @p s as a quoted JSON string. */
+std::string jsonString(std::string_view s);
+
+/**
+ * @p v as a JSON number: integers without a fraction, other finite
+ * values with enough digits to round-trip; NaN/Inf (not representable
+ * in JSON) become null.
+ */
+std::string jsonNumber(double v);
+
+} // namespace stats
+} // namespace hyperplane
+
+#endif // HYPERPLANE_STATS_JSON_HH

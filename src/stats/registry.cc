@@ -6,35 +6,77 @@
 #include <limits>
 #include <sstream>
 
+#include "sim/logging.hh"
+#include "stats/json.hh"
+
 namespace hyperplane {
 namespace stats {
+
+namespace {
+
+struct EntryPathLess
+{
+    bool operator()(const auto &e, const std::string &p) const
+    {
+        return e.path < p;
+    }
+};
+
+} // namespace
+
+void
+Registry::insert(const std::string &path, std::function<double()> getter)
+{
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), path,
+                               EntryPathLess{});
+    if (it != entries_.end() && it->path == path) {
+        hp_warn("stats::Registry: duplicate path '%s' ignored "
+                "(first registration wins)",
+                path.c_str());
+        return;
+    }
+    entries_.insert(it, {path, std::move(getter)});
+}
 
 void
 Registry::add(const std::string &path, const Counter &counter)
 {
     const Counter *c = &counter;
-    entries_.push_back(
-        {path, [c] { return static_cast<double>(c->value()); }});
+    insert(path, [c] { return static_cast<double>(c->value()); });
 }
 
 void
 Registry::addScalar(const std::string &path,
                     std::function<double()> getter)
 {
-    entries_.push_back({path, std::move(getter)});
+    insert(path, std::move(getter));
+}
+
+bool
+Registry::has(const std::string &path) const
+{
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), path,
+                               EntryPathLess{});
+    return it != entries_.end() && it->path == path;
+}
+
+std::vector<std::string>
+Registry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_)
+        out.push_back(e.path);
+    return out;
 }
 
 std::string
 Registry::report() const
 {
-    std::vector<std::pair<std::string, double>> rows;
-    rows.reserve(entries_.size());
-    for (const auto &e : entries_)
-        rows.emplace_back(e.path, e.getter());
-    std::sort(rows.begin(), rows.end());
-
+    // Entries are maintained sorted; render in place.
     std::ostringstream os;
-    for (const auto &[path, v] : rows) {
+    for (const auto &e : entries_) {
+        const double v = e.getter();
         char buf[64];
         // Integers print without a fraction; other values with 6
         // significant digits.
@@ -43,18 +85,35 @@ Registry::report() const
         } else {
             std::snprintf(buf, sizeof(buf), "%.6g", v);
         }
-        os << path << " = " << buf << '\n';
+        os << e.path << " = " << buf << '\n';
     }
+    return os.str();
+}
+
+std::string
+Registry::reportJson() const
+{
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    for (const auto &e : entries_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '\n'
+           << jsonString(e.path) << ':' << jsonNumber(e.getter());
+    }
+    os << "\n}\n";
     return os.str();
 }
 
 double
 Registry::value(const std::string &path) const
 {
-    for (const auto &e : entries_) {
-        if (e.path == path)
-            return e.getter();
-    }
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), path,
+                               EntryPathLess{});
+    if (it != entries_.end() && it->path == path)
+        return it->getter();
     return std::numeric_limits<double>::quiet_NaN();
 }
 

@@ -4,6 +4,13 @@
  * under hierarchical dotted paths, and the registry renders a sorted
  * "path = value" report.  Used by SdpSystem::dumpStats() and by tools
  * that want machine-readable run summaries.
+ *
+ * Entries are kept sorted by path, so value() lookups are binary
+ * searches — the time-series sampler calls value() once per column per
+ * sample, which makes the previous linear scan O(paths * samples).
+ * Duplicate registrations are detected at add() time: the first
+ * registration wins and a warning names the offending path (previously
+ * both entries survived, making value() ambiguous).
  */
 
 #ifndef HYPERPLANE_STATS_REGISTRY_HH
@@ -43,11 +50,23 @@ class Registry
     /** Number of registered entries. */
     std::size_t size() const { return entries_.size(); }
 
+    /** True if @p path is registered. */
+    bool has(const std::string &path) const;
+
+    /** All registered paths, ascending. */
+    std::vector<std::string> paths() const;
+
     /**
      * Render the report: one "path = value" line per entry, sorted by
      * path.
      */
     std::string report() const;
+
+    /**
+     * Render the report as one JSON object: {"path": value, ...},
+     * keys ascending.  Non-finite values serialize as null.
+     */
+    std::string reportJson() const;
 
     /** Current value of a registered entry. @return NaN if unknown. */
     double value(const std::string &path) const;
@@ -59,6 +78,10 @@ class Registry
         std::function<double()> getter;
     };
 
+    /** Sorted-insert with duplicate rejection (first wins + warning). */
+    void insert(const std::string &path, std::function<double()> getter);
+
+    /** Entries sorted ascending by path. */
     std::vector<Entry> entries_;
 };
 

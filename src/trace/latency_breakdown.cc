@@ -1,0 +1,75 @@
+#include "trace/latency_breakdown.hh"
+
+namespace hyperplane {
+namespace trace {
+
+void
+LatencyBreakdown::onDoorbell(QueueId qid, std::uint64_t seq, Tick t)
+{
+    // An open episode means the earlier head task is still in flight;
+    // this arrival rides its activation and is not a fresh episode.
+    pending_.try_emplace(qid, Pending{seq, t, 0, 0, 0, false, false});
+}
+
+void
+LatencyBreakdown::onActivate(QueueId qid, Tick t,
+                             Tick monitorLookupCycles)
+{
+    auto it = pending_.find(qid);
+    if (it == pending_.end() || it->second.activated)
+        return;
+    Pending &p = it->second;
+    p.tSnoop = t > p.tDoorbell + monitorLookupCycles
+        ? t - monitorLookupCycles
+        : p.tDoorbell;
+    p.tReady = t;
+    p.activated = true;
+}
+
+void
+LatencyBreakdown::onGrant(QueueId qid, Tick t)
+{
+    auto it = pending_.find(qid);
+    if (it == pending_.end() || !it->second.activated ||
+        it->second.granted) {
+        return;
+    }
+    it->second.tGrant = t < it->second.tReady ? it->second.tReady : t;
+    it->second.granted = true;
+}
+
+void
+LatencyBreakdown::onCompletion(QueueId qid, std::uint64_t seq, Tick t)
+{
+    auto it = pending_.find(qid);
+    if (it == pending_.end() || it->second.seq != seq)
+        return; // a later batch item, or an untracked episode
+    const Pending p = it->second;
+    pending_.erase(it);
+    if (!p.activated || !p.granted || t < p.tGrant) {
+        ++incomplete_; // e.g. served by the software-polled fallback
+        return;
+    }
+    d2s_.record(ticksToUs(p.tSnoop - p.tDoorbell));
+    s2r_.record(ticksToUs(p.tReady - p.tSnoop));
+    r2g_.record(ticksToUs(p.tGrant - p.tReady));
+    g2c_.record(ticksToUs(t - p.tGrant));
+    e2e_.record(ticksToUs(t - p.tDoorbell));
+    ++samples_;
+}
+
+void
+LatencyBreakdown::clear()
+{
+    pending_.clear();
+    samples_ = 0;
+    incomplete_ = 0;
+    d2s_.clear();
+    s2r_.clear();
+    r2g_.clear();
+    g2c_.clear();
+    e2e_.clear();
+}
+
+} // namespace trace
+} // namespace hyperplane

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Runtime tracing configuration, embedded in dp::SdpConfig.
+ *
+ * The compile-time gate is HYPERPLANE_TRACE (see trace.hh); this struct
+ * is the runtime gate.  With enable unset, no tracer or breakdown
+ * tracker is constructed and every stamp site reduces to a null-pointer
+ * test.  The time-series sampler is gated separately by its period so
+ * counter trajectories can be captured without event tracing.
+ */
+
+#ifndef HYPERPLANE_TRACE_TRACE_CONFIG_HH
+#define HYPERPLANE_TRACE_TRACE_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hyperplane {
+namespace trace {
+
+/** Per-run observability knobs. */
+struct TraceConfig
+{
+    /** Record notification-path events + the latency breakdown. */
+    bool enable = false;
+    /** Ring-buffer capacity, events (overflow drops the oldest). */
+    std::size_t bufferCapacity = 1 << 16;
+    /** Snapshot registry counters every this many us; 0 disables. */
+    double sampleEveryUs = 0.0;
+    /** Registry paths to sample; empty = every registered entry. */
+    std::vector<std::string> samplePaths;
+};
+
+} // namespace trace
+} // namespace hyperplane
+
+#endif // HYPERPLANE_TRACE_TRACE_CONFIG_HH

@@ -77,13 +77,16 @@ PoissonSource::arrive(QueueId qid)
             qid * 97 + (item.seq % 31)); // a few flows per queue
         q.enqueue(item);
         generated_.inc();
+        // The arrival hook runs before the doorbell write so observers
+        // (latency breakdown, tracing) see the enqueue before any
+        // activation the snoop triggers.
+        if (hook_)
+            hook_(qid, item);
         // The producer's doorbell write: the coherence transaction the
         // monitoring set snoops (and that costs a spinning core a miss
         // on its next poll of this queue head).
         if (mem_ != nullptr)
             mem_->deviceWrite(q.doorbellAddr());
-        if (hook_)
-            hook_(qid, item);
     }
     scheduleNext(qid);
 }

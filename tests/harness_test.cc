@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "harness/runner.hh"
+#include "json_check.hh"
 
 namespace hyperplane {
 namespace harness {
@@ -113,6 +115,47 @@ TEST(Harness, RowLabelCombinesPlaneAndShape)
     cfg.plane = dp::PlaneKind::Spinning;
     cfg.shape = traffic::Shape::NC;
     EXPECT_EQ(rowLabel(cfg), "spinning/NC");
+}
+
+TEST(Harness, ResultsJsonIsWellFormed)
+{
+    dp::SdpResults r;
+    r.throughputMtps = 1.25;
+    r.completions = 1000;
+    r.avgLatencyUs = 3.5;
+    const std::string json = resultsJson(r);
+    EXPECT_TRUE(hyperplane::testing::jsonWellFormed(json)) << json;
+    EXPECT_NE(json.find("\"throughput_mtps\":1.25"), std::string::npos);
+    EXPECT_NE(json.find("\"completions\":1000"), std::string::npos);
+    EXPECT_NE(json.find("\"avg_latency_us\":3.5"), std::string::npos);
+    EXPECT_NE(json.find("\"breakdown_samples\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace_events\""), std::string::npos);
+}
+
+TEST(Harness, LoadSweepJsonIsWellFormed)
+{
+    dp::SdpResults r;
+    r.throughputMtps = 0.5;
+    const std::vector<NamedSweep> sweeps{
+        {"spinning", {{0.2, r}, {0.8, r}}},
+        {"hyperplane", {{0.2, r}}},
+    };
+    const std::string json = loadSweepJson(sweeps);
+    EXPECT_TRUE(hyperplane::testing::jsonWellFormed(json)) << json;
+    EXPECT_NE(json.find("\"name\":\"spinning\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"hyperplane\""), std::string::npos);
+    EXPECT_NE(json.find("\"load\":0.8"), std::string::npos);
+}
+
+TEST(Harness, ArgParsingFindsFlagValues)
+{
+    const char *argvArr[] = {"prog", "--json", "out.json", "--flag"};
+    char **argv = const_cast<char **>(argvArr);
+    EXPECT_STREQ(argValue(4, argv, "--json"), "out.json");
+    EXPECT_EQ(argValue(4, argv, "--flag"), nullptr); // no value slot
+    EXPECT_EQ(argValue(4, argv, "--none"), nullptr);
+    EXPECT_TRUE(argPresent(4, argv, "--flag"));
+    EXPECT_FALSE(argPresent(4, argv, "--none"));
 }
 
 } // namespace

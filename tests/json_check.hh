@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Minimal JSON syntax validator for tests.
+ *
+ * Not a parser — it only answers "is this well-formed JSON?" so the
+ * exporters' output can be checked without a JSON library dependency.
+ * Accepts exactly the grammar of RFC 8259 (objects, arrays, strings
+ * with escapes, numbers, true/false/null).
+ */
+
+#ifndef HYPERPLANE_TESTS_JSON_CHECK_HH
+#define HYPERPLANE_TESTS_JSON_CHECK_HH
+
+#include <cctype>
+#include <string>
+
+namespace hyperplane {
+namespace testing {
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    /** True iff the whole input is one well-formed JSON value. */
+    bool valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool eat(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool string()
+    {
+        if (!eat('"'))
+            return false;
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_++];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        if (pos_ >= s_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_]))) {
+                            return false;
+                        }
+                        ++pos_;
+                    }
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+        }
+        if (pos_ == start ||
+            (s_[start] == '-' && pos_ == start + 1)) {
+            return false;
+        }
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                return false;
+            }
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() &&
+                (s_[pos_] == '+' || s_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (pos_ >= s_.size() ||
+                !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                return false;
+            }
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+            }
+        }
+        return true;
+    }
+
+    bool value()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        if (c == '{') {
+            ++pos_;
+            if (eat('}'))
+                return true;
+            do {
+                skipWs();
+                if (!string() || !eat(':') || !value())
+                    return false;
+            } while (eat(','));
+            return eat('}');
+        }
+        if (c == '[') {
+            ++pos_;
+            if (eat(']'))
+                return true;
+            do {
+                if (!value())
+                    return false;
+            } while (eat(','));
+            return eat(']');
+        }
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+/** Convenience wrapper. */
+inline bool
+jsonWellFormed(const std::string &text)
+{
+    return JsonChecker(text).valid();
+}
+
+} // namespace testing
+} // namespace hyperplane
+
+#endif // HYPERPLANE_TESTS_JSON_CHECK_HH

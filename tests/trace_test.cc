@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the notification-path tracing subsystem: the ring
+ * tracer, span pairing, the Chrome-trace exporter, the latency
+ * breakdown joiner, the time series, and end-to-end traced SdpSystem
+ * runs (breakdown stages must sum to the e2e latency).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "dp/sdp_system.hh"
+#include "harness/runner.hh"
+#include "json_check.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/latency_breakdown.hh"
+#include "trace/timeseries.hh"
+#include "trace/trace.hh"
+
+namespace hyperplane {
+namespace trace {
+namespace {
+
+TEST(Tracer, DisabledRecordsNothing)
+{
+    Tracer t(8);
+    ASSERT_FALSE(t.enabled());
+    t.instant(Stage::DoorbellWrite, 0, 10);
+    t.begin(Stage::Service, 0, 20);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.recorded(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RingOverflowDropsOldest)
+{
+    Tracer t(4);
+    t.setEnabled(true);
+    for (Tick ts = 0; ts < 6; ++ts)
+        t.instant(Stage::DoorbellWrite, 0, ts);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.capacity(), 4u);
+    EXPECT_EQ(t.dropped(), 2u);
+    EXPECT_EQ(t.recorded(), 6u);
+    const auto snap = t.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    // Oldest events (ts 0, 1) were evicted; snapshot is oldest-first.
+    for (std::size_t i = 0; i < snap.size(); ++i)
+        EXPECT_EQ(snap[i].ts, static_cast<Tick>(i + 2));
+}
+
+TEST(Tracer, ClearResetsCounters)
+{
+    Tracer t(2);
+    t.setEnabled(true);
+    for (int i = 0; i < 5; ++i)
+        t.instant(Stage::Completion, 1, i);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+    EXPECT_EQ(t.recorded(), 0u);
+    t.instant(Stage::Completion, 1, 9);
+    EXPECT_EQ(t.snapshot().front().ts, 9u);
+}
+
+TEST(Tracer, ClockFeedsNow)
+{
+    Tracer t(4);
+    Tick now = 123;
+    t.setClock([&now] { return now; });
+    EXPECT_EQ(t.now(), 123u);
+    now = 456;
+    EXPECT_EQ(t.now(), 456u);
+}
+
+TEST(SpanPairing, NestedSpansPerTrackPass)
+{
+    Tracer t(16);
+    t.setEnabled(true);
+    t.begin(Stage::Service, 0, 10);
+    t.begin(Stage::Halt, 1, 11); // other track interleaves freely
+    t.instant(Stage::Completion, 0, 12);
+    t.end(Stage::Service, 0, 13);
+    t.end(Stage::Halt, 1, 14);
+    const auto check = checkSpanPairing(t.snapshot());
+    EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SpanPairing, UnmatchedEndFails)
+{
+    Tracer t(4);
+    t.setEnabled(true);
+    t.end(Stage::Service, 0, 10);
+    const auto check = checkSpanPairing(t.snapshot());
+    EXPECT_FALSE(check.ok);
+    EXPECT_NE(check.error.find("unmatched End"), std::string::npos);
+}
+
+TEST(SpanPairing, MismatchedStageFails)
+{
+    Tracer t(4);
+    t.setEnabled(true);
+    t.begin(Stage::Service, 0, 10);
+    t.end(Stage::Halt, 0, 11);
+    EXPECT_FALSE(checkSpanPairing(t.snapshot()).ok);
+}
+
+TEST(SpanPairing, UnclosedBeginFails)
+{
+    Tracer t(4);
+    t.setEnabled(true);
+    t.begin(Stage::Halt, 2, 10);
+    const auto check = checkSpanPairing(t.snapshot());
+    EXPECT_FALSE(check.ok);
+    EXPECT_NE(check.error.find("unclosed Begin"), std::string::npos);
+}
+
+TEST(TrackNames, PseudoTracksAreNamed)
+{
+    EXPECT_EQ(trackName(0), "core0");
+    EXPECT_EQ(trackName(3), "core3");
+    EXPECT_EQ(trackName(trackHardwareBase), "hw0");
+    EXPECT_EQ(trackName(trackHardwareBase + 2), "hw2");
+    EXPECT_EQ(trackName(trackDevice), "device");
+    EXPECT_EQ(trackName(trackWatchdog), "watchdog");
+}
+
+TEST(ChromeTrace, ExportIsWellFormedJson)
+{
+    Tracer t(16);
+    t.setEnabled(true);
+    t.instant(Stage::DoorbellWrite, trackDevice, 100, 7, 1);
+    t.begin(Stage::Service, 0, 200, 7);
+    t.instant(Stage::Completion, 0, 250, 7, 1);
+    t.end(Stage::Service, 0, 300, 7);
+    const std::string json = chromeTraceJson(t.snapshot());
+    EXPECT_TRUE(hyperplane::testing::jsonWellFormed(json)) << json;
+    // Stage names, phases, and thread_name metadata must appear.
+    EXPECT_NE(json.find("\"doorbell_write\""), std::string::npos);
+    EXPECT_NE(json.find("\"service\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("\"device\""), std::string::npos);
+    EXPECT_NE(json.find("\"core0\""), std::string::npos);
+    EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyBufferStillValid)
+{
+    const std::string json = chromeTraceJson({});
+    EXPECT_TRUE(hyperplane::testing::jsonWellFormed(json)) << json;
+}
+
+TEST(LatencyBreakdown, StagesTelescopeToEndToEnd)
+{
+    LatencyBreakdown b;
+    b.onDoorbell(3, 1, 100);
+    b.onActivate(3, 120, 5); // snoop back-dated to tick 115
+    b.onGrant(3, 140);
+    b.onCompletion(3, 1, 200);
+    ASSERT_EQ(b.samples(), 1u);
+    EXPECT_EQ(b.incomplete(), 0u);
+    EXPECT_EQ(b.open(), 0u);
+    EXPECT_NEAR(b.doorbellToSnoopUs().mean(), ticksToUs(15), 1e-12);
+    EXPECT_NEAR(b.snoopToReadyUs().mean(), ticksToUs(5), 1e-12);
+    EXPECT_NEAR(b.readyToGrantUs().mean(), ticksToUs(20), 1e-12);
+    EXPECT_NEAR(b.grantToCompletionUs().mean(), ticksToUs(60), 1e-12);
+    const double sum = b.doorbellToSnoopUs().mean() +
+                       b.snoopToReadyUs().mean() +
+                       b.readyToGrantUs().mean() +
+                       b.grantToCompletionUs().mean();
+    EXPECT_NEAR(sum, b.endToEndUs().mean(), 1e-12);
+    EXPECT_NEAR(b.endToEndUs().mean(), ticksToUs(100), 1e-12);
+}
+
+TEST(LatencyBreakdown, SnoopBackdateClampsToDoorbell)
+{
+    LatencyBreakdown b;
+    b.onDoorbell(1, 1, 100);
+    b.onActivate(1, 102, 50); // lookup longer than doorbell->activate
+    b.onGrant(1, 110);
+    b.onCompletion(1, 1, 120);
+    ASSERT_EQ(b.samples(), 1u);
+    EXPECT_EQ(b.doorbellToSnoopUs().mean(), 0.0);
+    EXPECT_NEAR(b.snoopToReadyUs().mean(), ticksToUs(2), 1e-12);
+}
+
+TEST(LatencyBreakdown, BackloggedArrivalDoesNotOpenEpisode)
+{
+    LatencyBreakdown b;
+    b.onDoorbell(2, 1, 100);
+    b.onDoorbell(2, 2, 110); // queue already non-empty: ignored
+    b.onActivate(2, 105);
+    b.onGrant(2, 120);
+    b.onCompletion(2, 2, 130); // seq mismatch: batch item, no close
+    EXPECT_EQ(b.samples(), 0u);
+    EXPECT_EQ(b.open(), 1u);
+    b.onCompletion(2, 1, 140);
+    EXPECT_EQ(b.samples(), 1u);
+    EXPECT_EQ(b.open(), 0u);
+}
+
+TEST(LatencyBreakdown, UngrantedEpisodeClosesIncomplete)
+{
+    LatencyBreakdown b;
+    b.onDoorbell(4, 9, 100);
+    b.onActivate(4, 110);
+    b.onCompletion(4, 9, 150); // served without a grant (fallback)
+    EXPECT_EQ(b.samples(), 0u);
+    EXPECT_EQ(b.incomplete(), 1u);
+}
+
+TEST(LatencyBreakdown, ClearDropsOpenEpisodes)
+{
+    LatencyBreakdown b;
+    b.onDoorbell(5, 1, 100);
+    b.clear();
+    EXPECT_EQ(b.open(), 0u);
+    b.onCompletion(5, 1, 200); // episode gone: no effect
+    EXPECT_EQ(b.samples(), 0u);
+    EXPECT_EQ(b.incomplete(), 0u);
+}
+
+TEST(TimeSeries, RowsAndCsv)
+{
+    TimeSeries ts;
+    ts.setColumns({"a", "b"});
+    ts.appendRow(usToTicks(1.0), {1.0, 2.0});
+    ts.appendRow(usToTicks(2.0), {3.0, 4.5});
+    ASSERT_EQ(ts.rows(), 2u);
+    EXPECT_EQ(ts.rowValues(1)[1], 4.5);
+
+    std::ostringstream csv;
+    ts.writeCsv(csv);
+    const std::string text = csv.str();
+    EXPECT_EQ(text.find("tick,time_us,a,b"), 0u);
+    // Header + two data rows.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+
+    std::ostringstream json;
+    ts.writeJson(json);
+    EXPECT_TRUE(hyperplane::testing::jsonWellFormed(json.str()))
+        << json.str();
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: traced SdpSystem runs.
+// ---------------------------------------------------------------------
+
+dp::SdpConfig
+tracedZeroLoadConfig()
+{
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::HyperPlane;
+    cfg.numCores = 1;
+    cfg.numQueues = 32;
+    cfg.workload = workloads::Kind::PacketEncapsulation;
+    cfg.shape = traffic::Shape::SQ;
+    cfg.jitter = dp::ServiceJitter::None;
+    cfg.seed = 77;
+    cfg = harness::zeroLoadConfig(cfg, 200);
+    cfg.trace.enable = true;
+    return cfg;
+}
+
+TEST(TracedRun, BreakdownStagesSumToEndToEnd)
+{
+    if (!kCompiledIn)
+        GTEST_SKIP() << "built with HYPERPLANE_TRACE=0";
+    dp::SdpSystem sys(tracedZeroLoadConfig());
+    const auto r = sys.run();
+    ASSERT_GT(r.breakdownSamples, 0u);
+    EXPECT_GT(r.traceEvents, 0u);
+    const double sum = r.avgDoorbellToSnoopUs + r.avgSnoopToReadyUs +
+                       r.avgReadyToGrantUs + r.avgGrantToCompletionUs;
+    // Stage boundaries telescope: the sum reconstructs e2e exactly
+    // (one-tick tolerance for the clamped snoop back-date).
+    EXPECT_NEAR(sum, r.breakdownE2eAvgUs, ticksToUs(1) + 1e-9);
+    // At zero load the breakdown e2e matches the measured latency.
+    EXPECT_NEAR(r.breakdownE2eAvgUs, r.avgLatencyUs, 0.05);
+}
+
+TEST(TracedRun, SpansPairAndExportIsValidJson)
+{
+    if (!kCompiledIn)
+        GTEST_SKIP() << "built with HYPERPLANE_TRACE=0";
+    dp::SdpSystem sys(tracedZeroLoadConfig());
+    sys.run();
+    ASSERT_NE(sys.tracer(), nullptr);
+    ASSERT_EQ(sys.tracer()->dropped(), 0u);
+    const auto check = checkSpanPairing(sys.tracer()->snapshot());
+    EXPECT_TRUE(check.ok) << check.error;
+
+    std::ostringstream os;
+    sys.writeChromeTrace(os);
+    EXPECT_TRUE(hyperplane::testing::jsonWellFormed(os.str()));
+}
+
+TEST(TracedRun, DisabledRunPaysNothing)
+{
+    auto cfg = tracedZeroLoadConfig();
+    cfg.trace.enable = false;
+    dp::SdpSystem sys(cfg);
+    const auto r = sys.run();
+    EXPECT_EQ(sys.tracer(), nullptr);
+    EXPECT_EQ(sys.timeSeries(), nullptr);
+    EXPECT_EQ(r.traceEvents, 0u);
+    EXPECT_EQ(r.breakdownSamples, 0u);
+    // The exporter still emits a valid (empty) document.
+    std::ostringstream os;
+    sys.writeChromeTrace(os);
+    EXPECT_TRUE(hyperplane::testing::jsonWellFormed(os.str()));
+}
+
+TEST(TracedRun, TracingDoesNotPerturbResults)
+{
+    auto off = tracedZeroLoadConfig();
+    off.trace.enable = false;
+    const auto base = dp::runSdp(off);
+    const auto traced = dp::runSdp(tracedZeroLoadConfig());
+    EXPECT_EQ(traced.completions, base.completions);
+    EXPECT_DOUBLE_EQ(traced.avgLatencyUs, base.avgLatencyUs);
+    EXPECT_DOUBLE_EQ(traced.throughputMtps, base.throughputMtps);
+}
+
+TEST(TracedRun, RegistrySamplerLeavesTimeSeries)
+{
+    if (!kCompiledIn)
+        GTEST_SKIP() << "built with HYPERPLANE_TRACE=0";
+    auto cfg = tracedZeroLoadConfig();
+    cfg.trace.sampleEveryUs = cfg.measureUs / 20.0;
+    dp::SdpSystem sys(cfg);
+    sys.run();
+    const TimeSeries *ts = sys.timeSeries();
+    ASSERT_NE(ts, nullptr);
+    EXPECT_GT(ts->rows(), 10u);
+    EXPECT_FALSE(ts->columns().empty());
+    // Ticks must be strictly increasing.
+    for (std::size_t i = 1; i < ts->rows(); ++i)
+        EXPECT_LT(ts->rowTick(i - 1), ts->rowTick(i));
+    std::ostringstream json;
+    ts->writeJson(json);
+    EXPECT_TRUE(hyperplane::testing::jsonWellFormed(json.str()));
+}
+
+} // namespace
+} // namespace trace
+} // namespace hyperplane
