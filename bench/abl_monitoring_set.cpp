@@ -13,6 +13,7 @@
 
 #include "core/monitoring_set.hh"
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "queueing/doorbell.hh"
 #include "sim/rng.hh"
 #include "stats/table.hh"
@@ -49,43 +50,63 @@ conflictRate(unsigned ways, unsigned walkSteps, double targetLoad,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printExperimentBanner(
         "Ablation: monitoring set",
         "Cuckoo-walk insertion conflict rate vs occupancy (1024 "
         "entries; mean of 5 seeds)");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
+
+    const std::vector<double> loadsA{0.5, 0.7, 0.85, 0.91, 0.977};
+    const std::vector<std::pair<unsigned, unsigned>> geometries{
+        {2, 1}, {2, 64}, {4, 1}, {4, 64}};
+    std::vector<double> cellsA(loadsA.size() * geometries.size());
+    harness::parallelFor(cellsA.size(), jobs, [&](std::size_t i) {
+        const double load = loadsA[i / geometries.size()];
+        const auto [ways, steps] = geometries[i % geometries.size()];
+        double sum = 0;
+        for (std::uint64_t seed = 1; seed <= 5; ++seed)
+            sum += conflictRate(ways, steps, load, seed);
+        cellsA[i] = 100.0 * sum / 5;
+    });
 
     stats::Table t("Insert conflict rate (%)");
     t.header({"target load", "2-way no-walk", "2-way walk", "4-way "
               "no-walk", "4-way walk (ZCache-like)"});
-    for (double load : {0.5, 0.7, 0.85, 0.91, 0.977}) {
-        std::vector<std::string> row{stats::fmt(load * 100, 1) + "%"};
-        for (auto [ways, steps] :
-             {std::pair{2u, 1u}, std::pair{2u, 64u}, std::pair{4u, 1u},
-              std::pair{4u, 64u}}) {
-            double sum = 0;
-            for (std::uint64_t seed = 1; seed <= 5; ++seed)
-                sum += conflictRate(ways, steps, load, seed);
-            row.push_back(stats::fmt(100.0 * sum / 5, 2));
-        }
+    for (std::size_t li = 0; li < loadsA.size(); ++li) {
+        std::vector<std::string> row{stats::fmt(loadsA[li] * 100, 1) +
+                                     "%"};
+        for (std::size_t gi = 0; gi < geometries.size(); ++gi)
+            row.push_back(
+                stats::fmt(cellsA[li * geometries.size() + gi], 2));
         t.row(std::move(row));
     }
     t.print();
 
     // Banked organizations (distributed directories, Section IV-A):
     // banks shrink each Cuckoo table, costing some occupancy headroom.
+    const std::vector<double> loadsB{0.85, 0.91, 0.977};
+    const std::vector<unsigned> bankCounts{1, 2, 4, 8};
+    std::vector<double> cellsB(loadsB.size() * bankCounts.size());
+    harness::parallelFor(cellsB.size(), jobs, [&](std::size_t i) {
+        const double load = loadsB[i / bankCounts.size()];
+        const unsigned banks = bankCounts[i % bankCounts.size()];
+        double sum = 0;
+        for (std::uint64_t seed = 1; seed <= 5; ++seed)
+            sum += conflictRate(4, 64, load, seed, banks);
+        cellsB[i] = 100.0 * sum / 5;
+    });
+
     stats::Table tb("4-way walk conflict rate vs banking (%)");
     tb.header({"target load", "1 bank", "2 banks", "4 banks",
                "8 banks"});
-    for (double load : {0.85, 0.91, 0.977}) {
-        std::vector<std::string> row{stats::fmt(load * 100, 1) + "%"};
-        for (unsigned banks : {1u, 2u, 4u, 8u}) {
-            double sum = 0;
-            for (std::uint64_t seed = 1; seed <= 5; ++seed)
-                sum += conflictRate(4, 64, load, seed, banks);
-            row.push_back(stats::fmt(100.0 * sum / 5, 2));
-        }
+    for (std::size_t li = 0; li < loadsB.size(); ++li) {
+        std::vector<std::string> row{stats::fmt(loadsB[li] * 100, 1) +
+                                     "%"};
+        for (std::size_t bi = 0; bi < bankCounts.size(); ++bi)
+            row.push_back(
+                stats::fmt(cellsB[li * bankCounts.size() + bi], 2));
         tb.row(std::move(row));
     }
     tb.print();

@@ -13,6 +13,7 @@
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
 #include "harness/export.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
@@ -25,16 +26,16 @@ main(int argc, char **argv)
     harness::printExperimentBanner(
         "Ablation: service policies",
         "round-robin vs weighted round-robin vs strict priority");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
     // Aggregate behaviour: the paper's claim that policy barely moves
     // the headline numbers.
-    stats::Table ta("Aggregate at 70% load (packet encapsulation, 64 "
-                    "queues FB)");
-    ta.header({"policy", "throughput Mtps", "avg us", "p99 us"});
-    std::vector<harness::NamedSweep> sweeps;
-    for (auto policy : {core::ServicePolicy::RoundRobin,
-                        core::ServicePolicy::WeightedRoundRobin,
-                        core::ServicePolicy::StrictPriority}) {
+    const std::vector<core::ServicePolicy> policies{
+        core::ServicePolicy::RoundRobin,
+        core::ServicePolicy::WeightedRoundRobin,
+        core::ServicePolicy::StrictPriority};
+    std::vector<harness::SweepSeries> series;
+    for (auto policy : policies) {
         dp::SdpConfig cfg;
         cfg.plane = dp::PlaneKind::HyperPlane;
         cfg.numCores = 1;
@@ -44,22 +45,39 @@ main(int argc, char **argv)
         cfg.seed = 111;
         cfg.warmupUs = 800.0;
         cfg.measureUs = 6000.0;
-        const double cap = harness::calibrateCapacity(cfg);
-        const auto r = harness::runAtLoad(cfg, cap, 0.7);
-        ta.row({core::toString(policy), stats::fmt(r.throughputMtps),
+        series.push_back({core::toString(policy), cfg});
+    }
+    const auto aggregate = harness::runLoadSweeps(series, {0.7}, jobs);
+
+    stats::Table ta("Aggregate at 70% load (packet encapsulation, 64 "
+                    "queues FB)");
+    ta.header({"policy", "throughput Mtps", "avg us", "p99 us"});
+    std::vector<harness::NamedSweep> sweeps;
+    for (const auto &sw : aggregate) {
+        const auto &r = sw.points[0].results;
+        ta.row({sw.name, stats::fmt(r.throughputMtps),
                 stats::fmt(r.avgLatencyUs, 2),
                 stats::fmt(r.p99LatencyUs, 2)});
-        sweeps.push_back({core::toString(policy), {{0.7, r}}});
+        sweeps.push_back({sw.name, sw.points});
     }
     ta.print();
 
     // Differentiated service: WRR with 4:1 weights on the first 8
-    // queues must shift latency between classes at high load.
-    stats::Table tb("WRR differentiation at 85% load (8 weighted "
-                    "queues of 64)");
-    tb.header({"policy", "weighted-class p99 us", "rest p99 us"});
-    for (auto policy : {core::ServicePolicy::RoundRobin,
-                        core::ServicePolicy::WeightedRoundRobin}) {
+    // queues must shift latency between classes at high load.  Each
+    // point installs per-system hooks, so it drives parallelFor
+    // directly and owns its SdpSystem + histograms.
+    const std::vector<core::ServicePolicy> wrrPolicies{
+        core::ServicePolicy::RoundRobin,
+        core::ServicePolicy::WeightedRoundRobin};
+    struct ClassTail
+    {
+        std::string name;
+        double hotP99;
+        double coldP99;
+    };
+    std::vector<ClassTail> tails(wrrPolicies.size());
+    harness::parallelFor(wrrPolicies.size(), jobs, [&](std::size_t i) {
+        const auto policy = wrrPolicies[i];
         dp::SdpConfig cfg;
         cfg.plane = dp::PlaneKind::HyperPlane;
         cfg.numCores = 1;
@@ -86,10 +104,16 @@ main(int argc, char **argv)
                 (item.qid < 8 ? hot : cold).record(us);
             });
         sys.run();
-        tb.row({core::toString(policy),
-                stats::fmt(hot.quantile(0.99), 2),
-                stats::fmt(cold.quantile(0.99), 2)});
-    }
+        tails[i] = {core::toString(policy), hot.quantile(0.99),
+                    cold.quantile(0.99)};
+    });
+
+    stats::Table tb("WRR differentiation at 85% load (8 weighted "
+                    "queues of 64)");
+    tb.header({"policy", "weighted-class p99 us", "rest p99 us"});
+    for (const auto &row : tails)
+        tb.row({row.name, stats::fmt(row.hotP99, 2),
+                stats::fmt(row.coldP99, 2)});
     tb.print();
 
     if (const char *path = harness::argValue(argc, argv, "--json"))

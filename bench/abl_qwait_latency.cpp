@@ -14,24 +14,25 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
         "Ablation: QWAIT latency",
         "HyperPlane sensitivity to the 50-cycle QWAIT assumption "
         "(packet encapsulation, 400 queues)");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
-    stats::Table t("QWAIT latency sweep");
-    t.header({"qwait cycles", "peak Mtps", "zero-load avg us",
-              "zero-load p99 us"});
-    for (Tick lat : {10u, 25u, 50u, 100u, 200u, 500u, 1000u}) {
+    const std::vector<Tick> latencies{10, 25, 50, 100, 200, 500, 1000};
+    std::vector<dp::SdpConfig> peakGrid, zeroGrid;
+    for (Tick lat : latencies) {
         dp::SdpConfig cfg;
         cfg.plane = dp::PlaneKind::HyperPlane;
         cfg.numCores = 1;
@@ -42,16 +43,23 @@ main()
         cfg.seed = 91;
         cfg.warmupUs = 800.0;
         cfg.measureUs = 4000.0;
-        const auto peak = harness::measureAtSaturation(cfg);
+        peakGrid.push_back(cfg);
 
         auto zcfg = cfg;
         zcfg.jitter = dp::ServiceJitter::None;
-        zcfg = harness::zeroLoadConfig(zcfg, 600);
-        const auto zero = runSdp(zcfg);
+        zeroGrid.push_back(harness::zeroLoadConfig(zcfg, 600));
+    }
+    const auto peaks = harness::runSaturations(peakGrid, jobs);
+    const auto zeros = harness::runConfigs(zeroGrid, jobs);
 
-        t.row({std::to_string(lat), stats::fmt(peak.throughputMtps),
-               stats::fmt(zero.avgLatencyUs, 3),
-               stats::fmt(zero.p99LatencyUs, 3)});
+    stats::Table t("QWAIT latency sweep");
+    t.header({"qwait cycles", "peak Mtps", "zero-load avg us",
+              "zero-load p99 us"});
+    for (std::size_t i = 0; i < latencies.size(); ++i) {
+        t.row({std::to_string(latencies[i]),
+               stats::fmt(peaks[i].throughputMtps),
+               stats::fmt(zeros[i].avgLatencyUs, 3),
+               stats::fmt(zeros[i].p99LatencyUs, 3)});
     }
     t.print();
 

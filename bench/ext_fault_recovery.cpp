@@ -15,13 +15,14 @@
 #include <cstdio>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
@@ -29,6 +30,7 @@ main()
         "lost-doorbell rate vs tail latency, with and without the "
         "watchdog/degradation machinery\n(packet encapsulation, 2 "
         "cores, 48 queues, 0.2 Mtps, 25 us watchdog period)");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
     dp::SdpConfig cfg;
     cfg.plane = dp::PlaneKind::HyperPlane;
@@ -63,7 +65,8 @@ main()
 
     std::vector<harness::FaultPoint> recovered;
     for (const auto &v : variants) {
-        const auto sweep = harness::runFaultSweep(cfg, rates, v.recovery);
+        const auto sweep =
+            harness::runFaultSweep(cfg, rates, v.recovery, jobs);
         std::vector<std::string> row{v.name};
         for (const auto &pt : sweep)
             row.push_back(stats::fmt(pt.results.p99LatencyUs, 1));

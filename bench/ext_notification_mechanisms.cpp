@@ -13,29 +13,31 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
         "Extension: notification mechanisms",
         "interrupts vs spinning vs HyperPlane (packet encapsulation, "
         "SQ traffic, 1 core)");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
-    for (unsigned queues : {64u, 1000u}) {
-        stats::Table t("Notification mechanisms at " +
-                       std::to_string(queues) + " queues");
-        t.header({"mechanism", "peak Mtps", "zero-load avg us",
-                  "zero-load p99 us", "idle power W"});
-        for (auto plane :
-             {dp::PlaneKind::InterruptDriven, dp::PlaneKind::Spinning,
-              dp::PlaneKind::HyperPlaneSwReady,
-              dp::PlaneKind::HyperPlane}) {
+    const std::vector<unsigned> queueCounts{64, 1000};
+    const std::vector<dp::PlaneKind> planes{
+        dp::PlaneKind::InterruptDriven, dp::PlaneKind::Spinning,
+        dp::PlaneKind::HyperPlaneSwReady, dp::PlaneKind::HyperPlane};
+
+    // Grid order (queues, plane), one peak and one zero-load run each.
+    std::vector<dp::SdpConfig> peakGrid, zeroGrid;
+    for (unsigned queues : queueCounts) {
+        for (auto plane : planes) {
             dp::SdpConfig cfg;
             cfg.plane = plane;
             cfg.numCores = 1;
@@ -45,13 +47,26 @@ main()
             cfg.seed = 121;
             cfg.warmupUs = 800.0;
             cfg.measureUs = 5000.0;
-            const auto peak = harness::measureAtSaturation(cfg);
+            peakGrid.push_back(cfg);
 
             auto zcfg = cfg;
             zcfg.jitter = dp::ServiceJitter::None;
-            zcfg = harness::zeroLoadConfig(zcfg, 500);
-            const auto zero = runSdp(zcfg);
+            zeroGrid.push_back(harness::zeroLoadConfig(zcfg, 500));
+        }
+    }
+    const auto peaks = harness::runSaturations(peakGrid, jobs);
+    const auto zeros = harness::runConfigs(zeroGrid, jobs);
 
+    std::size_t idx = 0;
+    for (unsigned queues : queueCounts) {
+        stats::Table t("Notification mechanisms at " +
+                       std::to_string(queues) + " queues");
+        t.header({"mechanism", "peak Mtps", "zero-load avg us",
+                  "zero-load p99 us", "idle power W"});
+        for (auto plane : planes) {
+            const auto &peak = peaks[idx];
+            const auto &zero = zeros[idx];
+            ++idx;
             t.row({dp::toString(plane),
                    stats::fmt(peak.throughputMtps),
                    stats::fmt(zero.avgLatencyUs, 2),

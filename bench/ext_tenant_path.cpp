@@ -9,26 +9,29 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
         "Extension: tenant path",
         "end-to-end latency incl. the tenant hop (packet "
         "encapsulation, 256 queues, zero load)");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
-    stats::Table t("Zero-load latency, data-plane vs end-to-end (us)");
-    t.header({"plane / tenant notify", "dp avg", "e2e avg", "e2e p99"});
-    for (auto plane :
-         {dp::PlaneKind::Spinning, dp::PlaneKind::HyperPlane}) {
-        for (auto notify :
-             {dp::TenantNotify::Spin, dp::TenantNotify::Umwait}) {
+    const std::vector<dp::PlaneKind> planes{dp::PlaneKind::Spinning,
+                                            dp::PlaneKind::HyperPlane};
+    const std::vector<dp::TenantNotify> notifies{
+        dp::TenantNotify::Spin, dp::TenantNotify::Umwait};
+    std::vector<dp::SdpConfig> grid;
+    for (auto plane : planes) {
+        for (auto notify : notifies) {
             dp::SdpConfig cfg;
             cfg.plane = plane;
             cfg.numCores = 1;
@@ -39,8 +42,17 @@ main()
             cfg.modelTenants = true;
             cfg.tenant.notify = notify;
             cfg.seed = 141;
-            cfg = harness::zeroLoadConfig(cfg, 600);
-            const auto r = runSdp(cfg);
+            grid.push_back(harness::zeroLoadConfig(cfg, 600));
+        }
+    }
+    const auto results = harness::runConfigs(grid, jobs);
+
+    stats::Table t("Zero-load latency, data-plane vs end-to-end (us)");
+    t.header({"plane / tenant notify", "dp avg", "e2e avg", "e2e p99"});
+    std::size_t idx = 0;
+    for (auto plane : planes) {
+        for (auto notify : notifies) {
+            const auto &r = results[idx++];
             t.row({std::string(dp::toString(plane)) + " / " +
                        dp::toString(notify),
                    stats::fmt(r.avgLatencyUs, 2),

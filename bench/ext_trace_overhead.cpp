@@ -12,6 +12,11 @@
  * A final zero-load traced run validates the latency breakdown: the
  * four stage means must sum to the end-to-end mean exactly (the stage
  * boundaries telescope per episode).
+ *
+ * This bench intentionally does NOT take --jobs: it measures host wall
+ * time per variant, and concurrent runs would perturb each other's
+ * timings.  It is the one deliberate exception to the parallel-runner
+ * convention (see docs/PERFORMANCE.md).
  */
 
 #include <chrono>

@@ -16,6 +16,7 @@
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
 #include "harness/export.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
@@ -30,6 +31,7 @@ main(int argc, char **argv)
         "scale-out HyperPlane +/- remote ready-set stealing "
         "(packet encapsulation, 4 cores, 400 queues, PC, 30% "
         "imbalance)");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
     struct Variant
     {
@@ -43,15 +45,8 @@ main(int argc, char **argv)
         {"scale-up (reference)", dp::QueueOrg::ScaleUpAll, false},
     };
 
-    stats::Table t("p99 latency vs load (us)");
     const std::vector<double> loads{0.3, 0.5, 0.7, 0.9};
-    std::vector<std::string> header{"config"};
-    for (double l : loads)
-        header.push_back(stats::fmt(l * 100, 0) + "%");
-    header.push_back("stolen@90%");
-    t.header(std::move(header));
-
-    std::vector<harness::NamedSweep> sweeps;
+    std::vector<harness::SweepSeries> series;
     for (const auto &v : variants) {
         dp::SdpConfig cfg;
         cfg.plane = dp::PlaneKind::HyperPlane;
@@ -65,16 +60,28 @@ main(int argc, char **argv)
         cfg.seed = 131;
         cfg.warmupUs = 1500.0;
         cfg.measureUs = 8000.0;
-        const double cap = harness::calibrateCapacity(cfg);
-        const auto points = harness::runLoadSweep(cfg, cap, loads);
-        std::vector<std::string> row{v.name};
-        for (const auto &pt : points)
+        series.push_back({v.name, cfg});
+    }
+    const auto results = harness::runLoadSweeps(series, loads, jobs);
+
+    stats::Table t("p99 latency vs load (us)");
+    std::vector<std::string> header{"config"};
+    for (double l : loads)
+        header.push_back(stats::fmt(l * 100, 0) + "%");
+    header.push_back("stolen@90%");
+    t.header(std::move(header));
+
+    std::vector<harness::NamedSweep> sweeps;
+    for (const auto &sw : results) {
+        std::vector<std::string> row{sw.name};
+        for (const auto &pt : sw.points)
             row.push_back(stats::fmt(pt.results.p99LatencyUs, 1));
-        row.push_back(std::to_string(points.back().results.stolenGrants));
+        row.push_back(
+            std::to_string(sw.points.back().results.stolenGrants));
         t.row(std::move(row));
-        std::printf("  (%s saturates at %.2f Mtps)\n", v.name,
-                    cap / 1e6);
-        sweeps.push_back({v.name, points});
+        std::printf("  (%s saturates at %.2f Mtps)\n", sw.name.c_str(),
+                    sw.capacityPerSec / 1e6);
+        sweeps.push_back({sw.name, sw.points});
     }
     t.print();
 

@@ -16,6 +16,7 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
@@ -37,61 +38,84 @@ baseCfg()
 }
 
 void
-panelA()
+panelA(unsigned jobs)
 {
-    stats::Table t("Fig 3(a): spinning throughput vs #queues "
-                   "(million tasks/s, packet encapsulation)");
-    t.header({"queues", "FB", "PC", "NC", "SQ"});
-    for (unsigned q : {16u, 100u, 250u, 500u, 750u, 1000u}) {
-        std::vector<std::string> row{std::to_string(q)};
-        for (auto shape : traffic::allShapes()) {
+    const std::vector<unsigned> queueCounts{16, 100, 250, 500, 750,
+                                            1000};
+    const auto shapes = traffic::allShapes();
+    std::vector<dp::SdpConfig> grid;
+    for (unsigned q : queueCounts) {
+        for (auto shape : shapes) {
             auto cfg = baseCfg();
             cfg.numQueues = q;
             cfg.shape = shape;
-            const auto r = harness::measureAtSaturation(cfg);
-            row.push_back(stats::fmt(r.throughputMtps));
+            grid.push_back(cfg);
         }
+    }
+    const auto results = harness::runSaturations(grid, jobs);
+
+    stats::Table t("Fig 3(a): spinning throughput vs #queues "
+                   "(million tasks/s, packet encapsulation)");
+    t.header({"queues", "FB", "PC", "NC", "SQ"});
+    std::size_t idx = 0;
+    for (unsigned q : queueCounts) {
+        std::vector<std::string> row{std::to_string(q)};
+        for (std::size_t s = 0; s < shapes.size(); ++s)
+            row.push_back(stats::fmt(results[idx++].throughputMtps));
         t.row(std::move(row));
     }
     t.print();
 }
 
 void
-panelB()
+panelB(unsigned jobs)
 {
-    stats::Table t("Fig 3(b): round-trip latency vs #queues under "
-                   "light traffic (us)");
-    t.header({"queues", "avg", "p99"});
-    for (unsigned q : {1u, 64u, 128u, 256u, 384u, 512u}) {
+    const std::vector<unsigned> queueCounts{1, 64, 128, 256, 384, 512};
+    std::vector<dp::SdpConfig> grid;
+    for (unsigned q : queueCounts) {
         auto cfg = harness::zeroLoadConfig(baseCfg(), 1200);
         cfg.numQueues = q;
         cfg.shape = traffic::Shape::SQ; // one active flow, many queues
         cfg.jitter = dp::ServiceJitter::None;
-        const auto r = runSdp(cfg);
-        t.row({std::to_string(q), stats::fmt(r.avgLatencyUs, 2),
-               stats::fmt(r.p99LatencyUs, 2)});
+        grid.push_back(cfg);
+    }
+    const auto results = harness::runConfigs(grid, jobs);
+
+    stats::Table t("Fig 3(b): round-trip latency vs #queues under "
+                   "light traffic (us)");
+    t.header({"queues", "avg", "p99"});
+    for (std::size_t i = 0; i < queueCounts.size(); ++i) {
+        t.row({std::to_string(queueCounts[i]),
+               stats::fmt(results[i].avgLatencyUs, 2),
+               stats::fmt(results[i].p99LatencyUs, 2)});
     }
     t.print();
 }
 
 void
-panelC()
+panelC(unsigned jobs)
 {
-    stats::Table t("Fig 3(c): latency distribution (us at quantile)");
-    t.header({"quantile", "1 queue", "256 queues", "512 queues"});
-    std::vector<std::vector<double>> columns;
-    for (unsigned q : {1u, 256u, 512u}) {
+    // This panel reads the latency histogram off the SdpSystem, not
+    // just SdpResults, so it drives parallelFor directly: each index
+    // owns its system and its output column.
+    const std::vector<unsigned> queueCounts{1, 256, 512};
+    const std::vector<double> quantiles{0.10, 0.25, 0.50,
+                                        0.75, 0.90, 0.99};
+    std::vector<std::vector<double>> columns(queueCounts.size());
+    harness::parallelFor(queueCounts.size(), jobs, [&](std::size_t i) {
         auto cfg = harness::zeroLoadConfig(baseCfg(), 1500);
-        cfg.numQueues = q;
+        cfg.numQueues = queueCounts[i];
         cfg.shape = traffic::Shape::SQ;
         cfg.jitter = dp::ServiceJitter::None;
         dp::SdpSystem sys(cfg);
         sys.run();
-        std::vector<double> col;
-        for (double quant : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99})
-            col.push_back(sys.latencyHistogram().quantile(quant));
-        columns.push_back(std::move(col));
-    }
+        for (double quant : quantiles)
+            columns[i].push_back(
+                sys.latencyHistogram().quantile(quant));
+    });
+
+    stats::Table t("Fig 3(c): latency distribution (us at quantile)");
+    t.header({"quantile", "1 queue", "256 queues", "512 queues"});
     const char *names[] = {"p10", "p25", "p50", "p75", "p90", "p99"};
     for (int i = 0; i < 6; ++i) {
         t.row({names[i], stats::fmt(columns[0][i], 2),
@@ -104,15 +128,16 @@ panelC()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
         "Figure 3", "DPDK-style queue scalability case study "
                     "(simulated substitution for the Xeon+NIC testbed)");
-    panelA();
-    panelB();
-    panelC();
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
+    panelA(jobs);
+    panelB(jobs);
+    panelC(jobs);
     std::puts("Expected shape: SQ throughput collapses with queue "
               "count, NC milder, FB/PC flat;\nlatency grows linearly "
               "with queue count and the tail grows faster than the "

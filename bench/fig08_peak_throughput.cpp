@@ -9,38 +9,30 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
         "Figure 8",
         "peak throughput, spinning vs HyperPlane, 6 workloads x 4 "
         "shapes x queue counts (single core)");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
     const std::vector<unsigned> queueCounts{100, 400, 700, 1000};
-    double sumRatio = 0.0;
-    unsigned nRatio = 0;
+    const auto kinds = workloads::allKinds();
+    const auto shapes = traffic::allShapes();
 
-    for (auto kind : workloads::allKinds()) {
-        stats::Table t(std::string("Fig 8: ") +
-                       workloads::toString(kind) +
-                       " (million tasks/s)");
-        std::vector<std::string> header{"shape/plane"};
-        for (unsigned q : queueCounts)
-            header.push_back(std::to_string(q) + "q");
-        t.header(std::move(header));
-
-        for (auto shape : traffic::allShapes()) {
-            std::vector<std::string> spinRow{
-                std::string(traffic::toString(shape)) + "-spinning"};
-            std::vector<std::string> hpRow{
-                std::string(traffic::toString(shape)) + "-hyperplane"};
+    // Grid order (kind, shape, queues, plane); plane 0 = spinning.
+    std::vector<dp::SdpConfig> grid;
+    for (auto kind : kinds) {
+        for (auto shape : shapes) {
             for (unsigned q : queueCounts) {
                 dp::SdpConfig cfg;
                 cfg.numCores = 1;
@@ -50,12 +42,36 @@ main()
                 cfg.warmupUs = 800.0;
                 cfg.measureUs = 5000.0;
                 cfg.seed = 21;
-
                 cfg.plane = dp::PlaneKind::Spinning;
-                const auto spin = harness::measureAtSaturation(cfg);
+                grid.push_back(cfg);
                 cfg.plane = dp::PlaneKind::HyperPlane;
-                const auto hp = harness::measureAtSaturation(cfg);
+                grid.push_back(cfg);
+            }
+        }
+    }
+    const auto results = harness::runSaturations(grid, jobs);
 
+    double sumRatio = 0.0;
+    unsigned nRatio = 0;
+    std::size_t idx = 0;
+
+    for (auto kind : kinds) {
+        stats::Table t(std::string("Fig 8: ") +
+                       workloads::toString(kind) +
+                       " (million tasks/s)");
+        std::vector<std::string> header{"shape/plane"};
+        for (unsigned q : queueCounts)
+            header.push_back(std::to_string(q) + "q");
+        t.header(std::move(header));
+
+        for (auto shape : shapes) {
+            std::vector<std::string> spinRow{
+                std::string(traffic::toString(shape)) + "-spinning"};
+            std::vector<std::string> hpRow{
+                std::string(traffic::toString(shape)) + "-hyperplane"};
+            for (std::size_t qi = 0; qi < queueCounts.size(); ++qi) {
+                const auto &spin = results[idx++];
+                const auto &hp = results[idx++];
                 spinRow.push_back(stats::fmt(spin.throughputMtps));
                 hpRow.push_back(stats::fmt(hp.throughputMtps));
                 if (spin.throughputMtps > 0) {

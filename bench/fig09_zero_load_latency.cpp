@@ -18,6 +18,7 @@
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
 #include "harness/export.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
@@ -25,8 +26,8 @@ using namespace hyperplane;
 
 namespace {
 
-dp::SdpResults
-runPoint(workloads::Kind kind, unsigned queues, dp::PlaneKind plane,
+dp::SdpConfig
+pointCfg(workloads::Kind kind, unsigned queues, dp::PlaneKind plane,
          bool powerOpt)
 {
     dp::SdpConfig cfg;
@@ -38,8 +39,7 @@ runPoint(workloads::Kind kind, unsigned queues, dp::PlaneKind plane,
     cfg.shape = traffic::Shape::SQ; // one active tenant, rest idle
     cfg.jitter = dp::ServiceJitter::None;
     cfg.seed = 31;
-    cfg = harness::zeroLoadConfig(cfg, 700);
-    return runSdp(cfg);
+    return harness::zeroLoadConfig(cfg, 700);
 }
 
 /**
@@ -106,24 +106,45 @@ main(int argc, char **argv)
     harness::printTableI();
     harness::printExperimentBanner(
         "Figure 9", "zero-load latency vs queue count (<1% load)");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
     const std::vector<unsigned> queueCounts{1, 8, 64, 250, 500, 1000};
+    const auto kinds = workloads::allKinds();
+
+    // Grid order (kind, queues, variant); variants are spinning,
+    // hyperplane, power-optimized hyperplane.
+    std::vector<dp::SdpConfig> grid;
+    for (auto kind : kinds) {
+        for (unsigned q : queueCounts) {
+            grid.push_back(
+                pointCfg(kind, q, dp::PlaneKind::Spinning, false));
+            grid.push_back(
+                pointCfg(kind, q, dp::PlaneKind::HyperPlane, false));
+            grid.push_back(
+                pointCfg(kind, q, dp::PlaneKind::HyperPlane, true));
+        }
+    }
+    const auto results = harness::runConfigs(grid, jobs);
 
     double sumAvgRatio = 0.0, sumTailRatio = 0.0;
     unsigned nRatio = 0;
+    std::size_t idx = 0;
+    std::ostringstream json;
+    json << "{\"workloads\":{";
 
-    for (auto kind : workloads::allKinds()) {
+    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+        const auto kind = kinds[ki];
         stats::Table t(std::string("Fig 9: ") +
                        workloads::toString(kind) + " (latency, us)");
         t.header({"queues", "spin avg", "spin p99", "hp avg", "hp p99",
                   "hp-pwr avg"});
-        for (unsigned q : queueCounts) {
-            const auto spin =
-                runPoint(kind, q, dp::PlaneKind::Spinning, false);
-            const auto hp =
-                runPoint(kind, q, dp::PlaneKind::HyperPlane, false);
-            const auto hpPwr =
-                runPoint(kind, q, dp::PlaneKind::HyperPlane, true);
+        json << (ki == 0 ? "" : ",") << "\n\""
+             << workloads::toString(kind) << "\":[";
+        for (std::size_t qi = 0; qi < queueCounts.size(); ++qi) {
+            const unsigned q = queueCounts[qi];
+            const auto &spin = results[idx++];
+            const auto &hp = results[idx++];
+            const auto &hpPwr = results[idx++];
             t.row({std::to_string(q), stats::fmt(spin.avgLatencyUs, 2),
                    stats::fmt(spin.p99LatencyUs, 2),
                    stats::fmt(hp.avgLatencyUs, 2),
@@ -134,9 +155,19 @@ main(int argc, char **argv)
                 sumTailRatio += spin.p99LatencyUs / hp.p99LatencyUs;
                 ++nRatio;
             }
+            json << (qi == 0 ? "" : ",") << "\n{\"queues\":" << q
+                 << ",\"spinning\":" << harness::resultsJson(spin)
+                 << ",\"hyperplane\":" << harness::resultsJson(hp)
+                 << ",\"hyperplane_power\":"
+                 << harness::resultsJson(hpPwr) << "}";
         }
+        json << "]";
         t.print();
     }
+    json << "}}\n";
+
+    if (const char *path = harness::argValue(argc, argv, "--json"))
+        harness::writeTextFile(path, json.str());
 
     std::printf("Mean spinning/HyperPlane latency ratio across all "
                 "points: avg %s, p99 %s (paper: 9.1x / 16.4x)\n",

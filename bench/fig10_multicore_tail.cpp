@@ -14,6 +14,7 @@
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
 #include "harness/export.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
@@ -47,31 +48,36 @@ struct Series
 
 void
 panel(const char *title, traffic::Shape shape,
-      const std::vector<Series> &series,
+      const std::vector<Series> &series, unsigned jobs,
       std::vector<harness::NamedSweep> &sweeps)
 {
+    std::vector<harness::SweepSeries> spec;
+    spec.reserve(series.size());
+    for (const auto &s : series) {
+        auto cfg = baseCfg(shape);
+        cfg.plane = s.plane;
+        cfg.org = s.org;
+        cfg.imbalance = s.imbalance;
+        // Saturation throughput is calibrated per configuration so the
+        // load axis means the same thing the paper's does.
+        spec.push_back({s.name, cfg});
+    }
+    const auto results = harness::runLoadSweeps(spec, loads, jobs);
+
     stats::Table t(title);
     std::vector<std::string> header{"config"};
     for (double l : loads)
         header.push_back(stats::fmt(l * 100, 0) + "%");
     t.header(std::move(header));
 
-    for (const auto &s : series) {
-        auto cfg = baseCfg(shape);
-        cfg.plane = s.plane;
-        cfg.org = s.org;
-        cfg.imbalance = s.imbalance;
-        // Calibrate saturation throughput for THIS configuration so the
-        // load axis means the same thing the paper's does.
-        const double capacity = harness::calibrateCapacity(cfg);
-        const auto points = harness::runLoadSweep(cfg, capacity, loads);
-        std::vector<std::string> row{s.name};
-        for (const auto &pt : points)
+    for (const auto &sw : results) {
+        std::vector<std::string> row{sw.name};
+        for (const auto &pt : sw.points)
             row.push_back(stats::fmt(pt.results.p99LatencyUs, 1));
         t.row(std::move(row));
-        std::printf("  (%s saturates at %.2f Mtps)\n", s.name.c_str(),
-                    capacity / 1e6);
-        sweeps.push_back({s.name, points});
+        std::printf("  (%s saturates at %.2f Mtps)\n", sw.name.c_str(),
+                    sw.capacityPerSec / 1e6);
+        sweeps.push_back({sw.name, sw.points});
     }
     t.print();
 }
@@ -85,6 +91,7 @@ main(int argc, char **argv)
     harness::printExperimentBanner(
         "Figure 10", "multicore 99% tail latency vs load "
                      "(packet encapsulation, 4 cores, 400 queues)");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
     std::vector<harness::NamedSweep> sweeps;
     panel("Fig 10(a): fully balanced traffic (p99, us)",
@@ -103,7 +110,7 @@ main(int argc, char **argv)
               {"hyperplane-scale-up-4", dp::PlaneKind::HyperPlane,
                dp::QueueOrg::ScaleUpAll, 0.0},
           },
-          sweeps);
+          jobs, sweeps);
 
     panel("Fig 10(b): proportionally concentrated traffic (p99, us)",
           traffic::Shape::PC,
@@ -121,7 +128,7 @@ main(int argc, char **argv)
               {"hyperplane-scale-up-2", dp::PlaneKind::HyperPlane,
                dp::QueueOrg::ScaleUp2, 0.0},
           },
-          sweeps);
+          jobs, sweeps);
 
     if (const char *path = harness::argValue(argc, argv, "--json"))
         harness::writeTextFile(path, harness::loadSweepJson(sweeps));

@@ -13,6 +13,7 @@
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
 #include "harness/export.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
@@ -25,6 +26,7 @@ main(int argc, char **argv)
     harness::printExperimentBanner(
         "Figure 11",
         "IPC breakdown and SMT co-runner IPC vs data-plane load");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
     dp::SdpConfig cfg;
     cfg.numCores = 1;
@@ -43,12 +45,14 @@ main(int argc, char **argv)
     stats::Table tb("Fig 11(b): SMT co-runner IPC vs load");
     tb.header({"load", "with spinning", "with hyperplane"});
 
-    cfg.plane = dp::PlaneKind::Spinning;
-    const double spinCap = harness::calibrateCapacity(cfg);
-    const auto spinPts = harness::runLoadSweep(cfg, spinCap, loads);
-    cfg.plane = dp::PlaneKind::HyperPlane;
-    const double hpCap = harness::calibrateCapacity(cfg);
-    const auto hpPts = harness::runLoadSweep(cfg, hpCap, loads);
+    auto spinCfg = cfg;
+    spinCfg.plane = dp::PlaneKind::Spinning;
+    auto hpCfg = cfg;
+    hpCfg.plane = dp::PlaneKind::HyperPlane;
+    const auto sweeps = harness::runLoadSweeps(
+        {{"spinning", spinCfg}, {"hyperplane", hpCfg}}, loads, jobs);
+    const auto &spinPts = sweeps[0].points;
+    const auto &hpPts = sweeps[1].points;
 
     for (std::size_t i = 0; i < loads.size(); ++i) {
         const auto &spin = spinPts[i].results;

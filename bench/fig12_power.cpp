@@ -14,6 +14,7 @@
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
 #include "harness/export.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
@@ -44,17 +45,10 @@ main(int argc, char **argv)
     harness::printExperimentBanner(
         "Figure 12", "core power and the cost of the power-optimized "
                      "(C1) mode");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
     // --- Panel (a): power at zero load vs saturation ------------------
-    auto cfg = baseCfg();
-    cfg.plane = dp::PlaneKind::Spinning;
-    const double spinCap = harness::calibrateCapacity(cfg);
-    const double spinSatPowerW =
-        harness::runAtLoad(cfg, spinCap, 1.0).avgCorePowerW;
-
-    stats::Table ta(
-        "Fig 12(a): core power normalized to spinning at saturation");
-    ta.header({"plane", "zero load", "saturation"});
+    std::vector<harness::SweepSeries> aSeries;
     struct Row
     {
         const char *name;
@@ -66,13 +60,23 @@ main(int argc, char **argv)
                               false},
                           Row{"hyperplane-power-opt",
                               dp::PlaneKind::HyperPlane, true}}) {
-        cfg = baseCfg();
+        auto cfg = baseCfg();
         cfg.plane = row.plane;
         cfg.powerOptimized = row.powerOpt;
-        const double cap = harness::calibrateCapacity(cfg);
-        const auto zero = harness::runAtLoad(cfg, cap, 0.005);
-        const auto sat = harness::runAtLoad(cfg, cap, 1.0);
-        ta.row({row.name,
+        aSeries.push_back({row.name, cfg});
+    }
+    const auto aSweeps =
+        harness::runLoadSweeps(aSeries, {0.005, 1.0}, jobs);
+    const double spinSatPowerW =
+        aSweeps[0].points[1].results.avgCorePowerW;
+
+    stats::Table ta(
+        "Fig 12(a): core power normalized to spinning at saturation");
+    ta.header({"plane", "zero load", "saturation"});
+    for (const auto &sw : aSweeps) {
+        const auto &zero = sw.points[0].results;
+        const auto &sat = sw.points[1].results;
+        ta.row({sw.name,
                 stats::fmt(100.0 * zero.avgCorePowerW / spinSatPowerW,
                            1) + "%",
                 stats::fmt(100.0 * sat.avgCorePowerW / spinSatPowerW,
@@ -85,21 +89,29 @@ main(int argc, char **argv)
     // deterministic service isolates the 0.5 us C1 wake-up penalty.
     stats::Table tb("Fig 12(b): p99 latency vs load (us)");
     tb.header({"load", "spinning", "hyperplane", "hyperplane-power-opt"});
-    cfg = baseCfg();
+    auto cfg = baseCfg();
     cfg.numCores = 4;
     cfg.numQueues = 400;
     cfg.shape = traffic::Shape::FB;
     cfg.org = dp::QueueOrg::ScaleUpAll;
     cfg.jitter = dp::ServiceJitter::None;
     const std::vector<double> loads{0.01, 0.25, 0.5, 0.75, 0.9};
-    cfg.plane = dp::PlaneKind::Spinning;
-    const double cSpin = harness::calibrateCapacity(cfg);
-    const auto spinPts = harness::runLoadSweep(cfg, cSpin, loads);
-    cfg.plane = dp::PlaneKind::HyperPlane;
-    const double cHp = harness::calibrateCapacity(cfg);
-    const auto hpPts = harness::runLoadSweep(cfg, cHp, loads);
-    cfg.powerOptimized = true;
-    const auto hpPwrPts = harness::runLoadSweep(cfg, cHp, loads);
+    auto spinCfg = cfg;
+    spinCfg.plane = dp::PlaneKind::Spinning;
+    auto hpCfg = cfg;
+    hpCfg.plane = dp::PlaneKind::HyperPlane;
+    auto hpPwrCfg = hpCfg;
+    hpPwrCfg.powerOptimized = true;
+    // The power-opt series is driven at the regular plane's load points
+    // (capacityFrom) so panel (b) isolates the C1 wake-up penalty.
+    const auto bSweeps = harness::runLoadSweeps(
+        {{"spinning", spinCfg},
+         {"hyperplane", hpCfg},
+         {"hyperplane-power-opt", hpPwrCfg, 1}},
+        loads, jobs);
+    const auto &spinPts = bSweeps[0].points;
+    const auto &hpPts = bSweeps[1].points;
+    const auto &hpPwrPts = bSweeps[2].points;
 
     for (std::size_t i = 0; i < loads.size(); ++i) {
         tb.row({stats::fmt(loads[i] * 100, 0) + "%",

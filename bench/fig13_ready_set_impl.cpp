@@ -10,26 +10,29 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
         "Figure 13", "software vs hardware ready set: relative peak "
                      "throughput, 1000 queues, 1 core");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
-    stats::Table t("Fig 13: software ready set throughput relative to "
-                   "hardware (%)");
-    t.header({"workload", "PC", "FB"});
+    const auto kinds = workloads::allKinds();
+    const std::vector<traffic::Shape> shapes{traffic::Shape::PC,
+                                             traffic::Shape::FB};
 
-    for (auto kind : workloads::allKinds()) {
-        std::vector<std::string> row{workloads::toString(kind)};
-        for (auto shape : {traffic::Shape::PC, traffic::Shape::FB}) {
+    // Grid order (kind, shape, implementation); impl 0 = hardware.
+    std::vector<dp::SdpConfig> grid;
+    for (auto kind : kinds) {
+        for (auto shape : shapes) {
             dp::SdpConfig cfg;
             cfg.numCores = 1;
             cfg.numQueues = 1000;
@@ -38,11 +41,23 @@ main()
             cfg.warmupUs = 800.0;
             cfg.measureUs = 5000.0;
             cfg.seed = 71;
-
             cfg.plane = dp::PlaneKind::HyperPlane;
-            const auto hw = harness::measureAtSaturation(cfg);
+            grid.push_back(cfg);
             cfg.plane = dp::PlaneKind::HyperPlaneSwReady;
-            const auto sw = harness::measureAtSaturation(cfg);
+            grid.push_back(cfg);
+        }
+    }
+    const auto results = harness::runSaturations(grid, jobs);
+
+    stats::Table t("Fig 13: software ready set throughput relative to "
+                   "hardware (%)");
+    t.header({"workload", "PC", "FB"});
+    std::size_t idx = 0;
+    for (auto kind : kinds) {
+        std::vector<std::string> row{workloads::toString(kind)};
+        for (std::size_t s = 0; s < shapes.size(); ++s) {
+            const auto &hw = results[idx++];
+            const auto &sw = results[idx++];
             row.push_back(stats::fmt(
                 100.0 * sw.throughputMtps / hw.throughputMtps, 1));
         }

@@ -13,18 +13,20 @@
 
 #include "dp/sdp_system.hh"
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
 
 int
-main()
+main(int argc, char **argv)
 {
     harness::printTableI();
     harness::printExperimentBanner(
         "Headline", "average peak-throughput and tail-latency "
                     "improvement of HyperPlane over spinning");
+    const unsigned jobs = harness::jobsFromArgs(argc, argv);
 
     const std::vector<workloads::Kind> kinds = {
         workloads::Kind::PacketEncapsulation,
@@ -33,8 +35,7 @@ main()
     };
     const std::vector<unsigned> queueCounts{250, 1000};
 
-    double sumThroughputRatio = 0.0;
-    unsigned nThroughput = 0;
+    std::vector<dp::SdpConfig> throughputGrid;
     for (auto kind : kinds) {
         for (auto shape :
              {traffic::Shape::SQ, traffic::Shape::NC,
@@ -49,18 +50,23 @@ main()
                 cfg.measureUs = 4000.0;
                 cfg.seed = 81;
                 cfg.plane = dp::PlaneKind::Spinning;
-                const auto spin = harness::measureAtSaturation(cfg);
+                throughputGrid.push_back(cfg);
                 cfg.plane = dp::PlaneKind::HyperPlane;
-                const auto hp = harness::measureAtSaturation(cfg);
-                sumThroughputRatio +=
-                    hp.throughputMtps / spin.throughputMtps;
-                ++nThroughput;
+                throughputGrid.push_back(cfg);
             }
         }
     }
+    const auto throughputResults =
+        harness::runSaturations(throughputGrid, jobs);
+    double sumThroughputRatio = 0.0;
+    unsigned nThroughput = 0;
+    for (std::size_t i = 0; i < throughputResults.size(); i += 2) {
+        sumThroughputRatio += throughputResults[i + 1].throughputMtps /
+                              throughputResults[i].throughputMtps;
+        ++nThroughput;
+    }
 
-    double sumTailRatio = 0.0;
-    unsigned nTail = 0;
+    std::vector<dp::SdpConfig> tailGrid;
     for (auto kind : workloads::allKinds()) {
         for (unsigned q : {64u, 250u, 1000u}) {
             dp::SdpConfig cfg;
@@ -72,12 +78,18 @@ main()
             cfg.seed = 82;
             cfg = harness::zeroLoadConfig(cfg, 600);
             cfg.plane = dp::PlaneKind::Spinning;
-            const auto spin = runSdp(cfg);
+            tailGrid.push_back(cfg);
             cfg.plane = dp::PlaneKind::HyperPlane;
-            const auto hp = runSdp(cfg);
-            sumTailRatio += spin.p99LatencyUs / hp.p99LatencyUs;
-            ++nTail;
+            tailGrid.push_back(cfg);
         }
+    }
+    const auto tailResults = harness::runConfigs(tailGrid, jobs);
+    double sumTailRatio = 0.0;
+    unsigned nTail = 0;
+    for (std::size_t i = 0; i < tailResults.size(); i += 2) {
+        sumTailRatio += tailResults[i].p99LatencyUs /
+                        tailResults[i + 1].p99LatencyUs;
+        ++nTail;
     }
 
     stats::Table t("Headline comparison (HyperPlane vs spinning)");

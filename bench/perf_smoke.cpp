@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Performance trajectory tracker (not a figure reproduction).
+ *
+ * Times (a) representative single-point simulations, reporting host
+ * wall-clock and simulated-events/sec straight off the kernel's
+ * dispatch counter, and (b) the full Figure 10 sweep at --jobs 1 and
+ * --jobs N, byte-comparing the two JSON exports to prove the parallel
+ * runner changes wall-clock only.  Results land in BENCH_perf_smoke.json
+ * at the repo root (override with --out) so successive PRs can track
+ * the simulator's own performance.
+ *
+ * --check exits nonzero if the jobs-1 and jobs-N sweeps differ, if any
+ * built-in capture overflowed the callback inline buffer, or — on hosts
+ * with >= 4 hardware threads — if the parallel speedup falls below 2x.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dp/sdp_system.hh"
+#include "harness/experiment.hh"
+#include "harness/export.hh"
+#include "harness/parallel.hh"
+#include "harness/runner.hh"
+#include "sim/callback.hh"
+#include "stats/json.hh"
+#include "stats/table.hh"
+
+using namespace hyperplane;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct SinglePoint
+{
+    const char *name;
+    double wallSec;
+    std::uint64_t events;
+    double eventsPerSec;
+    double throughputMtps;
+};
+
+/** One timed run; events/sec uses the kernel's dispatch counter. */
+SinglePoint
+timePoint(const char *name, const dp::SdpConfig &cfg)
+{
+    dp::SdpSystem sys(cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = sys.run();
+    const double sec = secondsSince(t0);
+    const std::uint64_t events = sys.eventQueue().dispatched();
+    return {name, sec, events, events / sec, r.throughputMtps};
+}
+
+/** The Figure 10 series grid (both panels), verbatim. */
+std::vector<harness::SweepSeries>
+fig10Series()
+{
+    struct Def
+    {
+        const char *name;
+        traffic::Shape shape;
+        dp::PlaneKind plane;
+        dp::QueueOrg org;
+        double imbalance;
+    };
+    const Def defs[] = {
+        {"fb-spin-out", traffic::Shape::FB, dp::PlaneKind::Spinning,
+         dp::QueueOrg::ScaleOut, 0.0},
+        {"fb-spin-up2", traffic::Shape::FB, dp::PlaneKind::Spinning,
+         dp::QueueOrg::ScaleUp2, 0.0},
+        {"fb-spin-up4", traffic::Shape::FB, dp::PlaneKind::Spinning,
+         dp::QueueOrg::ScaleUpAll, 0.0},
+        {"fb-hp-out", traffic::Shape::FB, dp::PlaneKind::HyperPlane,
+         dp::QueueOrg::ScaleOut, 0.0},
+        {"fb-hp-up2", traffic::Shape::FB, dp::PlaneKind::HyperPlane,
+         dp::QueueOrg::ScaleUp2, 0.0},
+        {"fb-hp-up4", traffic::Shape::FB, dp::PlaneKind::HyperPlane,
+         dp::QueueOrg::ScaleUpAll, 0.0},
+        {"pc-spin-out", traffic::Shape::PC, dp::PlaneKind::Spinning,
+         dp::QueueOrg::ScaleOut, 0.0},
+        {"pc-spin-out-imb", traffic::Shape::PC, dp::PlaneKind::Spinning,
+         dp::QueueOrg::ScaleOut, 0.10},
+        {"pc-spin-up2", traffic::Shape::PC, dp::PlaneKind::Spinning,
+         dp::QueueOrg::ScaleUp2, 0.0},
+        {"pc-hp-out", traffic::Shape::PC, dp::PlaneKind::HyperPlane,
+         dp::QueueOrg::ScaleOut, 0.0},
+        {"pc-hp-out-imb", traffic::Shape::PC, dp::PlaneKind::HyperPlane,
+         dp::QueueOrg::ScaleOut, 0.10},
+        {"pc-hp-up2", traffic::Shape::PC, dp::PlaneKind::HyperPlane,
+         dp::QueueOrg::ScaleUp2, 0.0},
+    };
+
+    std::vector<harness::SweepSeries> series;
+    for (const auto &d : defs) {
+        dp::SdpConfig cfg;
+        cfg.numCores = 4;
+        cfg.numQueues = 400;
+        cfg.workload = workloads::Kind::PacketEncapsulation;
+        cfg.shape = d.shape;
+        cfg.plane = d.plane;
+        cfg.org = d.org;
+        cfg.imbalance = d.imbalance;
+        cfg.warmupUs = 1500.0;
+        cfg.measureUs = 8000.0;
+        cfg.seed = 41;
+        series.push_back({d.name, cfg});
+    }
+    return series;
+}
+
+std::string
+sweepJson(unsigned jobs, double &wallSec)
+{
+    const std::vector<double> loads{0.1, 0.3, 0.5, 0.7, 0.9};
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sweeps =
+        harness::runLoadSweeps(fig10Series(), loads, jobs);
+    wallSec = secondsSince(t0);
+    std::vector<harness::NamedSweep> named;
+    for (const auto &sw : sweeps)
+        named.push_back({sw.name, sw.points});
+    return harness::loadSweepJson(named);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::printExperimentBanner(
+        "perf_smoke", "simulator wall-clock trajectory: single-point "
+                      "events/sec + fig10 sweep scaling");
+
+    const bool check = harness::argPresent(argc, argv, "--check");
+    const char *outPath = harness::argValue(argc, argv, "--out");
+    if (outPath == nullptr)
+        outPath = "BENCH_perf_smoke.json";
+    const unsigned hw = std::thread::hardware_concurrency();
+    unsigned jobs = harness::jobsFromArgs(argc, argv);
+    if (jobs == 1 && hw > 1)
+        jobs = hw;
+
+    // --- Single-point runs -------------------------------------------
+    std::vector<SinglePoint> points;
+    {
+        dp::SdpConfig cfg;
+        cfg.plane = dp::PlaneKind::HyperPlane;
+        cfg.numCores = 1;
+        cfg.numQueues = 400;
+        cfg.workload = workloads::Kind::PacketEncapsulation;
+        cfg.shape = traffic::Shape::FB;
+        cfg.offeredRatePerSec = 2e6;
+        cfg.warmupUs = 800.0;
+        cfg.measureUs = 60000.0;
+        cfg.seed = 7;
+        points.push_back(timePoint("hyperplane-loaded", cfg));
+
+        auto spin = cfg;
+        spin.plane = dp::PlaneKind::Spinning;
+        points.push_back(timePoint("spinning-loaded", spin));
+
+        auto mc = cfg;
+        mc.numCores = 4;
+        mc.org = dp::QueueOrg::ScaleUpAll;
+        mc.offeredRatePerSec = 6e6;
+        points.push_back(timePoint("hyperplane-4core", mc));
+    }
+
+    stats::Table t("Single-point kernel throughput");
+    t.header({"point", "wall s", "sim events", "events/s", "Mtps"});
+    for (const auto &p : points) {
+        t.row({p.name, stats::fmt(p.wallSec, 3),
+               std::to_string(p.events),
+               stats::fmt(p.eventsPerSec / 1e6, 2) + "M",
+               stats::fmt(p.throughputMtps)});
+    }
+    t.print();
+
+    const std::uint64_t heapFallbacks =
+        EventCallback::heapFallbackCount();
+    std::printf("callback inline-buffer overflows: %llu (expect 0)\n",
+                static_cast<unsigned long long>(heapFallbacks));
+
+    // --- fig10 sweep: jobs 1 vs jobs N -------------------------------
+    double seqSec = 0.0, parSec = 0.0;
+    const std::string seqJson = sweepJson(1, seqSec);
+    const std::string parJson = sweepJson(jobs, parSec);
+    const bool identical = seqJson == parJson;
+    const double speedup = parSec > 0 ? seqSec / parSec : 0.0;
+
+    std::printf("fig10 sweep: %.2f s at --jobs 1, %.2f s at --jobs %u "
+                "(%.2fx); exports %s\n",
+                seqSec, parSec, jobs, speedup,
+                identical ? "byte-identical" : "DIFFER");
+
+    // --- JSON export --------------------------------------------------
+    std::ostringstream os;
+    os << "{\n\"hardware_concurrency\":" << hw
+       << ",\n\"jobs\":" << jobs
+       << ",\n\"callback_heap_fallbacks\":" << heapFallbacks
+       << ",\n\"single_points\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        os << (i == 0 ? "" : ",") << "\n{\"name\":\"" << p.name
+           << "\",\"wall_sec\":" << stats::jsonNumber(p.wallSec)
+           << ",\"sim_events\":" << p.events
+           << ",\"events_per_sec\":" << stats::jsonNumber(p.eventsPerSec)
+           << ",\"throughput_mtps\":"
+           << stats::jsonNumber(p.throughputMtps) << "}";
+    }
+    os << "],\n\"fig10_sweep\":{\"jobs1_wall_sec\":"
+       << stats::jsonNumber(seqSec)
+       << ",\"jobsN_wall_sec\":" << stats::jsonNumber(parSec)
+       << ",\"speedup\":" << stats::jsonNumber(speedup)
+       << ",\"byte_identical\":" << (identical ? "true" : "false")
+       << "}\n}\n";
+    harness::writeTextFile(outPath, os.str());
+
+    if (!check)
+        return 0;
+
+    bool ok = true;
+    if (!identical) {
+        std::puts("CHECK FAILED: --jobs 1 and --jobs N exports differ");
+        ok = false;
+    }
+    if (heapFallbacks != 0) {
+        std::puts("CHECK FAILED: schedule fast path heap-allocated");
+        ok = false;
+    }
+    // The speedup assertion needs real cores; skip on small hosts (the
+    // determinism byte-compare above runs everywhere).
+    if (hw >= 4 && jobs >= 4 && speedup < 2.0) {
+        std::printf("CHECK FAILED: speedup %.2fx < 2x with %u hardware "
+                    "threads\n",
+                    speedup, hw);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "sim/logging.hh"
 
 namespace hyperplane {
@@ -39,12 +40,69 @@ runAtLoad(dp::SdpConfig cfg, double capacityPerSec, double loadFraction)
 
 std::vector<LoadPoint>
 runLoadSweep(const dp::SdpConfig &cfg, double capacityPerSec,
-             const std::vector<double> &loads)
+             const std::vector<double> &loads, unsigned jobs)
 {
-    std::vector<LoadPoint> out;
-    out.reserve(loads.size());
-    for (double load : loads)
-        out.push_back({load, runAtLoad(cfg, capacityPerSec, load)});
+    std::vector<LoadPoint> out(loads.size());
+    parallelFor(loads.size(), jobs, [&](std::size_t i) {
+        out[i] = {loads[i], runAtLoad(cfg, capacityPerSec, loads[i])};
+    });
+    return out;
+}
+
+std::vector<SeriesSweep>
+runLoadSweeps(const std::vector<SweepSeries> &series,
+              const std::vector<double> &loads, unsigned jobs)
+{
+    const std::size_t nSeries = series.size();
+    std::vector<SeriesSweep> out(nSeries);
+    for (std::size_t s = 0; s < nSeries; ++s) {
+        out[s].name = series[s].name;
+        out[s].points.resize(loads.size());
+    }
+
+    // Phase 1: calibrate every independent series concurrently.
+    parallelFor(nSeries, jobs, [&](std::size_t s) {
+        if (series[s].capacityFrom < 0)
+            out[s].capacityPerSec = calibrateCapacity(series[s].cfg);
+    });
+    for (std::size_t s = 0; s < nSeries; ++s) {
+        const int from = series[s].capacityFrom;
+        if (from >= 0) {
+            hp_assert(static_cast<std::size_t>(from) < nSeries &&
+                          series[from].capacityFrom < 0,
+                      "capacityFrom must name an earlier calibrated "
+                      "series");
+            out[s].capacityPerSec = out[from].capacityPerSec;
+        }
+    }
+
+    // Phase 2: every (series, load) point is independent.
+    parallelFor(nSeries * loads.size(), jobs, [&](std::size_t i) {
+        const std::size_t s = i / loads.size();
+        const std::size_t l = i % loads.size();
+        out[s].points[l] = {loads[l],
+                            runAtLoad(series[s].cfg,
+                                      out[s].capacityPerSec, loads[l])};
+    });
+    return out;
+}
+
+std::vector<dp::SdpResults>
+runConfigs(const std::vector<dp::SdpConfig> &cfgs, unsigned jobs)
+{
+    std::vector<dp::SdpResults> out(cfgs.size());
+    parallelFor(cfgs.size(), jobs,
+                [&](std::size_t i) { out[i] = runSdp(cfgs[i]); });
+    return out;
+}
+
+std::vector<dp::SdpResults>
+runSaturations(const std::vector<dp::SdpConfig> &cfgs, unsigned jobs)
+{
+    std::vector<dp::SdpResults> out(cfgs.size());
+    parallelFor(cfgs.size(), jobs, [&](std::size_t i) {
+        out[i] = measureAtSaturation(cfgs[i]);
+    });
     return out;
 }
 
@@ -69,16 +127,16 @@ zeroLoadConfig(dp::SdpConfig cfg, std::uint64_t targetCompletions)
 
 std::vector<FaultPoint>
 runFaultSweep(dp::SdpConfig cfg, const std::vector<double> &dropRates,
-              bool withRecovery)
+              bool withRecovery, unsigned jobs)
 {
     cfg.recovery.watchdog = withRecovery;
     cfg.recovery.gracefulDegradation = withRecovery;
-    std::vector<FaultPoint> out;
-    out.reserve(dropRates.size());
-    for (double rate : dropRates) {
-        cfg.fault.dropSnoopRate = rate;
-        out.push_back({rate, runSdp(cfg)});
-    }
+    std::vector<FaultPoint> out(dropRates.size());
+    parallelFor(dropRates.size(), jobs, [&](std::size_t i) {
+        dp::SdpConfig pointCfg = cfg;
+        pointCfg.fault.dropSnoopRate = dropRates[i];
+        out[i] = {dropRates[i], runSdp(pointCfg)};
+    });
     return out;
 }
 

@@ -7,6 +7,7 @@
 #ifndef HYPERPLANE_HARNESS_RUNNER_HH
 #define HYPERPLANE_HARNESS_RUNNER_HH
 
+#include <string>
 #include <vector>
 
 #include "dp/sdp_system.hh"
@@ -44,10 +45,55 @@ struct LoadPoint
     dp::SdpResults results;
 };
 
-/** Sweep offered load across the given fractions. */
+/**
+ * Sweep offered load across the given fractions.  Points are
+ * independent simulations, so with @p jobs > 1 they run concurrently;
+ * results come back in load order regardless of jobs.
+ */
 std::vector<LoadPoint> runLoadSweep(const dp::SdpConfig &cfg,
                                     double capacityPerSec,
-                                    const std::vector<double> &loads);
+                                    const std::vector<double> &loads,
+                                    unsigned jobs = 1);
+
+/** One named configuration of a multi-series load sweep. */
+struct SweepSeries
+{
+    std::string name;
+    dp::SdpConfig cfg;
+    /**
+     * Index of another series whose calibrated capacity this series
+     * reuses (e.g. fig12's power-optimized plane is driven at the
+     * baseline plane's load points); -1 = calibrate independently.
+     */
+    int capacityFrom = -1;
+};
+
+/** Calibrated capacity + sweep results of one SweepSeries. */
+struct SeriesSweep
+{
+    std::string name;
+    double capacityPerSec = 0.0;
+    std::vector<LoadPoint> points;
+};
+
+/**
+ * The standard figure shape: for each series, calibrate capacity (or
+ * borrow it via capacityFrom), then sweep the load fractions.  All
+ * calibrations run concurrently, then all (series x load) points run
+ * concurrently across @p jobs workers; output order is (series, load)
+ * and bit-identical for every jobs value.
+ */
+std::vector<SeriesSweep> runLoadSweeps(const std::vector<SweepSeries> &series,
+                                       const std::vector<double> &loads,
+                                       unsigned jobs = 1);
+
+/** Run each fully-specified config; results in input order. */
+std::vector<dp::SdpResults> runConfigs(const std::vector<dp::SdpConfig> &cfgs,
+                                       unsigned jobs = 1);
+
+/** measureAtSaturation() over each config; results in input order. */
+std::vector<dp::SdpResults>
+runSaturations(const std::vector<dp::SdpConfig> &cfgs, unsigned jobs = 1);
 
 /**
  * Configure a zero-load (latency-probe) run: a light arrival trickle
@@ -70,7 +116,8 @@ struct FaultPoint
  */
 std::vector<FaultPoint> runFaultSweep(dp::SdpConfig cfg,
                                       const std::vector<double> &dropRates,
-                                      bool withRecovery);
+                                      bool withRecovery,
+                                      unsigned jobs = 1);
 
 } // namespace harness
 } // namespace hyperplane

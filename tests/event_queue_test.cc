@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -173,6 +179,256 @@ TEST(EventQueue, StressManyEventsStayOrdered)
     }
     eq.run();
     EXPECT_TRUE(ordered);
+}
+
+TEST(EventQueue, SameTickFifoAcrossCalendarAndHeap)
+{
+    // Interleave events for one tick scheduled from far away (heap) and
+    // from nearby (calendar bucket): dispatch must still follow global
+    // schedule order, not per-front-end order.
+    EventQueue eq;
+    const Tick target = EventQueue::horizonTicks + 500;
+    std::vector<int> order;
+    eq.schedule(target, [&] { order.push_back(0); });       // heap
+    eq.schedule(target - 100, [&eq, &order, target] {       // near past
+        // Scheduled from inside the horizon: lands in a bucket.
+        eq.schedule(target, [&order] { order.push_back(2); });
+    });
+    eq.schedule(target, [&] { order.push_back(1); });       // heap
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, HorizonBoundarySchedules)
+{
+    // Deltas straddling the calendar horizon must all dispatch in time
+    // order regardless of which front end holds them.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    for (Tick d : {EventQueue::horizonTicks - 1, EventQueue::horizonTicks,
+                   EventQueue::horizonTicks + 1, Tick{1},
+                   2 * EventQueue::horizonTicks})
+        eq.schedule(d, [&fired, &eq] { fired.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(fired.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+    EXPECT_EQ(fired.back(), 2 * EventQueue::horizonTicks);
+}
+
+TEST(EventQueue, CancelledStateStaysBounded)
+{
+    // Regression for unbounded cancel bookkeeping: schedule+cancel 1M
+    // events.  Slots are recycled through the free list and tombstones
+    // are purged, so neither the slot array nor the calendar/heap entry
+    // count may scale with the number of cancellations.
+    EventQueue eq;
+    constexpr int n = 1'000'000;
+    for (int i = 0; i < n; ++i) {
+        const EventId id =
+            eq.schedule(static_cast<Tick>(1 + i % 5000), [] {});
+        ASSERT_TRUE(eq.cancel(id));
+    }
+    EXPECT_EQ(eq.pending(), 0u);
+    // A purge triggers whenever stale entries outnumber live ones past
+    // the 1024 floor, so the residue is a small constant, not O(n).
+    EXPECT_LT(eq.debugScheduledEntries(), 4096u);
+    EXPECT_LT(eq.debugSlotCapacity(), 64u);
+    eq.run();
+    EXPECT_EQ(eq.dispatched(), 0u);
+}
+
+TEST(EventQueue, MixedCancelChurnStaysBoundedAndOrdered)
+{
+    // Interleave live and cancelled events (3 cancels per live event);
+    // live ones must all fire in order while the cancelled residue is
+    // purged down to the live population, not the cancellation total.
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    Tick last = 0;
+    bool ordered = true;
+    constexpr int rounds = 100'000;
+    for (int i = 0; i < rounds; ++i) {
+        const Tick when = static_cast<Tick>(1 + (i * 13) % 20000);
+        EventId doomed[3];
+        for (auto &d : doomed)
+            d = eq.schedule(when, [] {});
+        eq.schedule(when, [&, when] {
+            ++fired;
+            if (when < last)
+                ordered = false;
+            last = when;
+        });
+        for (const auto d : doomed)
+            ASSERT_TRUE(eq.cancel(d));
+    }
+    // Without purging this would sit at 4*rounds; the purge keeps
+    // tombstones below the live count.
+    EXPECT_LT(eq.debugScheduledEntries(),
+              static_cast<std::size_t>(2.5 * rounds));
+    eq.run();
+    EXPECT_EQ(fired, static_cast<std::uint64_t>(rounds));
+    EXPECT_TRUE(ordered);
+}
+
+TEST(EventQueue, SlotReuseInvalidatesOldIds)
+{
+    // After an event fires or is cancelled its slot is recycled with a
+    // bumped generation: a stale EventId must never cancel the new
+    // occupant.
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    ASSERT_TRUE(eq.cancel(a));
+    int fired = 0;
+    const EventId b = eq.schedule(20, [&] { ++fired; });
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(eq.cancel(a)); // stale handle, same slot
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelFromInsideCallback)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventId victim = invalidEventId;
+    eq.schedule(5, [&] { EXPECT_TRUE(eq.cancel(victim)); });
+    victim = eq.schedule(10, [&] { ++fired; });
+    eq.schedule(10, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RandomizedAgainstReferenceModel)
+{
+    // Drive the kernel and a naive reference model with the same
+    // randomized schedule/cancel/step workload; every dispatch must
+    // match the reference's minimum (when, seq) entry.
+    std::mt19937_64 rng(12345);
+    EventQueue eq;
+
+    struct RefEvent
+    {
+        Tick when;
+        std::uint64_t seq;
+        int tag;
+    };
+    std::vector<RefEvent> ref;                            // live events
+    std::vector<std::pair<EventId, std::uint64_t>> handles;
+    std::vector<int> fired;
+    std::vector<int> expected;
+    std::uint64_t seq = 0;
+
+    const auto keyLess = [](const RefEvent &a, const RefEvent &b) {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    };
+    const auto popRefMin = [&] {
+        const auto it =
+            std::min_element(ref.begin(), ref.end(), keyLess);
+        const RefEvent e = *it;
+        ref.erase(it);
+        std::erase_if(handles, [&e](const auto &p) {
+            return p.second == e.seq;
+        });
+        return e;
+    };
+
+    for (int i = 0; i < 20000; ++i) {
+        const auto roll = rng() % 100;
+        if (roll < 60 || handles.empty()) {
+            // Mix of short (bucket) and long (heap) deltas.
+            const Tick delta = (rng() % 10 == 0)
+                ? 1 + rng() % (4 * EventQueue::horizonTicks)
+                : rng() % 512;
+            const Tick when = eq.now() + delta;
+            const int tag = i;
+            ++seq;
+            const EventId id = eq.schedule(
+                when, [&fired, tag] { fired.push_back(tag); });
+            ref.push_back({when, seq, tag});
+            handles.push_back({id, seq});
+        } else if (roll < 80) {
+            const std::size_t pick = rng() % handles.size();
+            const std::uint64_t s = handles[pick].second;
+            ASSERT_TRUE(eq.cancel(handles[pick].first));
+            std::erase_if(
+                ref, [s](const RefEvent &e) { return e.seq == s; });
+            handles.erase(handles.begin() + pick);
+        } else if (!ref.empty()) {
+            // Advance time by one dispatch; the model predicts which.
+            expected.push_back(popRefMin().tag);
+            ASSERT_TRUE(eq.step());
+        }
+        ASSERT_EQ(eq.pending(), ref.size());
+    }
+    while (!ref.empty()) {
+        expected.push_back(popRefMin().tag);
+        ASSERT_TRUE(eq.step());
+    }
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(fired, expected);
+}
+
+// --- EventCallback (small-buffer optimization) -----------------------
+
+TEST(EventCallback, InlineCaptureDoesNotHeapAllocate)
+{
+    const std::uint64_t before = EventCallback::heapFallbackCount();
+    int x = 0;
+    struct
+    {
+        void *a, *b, *c;
+        std::uint64_t d;
+    } capture{&x, &x, &x, 42};
+    EventCallback cb([capture, &x] { x += static_cast<int>(capture.d); });
+    cb();
+    EXPECT_EQ(x, 42);
+    EXPECT_EQ(EventCallback::heapFallbackCount(), before);
+}
+
+TEST(EventCallback, OversizedCaptureFallsBackToHeap)
+{
+    const std::uint64_t before = EventCallback::heapFallbackCount();
+    struct Big
+    {
+        unsigned char bytes[EventCallback::inlineCapacity + 16];
+    } big{};
+    big.bytes[0] = 7;
+    int out = 0;
+    EventCallback cb([big, &out] { out = big.bytes[0]; });
+    cb();
+    EXPECT_EQ(out, 7);
+    EXPECT_EQ(EventCallback::heapFallbackCount(), before + 1);
+}
+
+TEST(EventCallback, MoveTransfersOwnership)
+{
+    int calls = 0;
+    EventCallback a([&calls] { ++calls; });
+    EventCallback b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EventCallback c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(EventCallback, DestructionReleasesCapturedResources)
+{
+    auto counter = std::make_shared<int>(0);
+    {
+        EventCallback cb([counter] { (void)counter; });
+        EXPECT_EQ(counter.use_count(), 2);
+    }
+    EXPECT_EQ(counter.use_count(), 1);
+
+    // cancel() must release captures immediately, too.
+    EventQueue eq;
+    const EventId id = eq.schedule(10, [counter] { (void)counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+    eq.cancel(id);
+    EXPECT_EQ(counter.use_count(), 1);
 }
 
 } // namespace
