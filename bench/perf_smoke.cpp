@@ -51,6 +51,9 @@ struct SinglePoint
     std::uint64_t events;
     double eventsPerSec;
     double throughputMtps;
+    std::uint64_t dirLookups;
+    std::uint64_t dirHits;
+    std::uint64_t dirLines;
 };
 
 /** One timed run; events/sec uses the kernel's dispatch counter. */
@@ -62,7 +65,56 @@ timePoint(const char *name, const dp::SdpConfig &cfg)
     const auto r = sys.run();
     const double sec = secondsSince(t0);
     const std::uint64_t events = sys.eventQueue().dispatched();
-    return {name, sec, events, events / sec, r.throughputMtps};
+    return {name,
+            sec,
+            events,
+            events / sec,
+            r.throughputMtps,
+            sys.memory().dirLookups.value(),
+            sys.memory().dirHits.value(),
+            sys.memory().directoryLines()};
+}
+
+/**
+ * Endpoints of the ext_core_scaling sweep (same config), timed here so
+ * the tracked BENCH_perf_smoke.json records the per-event cost at 16
+ * and 128 cores and their ratio alongside the other trajectory points.
+ * Best-of-reps, same noise-robust estimator as the full sweep bench.
+ */
+struct ScalingEndpoint
+{
+    std::uint64_t events;
+    double nsPerEvent;
+};
+
+ScalingEndpoint
+timeScalingEndpoint(unsigned cores, unsigned reps)
+{
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::HyperPlane;
+    cfg.org = dp::QueueOrg::ScaleOut;
+    cfg.numCores = cores;
+    cfg.numQueues = 8 * cores;
+    cfg.workload = workloads::Kind::PacketEncapsulation;
+    cfg.shape = traffic::Shape::FB;
+    cfg.offeredRatePerSec = 4e5 * cores;
+    cfg.warmupUs = 200.0;
+    cfg.measureUs = 6000.0;
+    cfg.seed = 97;
+
+    ScalingEndpoint best{0, 0.0};
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        dp::SdpSystem sys(cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)sys.run();
+        const double sec = secondsSince(t0);
+        const std::uint64_t events = sys.eventQueue().dispatched();
+        const double ns =
+            events > 0 ? 1e9 * sec / static_cast<double>(events) : 0.0;
+        if (rep == 0 || ns < best.nsPerEvent)
+            best = {events, ns};
+    }
+    return best;
 }
 
 /** The Figure 10 series grid (both panels), verbatim. */
@@ -178,17 +230,44 @@ main(int argc, char **argv)
         mc.org = dp::QueueOrg::ScaleUpAll;
         mc.offeredRatePerSec = 6e6;
         points.push_back(timePoint("hyperplane-4core", mc));
+
+        // Memory-bound point: 16 spin-polling cores all sharing 16
+        // overloaded queues, so queue-head lines ping-pong and nearly
+        // every access hits the directory's owner/sharer/invalidate
+        // queries.  This is the point that tracks the O(cores)->O(1)
+        // coherence-lookup win (see docs/PERFORMANCE.md).
+        auto mb = cfg;
+        mb.plane = dp::PlaneKind::Spinning;
+        mb.numCores = 16;
+        mb.numQueues = 16;
+        mb.org = dp::QueueOrg::ScaleUpAll;
+        mb.offeredRatePerSec = 4e7;
+        mb.warmupUs = 300.0;
+        mb.measureUs = 2500.0;
+        mb.seed = 23;
+        points.push_back(timePoint("membound-16core-spin", mb));
     }
 
     stats::Table t("Single-point kernel throughput");
-    t.header({"point", "wall s", "sim events", "events/s", "Mtps"});
+    t.header({"point", "wall s", "sim events", "events/s", "Mtps",
+              "dir lookups"});
     for (const auto &p : points) {
         t.row({p.name, stats::fmt(p.wallSec, 3),
                std::to_string(p.events),
                stats::fmt(p.eventsPerSec / 1e6, 2) + "M",
-               stats::fmt(p.throughputMtps)});
+               stats::fmt(p.throughputMtps),
+               std::to_string(p.dirLookups)});
     }
     t.print();
+
+    // --- Core-scaling endpoints (16 vs 128 cores) --------------------
+    const ScalingEndpoint sc16 = timeScalingEndpoint(16, 3);
+    const ScalingEndpoint sc128 = timeScalingEndpoint(128, 3);
+    const double scalingSpread =
+        sc16.nsPerEvent > 0.0 ? sc128.nsPerEvent / sc16.nsPerEvent : 0.0;
+    std::printf("core scaling: %.1f ns/event at 16 cores, %.1f at 128 "
+                "(%.2fx; full sweep: bench/ext_core_scaling)\n",
+                sc16.nsPerEvent, sc128.nsPerEvent, scalingSpread);
 
     const std::uint64_t heapFallbacks =
         EventCallback::heapFallbackCount();
@@ -209,6 +288,10 @@ main(int argc, char **argv)
 
     // --- JSON export --------------------------------------------------
     std::ostringstream os;
+    // Speedup only means something with real parallel hardware; on a
+    // <4-thread host a sub-1.0 ratio reads like a regression when it is
+    // only scheduler overhead, so the sweep check is reported skipped.
+    const bool sweepCheckable = hw >= 4 && jobs >= 4;
     os << "{\n\"hardware_concurrency\":" << hw
        << ",\n\"jobs\":" << jobs
        << ",\n\"callback_heap_fallbacks\":" << heapFallbacks
@@ -220,13 +303,28 @@ main(int argc, char **argv)
            << ",\"sim_events\":" << p.events
            << ",\"events_per_sec\":" << stats::jsonNumber(p.eventsPerSec)
            << ",\"throughput_mtps\":"
-           << stats::jsonNumber(p.throughputMtps) << "}";
+           << stats::jsonNumber(p.throughputMtps)
+           << ",\"directory_lookups\":" << p.dirLookups
+           << ",\"directory_hits\":" << p.dirHits
+           << ",\"directory_lines\":" << p.dirLines << "}";
     }
-    os << "],\n\"fig10_sweep\":{\"jobs1_wall_sec\":"
+    os << "],\n\"core_scaling\":{\"ns_per_event_16\":"
+       << stats::jsonNumber(sc16.nsPerEvent)
+       << ",\"ns_per_event_128\":" << stats::jsonNumber(sc128.nsPerEvent)
+       << ",\"spread_128_vs_16\":" << stats::jsonNumber(scalingSpread)
+       << ",\"sim_events_16\":" << sc16.events
+       << ",\"sim_events_128\":" << sc128.events << "}";
+    os << ",\n\"fig10_sweep\":{\"jobs1_wall_sec\":"
        << stats::jsonNumber(seqSec)
-       << ",\"jobsN_wall_sec\":" << stats::jsonNumber(parSec)
-       << ",\"speedup\":" << stats::jsonNumber(speedup)
-       << ",\"byte_identical\":" << (identical ? "true" : "false")
+       << ",\"jobsN_wall_sec\":" << stats::jsonNumber(parSec);
+    if (sweepCheckable) {
+        os << ",\"speedup\":" << stats::jsonNumber(speedup)
+           << ",\"sweep_check\":\"" << (identical ? "ok" : "differs")
+           << "\"";
+    } else {
+        os << ",\"sweep_check\":\"skipped(single-thread-host)\"";
+    }
+    os << ",\"byte_identical\":" << (identical ? "true" : "false")
        << "}\n}\n";
     harness::writeTextFile(outPath, os.str());
 

@@ -863,7 +863,11 @@ SdpSystem::registerStats()
     reg.addGroup("mem",
                  {mem_->l1Hits, mem_->llcHits, mem_->remoteForwards,
                   mem_->memAccesses, mem_->invalidations,
-                  mem_->writeTransactions, mem_->snoopHits});
+                  mem_->writeTransactions, mem_->snoopHits,
+                  mem_->dirLookups, mem_->dirHits});
+    reg.addScalar("mem.directory_lines", [this] {
+        return static_cast<double>(mem_->directoryLines());
+    });
     reg.addGroup("source", {source_->generated_, source_->dropped_});
     for (unsigned c = 0; c < qwaitUnits_.size(); ++c) {
         const auto &u = *qwaitUnits_[c];

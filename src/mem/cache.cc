@@ -26,7 +26,7 @@ CacheArray::find(Addr addr)
     const Addr tag = lineBase(addr);
     Way *base = &ways_[setIndex(addr) * geom_.ways];
     for (unsigned w = 0; w < geom_.ways; ++w) {
-        if (base[w].state != LineState::Invalid && base[w].tag == tag)
+        if (base[w].state() != LineState::Invalid && base[w].tag == tag)
             return &base[w];
     }
     return nullptr;
@@ -42,24 +42,24 @@ LineState
 CacheArray::state(Addr addr) const
 {
     const Way *w = find(addr);
-    return w ? w->state : LineState::Invalid;
+    return w ? w->state() : LineState::Invalid;
 }
 
 void
 CacheArray::touch(Addr addr)
 {
-    Way *w = find(addr);
-    hp_assert(w != nullptr, "touch on non-resident line");
-    w->lastUse = ++useClock_;
+    WayRef w = lookup(addr);
+    hp_assert(static_cast<bool>(w), "touch on non-resident line");
+    w.touch();
 }
 
 void
 CacheArray::setState(Addr addr, LineState st)
 {
-    Way *w = find(addr);
-    hp_assert(w != nullptr, "setState on non-resident line");
+    WayRef w = lookup(addr);
+    hp_assert(static_cast<bool>(w), "setState on non-resident line");
     hp_assert(st != LineState::Invalid, "use invalidate() to remove lines");
-    w->state = st;
+    w.setState(st);
 }
 
 std::optional<std::pair<Addr, LineState>>
@@ -68,29 +68,27 @@ CacheArray::insert(Addr addr, LineState st)
     hp_assert(st != LineState::Invalid, "cannot insert an Invalid line");
     if (Way *w = find(addr)) {
         // Already resident: treat as a state update + LRU touch.
-        w->state = st;
-        w->lastUse = ++useClock_;
+        w->stamp(st, ++useClock_);
         return std::nullopt;
     }
     Way *base = &ways_[setIndex(addr) * geom_.ways];
     Way *victim = nullptr;
     for (unsigned w = 0; w < geom_.ways; ++w) {
-        if (base[w].state == LineState::Invalid) {
+        if (base[w].state() == LineState::Invalid) {
             victim = &base[w];
             break;
         }
-        if (victim == nullptr || base[w].lastUse < victim->lastUse)
+        if (victim == nullptr || base[w].lastUse() < victim->lastUse())
             victim = &base[w];
     }
     std::optional<std::pair<Addr, LineState>> evicted;
-    if (victim->state != LineState::Invalid) {
-        evicted = std::make_pair(victim->tag, victim->state);
+    if (victim->state() != LineState::Invalid) {
+        evicted = std::make_pair(victim->tag, victim->state());
         evictions.inc();
         --resident_;
     }
     victim->tag = lineBase(addr);
-    victim->state = st;
-    victim->lastUse = ++useClock_;
+    victim->stamp(st, ++useClock_);
     ++resident_;
     return evicted;
 }
@@ -101,8 +99,8 @@ CacheArray::invalidate(Addr addr)
     Way *w = find(addr);
     if (w == nullptr)
         return LineState::Invalid;
-    const LineState prior = w->state;
-    w->state = LineState::Invalid;
+    const LineState prior = w->state();
+    w->setState(LineState::Invalid);
     --resident_;
     return prior;
 }
@@ -111,7 +109,7 @@ void
 CacheArray::flush()
 {
     for (auto &w : ways_)
-        w.state = LineState::Invalid;
+        w.meta = 0;
     resident_ = 0;
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "mem/huge_alloc.hh"
 #include "sim/types.hh"
 #include "stats/sampler.hh"
 
@@ -46,8 +47,80 @@ struct CacheGeometry
  */
 class CacheArray
 {
+  private:
+    /**
+     * One tag-array way, packed to 16 bytes (four per host cache line):
+     * meta holds (lastUse << 2) | state.  The LRU clock is monotonic
+     * and unique, so ordering ways by the shifted clock is identical
+     * to ordering by a full-width one — victim selection is unchanged.
+     * A simulated machine carries cores x sets x ways of these, so the
+     * per-way footprint is what decides whether the tag arrays stay
+     * resident in the host's caches as core count grows.
+     */
+    struct Way
+    {
+        Addr tag = 0;
+        std::uint64_t meta = 0; ///< zero == Invalid, never used
+
+        LineState state() const
+        {
+            return static_cast<LineState>(meta & 3);
+        }
+
+        std::uint64_t lastUse() const { return meta >> 2; }
+
+        void setState(LineState st)
+        {
+            meta = (meta & ~std::uint64_t{3}) |
+                   static_cast<std::uint64_t>(st);
+        }
+
+        void stamp(LineState st, std::uint64_t clock)
+        {
+            meta = (clock << 2) | static_cast<std::uint64_t>(st);
+        }
+    };
+
   public:
     explicit CacheArray(const CacheGeometry &geom);
+
+    /**
+     * Mutable handle to one resident way, returned by lookup().  One
+     * probe of the set resolves presence, state, LRU update, and state
+     * change, where the legacy contains()/touch()/setState() chain
+     * re-walked the tags once per call.  A handle is invalidated by any
+     * subsequent insert(), invalidate(), or flush() on the array.
+     */
+    class WayRef
+    {
+      public:
+        WayRef() = default;
+
+        /** True if the probe hit a resident line. */
+        explicit operator bool() const { return way_ != nullptr; }
+
+        /** State of the resident line (Invalid when the probe missed). */
+        LineState state() const
+        {
+            return way_ != nullptr ? way_->state() : LineState::Invalid;
+        }
+
+        /** Update LRU. @pre the probe hit */
+        void touch() { way_->stamp(way_->state(), ++arr_->useClock_); }
+
+        /** Change coherence state. @pre the probe hit; st != Invalid */
+        void setState(LineState st) { way_->setState(st); }
+
+      private:
+        friend class CacheArray;
+        WayRef(CacheArray *arr, Way *way) : arr_(arr), way_(way) {}
+
+        CacheArray *arr_ = nullptr;
+        Way *way_ = nullptr;
+    };
+
+    /** Single-probe lookup; the handle tests false on a miss. */
+    WayRef lookup(Addr addr) { return WayRef(this, find(addr)); }
 
     /** Line state, or Invalid if not present. */
     LineState state(Addr addr) const;
@@ -92,19 +165,14 @@ class CacheArray
     stats::Counter evictions{"evictions"};
 
   private:
-    struct Way
-    {
-        Addr tag = 0;
-        LineState state = LineState::Invalid;
-        std::uint64_t lastUse = 0;
-    };
-
     std::uint64_t setIndex(Addr addr) const;
     Way *find(Addr addr);
     const Way *find(Addr addr) const;
 
     CacheGeometry geom_;
-    std::vector<Way> ways_; // sets() * ways, row-major by set
+    // sets() * ways, row-major by set.  Huge-page-backed: the LLC array
+    // alone is several MB and probed at random line addresses.
+    std::vector<Way, HugePageAllocator<Way>> ways_;
     std::uint64_t useClock_ = 0;
     std::uint64_t resident_ = 0;
 };

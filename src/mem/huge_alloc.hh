@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Huge-page-backed allocator for large, randomly accessed host tables.
+ *
+ * The simulator's big flat arrays (directory hash slots, cache tag
+ * arrays) are probed at random addresses on nearly every simulated
+ * event.  Once the combined footprint exceeds the host's second-level
+ * TLB reach (a few MB through 4 KiB pages), every probe risks a page
+ * walk on top of the data-cache miss, and that cost grows with the
+ * simulated core count even though the per-event *operation* count is
+ * flat.  Backing allocations of 2 MiB or more with transparent huge
+ * pages shrinks a multi-MB table to a handful of TLB entries.
+ *
+ * Allocation sizes below one huge page, and non-Linux hosts, fall back
+ * to plain malloc.  This is a host-side optimisation only: it cannot
+ * change any simulated number.
+ */
+
+#ifndef HYPERPLANE_MEM_HUGE_ALLOC_HH
+#define HYPERPLANE_MEM_HUGE_ALLOC_HH
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace hyperplane {
+namespace mem {
+
+/** Minimal stateless allocator; huge-page-aligned above 2 MiB. */
+template <typename T>
+struct HugePageAllocator
+{
+    using value_type = T;
+
+    static constexpr std::size_t hugeBytes = std::size_t{2} << 20;
+
+    HugePageAllocator() = default;
+
+    template <typename U>
+    HugePageAllocator(const HugePageAllocator<U> &)
+    {
+    }
+
+    T *allocate(std::size_t n)
+    {
+        const std::size_t bytes = n * sizeof(T);
+        void *p = nullptr;
+        if (bytes >= hugeBytes) {
+            const std::size_t rounded =
+                (bytes + hugeBytes - 1) & ~(hugeBytes - 1);
+            p = std::aligned_alloc(hugeBytes, rounded);
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+            if (p != nullptr)
+                (void)::madvise(p, rounded, MADV_HUGEPAGE);
+#endif
+        }
+        if (p == nullptr)
+            p = std::malloc(bytes);
+        if (p == nullptr)
+            throw std::bad_alloc{};
+        return static_cast<T *>(p);
+    }
+
+    void deallocate(T *p, std::size_t) { std::free(p); }
+};
+
+template <typename T, typename U>
+bool
+operator==(const HugePageAllocator<T> &, const HugePageAllocator<U> &)
+{
+    return true;
+}
+
+template <typename T, typename U>
+bool
+operator!=(const HugePageAllocator<T> &, const HugePageAllocator<U> &)
+{
+    return false;
+}
+
+} // namespace mem
+} // namespace hyperplane
+
+#endif // HYPERPLANE_MEM_HUGE_ALLOC_HH

@@ -1,6 +1,7 @@
 #include "mem/memory_system.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/logging.hh"
 
@@ -13,16 +14,21 @@ MemorySystem::MemorySystem(unsigned numCores, const CacheGeometry &l1Geom,
     : lat_(lat), llc_(llcGeom)
 {
     hp_assert(numCores > 0, "need at least one core");
+    hp_assert(numCores <= maxDirectoryCores,
+              "directory sharer mask tracks at most %u cores",
+              maxDirectoryCores);
+    // invalidateAll() is "invalidate all but the device", and the
+    // device-write path excludes deviceWriter from sharer queries; both
+    // are correct only because the pseudo id can never name a real core.
+    hp_assert(deviceWriter >= numCores,
+              "deviceWriter pseudo id collides with a real core id");
     l1s_.reserve(numCores);
     for (unsigned i = 0; i < numCores; ++i)
         l1s_.emplace_back(l1Geom);
-}
-
-CacheArray &
-MemorySystem::l1(CoreId core)
-{
-    hp_assert(core < l1s_.size(), "core id out of range");
-    return l1s_[core];
+    // Directory occupancy is bounded by total L1 capacity (every
+    // tracked entry has at least one sharer, and a sharer occupies an
+    // L1 way); reserve for that once so the hot path never rehashes.
+    dir_.reserve(numCores * l1s_.front().capacityLines());
 }
 
 const CacheArray &
@@ -32,42 +38,73 @@ MemorySystem::l1(CoreId core) const
     return l1s_[core];
 }
 
+void
+MemorySystem::dirTrack(Addr line, CoreId core, LineState st)
+{
+    const bool exclusive =
+        st == LineState::Modified || st == LineState::Exclusive;
+    dir_.trackSharer(dir_.findOrInsert(line), core, exclusive);
+}
+
+void
+MemorySystem::dirUntrack(Addr line, CoreId core)
+{
+    const std::size_t s = dir_.find(line);
+    if (s == DirectoryIndex::npos)
+        return;
+    dir_.untrackSharer(s, core);
+}
+
 int
 MemorySystem::findOwner(Addr line, CoreId except) const
 {
-    for (unsigned c = 0; c < l1s_.size(); ++c) {
-        if (c == except)
-            continue;
-        const LineState st = l1s_[c].state(line);
-        if (st == LineState::Modified || st == LineState::Exclusive)
-            return static_cast<int>(c);
-    }
-    return -1;
+    dirLookups.inc();
+    const std::size_t s = dir_.find(line);
+    if (s == DirectoryIndex::npos)
+        return -1;
+    dirHits.inc();
+    const int owner = dir_.ownerOf(s);
+    if (owner < 0 || static_cast<CoreId>(owner) == except)
+        return -1;
+    return owner;
 }
 
 bool
 MemorySystem::anyOtherSharer(Addr line, CoreId except) const
 {
-    for (unsigned c = 0; c < l1s_.size(); ++c) {
-        if (c != except && l1s_[c].contains(line))
-            return true;
-    }
-    return false;
+    dirLookups.inc();
+    const std::size_t s = dir_.find(line);
+    if (s == DirectoryIndex::npos)
+        return false;
+    dirHits.inc();
+    return dir_.anyOtherSharer(s, except);
 }
 
 unsigned
 MemorySystem::invalidateOthers(Addr line, CoreId except)
 {
-    unsigned n = 0;
-    for (unsigned c = 0; c < l1s_.size(); ++c) {
-        if (c == except)
-            continue;
-        if (l1s_[c].invalidate(line) != LineState::Invalid)
-            ++n;
-    }
+    dirLookups.inc();
+    const std::size_t s = dir_.find(line);
+    if (s == DirectoryIndex::npos)
+        return 0;
+    dirHits.inc();
+    const unsigned n =
+        dir_.removeOthers(s, except, [this, line](CoreId c) {
+            const LineState prior = l1s_[c].invalidate(line);
+            hp_assert(prior != LineState::Invalid,
+                      "directory listed a non-resident sharer");
+        });
     if (n > 0)
         invalidations.inc(n);
     return n;
+}
+
+unsigned
+MemorySystem::invalidateAll(Addr line)
+{
+    // deviceWriter can never name a real core (asserted at
+    // construction), so "all but the device" is exactly "all".
+    return invalidateOthers(line, deviceWriter);
 }
 
 void
@@ -75,7 +112,7 @@ MemorySystem::insertLlc(Addr line)
 {
     if (auto victim = llc_.insert(line, LineState::Shared)) {
         // Inclusive LLC: evicting a line removes it from all L1s too.
-        invalidateOthers(victim->first, deviceWriter);
+        invalidateAll(victim->first);
     }
 }
 
@@ -85,8 +122,26 @@ MemorySystem::insertL1(CoreId core, Addr line, LineState st)
     if (auto victim = l1s_[core].insert(line, st)) {
         // A dirty victim is written back into the LLC; the LLC already
         // holds the tag (inclusive), so no further action is modelled.
-        (void)victim;
+        // The victim's directory slot is a cold random probe, while the
+        // inserted line's slot is warm from the owner/sharer queries
+        // that preceded the fill — so start the victim fetch, do the
+        // warm track, then untrack (the two lines are independent, so
+        // the order is immaterial to the directory's final state).
+        dir_.prefetch(victim->first);
+        dirTrack(line, core, st);
+        dirUntrack(victim->first, core);
+        return;
     }
+    dirTrack(line, core, st);
+}
+
+void
+MemorySystem::setL1State(CoreId core, Addr line, LineState st)
+{
+    CacheArray::WayRef way = l1s_[core].lookup(line);
+    hp_assert(static_cast<bool>(way), "setL1State on non-resident line");
+    way.setState(st);
+    dirTrack(line, core, st);
 }
 
 AccessResult
@@ -96,8 +151,8 @@ MemorySystem::read(CoreId core, Addr addr)
     const Addr line = lineBase(addr);
     CacheArray &l1c = l1s_[core];
 
-    if (l1c.contains(line)) {
-        l1c.touch(line);
+    if (CacheArray::WayRef way = l1c.lookup(line)) {
+        way.touch();
         l1c.hits.inc();
         l1Hits.inc();
         return {lat_.l1Hit, AccessLevel::L1, false};
@@ -108,15 +163,15 @@ MemorySystem::read(CoreId core, Addr addr)
     // owner downgrades to Shared.
     const int owner = findOwner(line, core);
     if (owner >= 0) {
-        l1s_[owner].setState(line, LineState::Shared);
+        setL1State(owner, line, LineState::Shared);
         insertLlc(line); // forwarded data also lands in the LLC
         insertL1(core, line, LineState::Shared);
         remoteForwards.inc();
         return {lat_.remoteL1Forward, AccessLevel::RemoteL1, true};
     }
 
-    if (llc_.contains(line)) {
-        llc_.touch(line);
+    if (CacheArray::WayRef llcWay = llc_.lookup(line)) {
+        llcWay.touch();
         llc_.hits.inc();
         llcHits.inc();
         const bool shared = anyOtherSharer(line, core);
@@ -138,18 +193,20 @@ MemorySystem::write(CoreId core, Addr addr)
     hp_assert(core < l1s_.size(), "core id out of range");
     const Addr line = lineBase(addr);
     CacheArray &l1c = l1s_[core];
-    const LineState myState = l1c.state(line);
+    CacheArray::WayRef way = l1c.lookup(line);
+    const LineState myState = way.state();
 
     if (myState == LineState::Modified) {
-        l1c.touch(line);
+        way.touch();
         l1c.hits.inc();
         l1Hits.inc();
         return {lat_.l1Hit, AccessLevel::L1, false};
     }
     if (myState == LineState::Exclusive) {
         // Silent E->M upgrade; no bus transaction, so no snoop fires.
-        l1c.setState(line, LineState::Modified);
-        l1c.touch(line);
+        // The directory owner already names this core.
+        way.setState(LineState::Modified);
+        way.touch();
         l1c.hits.inc();
         l1Hits.inc();
         return {lat_.l1Hit, AccessLevel::L1, false};
@@ -163,8 +220,9 @@ MemorySystem::write(CoreId core, Addr addr)
     if (myState == LineState::Shared) {
         // Upgrade: invalidate other sharers via the directory.
         invalidateOthers(line, core);
-        l1c.setState(line, LineState::Modified);
-        l1c.touch(line);
+        way.setState(LineState::Modified);
+        way.touch();
+        dirTrack(line, core, LineState::Modified);
         return {lat_.llcHit, AccessLevel::LLC, true};
     }
 
@@ -172,6 +230,7 @@ MemorySystem::write(CoreId core, Addr addr)
     const int owner = findOwner(line, core);
     if (owner >= 0) {
         l1s_[owner].invalidate(line);
+        dirUntrack(line, owner);
         invalidations.inc();
         insertLlc(line);
         insertL1(core, line, LineState::Modified);
@@ -179,8 +238,8 @@ MemorySystem::write(CoreId core, Addr addr)
         return {lat_.remoteL1Forward, AccessLevel::RemoteL1, true};
     }
 
-    if (llc_.contains(line)) {
-        llc_.touch(line);
+    if (CacheArray::WayRef llcWay = llc_.lookup(line)) {
+        llcWay.touch();
         llc_.hits.inc();
         llcHits.inc();
         const bool hadSharers = invalidateOthers(line, core) > 0;
@@ -210,7 +269,7 @@ MemorySystem::deviceWrite(Addr addr)
     writeTransactions.inc();
     notifySnoopers(line, deviceWriter);
     // Invalidate every cached copy; DDIO-style allocation into the LLC.
-    invalidateOthers(line, deviceWriter);
+    invalidateAll(line);
     insertLlc(line);
     llc_.touch(line);
 }
@@ -221,6 +280,7 @@ MemorySystem::watchRange(Addr lo, Addr hi, Snooper *snooper)
     hp_assert(lo < hi, "empty watch range");
     hp_assert(snooper != nullptr, "null snooper");
     watches_.push_back({lo, hi, snooper});
+    rebuildWatchIndex();
 }
 
 void
@@ -229,23 +289,68 @@ MemorySystem::unwatch(Snooper *snooper)
     std::erase_if(watches_, [snooper](const WatchedRange &w) {
         return w.snooper == snooper;
     });
+    rebuildWatchIndex();
+}
+
+void
+MemorySystem::rebuildWatchIndex()
+{
+    sortedWatches_ = watches_;
+    std::sort(sortedWatches_.begin(), sortedWatches_.end(),
+              [](const WatchedRange &a, const WatchedRange &b) {
+                  return a.lo < b.lo;
+              });
+    watchesOverlap_ = false;
+    for (std::size_t i = 1; i < sortedWatches_.size(); ++i) {
+        if (sortedWatches_[i].lo < sortedWatches_[i - 1].hi)
+            watchesOverlap_ = true;
+    }
+}
+
+void
+MemorySystem::deliverSnoop(const WatchedRange &w, Addr line, CoreId writer)
+{
+    snoopHits.inc();
+    if (HP_TRACE_ON(tracer_)) {
+        tracer_->instant(trace::Stage::SnoopDeliver, trace::trackDevice,
+                         tracer_->now(), invalidQueueId, line);
+    }
+    if (interposer_ && interposer_(line, writer, w.snooper))
+        return; // interposer owns delivery (fault injection)
+    w.snooper->onWriteTransaction(line, writer);
 }
 
 void
 MemorySystem::notifySnoopers(Addr line, CoreId writer)
 {
+    // Nearly all SDP configurations register one doorbell range per
+    // qwait unit, all disjoint; dispatch is a one-entry test or a
+    // binary search instead of a scan over every registration.
+    if (watches_.empty())
+        return;
+    if (watches_.size() == 1) {
+        const WatchedRange &w = watches_.front();
+        if (line >= w.lo && line < w.hi)
+            deliverSnoop(w, line, writer);
+        return;
+    }
+    if (!watchesOverlap_) {
+        // Disjoint ranges: only the one with the greatest lo <= line
+        // can contain it.
+        auto it = std::upper_bound(
+            sortedWatches_.begin(), sortedWatches_.end(), line,
+            [](Addr a, const WatchedRange &w) { return a < w.lo; });
+        if (it == sortedWatches_.begin())
+            return;
+        --it;
+        if (line < it->hi)
+            deliverSnoop(*it, line, writer);
+        return;
+    }
+    // Overlapping registrations: preserve registration-order delivery.
     for (const auto &w : watches_) {
-        if (line >= w.lo && line < w.hi) {
-            snoopHits.inc();
-            if (HP_TRACE_ON(tracer_)) {
-                tracer_->instant(trace::Stage::SnoopDeliver,
-                                 trace::trackDevice, tracer_->now(),
-                                 invalidQueueId, line);
-            }
-            if (interposer_ && interposer_(line, writer, w.snooper))
-                continue; // interposer owns delivery (fault injection)
-            w.snooper->onWriteTransaction(line, writer);
-        }
+        if (line >= w.lo && line < w.hi)
+            deliverSnoop(w, line, writer);
     }
 }
 
@@ -255,6 +360,50 @@ MemorySystem::flushAll()
     for (auto &c : l1s_)
         c.flush();
     llc_.flush();
+    dir_.clear();
+}
+
+void
+MemorySystem::checkDirectoryConsistency() const
+{
+    // Cross-check every tracked directory entry against the tag
+    // arrays...
+    std::uint64_t entries = 0;
+    dir_.forEach([this, &entries](Addr line, const DirEntry &e) {
+        ++entries;
+        int owner = -1;
+        for (unsigned c = 0; c < l1s_.size(); ++c) {
+            const LineState st = l1s_[c].state(line);
+            const bool bit =
+                (e.mask[c / 64] >> (c % 64)) & std::uint64_t{1};
+            hp_assert(bit == (st != LineState::Invalid),
+                      "directory sharer bit diverges from L1 %u", c);
+            if (st == LineState::Modified || st == LineState::Exclusive) {
+                hp_assert(owner < 0, "two M/E holders for one line");
+                owner = static_cast<int>(c);
+            }
+        }
+        hp_assert(e.owner == owner, "directory owner diverges");
+    });
+    hp_assert(entries == dir_.size(),
+              "live-entry count diverges: %llu tracked, size() says %llu",
+              static_cast<unsigned long long>(entries),
+              static_cast<unsigned long long>(dir_.size()));
+    // ...and make sure no resident L1 line is missing from the
+    // directory: per-core resident counts must sum to the directory's
+    // total sharer population.
+    std::uint64_t resident = 0;
+    for (const auto &l1c : l1s_)
+        resident += l1c.residentLines();
+    std::uint64_t tracked = 0;
+    dir_.forEach([&tracked](Addr, const DirEntry &e) {
+        for (const std::uint64_t w : e.mask)
+            tracked += static_cast<std::uint64_t>(std::popcount(w));
+    });
+    hp_assert(tracked == resident,
+              "directory tracks %llu sharers, L1s hold %llu lines",
+              static_cast<unsigned long long>(tracked),
+              static_cast<unsigned long long>(resident));
 }
 
 } // namespace mem

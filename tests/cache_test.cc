@@ -152,6 +152,50 @@ INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometrySweep,
                                            std::make_pair(64u, 8u),
                                            std::make_pair(256u, 16u)));
 
+TEST(CacheArrayLookup, MissYieldsFalseHandle)
+{
+    CacheArray c(smallGeom());
+    CacheArray::WayRef way = c.lookup(0x1000);
+    EXPECT_FALSE(way);
+    EXPECT_EQ(way.state(), LineState::Invalid);
+}
+
+TEST(CacheArrayLookup, HitHandleReadsAndMutatesInPlace)
+{
+    CacheArray c(smallGeom());
+    c.insert(0x1000, LineState::Exclusive);
+    CacheArray::WayRef way = c.lookup(0x1000);
+    ASSERT_TRUE(way);
+    EXPECT_EQ(way.state(), LineState::Exclusive);
+    way.setState(LineState::Modified);
+    EXPECT_EQ(c.state(0x1000), LineState::Modified);
+}
+
+TEST(CacheArrayLookup, TouchThroughHandleProtectsFromEviction)
+{
+    // Two-way set: insert A then B, touch A through a handle, insert a
+    // conflicting C -- LRU must evict B, not A.
+    CacheArray c(smallGeom());
+    const Addr stride = c.geometry().sets() * 64;
+    c.insert(0, LineState::Shared);          // A
+    c.insert(stride, LineState::Shared);     // B (A now LRU)
+    c.lookup(0).touch();                     // A becomes MRU
+    c.insert(2 * stride, LineState::Shared); // C evicts LRU
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(stride));
+}
+
+TEST(CacheArrayLookup, LookupMatchesLegacyQueries)
+{
+    CacheArray c(smallGeom());
+    c.insert(0x2000, LineState::Shared);
+    for (const Addr a : {Addr{0x1000}, Addr{0x2000}, Addr{0x2040}}) {
+        CacheArray::WayRef way = c.lookup(a);
+        EXPECT_EQ(static_cast<bool>(way), c.contains(a));
+        EXPECT_EQ(way.state(), c.state(a));
+    }
+}
+
 } // namespace
 } // namespace mem
 } // namespace hyperplane

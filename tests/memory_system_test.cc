@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
 #include <vector>
 
 #include "mem/memory_system.hh"
@@ -233,6 +237,385 @@ TEST(MemorySystem, StatsCountersAdvance)
     m.read(1, 0x50000);
     EXPECT_GE(m.l1Hits.value(), 1u);
     EXPECT_GE(m.memAccesses.value(), 2u);
+}
+
+TEST(MemorySystem, DirectoryStaysConsistent)
+{
+    auto m = makeSystem();
+    m.read(0, 0x10000);
+    m.write(1, 0x10000);
+    m.read(2, 0x10000);
+    m.deviceWrite(0x10000);
+    m.checkDirectoryConsistency();
+    m.flushAll();
+    EXPECT_EQ(m.directoryLines(), 0u);
+    m.checkDirectoryConsistency();
+}
+
+TEST(MemorySystem, OverlappingWatchRangesFireInRegistrationOrder)
+{
+    auto m = makeSystem();
+    RecordingSnooper first, second;
+    m.watchRange(0x1000, 0x3000, &first);
+    m.watchRange(0x2000, 0x4000, &second); // overlaps the first
+    m.write(0, 0x2800);                    // inside both
+    ASSERT_EQ(first.events.size(), 1u);
+    ASSERT_EQ(second.events.size(), 1u);
+    m.write(1, 0x1100); // first only
+    m.write(2, 0x3800); // second only
+    EXPECT_EQ(first.events.size(), 2u);
+    EXPECT_EQ(second.events.size(), 2u);
+    EXPECT_EQ(m.snoopHits.value(), 4u);
+}
+
+TEST(MemorySystem, ManyDisjointWatchRangesDispatchExactly)
+{
+    auto m = makeSystem();
+    std::vector<std::unique_ptr<RecordingSnooper>> snoops;
+    for (unsigned i = 0; i < 16; ++i) {
+        snoops.push_back(std::make_unique<RecordingSnooper>());
+        const Addr lo = 0x10000 + i * 0x1000;
+        m.watchRange(lo, lo + 0x1000, snoops.back().get());
+    }
+    m.write(0, 0x10000 + 5 * 0x1000 + 0x40); // range 5 only
+    m.write(1, 0x0fff);                      // below every range
+    m.write(2, 0x10000 + 16 * 0x1000);       // above every range
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(snoops[i]->events.size(), i == 5 ? 1u : 0u);
+}
+
+// ---------------------------------------------------------------------
+// Randomized differential test: the directory-backed MemorySystem vs a
+// reference model replicating the pre-directory O(cores) tag-array
+// scans.  The directory is a redundant index, so every AccessResult,
+// every counter, every snoop delivery, and the final tag-array state
+// must be identical.
+// ---------------------------------------------------------------------
+
+/** The scan-based coherence model this repo used before the directory. */
+class RefMemorySystem
+{
+  public:
+    RefMemorySystem(unsigned numCores, const CacheGeometry &l1Geom,
+                    const CacheGeometry &llcGeom)
+        : llc_(llcGeom)
+    {
+        for (unsigned i = 0; i < numCores; ++i)
+            l1s_.emplace_back(l1Geom);
+    }
+
+    std::uint64_t l1Hits = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t remoteForwards = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t writeTransactions = 0;
+    std::uint64_t snoopHits = 0;
+
+    std::vector<CacheArray> l1s_;
+    CacheArray llc_;
+    MemLatencies lat_{};
+
+    void
+    watchRange(Addr lo, Addr hi, Snooper *snooper)
+    {
+        watches_.push_back({lo, hi, snooper});
+    }
+
+    AccessResult
+    read(CoreId core, Addr addr)
+    {
+        const Addr line = lineBase(addr);
+        CacheArray &l1c = l1s_[core];
+        if (l1c.contains(line)) {
+            l1c.touch(line);
+            l1c.hits.inc();
+            ++l1Hits;
+            return {lat_.l1Hit, AccessLevel::L1, false};
+        }
+        l1c.misses.inc();
+        const int owner = findOwner(line, core);
+        if (owner >= 0) {
+            l1s_[owner].setState(line, LineState::Shared);
+            insertLlc(line);
+            insertL1(core, line, LineState::Shared);
+            ++remoteForwards;
+            return {lat_.remoteL1Forward, AccessLevel::RemoteL1, true};
+        }
+        if (llc_.contains(line)) {
+            llc_.touch(line);
+            llc_.hits.inc();
+            ++llcHits;
+            const bool shared = anyOtherSharer(line, core);
+            insertL1(core, line,
+                     shared ? LineState::Shared : LineState::Exclusive);
+            return {lat_.llcHit, AccessLevel::LLC, false};
+        }
+        llc_.misses.inc();
+        ++memAccesses;
+        insertLlc(line);
+        insertL1(core, line, LineState::Exclusive);
+        return {lat_.memAccess, AccessLevel::Memory, false};
+    }
+
+    AccessResult
+    write(CoreId core, Addr addr)
+    {
+        const Addr line = lineBase(addr);
+        CacheArray &l1c = l1s_[core];
+        const LineState myState = l1c.state(line);
+        if (myState == LineState::Modified) {
+            l1c.touch(line);
+            l1c.hits.inc();
+            ++l1Hits;
+            return {lat_.l1Hit, AccessLevel::L1, false};
+        }
+        if (myState == LineState::Exclusive) {
+            l1c.setState(line, LineState::Modified);
+            l1c.touch(line);
+            l1c.hits.inc();
+            ++l1Hits;
+            return {lat_.l1Hit, AccessLevel::L1, false};
+        }
+        ++writeTransactions;
+        notifySnoopers(line, core);
+        if (myState == LineState::Shared) {
+            invalidateOthers(line, core);
+            l1c.setState(line, LineState::Modified);
+            l1c.touch(line);
+            return {lat_.llcHit, AccessLevel::LLC, true};
+        }
+        l1c.misses.inc();
+        const int owner = findOwner(line, core);
+        if (owner >= 0) {
+            l1s_[owner].invalidate(line);
+            ++invalidations;
+            insertLlc(line);
+            insertL1(core, line, LineState::Modified);
+            ++remoteForwards;
+            return {lat_.remoteL1Forward, AccessLevel::RemoteL1, true};
+        }
+        if (llc_.contains(line)) {
+            llc_.touch(line);
+            llc_.hits.inc();
+            ++llcHits;
+            const bool hadSharers = invalidateOthers(line, core) > 0;
+            insertL1(core, line, LineState::Modified);
+            return {lat_.llcHit, AccessLevel::LLC, hadSharers};
+        }
+        llc_.misses.inc();
+        ++memAccesses;
+        insertLlc(line);
+        insertL1(core, line, LineState::Modified);
+        return {lat_.memAccess, AccessLevel::Memory, false};
+    }
+
+    AccessResult
+    atomicRmw(CoreId core, Addr addr)
+    {
+        AccessResult r = write(core, addr);
+        r.latency += lat_.atomicExtra;
+        return r;
+    }
+
+    void
+    deviceWrite(Addr addr)
+    {
+        const Addr line = lineBase(addr);
+        ++writeTransactions;
+        notifySnoopers(line, deviceWriter);
+        invalidateOthers(line, deviceWriter);
+        insertLlc(line);
+        llc_.touch(line);
+    }
+
+  private:
+    struct WatchedRange
+    {
+        Addr lo;
+        Addr hi;
+        Snooper *snooper;
+    };
+
+    int
+    findOwner(Addr line, CoreId except) const
+    {
+        for (unsigned c = 0; c < l1s_.size(); ++c) {
+            if (c == except)
+                continue;
+            const LineState st = l1s_[c].state(line);
+            if (st == LineState::Modified || st == LineState::Exclusive)
+                return static_cast<int>(c);
+        }
+        return -1;
+    }
+
+    bool
+    anyOtherSharer(Addr line, CoreId except) const
+    {
+        for (unsigned c = 0; c < l1s_.size(); ++c) {
+            if (c != except && l1s_[c].contains(line))
+                return true;
+        }
+        return false;
+    }
+
+    unsigned
+    invalidateOthers(Addr line, CoreId except)
+    {
+        unsigned n = 0;
+        for (unsigned c = 0; c < l1s_.size(); ++c) {
+            if (c == except)
+                continue;
+            if (l1s_[c].invalidate(line) != LineState::Invalid)
+                ++n;
+        }
+        invalidations += n;
+        return n;
+    }
+
+    void
+    insertLlc(Addr line)
+    {
+        if (auto victim = llc_.insert(line, LineState::Shared))
+            invalidateOthers(victim->first, deviceWriter);
+    }
+
+    void
+    insertL1(CoreId core, Addr line, LineState st)
+    {
+        (void)l1s_[core].insert(line, st);
+    }
+
+    void
+    notifySnoopers(Addr line, CoreId writer)
+    {
+        for (const auto &w : watches_) {
+            if (line >= w.lo && line < w.hi) {
+                ++snoopHits;
+                w.snooper->onWriteTransaction(line, writer);
+            }
+        }
+    }
+
+    std::vector<WatchedRange> watches_;
+};
+
+void
+runDifferential(unsigned numCores, std::uint64_t seed, unsigned ops)
+{
+    SCOPED_TRACE("numCores=" + std::to_string(numCores));
+    // Tiny caches so evictions, LLC back-invalidation, and set-conflict
+    // aliasing all fire constantly.
+    const CacheGeometry l1Geom{4 * 1024, 4, 64};   // 16 sets
+    const CacheGeometry llcGeom{64 * 1024, 8, 64}; // 128 sets
+    MemorySystem dut(numCores, l1Geom, llcGeom);
+    RefMemorySystem ref(numCores, l1Geom, llcGeom);
+
+    RecordingSnooper dutSnoop, refSnoop;
+    // Two disjoint doorbell-style ranges (the sorted-index dispatch
+    // path) covering part of the line pool.
+    dut.watchRange(0x0000, 0x4000, &dutSnoop);
+    dut.watchRange(0x8000, 0xc000, &dutSnoop);
+    ref.watchRange(0x0000, 0x4000, &refSnoop);
+    ref.watchRange(0x8000, 0xc000, &refSnoop);
+
+    std::mt19937_64 rng(seed);
+    const unsigned numLines = 1024;
+    for (unsigned i = 0; i < ops; ++i) {
+        const Addr addr = (rng() % numLines) * cacheLineBytes +
+                          (rng() % cacheLineBytes);
+        const auto core = static_cast<CoreId>(rng() % numCores);
+        const unsigned op = rng() % 10;
+        AccessResult a{}, b{};
+        if (op < 4) {
+            a = dut.read(core, addr);
+            b = ref.read(core, addr);
+        } else if (op < 7) {
+            a = dut.write(core, addr);
+            b = ref.write(core, addr);
+        } else if (op < 8) {
+            a = dut.atomicRmw(core, addr);
+            b = ref.atomicRmw(core, addr);
+        } else {
+            dut.deviceWrite(addr);
+            ref.deviceWrite(addr);
+        }
+        ASSERT_EQ(a.latency, b.latency) << "op " << i;
+        ASSERT_EQ(a.servedBy, b.servedBy) << "op " << i;
+        ASSERT_EQ(a.coherence, b.coherence) << "op " << i;
+        if (i % 8192 == 0)
+            dut.checkDirectoryConsistency();
+    }
+    dut.checkDirectoryConsistency();
+
+    // Counters.
+    EXPECT_EQ(dut.l1Hits.value(), ref.l1Hits);
+    EXPECT_EQ(dut.llcHits.value(), ref.llcHits);
+    EXPECT_EQ(dut.remoteForwards.value(), ref.remoteForwards);
+    EXPECT_EQ(dut.memAccesses.value(), ref.memAccesses);
+    EXPECT_EQ(dut.invalidations.value(), ref.invalidations);
+    EXPECT_EQ(dut.writeTransactions.value(), ref.writeTransactions);
+    EXPECT_EQ(dut.snoopHits.value(), ref.snoopHits);
+
+    // Per-array counters and residency.
+    for (unsigned c = 0; c < numCores; ++c) {
+        EXPECT_EQ(dut.l1(c).hits.value(), ref.l1s_[c].hits.value());
+        EXPECT_EQ(dut.l1(c).misses.value(), ref.l1s_[c].misses.value());
+        EXPECT_EQ(dut.l1(c).evictions.value(),
+                  ref.l1s_[c].evictions.value());
+        EXPECT_EQ(dut.l1(c).residentLines(),
+                  ref.l1s_[c].residentLines());
+    }
+    EXPECT_EQ(dut.llc().hits.value(), ref.llc_.hits.value());
+    EXPECT_EQ(dut.llc().misses.value(), ref.llc_.misses.value());
+    EXPECT_EQ(dut.llc().evictions.value(), ref.llc_.evictions.value());
+    EXPECT_EQ(dut.llc().residentLines(), ref.llc_.residentLines());
+
+    // Final tag-array state, line by line.
+    for (unsigned l = 0; l < numLines; ++l) {
+        const Addr line = l * cacheLineBytes;
+        for (unsigned c = 0; c < numCores; ++c) {
+            ASSERT_EQ(dut.l1(c).state(line), ref.l1s_[c].state(line))
+                << "line " << l << " core " << c;
+        }
+        ASSERT_EQ(dut.llc().state(line), ref.llc_.state(line))
+            << "line " << l;
+    }
+
+    // Snoop deliveries: same lines, same writers, same order.
+    ASSERT_EQ(dutSnoop.events.size(), refSnoop.events.size());
+    for (std::size_t i = 0; i < dutSnoop.events.size(); ++i) {
+        ASSERT_EQ(dutSnoop.events[i], refSnoop.events[i])
+            << "snoop " << i;
+    }
+}
+
+TEST(MemorySystemDifferential, OneCore)
+{
+    runDifferential(1, 0x1001, 100000);
+}
+
+TEST(MemorySystemDifferential, TwoCores)
+{
+    runDifferential(2, 0x1002, 100000);
+}
+
+TEST(MemorySystemDifferential, SixteenCores)
+{
+    runDifferential(16, 0x1016, 100000);
+}
+
+TEST(MemorySystemDifferential, SixtyFourCores)
+{
+    runDifferential(64, 0x1064, 100000);
+}
+
+// Max supported core count: sharer ids land in the directory's second
+// mask word and the packed-slot id field uses its full range.
+TEST(MemorySystemDifferential, HundredTwentyEightCores)
+{
+    runDifferential(128, 0x1128, 100000);
 }
 
 } // namespace
