@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Standalone UDP data-plane server.
+ *
+ * Binds the real server (RX shards -> per-flow queues -> EmuHyperPlane
+ * doorbells -> QWAIT workers -> TX) on a UDP port and serves the wire
+ * protocol until SIGINT.  Pair it with examples/udp_loadgen from
+ * another terminal:
+ *
+ *   ./udp_server --port 9000 --workers 4 &
+ *   ./udp_loadgen --port 9000 --rate 100000 --duration 2
+ *
+ * Flags:
+ *   --ip A          bind address        (default 127.0.0.1)
+ *   --port P        bind port, 0 = ephemeral (printed at startup)
+ *   --rx N          RX threads / SO_REUSEPORT shards (default 2)
+ *   --tx N          TX threads                       (default 1)
+ *   --workers N     QWAIT worker threads             (default 2)
+ *   --queues N      task queues                      (default 16)
+ *   --drop-rings R  inject doorbell-ring drops with probability R
+ *   --stats-sec S   print the counter registry every S seconds
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "harness/export.hh"
+#include "server/server.hh"
+#include "stats/registry.hh"
+
+using namespace hyperplane;
+
+namespace {
+
+std::atomic<bool> interrupted{false};
+
+void
+onSignal(int)
+{
+    interrupted.store(true);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    server::ServerConfig cfg;
+    if (const char *v = harness::argValue(argc, argv, "--ip"))
+        cfg.bindIp = v;
+    if (const char *v = harness::argValue(argc, argv, "--port"))
+        cfg.port = static_cast<std::uint16_t>(std::atoi(v));
+    if (const char *v = harness::argValue(argc, argv, "--rx"))
+        cfg.rxThreads = static_cast<unsigned>(std::atoi(v));
+    if (const char *v = harness::argValue(argc, argv, "--tx"))
+        cfg.txThreads = static_cast<unsigned>(std::atoi(v));
+    if (const char *v = harness::argValue(argc, argv, "--workers"))
+        cfg.workers = static_cast<unsigned>(std::atoi(v));
+    if (const char *v = harness::argValue(argc, argv, "--queues"))
+        cfg.numQueues = static_cast<unsigned>(std::atoi(v));
+    if (const char *v = harness::argValue(argc, argv, "--drop-rings"))
+        cfg.fault.dropRingProbability = std::atof(v);
+    double statsSec = 0.0;
+    if (const char *v = harness::argValue(argc, argv, "--stats-sec"))
+        statsSec = std::atof(v);
+
+    server::UdpServer srv(cfg);
+    if (!srv.start()) {
+        std::fprintf(stderr,
+                     "error: could not bind %s:%u (sockets denied?)\n",
+                     cfg.bindIp.c_str(), cfg.port);
+        return 1;
+    }
+    std::printf("udp_server listening on %s:%u  "
+                "(rx=%u tx=%u workers=%u queues=%u)\n",
+                cfg.bindIp.c_str(), srv.port(), cfg.rxThreads,
+                cfg.txThreads, cfg.workers, cfg.numQueues);
+    std::fflush(stdout);
+
+    stats::Registry reg;
+    srv.registerStats(reg);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    auto lastStats = std::chrono::steady_clock::now();
+    while (!interrupted.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (statsSec > 0.0) {
+            const auto now = std::chrono::steady_clock::now();
+            if (std::chrono::duration<double>(now - lastStats).count() >=
+                statsSec) {
+                lastStats = now;
+                std::printf(
+                    "rx=%llu served=%llu tx=%llu drops=%llu "
+                    "recoveries=%llu\n",
+                    static_cast<unsigned long long>(
+                        srv.counters().rxPackets.load()),
+                    static_cast<unsigned long long>(
+                        srv.counters().served.load()),
+                    static_cast<unsigned long long>(
+                        srv.counters().txPackets.load()),
+                    static_cast<unsigned long long>(
+                        srv.counters().queueDrops.load()),
+                    static_cast<unsigned long long>(
+                        srv.counters().watchdogRecoveries.load()));
+                std::fflush(stdout);
+            }
+        }
+    }
+
+    std::puts("draining...");
+    const bool drained = srv.stop();
+    std::printf("served %llu requests (%s)\n",
+                static_cast<unsigned long long>(
+                    srv.counters().served.load()),
+                drained ? "drained clean" : "drain deadline expired");
+    return drained ? 0 : 1;
+}

@@ -1,11 +1,15 @@
 #include "emu/data_plane_pool.hh"
 
-#include <chrono>
-
 #include "sim/logging.hh"
 
 namespace hyperplane {
 namespace emu {
+
+namespace {
+
+thread_local int tlsWorkerIndex = -1;
+
+} // namespace
 
 DataPlanePool::DataPlanePool(EmuHyperPlane &hp, unsigned workers,
                              Handler handler, std::uint64_t maxBatch)
@@ -29,7 +33,7 @@ DataPlanePool::start()
         return;
     threads_.reserve(numWorkers_);
     for (unsigned i = 0; i < numWorkers_; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+        threads_.emplace_back([this, i] { workerLoop(i); });
 }
 
 void
@@ -42,10 +46,38 @@ DataPlanePool::stop()
     threads_.clear();
 }
 
+bool
+DataPlanePool::drain(std::chrono::nanoseconds deadline)
+{
+    using namespace std::chrono;
+    const auto until = steady_clock::now() + deadline;
+    bool drained = false;
+    if (running_.load(std::memory_order_relaxed)) {
+        // Workers keep serving; we only watch the doorbells empty out.
+        while (steady_clock::now() < until) {
+            if (hp_.totalPending() == 0) {
+                drained = true;
+                break;
+            }
+            std::this_thread::sleep_for(microseconds(200));
+        }
+        drained = drained || hp_.totalPending() == 0;
+    }
+    stop();
+    return drained;
+}
+
+int
+DataPlanePool::workerIndex()
+{
+    return tlsWorkerIndex;
+}
+
 void
-DataPlanePool::workerLoop()
+DataPlanePool::workerLoop(unsigned index)
 {
     using namespace std::chrono_literals;
+    tlsWorkerIndex = static_cast<int>(index);
     while (running_.load(std::memory_order_relaxed)) {
         // A bounded wait keeps shutdown prompt: the timeout re-checks
         // running_ (the software stand-in for waking halted cores).
@@ -58,6 +90,7 @@ DataPlanePool::workerLoop()
         handler_(*qid, n);
         processed_.fetch_add(n, std::memory_order_relaxed);
     }
+    tlsWorkerIndex = -1;
 }
 
 } // namespace emu

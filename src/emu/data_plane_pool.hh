@@ -7,12 +7,20 @@
  * queues visible to all workers), each looping
  * QWAIT -> take -> handler.  Applications provide only the per-batch
  * handler; registration and producers use the EmuHyperPlane directly.
+ *
+ * Shutdown comes in two flavours the UDP server needs for SIGINT-safe
+ * teardown: stop() halts after the in-flight batches finish, and
+ * drain(deadline) first keeps serving until every doorbell reads zero
+ * (or the deadline passes), so accepted work is answered before the
+ * workers exit.  In both cases no handler runs after the call returns —
+ * the workers are joined before control comes back.
  */
 
 #ifndef HYPERPLANE_EMU_DATA_PLANE_POOL_HH
 #define HYPERPLANE_EMU_DATA_PLANE_POOL_HH
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -52,8 +60,20 @@ class DataPlanePool
     /** Launch the workers. No-op if already running. */
     void start();
 
-    /** Signal and join the workers. Idempotent. */
+    /**
+     * Signal and join the workers.  Idempotent.  In-flight batches
+     * finish; pending doorbells may be left unserved.  When this
+     * returns, the threads are joined and no handler will run again.
+     */
     void stop();
+
+    /**
+     * Drain then stop: keep the workers serving until the device's
+     * doorbells all read zero or @p deadline elapses, then stop().
+     *
+     * @return true if the device fully drained before the deadline.
+     */
+    bool drain(std::chrono::nanoseconds deadline);
 
     bool running() const { return running_; }
     unsigned workers() const
@@ -67,8 +87,16 @@ class DataPlanePool
         return processed_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Index of the calling pool worker in [0, workers()), or -1 when
+     * called from a thread that is not a pool worker.  Lets handlers
+     * keep per-worker state (trace tracks, sharded counters) without
+     * locking.
+     */
+    static int workerIndex();
+
   private:
-    void workerLoop();
+    void workerLoop(unsigned index);
 
     EmuHyperPlane &hp_;
     unsigned numWorkers_;

@@ -45,31 +45,52 @@ EmuHyperPlane::removeQueue(QueueId qid)
     --numRegistered_;
 }
 
+bool
+EmuHyperPlane::notifyIfNewlyGrantable(QueueId qid, bool wasGrantable)
+{
+    if (wasGrantable || !grantable(qid) || waiters_ == 0)
+        return false;
+    ++wakeups_;
+    cv_.notify_one();
+    return true;
+}
+
 void
 EmuHyperPlane::ring(QueueId qid, std::uint64_t n)
 {
-    {
-        std::lock_guard<std::mutex> lock(m_);
-        hp_assert(qid < registered_.size(), "qid out of range");
-        hp_assert(registered_[qid], "ring on unregistered queue");
-        doorbells_[qid] += n;
-        // The monitoring-set disarm/activate: mark the queue ready.
-        ready_.activate(qid);
-    }
-    cv_.notify_one();
+    std::lock_guard<std::mutex> lock(m_);
+    hp_assert(qid < registered_.size(), "qid out of range");
+    hp_assert(registered_[qid], "ring on unregistered queue");
+    doorbells_[qid] += n;
+    // The monitoring-set disarm/activate: mark the queue ready.  One
+    // waiter per newly-grantable queue — a ring on an already-ready
+    // queue wakes nobody (the pending state will be granted anyway).
+    const bool wasGrantable = grantable(qid);
+    ready_.activate(qid);
+    notifyIfNewlyGrantable(qid, wasGrantable);
 }
 
 std::optional<QueueId>
 EmuHyperPlane::qwait(std::chrono::nanoseconds timeout)
 {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
     std::unique_lock<std::mutex> lock(m_);
-    std::optional<QueueId> qid;
-    const bool ok = cv_.wait_for(lock, timeout, [&] {
+    auto qid = ready_.selectNext();
+    while (!qid) {
+        ++waiters_;
+        const auto status = cv_.wait_until(lock, deadline);
+        --waiters_;
         qid = ready_.selectNext();
-        return qid.has_value();
-    });
-    if (!ok)
-        return std::nullopt;
+        if (qid)
+            break;
+        if (status == std::cv_status::timeout) {
+            ++qwaitTimeouts_;
+            return std::nullopt;
+        }
+        // Notified (or pthread-spurious) but nothing grantable: a racing
+        // consumer claimed the queue first.
+        ++spuriousWakes_;
+    }
     ++grants_;
     return qid;
 }
@@ -94,9 +115,14 @@ EmuHyperPlane::take(QueueId qid, std::uint64_t maxItems)
     const std::uint64_t avail = doorbells_[qid];
     const std::uint64_t taken = std::min(avail, maxItems);
     doorbells_[qid] -= taken;
-    // QWAIT-RECONSIDER: re-activate if items remain.
-    if (doorbells_[qid] > 0)
+    // QWAIT-RECONSIDER: re-activate if items remain, and hand the
+    // residual to another waiter instead of stranding it until the
+    // next ring.
+    if (doorbells_[qid] > 0) {
+        const bool wasGrantable = grantable(qid);
         ready_.activate(qid);
+        notifyIfNewlyGrantable(qid, wasGrantable);
+    }
     return taken;
 }
 
@@ -104,8 +130,10 @@ void
 EmuHyperPlane::enable(QueueId qid)
 {
     std::lock_guard<std::mutex> lock(m_);
+    const bool wasGrantable = grantable(qid);
     ready_.enable(qid);
-    cv_.notify_all();
+    // Targeted: enabling makes at most this one queue newly grantable.
+    notifyIfNewlyGrantable(qid, wasGrantable);
 }
 
 void
@@ -131,10 +159,58 @@ EmuHyperPlane::pendingItems(QueueId qid) const
 }
 
 std::uint64_t
+EmuHyperPlane::totalPending() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::uint64_t total = 0;
+    for (QueueId q = 0; q < registered_.size(); ++q)
+        if (registered_[q])
+            total += doorbells_[q];
+    return total;
+}
+
+std::uint64_t
 EmuHyperPlane::grants() const
 {
     std::lock_guard<std::mutex> lock(m_);
     return grants_;
+}
+
+std::uint64_t
+EmuHyperPlane::wakeups() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return wakeups_;
+}
+
+std::uint64_t
+EmuHyperPlane::spuriousWakes() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return spuriousWakes_;
+}
+
+std::uint64_t
+EmuHyperPlane::qwaitTimeouts() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return qwaitTimeouts_;
+}
+
+void
+EmuHyperPlane::registerStats(stats::Registry &reg,
+                             const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".grants",
+                  [this] { return static_cast<double>(grants()); });
+    reg.addScalar(prefix + ".wakeups",
+                  [this] { return static_cast<double>(wakeups()); });
+    reg.addScalar(prefix + ".spurious_wakes", [this] {
+        return static_cast<double>(spuriousWakes());
+    });
+    reg.addScalar(prefix + ".qwait_timeouts", [this] {
+        return static_cast<double>(qwaitTimeouts());
+    });
 }
 
 } // namespace emu

@@ -18,6 +18,15 @@
  * Synchronization uses one mutex + condition variable; this is the
  * *correctness* front-end, not a performance claim (the paper's point is
  * precisely that software implementations cannot match the hardware).
+ *
+ * Wakeups are *targeted*: a state change notifies one waiter per queue
+ * that just became grantable (not-ready -> ready while enabled), never
+ * a broadcast.  Under bursty producers (the UDP server's RX threads)
+ * broadcast wakes turn every doorbell into a thundering herd where all
+ * but one woken worker finds nothing; with targeted wakes the number of
+ * notified waiters matches the number of newly-grantable queues.  The
+ * residual wakes that still find nothing (a racing qwaitNonBlocking, a
+ * pthread-level spurious return) are counted in spuriousWakes.
  */
 
 #ifndef HYPERPLANE_EMU_EMU_HYPERPLANE_HH
@@ -28,10 +37,13 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/ready_set.hh"
 #include "sim/types.hh"
+#include "stats/registry.hh"
+#include "stats/sampler.hh"
 
 namespace hyperplane {
 namespace emu {
@@ -62,8 +74,8 @@ class EmuHyperPlane
     // --- Producer side ------------------------------------------------
 
     /**
-     * Ring the doorbell: advertise @p n new items in @p qid and wake a
-     * waiting consumer if the queue just became ready.
+     * Ring the doorbell: advertise @p n new items in @p qid and wake
+     * one waiting consumer if the queue just became grantable.
      */
     void ring(QueueId qid, std::uint64_t n = 1);
 
@@ -84,7 +96,10 @@ class EmuHyperPlane
 
     /**
      * Claim up to @p maxItems from @p qid — the VERIFY + dequeue +
-     * RECONSIDER sequence, atomic with respect to ring().
+     * RECONSIDER sequence, atomic with respect to ring().  If items
+     * remain after the claim, the queue is re-activated and one more
+     * waiter is notified so the residual is not stranded until the next
+     * ring.
      *
      * @return Number of items claimed (0 on a spurious wake-up).
      */
@@ -100,17 +115,52 @@ class EmuHyperPlane
     /** Doorbell value (advertised outstanding items). */
     std::uint64_t pendingItems(QueueId qid) const;
 
+    /** Sum of doorbell values across every registered queue. */
+    std::uint64_t totalPending() const;
+
     /** Total successful qwait() returns. */
     std::uint64_t grants() const;
 
+    /** Condition-variable notifies issued (targeted wakeups). */
+    std::uint64_t wakeups() const;
+
+    /** Wakes that found no grantable queue (woken in vain). */
+    std::uint64_t spuriousWakes() const;
+
+    /** qwait() calls that returned std::nullopt on timeout. */
+    std::uint64_t qwaitTimeouts() const;
+
+    /**
+     * Register the device counters (grants, wakeups, spurious_wakes,
+     * qwait_timeouts) under @p prefix ("server.dev").
+     */
+    void registerStats(stats::Registry &reg,
+                       const std::string &prefix) const;
+
   private:
+    /**
+     * Wake one waiter if @p qid just transitioned to grantable.
+     * @pre m_ held.  @return true if a notify was issued.
+     */
+    bool notifyIfNewlyGrantable(QueueId qid, bool wasGrantable);
+
+    /** @pre m_ held. */
+    bool grantable(QueueId qid) const
+    {
+        return ready_.isReady(qid) && ready_.isEnabled(qid);
+    }
+
     mutable std::mutex m_;
     std::condition_variable cv_;
     core::ReadySet ready_;
     std::vector<std::uint64_t> doorbells_;
     std::vector<bool> registered_;
     unsigned numRegistered_ = 0;
+    unsigned waiters_ = 0;
     std::uint64_t grants_ = 0;
+    std::uint64_t wakeups_ = 0;
+    std::uint64_t spuriousWakes_ = 0;
+    std::uint64_t qwaitTimeouts_ = 0;
 };
 
 } // namespace emu

@@ -17,7 +17,10 @@ namespace hyperplane {
 namespace net {
 
 /**
- * RFC 1071 internet checksum over @p len bytes.
+ * RFC 1071 internet checksum over @p len bytes.  An odd trailing byte
+ * is treated as the high byte of a final zero-padded 16-bit word, per
+ * the RFC.
+ *
  * @return The 16-bit one's-complement checksum, host byte order.
  */
 std::uint16_t internetChecksum(const std::uint8_t *data, std::size_t len);
@@ -25,6 +28,14 @@ std::uint16_t internetChecksum(const std::uint8_t *data, std::size_t len);
 /**
  * Incremental form: fold @p len bytes into a running 32-bit sum.
  * Finish with finishChecksum().
+ *
+ * @warning Only the *final* chunk of a chained computation may have odd
+ * length.  An odd chunk is zero-padded to a 16-bit boundary, so an odd
+ * intermediate chunk inserts a phantom pad byte mid-stream and yields
+ * the checksum of a different message — odd + even chaining does NOT
+ * equal the one-shot checksum of the concatenation.  Callers that
+ * checksum a message around a hole (e.g. a zeroed checksum field) must
+ * split at even offsets, as the server wire codec does.
  */
 std::uint32_t checksumPartial(const std::uint8_t *data, std::size_t len,
                               std::uint32_t sum);

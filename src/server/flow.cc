@@ -1,0 +1,30 @@
+#include "server/flow.hh"
+
+#include "net/checksum.hh"
+#include "net/headers.hh"
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace server {
+
+std::uint32_t
+flowHash(const FlowKey &key)
+{
+    std::uint8_t packed[16];
+    net::putBe32(packed, key.srcIp);
+    net::putBe32(packed + 4, key.dstIp);
+    net::putBe16(packed + 8, key.srcPort);
+    net::putBe16(packed + 10, key.dstPort);
+    net::putBe32(packed + 12, key.innerFlow);
+    return net::crc32c(packed, sizeof(packed));
+}
+
+QueueId
+steerToQueue(const FlowKey &key, unsigned numQueues)
+{
+    hp_assert(numQueues > 0, "steering needs at least one queue");
+    return flowHash(key) % numQueues;
+}
+
+} // namespace server
+} // namespace hyperplane

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Flow identification and RSS-style queue steering for the UDP server.
+ *
+ * Each received datagram is mapped to one of the server's task queues by
+ * hashing its flow key — the UDP 5-tuple, optionally extended with the
+ * request's inner flowId.  The extension matters for tunneled traffic
+ * (the GRE encapsulation workload): every tunnel datagram between two
+ * hosts shares one outer 5-tuple, so steering must reach the inner flow
+ * label to spread load, exactly like NIC RSS hashing inner headers.
+ *
+ * The hash is CRC32C (already the packet-steering workload's flow hash),
+ * folded over the packed key.
+ */
+
+#ifndef HYPERPLANE_SERVER_FLOW_HH
+#define HYPERPLANE_SERVER_FLOW_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace server {
+
+/** A UDP flow key in host byte order. */
+struct FlowKey
+{
+    std::uint32_t srcIp = 0;
+    std::uint32_t dstIp = 0;
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    /** Inner flow label (request flowId); 0 when steering ignores it. */
+    std::uint32_t innerFlow = 0;
+
+    bool
+    operator==(const FlowKey &o) const
+    {
+        return srcIp == o.srcIp && dstIp == o.dstIp &&
+               srcPort == o.srcPort && dstPort == o.dstPort &&
+               innerFlow == o.innerFlow;
+    }
+};
+
+/** CRC32C hash of the packed flow key. */
+std::uint32_t flowHash(const FlowKey &key);
+
+/**
+ * Steer a flow to a queue: flowHash modulo @p numQueues.
+ * @pre numQueues > 0
+ */
+QueueId steerToQueue(const FlowKey &key, unsigned numQueues);
+
+} // namespace server
+} // namespace hyperplane
+
+#endif // HYPERPLANE_SERVER_FLOW_HH

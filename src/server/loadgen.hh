@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Open-loop (and optionally closed-loop) UDP load generator for the
+ * data-plane server.
+ *
+ * The generator measures what the paper measures: *offered-load* tail
+ * latency.  In open-loop mode requests depart on a Poisson schedule
+ * that never waits for responses — queueing delay at an overloaded
+ * server shows up as latency, not as a silently reduced request rate
+ * (the closed-loop fallacy).  Closed-loop mode caps the number of
+ * outstanding requests instead, for saturation-throughput measurement.
+ *
+ * Flows are drawn from the paper's traffic shapes (FB / PC / NC / SQ
+ * over numFlows inner flow labels), the request mix is pluggable per
+ * opcode, and every request carries a departure timestamp that the
+ * server echoes back, so end-to-end latency needs no clock agreement
+ * beyond this process.  Latencies land in an HDR-style LogHistogram;
+ * the report carries throughput, completion ratio, and
+ * p50/p90/p99/p99.9, with a JSON rendering for the bench harness.
+ *
+ * Runs in-process against a UdpServer in the same address space (the
+ * loopback tests and bench) or standalone against any address
+ * (examples/udp_loadgen).
+ */
+
+#ifndef HYPERPLANE_SERVER_LOADGEN_HH
+#define HYPERPLANE_SERVER_LOADGEN_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "stats/histogram.hh"
+#include "traffic/shapes.hh"
+
+namespace hyperplane {
+namespace server {
+
+/** Load generator configuration. */
+struct LoadGenConfig
+{
+    std::string serverIp = "127.0.0.1";
+    std::uint16_t serverPort = 0;
+
+    /** Offered load, requests per second. */
+    double ratePerSec = 50000.0;
+    /** Send phase length, seconds. */
+    double durationSec = 1.0;
+
+    /**
+     * Open loop: Poisson departures independent of responses.  Closed
+     * loop: at most @ref window requests outstanding.
+     */
+    bool openLoop = true;
+    /** Outstanding-request cap in closed-loop mode. */
+    unsigned window = 64;
+
+    /** Inner flow labels traffic is spread across. */
+    unsigned numFlows = 64;
+    /** Flow-activity shape (per-flow weights, paper Section II-C). */
+    traffic::Shape shape = traffic::Shape::FB;
+
+    /** Request mix weights by opcode index (Echo, Encap, Steer). */
+    std::array<double, 3> opcodeWeights{1.0, 0.0, 0.0};
+
+    /** Payload bytes per request (Encap sends a valid IPv4 packet of
+     *  at least Ipv4Header::wireSize bytes). */
+    std::uint32_t payloadBytes = 64;
+
+    std::uint64_t seed = 1;
+
+    /** Leading fraction of the run excluded from latency stats. */
+    double warmupFraction = 0.1;
+
+    /** Grace period after the send phase to collect stragglers, sec. */
+    double lingerSec = 0.25;
+
+    /** Datagrams per recvmmsg on the response path. */
+    unsigned rxBatch = 32;
+};
+
+/** Results of one load generator run. */
+struct LoadGenReport
+{
+    double offeredPerSec = 0.0;
+    double durationSec = 0.0;
+
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t badStatus = 0;    ///< responses with status != ok
+    std::uint64_t parseErrors = 0;  ///< undecodable response datagrams
+    std::uint64_t sendFailures = 0; ///< datagrams the kernel refused
+
+    /** received / sent (after the linger window). */
+    double completionRatio = 0.0;
+    /** Responses per second over the send phase. */
+    double achievedPerSec = 0.0;
+
+    /** End-to-end latency percentiles, microseconds (post-warmup). */
+    double p50Us = 0.0;
+    double p90Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    double meanUs = 0.0;
+    double maxUs = 0.0;
+
+    /** Post-warmup latency samples backing the percentiles. */
+    std::uint64_t latencySamples = 0;
+
+    /** The full latency distribution (values in nanoseconds). */
+    stats::LogHistogram latencyNs{100.0, 1.02, 2048};
+
+    /** One JSON object with every scalar above. */
+    std::string json() const;
+};
+
+/**
+ * The load generator.  One run() per instance; construct anew for a
+ * fresh run.
+ */
+class UdpLoadGen
+{
+  public:
+    explicit UdpLoadGen(const LoadGenConfig &cfg);
+
+    /**
+     * Execute the configured run (sender + receiver threads), blocking
+     * until the send phase and linger window complete.
+     *
+     * @return The report, or std::nullopt when sockets are unavailable
+     *         (sandboxes) — callers should skip, not fail.
+     */
+    std::optional<LoadGenReport> run();
+
+  private:
+    LoadGenConfig cfg_;
+};
+
+} // namespace server
+} // namespace hyperplane
+
+#endif // HYPERPLANE_SERVER_LOADGEN_HH

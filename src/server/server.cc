@@ -1,0 +1,636 @@
+#include "server/server.hh"
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+
+#include "net/headers.hh"
+#include "net/packet.hh"
+#include "queueing/task_queue.hh"
+#include "server/flow.hh"
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace server {
+
+namespace {
+
+using namespace std::chrono;
+
+/** Outer tunnel header template for the Encap opcode (ULA fd00::/8). */
+net::Ipv6Header
+outerTemplate()
+{
+    net::Ipv6Header outer;
+    outer.hopLimit = 64;
+    outer.src[0] = 0xfd;
+    outer.src[15] = 0x01;
+    outer.dst[0] = 0xfd;
+    outer.dst[15] = 0x02;
+    return outer;
+}
+
+/** Remaining time until @p deadline, clamped at zero. */
+nanoseconds
+timeLeft(steady_clock::time_point deadline)
+{
+    const auto now = steady_clock::now();
+    return now >= deadline ? nanoseconds(0) : deadline - now;
+}
+
+} // namespace
+
+UdpServer::UdpServer(const ServerConfig &cfg)
+    : cfg_(cfg), epoch_(steady_clock::now())
+{
+    hp_assert(cfg_.rxThreads > 0, "need at least one RX thread");
+    hp_assert(cfg_.txThreads > 0, "need at least one TX thread");
+    hp_assert(cfg_.workers > 0, "need at least one worker");
+    hp_assert(cfg_.numQueues > 0, "need at least one queue");
+    hp_assert(cfg_.rxBatch > 0, "rxBatch must be positive");
+}
+
+UdpServer::~UdpServer()
+{
+    stop(seconds(1));
+}
+
+std::uint64_t
+UdpServer::nowNs() const
+{
+    return static_cast<std::uint64_t>(
+        duration_cast<nanoseconds>(steady_clock::now() - epoch_)
+            .count());
+}
+
+Tick
+UdpServer::nowTicks() const
+{
+    return nsToTicks(static_cast<double>(nowNs()));
+}
+
+bool
+UdpServer::start()
+{
+    if (running_.load())
+        return true;
+
+    // RX sockets: one SO_REUSEPORT shard per RX thread.  The first bind
+    // picks the (possibly ephemeral) port; the rest join its group.
+    const bool sharded = cfg_.rxThreads > 1;
+    auto first = UdpSocket::bind(cfg_.bindIp, cfg_.port, sharded);
+    if (!first)
+        return false;
+    port_ = first->localPort();
+    boundIp_ = first->localIp();
+    rxSockets_.push_back(std::move(*first));
+    for (unsigned i = 1; i < cfg_.rxThreads; ++i) {
+        auto s = UdpSocket::bind(cfg_.bindIp, port_, true);
+        if (!s) {
+            rxSockets_.clear();
+            return false;
+        }
+        rxSockets_.push_back(std::move(*s));
+    }
+    // TX sockets stay out of the REUSEPORT group (they must not steal
+    // inbound datagrams); replies carry their own ephemeral source.
+    for (unsigned i = 0; i < cfg_.txThreads; ++i) {
+        auto s = UdpSocket::open();
+        if (!s) {
+            rxSockets_.clear();
+            txSockets_.clear();
+            return false;
+        }
+        txSockets_.push_back(std::move(*s));
+    }
+
+    epoch_ = steady_clock::now();
+    if (cfg_.tracer)
+        cfg_.tracer->setClock([this] { return nowTicks(); });
+
+    hpDev_ =
+        std::make_unique<emu::EmuHyperPlane>(cfg_.numQueues, cfg_.policy);
+    reqQueues_.clear();
+    for (unsigned q = 0; q < cfg_.numQueues; ++q) {
+        const auto qid = hpDev_->addQueue();
+        hp_assert(qid && *qid == q, "queue registration out of order");
+        reqQueues_.push_back(
+            std::make_unique<queueing::MpmcQueue<Request>>(
+                cfg_.queueCapacity));
+    }
+    txDevs_.clear();
+    txQueues_.clear();
+    for (unsigned t = 0; t < cfg_.txThreads; ++t) {
+        txDevs_.push_back(std::make_unique<emu::EmuHyperPlane>(1));
+        txDevs_.back()->addQueue();
+        txQueues_.push_back(
+            std::make_unique<queueing::MpmcQueue<Response>>(
+                cfg_.queueCapacity));
+    }
+    steerers_.clear();
+    for (unsigned w = 0; w < cfg_.workers; ++w)
+        steerers_.push_back(std::make_unique<workloads::PacketSteering>(
+            cfg_.fault.seed + w));
+
+    recoveryCount_.assign(cfg_.numQueues, 0);
+    cleanSweeps_.assign(cfg_.numQueues, 0);
+    deficitPrev_.assign(cfg_.numQueues, 0);
+    rxInFlight_ = std::make_unique<std::atomic<std::uint32_t>[]>(
+        cfg_.numQueues);
+    rxEpoch_ = std::make_unique<std::atomic<std::uint32_t>[]>(
+        cfg_.numQueues);
+    for (unsigned q = 0; q < cfg_.numQueues; ++q) {
+        rxInFlight_[q].store(0, std::memory_order_relaxed);
+        rxEpoch_[q].store(0, std::memory_order_relaxed);
+    }
+
+    running_.store(true);
+    rxRunning_.store(true);
+    txRunning_.store(true);
+
+    pool_ = std::make_unique<emu::DataPlanePool>(
+        *hpDev_, cfg_.workers,
+        [this](QueueId qid, std::uint64_t n) { handleBatch(qid, n); },
+        cfg_.maxBatch);
+    pool_->start();
+
+    for (unsigned t = 0; t < cfg_.txThreads; ++t)
+        txThreads_.emplace_back([this, t] { txLoop(t); });
+    for (unsigned i = 0; i < cfg_.rxThreads; ++i)
+        rxThreads_.emplace_back([this, i] { rxLoop(i); });
+    if (cfg_.fault.watchdogEnabled) {
+        watchdogRunning_.store(true);
+        watchdogThread_ = std::thread([this] { watchdogLoop(); });
+    }
+    return true;
+}
+
+bool
+UdpServer::stop(std::chrono::nanoseconds drainDeadline)
+{
+    if (!running_.exchange(false))
+        return true;
+    const auto deadline = steady_clock::now() + drainDeadline;
+
+    // 1. Stop accepting: join the RX shards.
+    rxRunning_.store(false);
+    for (auto &t : rxThreads_)
+        t.join();
+    rxThreads_.clear();
+
+    // 2. Drain accepted requests.  The watchdog keeps running so that
+    //    requests stranded by a dropped ring still get rescued.
+    while (backlog() > 0 && steady_clock::now() < deadline)
+        std::this_thread::sleep_for(microseconds(200));
+    bool drained = backlog() == 0;
+
+    // 3. Drain the doorbell residual, then stop the workers.  After
+    //    this returns the pool threads are joined: no handler runs
+    //    beyond this point.
+    drained = pool_->drain(timeLeft(deadline)) && drained;
+
+    if (watchdogRunning_.exchange(false) && watchdogThread_.joinable())
+        watchdogThread_.join();
+
+    // 4. Flush the response queues, then join the TX threads (each
+    //    flushes its own remainder on exit).
+    while (steady_clock::now() < deadline) {
+        std::uint64_t left = 0;
+        for (const auto &q : txQueues_)
+            left += q->size();
+        if (left == 0)
+            break;
+        std::this_thread::sleep_for(microseconds(200));
+    }
+    txRunning_.store(false);
+    for (auto &t : txThreads_)
+        t.join();
+    txThreads_.clear();
+    for (const auto &q : txQueues_)
+        drained = drained && q->empty();
+
+    rxSockets_.clear();
+    txSockets_.clear();
+    return drained;
+}
+
+std::uint64_t
+UdpServer::backlog() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : reqQueues_)
+        total += q->size();
+    return total;
+}
+
+void
+UdpServer::rxLoop(unsigned index)
+{
+    trace::Tracer *tracer = cfg_.tracer;
+    const std::uint32_t track = trace::trackHardwareBase + index;
+    UdpSocket &sock = rxSockets_[index];
+    EpollWaiter waiter;
+    const bool havePoll = waiter.valid() && waiter.add(sock.fd());
+
+    Rng rng(cfg_.fault.seed * 0x9e3779b97f4a7c15ULL + index + 1);
+    std::vector<Datagram> batch;
+    std::vector<std::uint32_t> counts(cfg_.numQueues, 0);
+    std::vector<QueueId> touched;
+
+    while (rxRunning_.load(std::memory_order_relaxed)) {
+        if (havePoll) {
+            if (waiter.wait(50).empty())
+                continue;
+        } else {
+            // Degraded mode without epoll: short-sleep poll.
+            std::this_thread::sleep_for(microseconds(100));
+        }
+        for (;;) {
+            batch.clear();
+            const std::size_t n = sock.recvBatch(batch, cfg_.rxBatch);
+            if (n == 0)
+                break;
+            counters_.rxBatches.fetch_add(1, std::memory_order_relaxed);
+            counters_.rxPackets.fetch_add(n, std::memory_order_relaxed);
+            const std::uint64_t rxNs = nowNs();
+
+            for (Datagram &d : batch) {
+                const auto hdr =
+                    wire::parseRequest(d.bytes.data(), d.bytes.size());
+                if (!hdr) {
+                    counters_.parseErrors.fetch_add(
+                        1, std::memory_order_relaxed);
+                    continue;
+                }
+                FlowKey key;
+                key.srcIp = ntohl(d.peer.sin_addr.s_addr);
+                key.dstIp = boundIp_;
+                key.srcPort = ntohs(d.peer.sin_port);
+                key.dstPort = port_;
+                key.innerFlow =
+                    cfg_.steerByInnerFlow ? hdr->flowId : 0;
+                const QueueId qid = steerToQueue(key, cfg_.numQueues);
+
+                Request req;
+                req.peer = d.peer;
+                req.hdr = *hdr;
+                req.payload.assign(
+                    d.bytes.begin() + wire::RequestHeader::wireSize,
+                    d.bytes.end());
+                req.rxNs = rxNs;
+                // Open the seqlock window before the push so the
+                // watchdog never observes a pushed-but-unrung request
+                // without also seeing the window open.
+                if (counts[qid] == 0)
+                    rxInFlight_[qid].fetch_add(
+                        1, std::memory_order_release);
+                if (!reqQueues_[qid]->tryPush(std::move(req))) {
+                    counters_.queueDrops.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (counts[qid] == 0)
+                        rxInFlight_[qid].fetch_sub(
+                            1, std::memory_order_release);
+                    continue;
+                }
+                if (counts[qid]++ == 0)
+                    touched.push_back(qid);
+                if (HP_TRACE_ON(tracer)) {
+                    tracer->instant(trace::Stage::DoorbellWrite, track,
+                                    nowTicks(), qid, hdr->seq);
+                }
+            }
+
+            // One doorbell ring per (batch, queue).  The injectable
+            // drop models a lost doorbell snoop between RX and the
+            // notification device.
+            for (QueueId qid : touched) {
+                const std::uint32_t cnt = counts[qid];
+                counts[qid] = 0;
+                if (cfg_.fault.dropRingProbability > 0.0 &&
+                    rng.chance(cfg_.fault.dropRingProbability)) {
+                    counters_.ringsDropped.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (HP_TRACE_ON(tracer)) {
+                        tracer->instant(trace::Stage::SnoopDropped,
+                                        track, nowTicks(), qid, cnt);
+                    }
+                } else {
+                    hpDev_->ring(qid, cnt);
+                }
+                // Close the window: advance the epoch before lowering
+                // the in-flight count so the watchdog can't see a
+                // settled count with a stale epoch.
+                rxEpoch_[qid].fetch_add(1, std::memory_order_release);
+                rxInFlight_[qid].fetch_sub(1,
+                                           std::memory_order_release);
+            }
+            touched.clear();
+        }
+    }
+}
+
+void
+UdpServer::handleBatch(QueueId qid, std::uint64_t n)
+{
+    trace::Tracer *tracer = cfg_.tracer;
+    const int widx = emu::DataPlanePool::workerIndex();
+    const std::uint32_t track = widx >= 0 ? widx : 0;
+    if (HP_TRACE_ON(tracer)) {
+        tracer->instant(trace::Stage::QwaitReturn, track, nowTicks(),
+                        qid, n);
+    }
+
+    std::vector<Request> reqs;
+    reqs.reserve(n);
+    // The doorbell can over-advertise (watchdog replays, drain races);
+    // serve what is actually queued.
+    reqQueues_[qid]->popBatch(reqs, n);
+    if (reqs.empty())
+        return;
+
+    std::vector<std::uint32_t> txCounts(cfg_.txThreads, 0);
+    for (Request &req : reqs) {
+        if (HP_TRACE_ON(tracer)) {
+            tracer->begin(trace::Stage::Service, track, nowTicks(), qid,
+                          req.hdr.seq);
+        }
+        Response resp = makeResponse(track, req);
+        if (HP_TRACE_ON(tracer)) {
+            tracer->end(trace::Stage::Service, track, nowTicks(), qid,
+                        req.hdr.seq);
+        }
+        const unsigned tx = qid % cfg_.txThreads;
+        if (!txQueues_[tx]->tryPush(std::move(resp))) {
+            counters_.txDrops.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        ++txCounts[tx];
+    }
+    counters_.served.fetch_add(reqs.size(), std::memory_order_relaxed);
+    for (unsigned tx = 0; tx < cfg_.txThreads; ++tx)
+        if (txCounts[tx] > 0)
+            txDevs_[tx]->ring(0, txCounts[tx]);
+}
+
+UdpServer::Response
+UdpServer::makeResponse(unsigned worker, const Request &req)
+{
+    wire::ResponseHeader rh;
+    rh.opcode = req.hdr.opcode;
+    rh.seq = req.hdr.seq;
+    rh.clientTimeNs = req.hdr.clientTimeNs;
+    rh.flowId = req.hdr.flowId;
+    rh.status = wire::statusOk;
+
+    const std::uint8_t *payload = nullptr;
+    std::uint32_t payloadLen = 0;
+    net::PacketBuffer encapBuf;
+    std::uint8_t steerBuf[8];
+
+    switch (req.hdr.opcode) {
+      case wire::Opcode::Echo:
+        payload = req.payload.data();
+        payloadLen = static_cast<std::uint32_t>(req.payload.size());
+        break;
+      case wire::Opcode::Encap: {
+        encapBuf = net::PacketBuffer(req.payload.data(),
+                                     req.payload.size());
+        static const net::Ipv6Header outer = outerTemplate();
+        if (net::greEncapsulate(encapBuf, outer, req.hdr.flowId)) {
+            payload = encapBuf.data();
+            payloadLen = static_cast<std::uint32_t>(encapBuf.size());
+        } else {
+            rh.status = wire::statusBadPayload;
+        }
+        break;
+      }
+      case wire::Opcode::Steer: {
+        queueing::WorkItem item;
+        item.seq = req.hdr.seq;
+        item.flowId = req.hdr.flowId;
+        item.payloadBytes =
+            static_cast<std::uint32_t>(req.payload.size());
+        const unsigned dest = steerers_[worker]->steer(item);
+        net::putBe32(steerBuf, flowHash(FlowKey{0, 0, 0, 0,
+                                                req.hdr.flowId}));
+        net::putBe32(steerBuf + 4, dest);
+        payload = steerBuf;
+        payloadLen = 8;
+        break;
+      }
+    }
+
+    Response out;
+    out.seq = rh.seq;
+    out.dgram.peer = req.peer;
+    out.dgram.bytes.resize(wire::maxDatagramBytes);
+    rh.payloadLen = payloadLen;
+    std::size_t written =
+        wire::buildResponse(out.dgram.bytes.data(),
+                            out.dgram.bytes.size(), rh, payload);
+    if (written == 0) {
+        // Result would not fit a datagram: fail the request closed.
+        rh.status = wire::statusBadPayload;
+        rh.payloadLen = 0;
+        written = wire::buildResponse(out.dgram.bytes.data(),
+                                      out.dgram.bytes.size(), rh,
+                                      nullptr);
+    }
+    out.dgram.bytes.resize(written);
+    if (rh.status != wire::statusOk)
+        counters_.badStatus.fetch_add(1, std::memory_order_relaxed);
+    return out;
+}
+
+void
+UdpServer::txLoop(unsigned index)
+{
+    trace::Tracer *tracer = cfg_.tracer;
+    emu::EmuHyperPlane &dev = *txDevs_[index];
+    queueing::MpmcQueue<Response> &queue = *txQueues_[index];
+    UdpSocket &sock = txSockets_[index];
+
+    std::vector<Response> pending;
+    std::vector<Datagram> dgrams;
+
+    const auto flush = [&](std::size_t n) {
+        pending.clear();
+        queue.popBatch(pending, n);
+        if (pending.empty())
+            return;
+        dgrams.clear();
+        dgrams.reserve(pending.size());
+        for (Response &r : pending)
+            dgrams.push_back(std::move(r.dgram));
+        const std::size_t sent =
+            sock.sendBatch(dgrams.data(), dgrams.size());
+        counters_.txPackets.fetch_add(sent, std::memory_order_relaxed);
+        if (sent < dgrams.size()) {
+            counters_.txSendErrors.fetch_add(
+                dgrams.size() - sent, std::memory_order_relaxed);
+        }
+        if (HP_TRACE_ON(tracer)) {
+            for (std::size_t i = 0; i < sent; ++i) {
+                tracer->instant(trace::Stage::Completion,
+                                trace::trackDevice, nowTicks(),
+                                invalidQueueId, pending[i].seq);
+            }
+        }
+    };
+
+    while (txRunning_.load(std::memory_order_relaxed)) {
+        const auto qid = dev.qwait(milliseconds(5));
+        if (!qid)
+            continue;
+        const std::uint64_t n = dev.take(*qid, cfg_.rxBatch);
+        if (n == 0)
+            continue;
+        flush(n);
+    }
+    // Final flush: answer everything already queued before exiting.
+    while (queue.size() > 0)
+        flush(cfg_.rxBatch);
+}
+
+void
+UdpServer::watchdogLoop()
+{
+    trace::Tracer *tracer = cfg_.tracer;
+    const auto period = microseconds(
+        std::max<long>(50, static_cast<long>(
+                               cfg_.fault.watchdogPeriodUs)));
+
+    while (watchdogRunning_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(period);
+        counters_.watchdogSweeps.fetch_add(1, std::memory_order_relaxed);
+        if (HP_TRACE_ON(tracer)) {
+            tracer->instant(trace::Stage::WatchdogSweep,
+                            trace::trackWatchdog, nowTicks());
+        }
+        for (QueueId qid = 0; qid < cfg_.numQueues; ++qid) {
+            // Seqlock read: an RX thread mid-batch has pushed requests
+            // whose ring is still coming — that window is not a
+            // deficit.  Sample the epoch, bail if a window is open,
+            // read the counters, and bail again if a window opened or
+            // closed meanwhile.  Only a read taken entirely between
+            // windows can confirm a deficit.
+            const std::uint32_t epoch0 =
+                rxEpoch_[qid].load(std::memory_order_acquire);
+            if (rxInFlight_[qid].load(std::memory_order_acquire) != 0) {
+                deficitPrev_[qid] = 0;
+                continue;
+            }
+            // Read the doorbell before the depth counters: a take
+            // between the reads then under-counts the deficit (safe)
+            // instead of inventing one.
+            const std::uint64_t adv = hpDev_->pendingItems(qid);
+            const std::uint64_t popped = reqQueues_[qid]->totalPopped();
+            const std::uint64_t pushed = reqQueues_[qid]->totalPushed();
+            if (rxInFlight_[qid].load(std::memory_order_acquire) != 0 ||
+                rxEpoch_[qid].load(std::memory_order_acquire) !=
+                    epoch0) {
+                deficitPrev_[qid] = 0;
+                continue;
+            }
+            const std::uint64_t depth =
+                pushed > popped ? pushed - popped : 0;
+            const std::uint64_t deficit = depth > adv ? depth - adv : 0;
+
+            if (fallback_.contains(qid)) {
+                // Demoted: polled mode.  Re-advertise any deficit every
+                // sweep; promote back after enough clean sweeps.
+                if (deficit > 0) {
+                    cleanSweeps_[qid] = 0;
+                    fallback_.polls.inc();
+                    fallback_.tasksServed.inc(deficit);
+                    counters_.fallbackServes.fetch_add(
+                        deficit, std::memory_order_relaxed);
+                    hpDev_->ring(qid, deficit);
+                    if (HP_TRACE_ON(tracer)) {
+                        tracer->instant(trace::Stage::FallbackServe,
+                                        trace::trackWatchdog, nowTicks(),
+                                        qid, deficit);
+                    }
+                } else if (++cleanSweeps_[qid] >=
+                           cfg_.fault.promoteCleanSweeps) {
+                    fallback_.remove(qid);
+                    recoveryCount_[qid] = 0;
+                    cleanSweeps_[qid] = 0;
+                    counters_.promotions.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (HP_TRACE_ON(tracer)) {
+                        tracer->instant(trace::Stage::Promotion,
+                                        trace::trackWatchdog, nowTicks(),
+                                        qid);
+                    }
+                }
+                deficitPrev_[qid] = 0;
+                continue;
+            }
+
+            // Armed queue: a transient deficit is just an RX thread
+            // between push and ring, so recovery requires the deficit
+            // to persist across two consecutive sweeps.
+            if (deficit > 0 && deficitPrev_[qid] > 0) {
+                const std::uint64_t lost =
+                    std::min(deficit, deficitPrev_[qid]);
+                hpDev_->ring(qid, lost);
+                counters_.watchdogRecoveries.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (HP_TRACE_ON(tracer)) {
+                    tracer->instant(trace::Stage::WatchdogRecovery,
+                                    trace::trackWatchdog, nowTicks(),
+                                    qid, lost);
+                }
+                deficitPrev_[qid] = 0;
+                if (++recoveryCount_[qid] >=
+                    cfg_.fault.demoteThreshold) {
+                    fallback_.add(qid);
+                    cleanSweeps_[qid] = 0;
+                    counters_.demotions.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (HP_TRACE_ON(tracer)) {
+                        tracer->instant(trace::Stage::Demotion,
+                                        trace::trackWatchdog, nowTicks(),
+                                        qid);
+                    }
+                }
+            } else {
+                deficitPrev_[qid] = deficit;
+            }
+        }
+    }
+}
+
+void
+UdpServer::registerStats(stats::Registry &reg, const std::string &prefix)
+{
+    const auto scalar = [&reg, &prefix](
+                            const char *name,
+                            const std::atomic<std::uint64_t> *c) {
+        reg.addScalar(prefix + "." + name, [c] {
+            return static_cast<double>(
+                c->load(std::memory_order_relaxed));
+        });
+    };
+    scalar("rx_batches", &counters_.rxBatches);
+    scalar("rx_packets", &counters_.rxPackets);
+    scalar("rx_parse_errors", &counters_.parseErrors);
+    scalar("rx_queue_drops", &counters_.queueDrops);
+    scalar("rings_dropped", &counters_.ringsDropped);
+    scalar("requests_served", &counters_.served);
+    scalar("responses_bad_status", &counters_.badStatus);
+    scalar("tx_queue_drops", &counters_.txDrops);
+    scalar("tx_packets", &counters_.txPackets);
+    scalar("tx_send_errors", &counters_.txSendErrors);
+    scalar("watchdog_sweeps", &counters_.watchdogSweeps);
+    scalar("watchdog_recoveries", &counters_.watchdogRecoveries);
+    scalar("fallback_serves", &counters_.fallbackServes);
+    scalar("demotions", &counters_.demotions);
+    scalar("promotions", &counters_.promotions);
+    if (hpDev_)
+        hpDev_->registerStats(reg, prefix + ".dev");
+}
+
+} // namespace server
+} // namespace hyperplane

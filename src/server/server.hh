@@ -1,0 +1,269 @@
+/**
+ * @file
+ * An event-driven UDP data-plane server on top of the QWAIT runtime.
+ *
+ * The pipeline is the paper's Figure 2 made real:
+ *
+ *   RX threads ──> per-flow request queues ──> EmuHyperPlane doorbells
+ *   (epoll + recvmmsg,      (MpmcQueue)           (ring per batch)
+ *    SO_REUSEPORT shards)                              │
+ *                                                      v
+ *   TX threads <── per-TX response queues <── DataPlanePool workers
+ *   (sendmmsg)                                (QWAIT -> take -> handler)
+ *
+ * RX threads parse untrusted datagrams with the src/net codecs (parsers
+ * fail closed), steer each request to a task queue by hashing its flow
+ * key, enqueue it, and ring the queue's doorbell — one ring per
+ * (batch, queue), so a 32-packet burst costs one wakeup per touched
+ * queue.  Workers run the Algorithm 1 service loop and execute the real
+ * workload handlers (echo, GRE-in-IPv6 encapsulation via src/net,
+ * session-affinity steering via src/workloads).  TX threads batch the
+ * replies back out.
+ *
+ * The fault layer rides along: an injectable RX->doorbell ring drop
+ * models the lost-notification fault the simulator studies, and a
+ * watchdog thread audits queue depth against the advertised doorbell
+ * value, replays missing rings, and gracefully demotes chronically
+ * lossy queues to a software-polled mode (rescued every sweep) with
+ * promotion back after clean sweeps — the emulation-side mirror of the
+ * simulator's watchdog + FallbackSet machinery.
+ *
+ * With a Tracer attached, every stage stamps events the existing
+ * Perfetto exporter renders: DoorbellWrite (RX), QwaitReturn (grant),
+ * Service spans (worker), Completion (TX), plus the watchdog events.
+ * Ticks are nsToTicks(ns since start), so exported microseconds are
+ * wall-clock microseconds.
+ */
+
+#ifndef HYPERPLANE_SERVER_SERVER_HH
+#define HYPERPLANE_SERVER_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ready_set.hh"
+#include "emu/data_plane_pool.hh"
+#include "emu/emu_hyperplane.hh"
+#include "fault/fallback_set.hh"
+#include "queueing/mpmc_queue.hh"
+#include "server/udp_socket.hh"
+#include "server/wire.hh"
+#include "sim/rng.hh"
+#include "stats/registry.hh"
+#include "stats/sampler.hh"
+#include "trace/trace.hh"
+#include "workloads/packet_steering.hh"
+
+namespace hyperplane {
+namespace server {
+
+/** Fault injection + recovery knobs for the server's notification path. */
+struct ServerFaultConfig
+{
+    /**
+     * Probability that an RX batch's doorbell ring is dropped after the
+     * requests are queued — the real-thread analogue of a lost doorbell
+     * snoop.  0 disables injection.
+     */
+    double dropRingProbability = 0.0;
+    /** Seed for the per-RX-thread injection streams. */
+    std::uint64_t seed = 1;
+
+    /** Run the depth-vs-doorbell audit thread. */
+    bool watchdogEnabled = true;
+    /** Sweep period. */
+    double watchdogPeriodUs = 1000.0;
+    /** Watchdog recoveries of a queue before demotion to polled mode. */
+    unsigned demoteThreshold = 3;
+    /** Clean sweeps of a demoted queue before promotion back. */
+    unsigned promoteCleanSweeps = 16;
+};
+
+/** UDP server configuration. */
+struct ServerConfig
+{
+    std::string bindIp = "127.0.0.1";
+    /** Bind port; 0 picks an ephemeral port (see UdpServer::port()). */
+    std::uint16_t port = 0;
+
+    /** RX threads; each owns an SO_REUSEPORT shard of the port. */
+    unsigned rxThreads = 1;
+    /** TX threads; each owns a reply socket + response queue. */
+    unsigned txThreads = 1;
+    /** QWAIT worker threads in the DataPlanePool. */
+    unsigned workers = 2;
+    /** Task queues requests are steered across. */
+    unsigned numQueues = 16;
+
+    /** Datagrams per recvmmsg/sendmmsg call. */
+    unsigned rxBatch = 32;
+    /** Items a worker claims per QWAIT grant. */
+    std::uint64_t maxBatch = 16;
+    /** Per-queue request capacity (arrivals beyond it are dropped). */
+    std::size_t queueCapacity = 8192;
+
+    /** Service policy of the notification device. */
+    core::ServicePolicy policy = core::ServicePolicy::RoundRobin;
+
+    /** Steer by 5-tuple + inner flowId (RSS-on-inner, tunnel-friendly);
+     *  false steers by outer 5-tuple alone. */
+    bool steerByInnerFlow = true;
+
+    ServerFaultConfig fault;
+
+    /** Optional tracer; the server installs a wall-clock tick source. */
+    trace::Tracer *tracer = nullptr;
+};
+
+/**
+ * Aggregate server counters (all monotonic).  Unlike the simulator's
+ * stats::Counter these are atomics — RX shards, workers, and TX threads
+ * increment them concurrently.
+ */
+struct ServerCounters
+{
+    std::atomic<std::uint64_t> rxBatches{0};
+    std::atomic<std::uint64_t> rxPackets{0};
+    std::atomic<std::uint64_t> parseErrors{0};
+    std::atomic<std::uint64_t> queueDrops{0};
+    std::atomic<std::uint64_t> ringsDropped{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> badStatus{0};
+    std::atomic<std::uint64_t> txDrops{0};
+    std::atomic<std::uint64_t> txPackets{0};
+    std::atomic<std::uint64_t> txSendErrors{0};
+    std::atomic<std::uint64_t> watchdogSweeps{0};
+    std::atomic<std::uint64_t> watchdogRecoveries{0};
+    std::atomic<std::uint64_t> fallbackServes{0};
+    std::atomic<std::uint64_t> demotions{0};
+    std::atomic<std::uint64_t> promotions{0};
+};
+
+/** The UDP data-plane server. */
+class UdpServer
+{
+  public:
+    explicit UdpServer(const ServerConfig &cfg);
+    ~UdpServer();
+
+    UdpServer(const UdpServer &) = delete;
+    UdpServer &operator=(const UdpServer &) = delete;
+
+    /**
+     * Bind the sockets and launch RX / worker / TX / watchdog threads.
+     * @return false if sockets are unavailable (sandboxes) or the bind
+     *         fails; the server is then inert and safe to destroy.
+     */
+    bool start();
+
+    /**
+     * SIGINT-safe teardown: stop accepting, drain queued requests and
+     * responses within @p drainDeadline, then stop and join every
+     * thread.  Idempotent.  No handler runs after this returns.
+     *
+     * @return true if everything drained before the deadline.
+     */
+    bool stop(std::chrono::nanoseconds drainDeadline =
+                  std::chrono::seconds(2));
+
+    bool running() const { return running_.load(); }
+
+    /** Bound port (valid after a successful start()). */
+    std::uint16_t port() const { return port_; }
+
+    const ServerConfig &config() const { return cfg_; }
+    const ServerCounters &counters() const { return counters_; }
+
+    /** The notification device (doorbell / wake counters). */
+    const emu::EmuHyperPlane &device() const { return *hpDev_; }
+
+    /** Demotion bookkeeping of the graceful-degradation path. */
+    const fault::FallbackSet &fallback() const { return fallback_; }
+
+    /**
+     * Register every server counter plus the device counters under
+     * @p prefix ("server").
+     */
+    void registerStats(stats::Registry &reg,
+                       const std::string &prefix = "server");
+
+    /** Total requests currently queued toward the workers. */
+    std::uint64_t backlog() const;
+
+    /** Nanoseconds since start() (the trace clock). */
+    std::uint64_t nowNs() const;
+
+  private:
+    struct Request
+    {
+        sockaddr_in peer{};
+        wire::RequestHeader hdr;
+        std::vector<std::uint8_t> payload;
+        std::uint64_t rxNs = 0;
+    };
+
+    struct Response
+    {
+        Datagram dgram;
+        std::uint64_t seq = 0;
+    };
+
+    void rxLoop(unsigned index);
+    void txLoop(unsigned index);
+    void watchdogLoop();
+    void handleBatch(QueueId qid, std::uint64_t n);
+    Response makeResponse(unsigned worker, const Request &req);
+
+    Tick nowTicks() const;
+
+    ServerConfig cfg_;
+    ServerCounters counters_;
+
+    std::unique_ptr<emu::EmuHyperPlane> hpDev_;
+    std::vector<std::unique_ptr<emu::EmuHyperPlane>> txDevs_;
+    std::vector<std::unique_ptr<queueing::MpmcQueue<Request>>> reqQueues_;
+    std::vector<std::unique_ptr<queueing::MpmcQueue<Response>>>
+        txQueues_;
+    std::unique_ptr<emu::DataPlanePool> pool_;
+    std::vector<std::unique_ptr<workloads::PacketSteering>> steerers_;
+
+    std::vector<UdpSocket> rxSockets_;
+    std::vector<UdpSocket> txSockets_;
+    std::vector<std::thread> rxThreads_;
+    std::vector<std::thread> txThreads_;
+    std::thread watchdogThread_;
+
+    fault::FallbackSet fallback_;
+    std::vector<unsigned> recoveryCount_;
+    std::vector<unsigned> cleanSweeps_;
+    std::vector<std::uint64_t> deficitPrev_;
+    /**
+     * Seqlock-style guard around the RX push..ring window (the audit's
+     * inherent race).  Per queue, rxInFlight_ counts RX threads that
+     * have pushed but not yet rung, and rxEpoch_ advances when such a
+     * window closes.  The watchdog skips a queue whose window is open
+     * (inFlight != 0) or closed mid-read (epoch moved), so an in-flight
+     * batch is never mistaken for a lost ring.
+     */
+    std::unique_ptr<std::atomic<std::uint32_t>[]> rxInFlight_;
+    std::unique_ptr<std::atomic<std::uint32_t>[]> rxEpoch_;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> rxRunning_{false};
+    std::atomic<bool> txRunning_{false};
+    std::atomic<bool> watchdogRunning_{false};
+
+    std::uint16_t port_ = 0;
+    std::uint32_t boundIp_ = 0;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace server
+} // namespace hyperplane
+
+#endif // HYPERPLANE_SERVER_SERVER_HH

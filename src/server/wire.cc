@@ -1,0 +1,163 @@
+#include "server/wire.hh"
+
+#include <cstring>
+
+#include "net/checksum.hh"
+#include "net/headers.hh"
+
+namespace hyperplane {
+namespace server {
+namespace wire {
+
+using net::getBe16;
+using net::getBe32;
+using net::putBe16;
+using net::putBe32;
+
+namespace {
+
+/** Offset of the 16-bit checksum field in both headers. */
+constexpr std::size_t checksumOff = 6;
+
+void
+putBe64(std::uint8_t *p, std::uint64_t v)
+{
+    putBe32(p, static_cast<std::uint32_t>(v >> 32));
+    putBe32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t
+getBe64(const std::uint8_t *p)
+{
+    return (static_cast<std::uint64_t>(getBe32(p)) << 32) | getBe32(p + 4);
+}
+
+/**
+ * Datagram checksum with the checksum field treated as zero.  The field
+ * sits at an even offset, so the chunks on either side of it keep the
+ * RFC 1071 16-bit alignment and only the final chunk may be odd.
+ */
+std::uint16_t
+datagramChecksum(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t sum = net::checksumPartial(data, checksumOff, 0);
+    sum = net::checksumPartial(data + checksumOff + 2,
+                               len - checksumOff - 2, sum);
+    return net::finishChecksum(sum);
+}
+
+bool
+validOpcode(std::uint8_t op)
+{
+    return op < numOpcodes;
+}
+
+} // namespace
+
+const char *
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::Echo:
+        return "echo";
+      case Opcode::Encap:
+        return "encap";
+      case Opcode::Steer:
+        return "steer";
+    }
+    return "?";
+}
+
+std::size_t
+buildRequest(std::uint8_t *buf, std::size_t cap, const RequestHeader &hdr,
+             const std::uint8_t *payload)
+{
+    const std::size_t total = RequestHeader::wireSize + hdr.payloadLen;
+    if (total > cap || total > maxDatagramBytes)
+        return 0;
+    putBe32(buf, requestMagic);
+    buf[4] = wireVersion;
+    buf[5] = static_cast<std::uint8_t>(hdr.opcode);
+    putBe16(buf + 6, 0);
+    putBe64(buf + 8, hdr.seq);
+    putBe64(buf + 16, hdr.clientTimeNs);
+    putBe32(buf + 24, hdr.flowId);
+    putBe32(buf + 28, hdr.payloadLen);
+    if (hdr.payloadLen)
+        std::memcpy(buf + RequestHeader::wireSize, payload,
+                    hdr.payloadLen);
+    putBe16(buf + checksumOff, datagramChecksum(buf, total));
+    return total;
+}
+
+std::size_t
+buildResponse(std::uint8_t *buf, std::size_t cap,
+              const ResponseHeader &hdr, const std::uint8_t *payload)
+{
+    const std::size_t total = ResponseHeader::wireSize + hdr.payloadLen;
+    if (total > cap || total > maxDatagramBytes)
+        return 0;
+    putBe32(buf, responseMagic);
+    buf[4] = wireVersion;
+    buf[5] = static_cast<std::uint8_t>(hdr.opcode);
+    putBe16(buf + 6, 0);
+    putBe64(buf + 8, hdr.seq);
+    putBe64(buf + 16, hdr.clientTimeNs);
+    putBe32(buf + 24, hdr.flowId);
+    putBe32(buf + 28, hdr.status);
+    putBe32(buf + 32, hdr.payloadLen);
+    if (hdr.payloadLen)
+        std::memcpy(buf + ResponseHeader::wireSize, payload,
+                    hdr.payloadLen);
+    putBe16(buf + checksumOff, datagramChecksum(buf, total));
+    return total;
+}
+
+std::optional<RequestHeader>
+parseRequest(const std::uint8_t *data, std::size_t len)
+{
+    if (len < RequestHeader::wireSize || len > maxDatagramBytes)
+        return std::nullopt;
+    if (getBe32(data) != requestMagic || data[4] != wireVersion ||
+        !validOpcode(data[5])) {
+        return std::nullopt;
+    }
+    RequestHeader hdr;
+    hdr.opcode = static_cast<Opcode>(data[5]);
+    hdr.seq = getBe64(data + 8);
+    hdr.clientTimeNs = getBe64(data + 16);
+    hdr.flowId = getBe32(data + 24);
+    hdr.payloadLen = getBe32(data + 28);
+    if (hdr.payloadLen != len - RequestHeader::wireSize)
+        return std::nullopt;
+    if (getBe16(data + checksumOff) != datagramChecksum(data, len))
+        return std::nullopt;
+    return hdr;
+}
+
+std::optional<ResponseHeader>
+parseResponse(const std::uint8_t *data, std::size_t len)
+{
+    if (len < ResponseHeader::wireSize || len > maxDatagramBytes)
+        return std::nullopt;
+    if (getBe32(data) != responseMagic || data[4] != wireVersion ||
+        !validOpcode(data[5])) {
+        return std::nullopt;
+    }
+    ResponseHeader hdr;
+    hdr.opcode = static_cast<Opcode>(data[5]);
+    hdr.seq = getBe64(data + 8);
+    hdr.clientTimeNs = getBe64(data + 16);
+    hdr.flowId = getBe32(data + 24);
+    hdr.status = getBe32(data + 28);
+    hdr.payloadLen = getBe32(data + 32);
+    if (hdr.payloadLen != len - ResponseHeader::wireSize)
+        return std::nullopt;
+    if (getBe16(data + checksumOff) != datagramChecksum(data, len))
+        return std::nullopt;
+    return hdr;
+}
+
+} // namespace wire
+} // namespace server
+} // namespace hyperplane

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Request/response wire format of the UDP data-plane server.
+ *
+ * One request or response per UDP datagram, all multi-byte fields in
+ * network byte order (the src/net big-endian helpers).  The format is
+ * deliberately small and self-checking — the server parses untrusted
+ * bytes, so every parse fails closed: bad magic, unknown version or
+ * opcode, a length that disagrees with the datagram, or a checksum
+ * mismatch all reject the packet without touching the payload.
+ *
+ * Request datagram (32-byte header + payload):
+ *
+ *   off size field
+ *     0    4 magic "HPRQ"
+ *     4    1 version (wireVersion)
+ *     5    1 opcode
+ *     6    2 checksum   RFC 1071 over the whole datagram, field zeroed
+ *     8    8 seq        client-chosen, echoed back
+ *    16    8 clientTimeNs  client timestamp, opaque to the server
+ *    24    4 flowId     inner-flow label (tunnel key / RSS-style steer)
+ *    28    4 payloadLen
+ *    32    -  payload
+ *
+ * Response datagram (36-byte header + payload): same layout with a
+ * "HPRS" magic and a 4-byte status inserted before payloadLen.
+ */
+
+#ifndef HYPERPLANE_SERVER_WIRE_HH
+#define HYPERPLANE_SERVER_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace hyperplane {
+namespace server {
+namespace wire {
+
+/** Largest datagram either side will build or accept. */
+constexpr std::size_t maxDatagramBytes = 2048;
+
+constexpr std::uint32_t requestMagic = 0x48505251;  // "HPRQ"
+constexpr std::uint32_t responseMagic = 0x48505253; // "HPRS"
+constexpr std::uint8_t wireVersion = 1;
+
+/** Request kinds the data plane serves. */
+enum class Opcode : std::uint8_t
+{
+    Echo = 0,  ///< payload returned unchanged
+    Encap = 1, ///< payload (an IPv4 packet) GRE-in-IPv6 encapsulated
+    Steer = 2, ///< payload hashed to a session-affine destination
+};
+
+constexpr std::uint8_t numOpcodes = 3;
+
+const char *toString(Opcode op);
+
+/** Response status codes. */
+enum Status : std::uint32_t
+{
+    statusOk = 0,
+    statusBadPayload = 1, ///< payload failed the opcode's own parser
+};
+
+/** Parsed request header; payload follows at data + wireSize. */
+struct RequestHeader
+{
+    static constexpr std::size_t wireSize = 32;
+
+    Opcode opcode = Opcode::Echo;
+    std::uint64_t seq = 0;
+    std::uint64_t clientTimeNs = 0;
+    std::uint32_t flowId = 0;
+    std::uint32_t payloadLen = 0;
+};
+
+/** Parsed response header; payload follows at data + wireSize. */
+struct ResponseHeader
+{
+    static constexpr std::size_t wireSize = 36;
+
+    Opcode opcode = Opcode::Echo;
+    std::uint64_t seq = 0;
+    std::uint64_t clientTimeNs = 0;
+    std::uint32_t flowId = 0;
+    std::uint32_t status = statusOk;
+    std::uint32_t payloadLen = 0;
+};
+
+/**
+ * Serialize a request into @p buf (capacity @p cap), computing the
+ * checksum.  @p payload supplies hdr.payloadLen bytes (may be null when
+ * the length is 0).
+ *
+ * @return Total datagram size, or 0 if it would not fit in @p cap or
+ *         exceed maxDatagramBytes.
+ */
+std::size_t buildRequest(std::uint8_t *buf, std::size_t cap,
+                         const RequestHeader &hdr,
+                         const std::uint8_t *payload);
+
+/** Serialize a response; same contract as buildRequest. */
+std::size_t buildResponse(std::uint8_t *buf, std::size_t cap,
+                          const ResponseHeader &hdr,
+                          const std::uint8_t *payload);
+
+/**
+ * Parse and verify a request datagram.  Fails closed on short input,
+ * bad magic/version/opcode, a payloadLen that disagrees with @p len, or
+ * a checksum mismatch.
+ */
+std::optional<RequestHeader> parseRequest(const std::uint8_t *data,
+                                          std::size_t len);
+
+/** Parse and verify a response datagram; same contract. */
+std::optional<ResponseHeader> parseResponse(const std::uint8_t *data,
+                                            std::size_t len);
+
+} // namespace wire
+} // namespace server
+} // namespace hyperplane
+
+#endif // HYPERPLANE_SERVER_WIRE_HH

@@ -58,6 +58,59 @@ TEST(InternetChecksum, PartialSumsCompose)
     EXPECT_EQ(finishChecksum(sum), internetChecksum(data, 8));
 }
 
+TEST(InternetChecksum, OddLengthMatchesReferenceModel)
+{
+    // Reference model: sum 16-bit big-endian words with end-around
+    // carry, padding an odd tail with a zero byte, then complement.
+    const auto reference = [](const std::uint8_t *d, std::size_t n) {
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < n; i += 2) {
+            const std::uint32_t hi = d[i];
+            const std::uint32_t lo = i + 1 < n ? d[i + 1] : 0;
+            sum += (hi << 8) | lo;
+        }
+        while (sum >> 16)
+            sum = (sum & 0xffff) + (sum >> 16);
+        return static_cast<std::uint16_t>(~sum & 0xffff);
+    };
+    std::uint8_t data[31];
+    for (std::size_t i = 0; i < sizeof(data); ++i)
+        data[i] = static_cast<std::uint8_t>(0xa5 ^ (i * 29));
+    for (std::size_t len = 0; len <= sizeof(data); ++len)
+        EXPECT_EQ(internetChecksum(data, len), reference(data, len))
+            << "length " << len;
+}
+
+TEST(InternetChecksum, EvenSplitsComposeAtEveryOffset)
+{
+    // Chaining is only defined for even-length intermediate chunks;
+    // verify every even split point of an odd-length message agrees
+    // with the one-shot checksum (the final chunk may be odd).
+    std::uint8_t data[21];
+    for (std::size_t i = 0; i < sizeof(data); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 37 + 1);
+    const std::uint16_t whole = internetChecksum(data, sizeof(data));
+    for (std::size_t split = 0; split <= sizeof(data); split += 2) {
+        std::uint32_t sum = checksumPartial(data, split, 0);
+        sum = checksumPartial(data + split, sizeof(data) - split, sum);
+        EXPECT_EQ(finishChecksum(sum), whole) << "split " << split;
+    }
+}
+
+TEST(InternetChecksum, OddIntermediateChunkIsNotConcatenation)
+{
+    // The documented hazard: an odd intermediate chunk zero-pads
+    // mid-stream and checksums a different message.  Pin the behaviour
+    // so a future "fix" that silently changes chaining semantics trips.
+    const std::uint8_t data[] = {0x12, 0x34, 0x56, 0x78, 0x9a};
+    std::uint32_t sum = checksumPartial(data, 3, 0); // odd intermediate
+    sum = checksumPartial(data + 3, 2, sum);
+    const std::uint8_t padded[] = {0x12, 0x34, 0x56, 0x00, 0x78, 0x9a};
+    EXPECT_EQ(finishChecksum(sum),
+              internetChecksum(padded, sizeof(padded)));
+    EXPECT_NE(finishChecksum(sum), internetChecksum(data, sizeof(data)));
+}
+
 TEST(Crc32c, KnownVectors)
 {
     // RFC 3720 (iSCSI) test vector: 32 bytes of zeros.

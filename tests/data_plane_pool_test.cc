@@ -100,6 +100,92 @@ TEST(DataPlanePool, HonorsBatchLimit)
     EXPECT_LE(maxSeen.load(), 4u);
 }
 
+TEST(DataPlanePool, DrainServesEverythingBeforeStopping)
+{
+    EmuHyperPlane hp(4);
+    std::vector<QueueId> qids;
+    for (int i = 0; i < 4; ++i)
+        qids.push_back(*hp.addQueue());
+    std::atomic<std::uint64_t> handled{0};
+    DataPlanePool pool(hp, 2, [&](QueueId, std::uint64_t n) {
+        std::this_thread::sleep_for(100us); // slow handler
+        handled += n;
+    });
+    pool.start();
+    constexpr std::uint64_t total = 400;
+    for (std::uint64_t i = 0; i < total; ++i)
+        hp.ring(qids[i % qids.size()]);
+
+    // Drain must keep serving until the doorbells read zero, not just
+    // until in-flight batches finish.
+    EXPECT_TRUE(pool.drain(10s));
+    EXPECT_EQ(handled.load(), total);
+    EXPECT_EQ(hp.totalPending(), 0u);
+    EXPECT_FALSE(pool.running());
+}
+
+TEST(DataPlanePool, DrainDeadlineExpiresOnUnserveableBacklog)
+{
+    EmuHyperPlane hp(2);
+    const auto q = hp.addQueue();
+    DataPlanePool pool(hp, 1, [](QueueId, std::uint64_t) {
+        std::this_thread::sleep_for(50ms); // pathological handler
+    });
+    pool.start();
+    hp.ring(*q, 1000000);
+    EXPECT_FALSE(pool.drain(50ms));
+    EXPECT_FALSE(pool.running());
+}
+
+TEST(DataPlanePool, NoHandlerRunsAfterStopReturns)
+{
+    EmuHyperPlane hp(2);
+    const auto q = hp.addQueue();
+    std::atomic<bool> stopped{false};
+    std::atomic<bool> ranAfterStop{false};
+    DataPlanePool pool(hp, 3, [&](QueueId, std::uint64_t) {
+        if (stopped.load())
+            ranAfterStop = true;
+        std::this_thread::sleep_for(100us);
+    });
+    pool.start();
+    std::thread producer([&] {
+        for (int i = 0; i < 2000 && !stopped.load(); ++i) {
+            hp.ring(*q);
+            std::this_thread::sleep_for(10us);
+        }
+    });
+    std::this_thread::sleep_for(20ms);
+    pool.stop();
+    stopped.store(true); // workers are joined; nothing may run now
+    producer.join();
+    std::this_thread::sleep_for(20ms);
+    EXPECT_FALSE(ranAfterStop.load());
+}
+
+TEST(DataPlanePool, WorkerIndexIdentifiesPoolThreads)
+{
+    EmuHyperPlane hp(2);
+    const auto q = hp.addQueue();
+    std::atomic<int> seen{-2};
+    DataPlanePool pool(hp, 2, [&](QueueId, std::uint64_t) {
+        seen = DataPlanePool::workerIndex();
+    });
+    pool.start();
+    hp.ring(*q);
+    const auto deadline = std::chrono::steady_clock::now() + 3s;
+    while (seen.load() == -2 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(1ms);
+    }
+    pool.stop();
+    const int idx = seen.load();
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 2);
+    // A non-pool thread (this one) is not a worker.
+    EXPECT_EQ(DataPlanePool::workerIndex(), -1);
+}
+
 } // namespace
 } // namespace emu
 } // namespace hyperplane

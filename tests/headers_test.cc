@@ -7,6 +7,7 @@
 
 #include "net/checksum.hh"
 #include "net/headers.hh"
+#include "sim/rng.hh"
 
 namespace hyperplane {
 namespace net {
@@ -270,6 +271,84 @@ TEST_P(GrePayloadSweep, RoundTripsAtAllSizes)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, GrePayloadSweep,
                          ::testing::Values(0, 1, 63, 64, 65, 512, 1480));
+
+TEST(HeaderFuzz, Ipv4RandomFieldsRoundTrip)
+{
+    Rng rng(0x49707634);
+    for (int iter = 0; iter < 500; ++iter) {
+        Ipv4Header h;
+        h.dscp = static_cast<std::uint8_t>(rng.next() & 0x3f);
+        h.totalLength = static_cast<std::uint16_t>(rng.next());
+        h.identification = static_cast<std::uint16_t>(rng.next());
+        h.ttl = static_cast<std::uint8_t>(rng.next());
+        h.protocol = static_cast<std::uint8_t>(rng.next());
+        h.src = static_cast<std::uint32_t>(rng.next());
+        h.dst = static_cast<std::uint32_t>(rng.next());
+        std::uint8_t wire[Ipv4Header::wireSize];
+        h.write(wire);
+        const auto p = Ipv4Header::parse(wire);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_EQ(p->dscp, h.dscp);
+        EXPECT_EQ(p->totalLength, h.totalLength);
+        EXPECT_EQ(p->identification, h.identification);
+        EXPECT_EQ(p->ttl, h.ttl);
+        EXPECT_EQ(p->protocol, h.protocol);
+        EXPECT_EQ(p->src, h.src);
+        EXPECT_EQ(p->dst, h.dst);
+    }
+}
+
+TEST(HeaderFuzz, Ipv4SingleBitFlipAlwaysRejected)
+{
+    // Any single-bit corruption must trip the header checksum: the
+    // internet checksum detects all 1-bit errors.
+    Rng rng(0xbadc0de);
+    for (int iter = 0; iter < 500; ++iter) {
+        const Ipv4Header h = sampleV4();
+        std::uint8_t wire[Ipv4Header::wireSize];
+        h.write(wire);
+        const std::size_t byte = rng.uniformInt(sizeof(wire));
+        const std::uint8_t bit = 1u << rng.uniformInt(8);
+        // Version-nibble flips are rejected for the version, the rest
+        // for the checksum; either way the parse must fail closed.
+        wire[byte] ^= bit;
+        EXPECT_FALSE(Ipv4Header::parse(wire).has_value())
+            << "byte " << byte << " bit " << int(bit);
+    }
+}
+
+TEST(HeaderFuzz, GreRandomBytesNeverCrashAndRejectReserved)
+{
+    // Throw random byte strings at the GRE parser: it must never read
+    // out of bounds (ASan-checked) and must reject anything with
+    // reserved flag bits or a nonzero version.
+    Rng rng(0x67726521);
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::uint8_t wire[16];
+        for (auto &b : wire)
+            b = static_cast<std::uint8_t>(rng.next());
+        const std::size_t len = rng.uniformInt(sizeof(wire) + 1);
+        const auto p = GreHeader::parse(wire, len);
+        if (!p)
+            continue;
+        // Accepted headers must re-serialize to the same flag word.
+        EXPECT_GE(len, p->wireSize());
+        EXPECT_EQ(wire[0] & 0x5f, 0); // reserved bits clear
+        EXPECT_EQ(wire[1] & 0x07, 0); // version == 0
+    }
+}
+
+TEST(HeaderFuzz, TruncatedGrePacketsFailClosed)
+{
+    // Valid encapsulated packets truncated to every possible length
+    // must decapsulate to nullopt, never crash.
+    PacketBuffer full = makeInnerPacket(64);
+    ASSERT_TRUE(greEncapsulate(full, sampleV6(), 7));
+    for (std::size_t len = 0; len < full.size(); ++len) {
+        PacketBuffer cut(full.data(), len);
+        EXPECT_FALSE(greDecapsulate(cut).has_value()) << "len " << len;
+    }
+}
 
 } // namespace
 } // namespace net
