@@ -137,6 +137,11 @@ SdpConfig::validate() const
         fail("fault.stormQueue out of range");
     }
 
+    const std::string tenantErr =
+        validateTenantSpecs(tenants, numQueues);
+    if (!tenantErr.empty())
+        fail(tenantErr);
+
     if (trace.enable && trace.bufferCapacity == 0)
         fail("trace.bufferCapacity must be >= 1 when tracing");
     if (trace.sampleEveryUs < 0.0)
@@ -284,6 +289,15 @@ SdpSystem::build()
                     cacheLineBytes,
                 unit.get());
             qwaitUnits_.push_back(std::move(unit));
+        }
+        // Tenant QoS: each group's WRR weight lands on its queues'
+        // ready-set entries (ready sets index global QIDs).
+        for (const TenantSpec &t : cfg_.tenants) {
+            for (QueueId q = t.queueFirst;
+                 q < t.queueFirst + t.queueCount; ++q) {
+                qwaitUnits_[clusterOf(q)]->readySet().setWeight(
+                    q, t.weight);
+            }
         }
         if (faults_ && (cfg_.fault.dropSnoopRate > 0.0 ||
                         cfg_.fault.delaySnoopRate > 0.0)) {

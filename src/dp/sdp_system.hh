@@ -27,6 +27,7 @@
 #include "fault/watchdog.hh"
 #include "dp/smt_corunner.hh"
 #include "dp/tenant_model.hh"
+#include "dp/tenant_spec.hh"
 #include "power/core_power.hh"
 #include "stats/histogram.hh"
 #include "stats/registry.hh"
@@ -93,6 +94,12 @@ struct SdpConfig
     /** Model the tenant-side receive path (Figure 2 steps 2d-3). */
     bool modelTenants = false;
     TenantParams tenant{};
+    /**
+     * Multi-tenant QoS: tenants mapped to disjoint queue groups with
+     * per-group WRR weights.  Empty = one implicit tenant, no QoS.
+     * Shared with the emulated server (server::TenantTable).
+     */
+    std::vector<TenantSpec> tenants{};
     ServiceJitter jitter = ServiceJitter::Exponential;
     /** Static load imbalance across active queues (Figure 10b). */
     double imbalance = 0.0;

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tenant QoS specification shared by the simulator and the emulated
+ * server.
+ *
+ * A tenant is a traffic class with its own queue group, service weight,
+ * priority, and admitted rate.  The same spec drives both sides of the
+ * repo: `SdpConfig::tenants` applies the weights to the simulated
+ * ready sets, and `server::TenantTable` builds the real admission /
+ * steering state of the UDP server from it.  Validation lives here so
+ * both consumers reject the same malformed configs with the same
+ * messages (`SdpConfig::validate()` wraps it, the server throws from
+ * the TenantTable constructor).
+ *
+ * The queue group is a contiguous [queueFirst, queueFirst+queueCount)
+ * range.  Two invariants tie the spec to the ready-set hardware model:
+ *
+ *  - Groups must not overlap: per-queue weights and per-tenant
+ *    accounting are only meaningful when each queue has one owner.
+ *  - Priority order must follow queue-group order (higher priority =
+ *    lower queue ids), because the strict-priority arbiter grants the
+ *    lowest ready QID — a high-priority tenant parked on high queue
+ *    ids would silently get the *worst* service.
+ */
+
+#ifndef HYPERPLANE_DP_TENANT_SPEC_HH
+#define HYPERPLANE_DP_TENANT_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyperplane {
+namespace dp {
+
+/** One tenant's QoS contract. */
+struct TenantSpec
+{
+    /** Display / stats name ("tenant0" when empty). */
+    std::string name;
+
+    /** WRR weight applied to every queue in the group (>= 1). */
+    std::uint32_t weight = 1;
+
+    /**
+     * Scheduling priority; higher wins.  Under StrictPriority the
+     * arbiter grants lower QIDs first, so validation requires higher
+     * priority tenants to own lower-numbered queue groups.
+     */
+    std::uint32_t priority = 0;
+
+    /**
+     * Admitted request rate, requests/second (token bucket at RX
+     * steering).  0 means unlimited — only legal at priority 0, since
+     * an unlimited high-priority tenant could starve everyone below.
+     */
+    double rateLimitPerSec = 0.0;
+
+    /** Token bucket depth, requests.  0 auto-sizes to ~20 ms of rate. */
+    double burst = 0.0;
+
+    /** First queue of the tenant's contiguous queue group. */
+    unsigned queueFirst = 0;
+
+    /** Queues in the group (>= 1). */
+    unsigned queueCount = 0;
+};
+
+/** Effective name of spec @p i ("tenantN" when unnamed). */
+inline std::string
+tenantName(const TenantSpec &spec, std::size_t i)
+{
+    return spec.name.empty() ? "tenant" + std::to_string(i) : spec.name;
+}
+
+/**
+ * Validate a tenant list against a data plane with @p numQueues queues.
+ *
+ * @return An actionable error message, or "" when the list is valid.
+ *         An empty list is valid (single implicit tenant, no QoS).
+ */
+inline std::string
+validateTenantSpecs(const std::vector<TenantSpec> &tenants,
+                    unsigned numQueues)
+{
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const TenantSpec &t = tenants[i];
+        const std::string who = "tenant " + tenantName(t, i);
+        if (t.weight == 0)
+            return who + ": weight must be >= 1 (0 would never be "
+                         "granted by the WRR arbiter)";
+        if (t.queueCount == 0)
+            return who + ": queueCount must be >= 1 (a tenant without "
+                         "queues cannot be served)";
+        if (t.queueFirst >= numQueues ||
+            t.queueCount > numQueues - t.queueFirst) {
+            return who + ": queue group [" +
+                   std::to_string(t.queueFirst) + ", " +
+                   std::to_string(t.queueFirst + t.queueCount) +
+                   ") exceeds numQueues=" + std::to_string(numQueues);
+        }
+        if (t.rateLimitPerSec < 0.0)
+            return who + ": rateLimitPerSec must be >= 0";
+        if (t.burst < 0.0)
+            return who + ": burst must be >= 0";
+        if (t.rateLimitPerSec == 0.0 && t.priority > 0)
+            return who + ": priority > 0 requires a rate limit (an "
+                         "unlimited high-priority tenant starves lower "
+                         "priorities)";
+        for (std::size_t j = 0; j < i; ++j) {
+            const TenantSpec &o = tenants[j];
+            const bool disjoint =
+                t.queueFirst >= o.queueFirst + o.queueCount ||
+                o.queueFirst >= t.queueFirst + t.queueCount;
+            if (!disjoint) {
+                return who + ": queue group overlaps tenant " +
+                       tenantName(o, j) +
+                       " (per-queue weights need a single owner)";
+            }
+            // Strict-priority arbiters grant the lowest QID: priority
+            // order must agree with queue-group order.
+            const bool tBelow = t.queueFirst < o.queueFirst;
+            if ((tBelow && t.priority < o.priority) ||
+                (!tBelow && t.priority > o.priority)) {
+                return who + ": priority order contradicts queue-group "
+                             "order (higher priority tenants must own "
+                             "lower queue ids for the strict-priority "
+                             "arbiter)";
+            }
+        }
+    }
+    return "";
+}
+
+} // namespace dp
+} // namespace hyperplane
+
+#endif // HYPERPLANE_DP_TENANT_SPEC_HH

@@ -9,7 +9,8 @@ EmuHyperPlane::EmuHyperPlane(unsigned maxQueues,
                              core::ServicePolicy policy)
     : ready_(core::ReadySetConfig{maxQueues, policy,
                                   core::ArbiterKind::BrentKung, 1}),
-      doorbells_(maxQueues, 0), registered_(maxQueues, false)
+      doorbells_(maxQueues, 0), ringCalls_(maxQueues, 0),
+      registered_(maxQueues, false), muted_(maxQueues, false)
 {
     hp_assert(maxQueues > 0, "need at least one queue slot");
 }
@@ -41,6 +42,7 @@ EmuHyperPlane::removeQueue(QueueId qid)
         return;
     registered_[qid] = false;
     doorbells_[qid] = 0;
+    muted_[qid] = false;
     ready_.deactivate(qid);
     --numRegistered_;
 }
@@ -62,12 +64,70 @@ EmuHyperPlane::ring(QueueId qid, std::uint64_t n)
     hp_assert(qid < registered_.size(), "qid out of range");
     hp_assert(registered_[qid], "ring on unregistered queue");
     doorbells_[qid] += n;
+    ++ringCalls_[qid];
+    // Storm containment: a muted queue keeps its accounting (the items
+    // stay advertised) but the notification side is severed — only the
+    // watchdog's pollActivate() sweep moves it forward.
+    if (muted_[qid]) {
+        ++mutedRings_;
+        return;
+    }
     // The monitoring-set disarm/activate: mark the queue ready.  One
     // waiter per newly-grantable queue — a ring on an already-ready
     // queue wakes nobody (the pending state will be granted anyway).
     const bool wasGrantable = grantable(qid);
     ready_.activate(qid);
     notifyIfNewlyGrantable(qid, wasGrantable);
+}
+
+void
+EmuHyperPlane::setMuted(QueueId qid, bool muted)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    hp_assert(qid < muted_.size(), "qid out of range");
+    muted_[qid] = muted;
+    if (!muted && registered_[qid] && doorbells_[qid] > 0) {
+        // Unmuting must not strand advertised work until the next ring.
+        const bool wasGrantable = grantable(qid);
+        ready_.activate(qid);
+        notifyIfNewlyGrantable(qid, wasGrantable);
+    }
+}
+
+bool
+EmuHyperPlane::isMuted(QueueId qid) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    hp_assert(qid < muted_.size(), "qid out of range");
+    return muted_[qid];
+}
+
+bool
+EmuHyperPlane::pollActivate(QueueId qid)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    hp_assert(qid < doorbells_.size(), "qid out of range");
+    if (!registered_[qid] || doorbells_[qid] == 0)
+        return false;
+    const bool wasGrantable = grantable(qid);
+    ready_.activate(qid);
+    notifyIfNewlyGrantable(qid, wasGrantable);
+    return true;
+}
+
+std::uint64_t
+EmuHyperPlane::ringCalls(QueueId qid) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    hp_assert(qid < ringCalls_.size(), "qid out of range");
+    return ringCalls_[qid];
+}
+
+std::uint64_t
+EmuHyperPlane::mutedRings() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return mutedRings_;
 }
 
 std::optional<QueueId>
@@ -210,6 +270,9 @@ EmuHyperPlane::registerStats(stats::Registry &reg,
     });
     reg.addScalar(prefix + ".qwait_timeouts", [this] {
         return static_cast<double>(qwaitTimeouts());
+    });
+    reg.addScalar(prefix + ".muted_rings", [this] {
+        return static_cast<double>(mutedRings());
     });
 }
 

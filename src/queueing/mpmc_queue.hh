@@ -49,8 +49,10 @@ class MpmcQueue
     {
         {
             std::lock_guard<std::mutex> lock(m_);
-            if (items_.size() >= capacity_)
+            if (items_.size() >= capacity_) {
+                pushFailed_.fetch_add(1, std::memory_order_release);
                 return false;
+            }
             items_.push_back(std::move(value));
         }
         pushed_.fetch_add(1, std::memory_order_release);
@@ -121,6 +123,12 @@ class MpmcQueue
     {
         return popped_.load(std::memory_order_acquire);
     }
+    /** Rejected pushes (queue full); elements were never enqueued. */
+    std::uint64_t
+    totalPushFailed() const
+    {
+        return pushFailed_.load(std::memory_order_acquire);
+    }
 
   private:
     const std::size_t capacity_;
@@ -128,6 +136,7 @@ class MpmcQueue
     std::deque<T> items_;
     std::atomic<std::uint64_t> pushed_{0};
     std::atomic<std::uint64_t> popped_{0};
+    std::atomic<std::uint64_t> pushFailed_{0};
 };
 
 } // namespace queueing

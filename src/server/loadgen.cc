@@ -92,10 +92,15 @@ LoadGenReport::json() const
     field("duration_sec", durationSec);
     field("sent", static_cast<double>(sent));
     field("received", static_cast<double>(received));
+    field("shed", static_cast<double>(shed));
+    field("answered", static_cast<double>(answered));
+    field("lost", static_cast<double>(lost));
     field("bad_status", static_cast<double>(badStatus));
     field("parse_errors", static_cast<double>(parseErrors));
     field("send_failures", static_cast<double>(sendFailures));
     field("completion_ratio", completionRatio);
+    field("shed_ratio", shedRatio);
+    field("answered_ratio", answeredRatio);
     field("achieved_per_sec", achievedPerSec);
     field("p50_us", p50Us);
     field("p90_us", p90Us);
@@ -113,6 +118,9 @@ UdpLoadGen::UdpLoadGen(const LoadGenConfig &cfg) : cfg_(cfg)
     hp_assert(cfg_.ratePerSec > 0.0, "rate must be positive");
     hp_assert(cfg_.durationSec > 0.0, "duration must be positive");
     hp_assert(cfg_.numFlows > 0, "need at least one flow");
+    hp_assert(cfg_.numTenants > 0, "need at least one tenant");
+    hp_assert(cfg_.tenantId < cfg_.numTenants,
+              "tenantId out of range");
 }
 
 std::optional<LoadGenReport>
@@ -147,6 +155,7 @@ UdpLoadGen::run()
 
     std::atomic<std::uint64_t> sent{0};
     std::atomic<std::uint64_t> received{0};
+    std::atomic<std::uint64_t> shed{0};
     std::atomic<std::uint64_t> badStatus{0};
     std::atomic<std::uint64_t> parseErrors{0};
     std::atomic<std::int64_t> outstanding{0};
@@ -192,6 +201,16 @@ UdpLoadGen::run()
                     received.fetch_add(1, std::memory_order_relaxed);
                     outstanding.fetch_sub(1,
                                           std::memory_order_relaxed);
+                    // A typed reject is the server *answering* — it is
+                    // neither lost nor an error, and its (fast) reject
+                    // turnaround must not dilute the service latency
+                    // distribution.
+                    const bool wasShed =
+                        wire::isShedStatus(hdr->status);
+                    if (wasShed) {
+                        shed.fetch_add(1, std::memory_order_relaxed);
+                        continue;
+                    }
                     if (hdr->status != wire::statusOk)
                         badStatus.fetch_add(
                             1, std::memory_order_relaxed);
@@ -219,8 +238,13 @@ UdpLoadGen::run()
             pickIndex(opCum, rng.uniform()));
         hdr.seq = seq++;
         hdr.clientTimeNs = nowNs();
-        hdr.flowId = static_cast<std::uint32_t>(
-            pickIndex(flowCum, rng.uniform()));
+        // Stride the flow label so the server's tenant classifier
+        // (flowId % numTenants) maps every request to cfg_.tenantId.
+        hdr.flowId =
+            cfg_.tenantId +
+            cfg_.numTenants *
+                static_cast<std::uint32_t>(
+                    pickIndex(flowCum, rng.uniform()));
         const auto &payload =
             payloads[static_cast<std::size_t>(hdr.opcode)];
         hdr.payloadLen = static_cast<std::uint32_t>(payload.size());
@@ -283,12 +307,22 @@ UdpLoadGen::run()
 
     report.sent = sent.load();
     report.received = received.load();
+    report.shed = shed.load();
+    report.answered = report.received;
+    report.lost = report.sent > report.received
+                      ? report.sent - report.received
+                      : 0;
     report.badStatus = badStatus.load();
     report.parseErrors = parseErrors.load();
     report.completionRatio =
         report.sent ? static_cast<double>(report.received) /
                           static_cast<double>(report.sent)
                     : 0.0;
+    report.shedRatio =
+        report.sent ? static_cast<double>(report.shed) /
+                          static_cast<double>(report.sent)
+                    : 0.0;
+    report.answeredRatio = report.completionRatio;
     report.achievedPerSec =
         sendElapsedSec > 0.0
             ? static_cast<double>(report.received) / sendElapsedSec

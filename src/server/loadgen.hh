@@ -61,6 +61,16 @@ struct LoadGenConfig
     /** Flow-activity shape (per-flow weights, paper Section II-C). */
     traffic::Shape shape = traffic::Shape::FB;
 
+    /**
+     * Tenant targeting: the server classifies tenant = flowId %
+     * numTenants, so the generator strides its flow labels as
+     * flowId = tenantId + numTenants * flowIndex and every request it
+     * sends lands on exactly one tenant.  The default (0 of 1) is the
+     * single-tenant behaviour.
+     */
+    unsigned tenantId = 0;
+    unsigned numTenants = 1;
+
     /** Request mix weights by opcode index (Echo, Encap, Steer). */
     std::array<double, 3> opcodeWeights{1.0, 0.0, 0.0};
 
@@ -88,12 +98,26 @@ struct LoadGenReport
 
     std::uint64_t sent = 0;
     std::uint64_t received = 0;
-    std::uint64_t badStatus = 0;    ///< responses with status != ok
+    /**
+     * Typed rejects (statusRateLimited / statusShed): the server
+     * answered but refused the request.  Reported separately from
+     * @ref lost — a shed request was *answered*, so completion gates
+     * must not count it against the network.
+     */
+    std::uint64_t shed = 0;
+    std::uint64_t answered = 0;     ///< responses of any status (== received)
+    std::uint64_t lost = 0;         ///< sent requests with no response
+    std::uint64_t badStatus = 0;    ///< error statuses other than sheds
     std::uint64_t parseErrors = 0;  ///< undecodable response datagrams
     std::uint64_t sendFailures = 0; ///< datagrams the kernel refused
 
     /** received / sent (after the linger window). */
     double completionRatio = 0.0;
+    /** shed / sent. */
+    double shedRatio = 0.0;
+    /** answered / sent (identical to completionRatio; kept explicit so
+     *  gates read "answered", not "arrived"). */
+    double answeredRatio = 0.0;
     /** Responses per second over the send phase. */
     double achievedPerSec = 0.0;
 

@@ -75,6 +75,14 @@ UdpServer::start()
     if (running_.load())
         return true;
 
+    // Build the tenant table first: a malformed tenant list is a
+    // configuration error and throws (std::invalid_argument, with the
+    // same actionable messages as dp::SdpConfig::validate()) before any
+    // socket or thread exists.
+    tenants_ = std::make_unique<TenantTable>(
+        cfg_.tenants, cfg_.numQueues, cfg_.shedLowWatermark,
+        cfg_.shedHighWatermark);
+
     // RX sockets: one SO_REUSEPORT shard per RX thread.  The first bind
     // picks the (possibly ephemeral) port; the rest join its group.
     const bool sharded = cfg_.rxThreads > 1;
@@ -118,6 +126,15 @@ UdpServer::start()
             std::make_unique<queueing::MpmcQueue<Request>>(
                 cfg_.queueCapacity));
     }
+    // Per-queue WRR weights from the tenant specs, so a weighted or
+    // strict-priority policy differentiates the tenants' queue groups.
+    for (unsigned t = 0; t < tenants_->numTenants(); ++t) {
+        const dp::TenantSpec &spec = tenants_->spec(t);
+        for (unsigned q = spec.queueFirst;
+             q < spec.queueFirst + spec.queueCount; ++q) {
+            hpDev_->setWeight(q, spec.weight);
+        }
+    }
     txDevs_.clear();
     txQueues_.clear();
     for (unsigned t = 0; t < cfg_.txThreads; ++t) {
@@ -135,6 +152,7 @@ UdpServer::start()
     recoveryCount_.assign(cfg_.numQueues, 0);
     cleanSweeps_.assign(cfg_.numQueues, 0);
     deficitPrev_.assign(cfg_.numQueues, 0);
+    ringsPrev_.assign(cfg_.numQueues, 0);
     rxInFlight_ = std::make_unique<std::atomic<std::uint32_t>[]>(
         cfg_.numQueues);
     rxEpoch_ = std::make_unique<std::atomic<std::uint32_t>[]>(
@@ -236,6 +254,11 @@ UdpServer::rxLoop(unsigned index)
     std::vector<Datagram> batch;
     std::vector<std::uint32_t> counts(cfg_.numQueues, 0);
     std::vector<QueueId> touched;
+    std::vector<std::uint32_t> txCounts(cfg_.txThreads, 0);
+    const bool shedEnabled = cfg_.shedHighWatermark > 0;
+    const bool stormOn =
+        cfg_.fault.stormRingsPerBatch > 0 &&
+        cfg_.fault.stormTenant < tenants_->numTenants();
 
     while (rxRunning_.load(std::memory_order_relaxed)) {
         if (havePoll) {
@@ -253,6 +276,10 @@ UdpServer::rxLoop(unsigned index)
             counters_.rxBatches.fetch_add(1, std::memory_order_relaxed);
             counters_.rxPackets.fetch_add(n, std::memory_order_relaxed);
             const std::uint64_t rxNs = nowNs();
+            // One backlog sample per batch is plenty for watermark
+            // shedding: the thresholds are hundreds of requests wide.
+            const std::size_t backlogNow = shedEnabled ? backlog() : 0;
+            bool stormSeen = false;
 
             for (Datagram &d : batch) {
                 const auto hdr =
@@ -262,6 +289,10 @@ UdpServer::rxLoop(unsigned index)
                         1, std::memory_order_relaxed);
                     continue;
                 }
+                const unsigned tenant = tenants_->tenantOf(hdr->flowId);
+                TenantCounters &tc = tenants_->counters(tenant);
+                stormSeen |= stormOn && tenant == cfg_.fault.stormTenant;
+
                 FlowKey key;
                 key.srcIp = ntohl(d.peer.sin_addr.s_addr);
                 key.dstIp = boundIp_;
@@ -269,7 +300,35 @@ UdpServer::rxLoop(unsigned index)
                 key.dstPort = port_;
                 key.innerFlow =
                     cfg_.steerByInnerFlow ? hdr->flowId : 0;
-                const QueueId qid = steerToQueue(key, cfg_.numQueues);
+                const QueueId qid = tenants_->steer(key, tenant);
+
+                // Admission control at RX steering: token bucket first,
+                // then the priority-ranked backlog watermark.  Rejects
+                // fail fast — a typed response now, no worker time.
+                wire::Status verdict = wire::statusOk;
+                if (!tenants_->admit(tenant, rxNs)) {
+                    verdict = wire::statusRateLimited;
+                    tc.rateLimited.fetch_add(1,
+                                             std::memory_order_relaxed);
+                    counters_.shedRateLimited.fetch_add(
+                        1, std::memory_order_relaxed);
+                } else if (shedEnabled &&
+                           tenants_->shouldShed(tenant, backlogNow)) {
+                    verdict = wire::statusShed;
+                    tc.watermarkShed.fetch_add(
+                        1, std::memory_order_relaxed);
+                    counters_.shedWatermark.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+                if (verdict != wire::statusOk) {
+                    enqueueReject(d.peer, *hdr, verdict, qid, txCounts);
+                    if (HP_TRACE_ON(tracer)) {
+                        tracer->instant(trace::Stage::AdmissionShed,
+                                        track, nowTicks(), qid,
+                                        hdr->seq);
+                    }
+                    continue;
+                }
 
                 Request req;
                 req.peer = d.peer;
@@ -285,13 +344,27 @@ UdpServer::rxLoop(unsigned index)
                     rxInFlight_[qid].fetch_add(
                         1, std::memory_order_release);
                 if (!reqQueues_[qid]->tryPush(std::move(req))) {
+                    // Queue full: the deepest overload signal.  Still a
+                    // typed reject, not a silent drop.
                     counters_.queueDrops.fetch_add(
+                        1, std::memory_order_relaxed);
+                    counters_.shedQueueFull.fetch_add(
+                        1, std::memory_order_relaxed);
+                    tc.queueFullShed.fetch_add(
                         1, std::memory_order_relaxed);
                     if (counts[qid] == 0)
                         rxInFlight_[qid].fetch_sub(
                             1, std::memory_order_release);
+                    enqueueReject(d.peer, *hdr, wire::statusShed, qid,
+                                  txCounts);
+                    if (HP_TRACE_ON(tracer)) {
+                        tracer->instant(trace::Stage::AdmissionShed,
+                                        track, nowTicks(), qid,
+                                        hdr->seq);
+                    }
                     continue;
                 }
+                tc.admitted.fetch_add(1, std::memory_order_relaxed);
                 if (counts[qid]++ == 0)
                     touched.push_back(qid);
                 if (HP_TRACE_ON(tracer)) {
@@ -325,8 +398,62 @@ UdpServer::rxLoop(unsigned index)
                                            std::memory_order_release);
             }
             touched.clear();
+
+            // Flush the batch's typed rejects: one TX ring per touched
+            // TX queue, same batching discipline as the request path.
+            for (unsigned tx = 0; tx < cfg_.txThreads; ++tx) {
+                if (txCounts[tx] > 0) {
+                    txDevs_[tx]->ring(0, txCounts[tx]);
+                    txCounts[tx] = 0;
+                }
+            }
+
+            // Doorbell-storm injection: the adversarial tenant's driver
+            // rings its whole queue group with zero-item doorbells,
+            // burning wakeups on spurious grants until the watchdog's
+            // rate cap mutes the queues.
+            if (stormSeen) {
+                const dp::TenantSpec &s =
+                    tenants_->spec(cfg_.fault.stormTenant);
+                for (unsigned r = 0; r < cfg_.fault.stormRingsPerBatch;
+                     ++r) {
+                    hpDev_->ring(s.queueFirst + r % s.queueCount, 0);
+                }
+            }
         }
     }
+}
+
+void
+UdpServer::enqueueReject(const sockaddr_in &peer,
+                         const wire::RequestHeader &hdr,
+                         wire::Status status, QueueId qid,
+                         std::vector<std::uint32_t> &txCounts)
+{
+    wire::ResponseHeader rh;
+    rh.opcode = hdr.opcode;
+    rh.seq = hdr.seq;
+    rh.clientTimeNs = hdr.clientTimeNs;
+    rh.flowId = hdr.flowId;
+    rh.status = status;
+    rh.payloadLen = 0;
+
+    Response out;
+    out.seq = rh.seq;
+    out.dgram.peer = peer;
+    out.dgram.bytes.resize(wire::ResponseHeader::wireSize);
+    const std::size_t written =
+        wire::buildResponse(out.dgram.bytes.data(),
+                            out.dgram.bytes.size(), rh, nullptr);
+    hp_assert(written != 0, "payload-free reject must serialize");
+    out.dgram.bytes.resize(written);
+
+    const unsigned tx = qid % cfg_.txThreads;
+    if (!txQueues_[tx]->tryPush(std::move(out))) {
+        counters_.txDrops.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    ++txCounts[tx];
 }
 
 void
@@ -367,6 +494,11 @@ UdpServer::handleBatch(QueueId qid, std::uint64_t n)
         ++txCounts[tx];
     }
     counters_.served.fetch_add(reqs.size(), std::memory_order_relaxed);
+    const unsigned owner = tenants_->tenantOfQueue(qid);
+    if (owner != TenantTable::invalidTenant) {
+        tenants_->counters(owner).served.fetch_add(
+            reqs.size(), std::memory_order_relaxed);
+    }
     for (unsigned tx = 0; tx < cfg_.txThreads; ++tx)
         if (txCounts[tx] > 0)
             txDevs_[tx]->ring(0, txCounts[tx]);
@@ -508,6 +640,77 @@ UdpServer::watchdogLoop()
                             trace::trackWatchdog, nowTicks());
         }
         for (QueueId qid = 0; qid < cfg_.numQueues; ++qid) {
+            // Doorbell-storm audit: diff the device's monotonic
+            // ring-call counter across sweeps.  A queue ringing past
+            // the cap is demoted — muted on the device (its rings keep
+            // their accounting but wake nobody) and handed to the
+            // polled fallback path below.
+            const std::uint64_t rings = hpDev_->ringCalls(qid);
+            const std::uint64_t ringDelta = rings - ringsPrev_[qid];
+            ringsPrev_[qid] = rings;
+            const std::uint64_t cap = cfg_.fault.doorbellRateCap;
+
+            if (hpDev_->isMuted(qid)) {
+                // Muted: notification is severed, so progress is this
+                // sweep's poll.  Muted rings create no deficit — skip
+                // the deficit machinery entirely.
+                if (hpDev_->pollActivate(qid)) {
+                    fallback_.polls.inc();
+                    counters_.fallbackServes.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (HP_TRACE_ON(tracer)) {
+                        tracer->instant(trace::Stage::FallbackServe,
+                                        trace::trackWatchdog, nowTicks(),
+                                        qid);
+                    }
+                }
+                if (cap > 0 && ringDelta > cap) {
+                    cleanSweeps_[qid] = 0;
+                } else if (++cleanSweeps_[qid] >=
+                           cfg_.fault.promoteCleanSweeps) {
+                    hpDev_->setMuted(qid, false);
+                    fallback_.remove(qid);
+                    recoveryCount_[qid] = 0;
+                    cleanSweeps_[qid] = 0;
+                    counters_.promotions.fetch_add(
+                        1, std::memory_order_relaxed);
+                    const unsigned owner = tenants_->tenantOfQueue(qid);
+                    if (owner != TenantTable::invalidTenant) {
+                        tenants_->counters(owner).promotions.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
+                    if (HP_TRACE_ON(tracer)) {
+                        tracer->instant(trace::Stage::Promotion,
+                                        trace::trackWatchdog, nowTicks(),
+                                        qid);
+                    }
+                }
+                deficitPrev_[qid] = 0;
+                continue;
+            }
+            if (cap > 0 && ringDelta > cap) {
+                hpDev_->setMuted(qid, true);
+                if (!fallback_.contains(qid))
+                    fallback_.add(qid);
+                cleanSweeps_[qid] = 0;
+                counters_.demotions.fetch_add(1,
+                                              std::memory_order_relaxed);
+                counters_.stormDemotions.fetch_add(
+                    1, std::memory_order_relaxed);
+                const unsigned owner = tenants_->tenantOfQueue(qid);
+                if (owner != TenantTable::invalidTenant) {
+                    tenants_->counters(owner).demotions.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+                if (HP_TRACE_ON(tracer)) {
+                    tracer->instant(trace::Stage::Demotion,
+                                    trace::trackWatchdog, nowTicks(),
+                                    qid);
+                }
+                deficitPrev_[qid] = 0;
+                continue;
+            }
+
             // Seqlock read: an RX thread mid-batch has pushed requests
             // whose ring is still coming — that window is not a
             // deficit.  Sample the epoch, bail if a window is open,
@@ -558,6 +761,11 @@ UdpServer::watchdogLoop()
                     cleanSweeps_[qid] = 0;
                     counters_.promotions.fetch_add(
                         1, std::memory_order_relaxed);
+                    const unsigned owner = tenants_->tenantOfQueue(qid);
+                    if (owner != TenantTable::invalidTenant) {
+                        tenants_->counters(owner).promotions.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
                     if (HP_TRACE_ON(tracer)) {
                         tracer->instant(trace::Stage::Promotion,
                                         trace::trackWatchdog, nowTicks(),
@@ -589,6 +797,11 @@ UdpServer::watchdogLoop()
                     cleanSweeps_[qid] = 0;
                     counters_.demotions.fetch_add(
                         1, std::memory_order_relaxed);
+                    const unsigned owner = tenants_->tenantOfQueue(qid);
+                    if (owner != TenantTable::invalidTenant) {
+                        tenants_->counters(owner).demotions.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
                     if (HP_TRACE_ON(tracer)) {
                         tracer->instant(trace::Stage::Demotion,
                                         trace::trackWatchdog, nowTicks(),
@@ -617,6 +830,10 @@ UdpServer::registerStats(stats::Registry &reg, const std::string &prefix)
     scalar("rx_packets", &counters_.rxPackets);
     scalar("rx_parse_errors", &counters_.parseErrors);
     scalar("rx_queue_drops", &counters_.queueDrops);
+    scalar("shed_rate_limited", &counters_.shedRateLimited);
+    scalar("shed_watermark", &counters_.shedWatermark);
+    scalar("shed_queue_full", &counters_.shedQueueFull);
+    scalar("storm_demotions", &counters_.stormDemotions);
     scalar("rings_dropped", &counters_.ringsDropped);
     scalar("requests_served", &counters_.served);
     scalar("responses_bad_status", &counters_.badStatus);
@@ -628,6 +845,28 @@ UdpServer::registerStats(stats::Registry &reg, const std::string &prefix)
     scalar("fallback_serves", &counters_.fallbackServes);
     scalar("demotions", &counters_.demotions);
     scalar("promotions", &counters_.promotions);
+    if (tenants_) {
+        for (unsigned t = 0; t < tenants_->numTenants(); ++t) {
+            const std::string tp =
+                prefix + ".tenant." + tenants_->name(t);
+            const TenantCounters &tc = tenants_->counters(t);
+            const auto tscalar =
+                [&reg, &tp](const char *name,
+                            const std::atomic<std::uint64_t> *c) {
+                    reg.addScalar(tp + "." + name, [c] {
+                        return static_cast<double>(
+                            c->load(std::memory_order_relaxed));
+                    });
+                };
+            tscalar("admitted", &tc.admitted);
+            tscalar("rate_limited", &tc.rateLimited);
+            tscalar("watermark_shed", &tc.watermarkShed);
+            tscalar("queue_full_shed", &tc.queueFullShed);
+            tscalar("served", &tc.served);
+            tscalar("demotions", &tc.demotions);
+            tscalar("promotions", &tc.promotions);
+        }
+    }
     if (hpDev_)
         hpDev_->registerStats(reg, prefix + ".dev");
 }

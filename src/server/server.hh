@@ -51,6 +51,7 @@
 #include "emu/emu_hyperplane.hh"
 #include "fault/fallback_set.hh"
 #include "queueing/mpmc_queue.hh"
+#include "server/tenant.hh"
 #include "server/udp_socket.hh"
 #include "server/wire.hh"
 #include "sim/rng.hh"
@@ -82,6 +83,25 @@ struct ServerFaultConfig
     unsigned demoteThreshold = 3;
     /** Clean sweeps of a demoted queue before promotion back. */
     unsigned promoteCleanSweeps = 16;
+
+    /**
+     * Doorbell-storm containment: a queue ringing more than this many
+     * times in one watchdog sweep is demoted — muted on the device (its
+     * rings stop waking workers) and served by the watchdog's polled
+     * sweep until it stays under the cap for promoteCleanSweeps sweeps.
+     * 0 disables containment.
+     */
+    std::uint64_t doorbellRateCap = 0;
+
+    /**
+     * Adversarial doorbell-storm injection: whenever an RX batch
+     * contains a packet of @ref stormTenant, ring that tenant's queues
+     * stormRingsPerBatch extra times with zero items — the thundering
+     * herd a buggy or hostile guest driver produces.  stormTenant
+     * unsigned(-1) or stormRingsPerBatch 0 disables injection.
+     */
+    unsigned stormTenant = static_cast<unsigned>(-1);
+    unsigned stormRingsPerBatch = 0;
 };
 
 /** UDP server configuration. */
@@ -114,6 +134,26 @@ struct ServerConfig
      *  false steers by outer 5-tuple alone. */
     bool steerByInnerFlow = true;
 
+    /**
+     * Tenant table: classification, per-tenant token-bucket admission,
+     * disjoint queue groups, and per-queue WRR weights.  Empty runs one
+     * implicit unlimited tenant over every queue (the pre-multi-tenant
+     * behaviour).  Malformed lists make start() throw
+     * std::invalid_argument with the same messages as
+     * dp::SdpConfig::validate().
+     */
+    std::vector<dp::TenantSpec> tenants;
+
+    /**
+     * Overload-shedding watermarks over the total queued-request
+     * backlog.  At shedLowWatermark the lowest-priority tenant starts
+     * being refused (wire::statusShed); thresholds interpolate up to
+     * shedHighWatermark where every tenant sheds.  High = 0 disables
+     * watermark shedding.
+     */
+    std::size_t shedLowWatermark = 0;
+    std::size_t shedHighWatermark = 0;
+
     ServerFaultConfig fault;
 
     /** Optional tracer; the server installs a wall-clock tick source. */
@@ -131,6 +171,10 @@ struct ServerCounters
     std::atomic<std::uint64_t> rxPackets{0};
     std::atomic<std::uint64_t> parseErrors{0};
     std::atomic<std::uint64_t> queueDrops{0};
+    std::atomic<std::uint64_t> shedRateLimited{0};
+    std::atomic<std::uint64_t> shedWatermark{0};
+    std::atomic<std::uint64_t> shedQueueFull{0};
+    std::atomic<std::uint64_t> stormDemotions{0};
     std::atomic<std::uint64_t> ringsDropped{0};
     std::atomic<std::uint64_t> served{0};
     std::atomic<std::uint64_t> badStatus{0};
@@ -185,6 +229,9 @@ class UdpServer
     /** Demotion bookkeeping of the graceful-degradation path. */
     const fault::FallbackSet &fallback() const { return fallback_; }
 
+    /** Tenant map + admission state (valid after start()). */
+    const TenantTable &tenantTable() const { return *tenants_; }
+
     /**
      * Register every server counter plus the device counters under
      * @p prefix ("server").
@@ -218,6 +265,16 @@ class UdpServer
     void watchdogLoop();
     void handleBatch(QueueId qid, std::uint64_t n);
     Response makeResponse(unsigned worker, const Request &req);
+    /**
+     * Fail-fast reject from RX steering: build a payload-free typed
+     * reject response and enqueue it straight onto a TX queue, skipping
+     * the workers entirely.  @p txCounts accumulates pending TX rings
+     * (flushed once per RX batch).
+     */
+    void enqueueReject(const sockaddr_in &peer,
+                       const wire::RequestHeader &hdr,
+                       wire::Status status, QueueId qid,
+                       std::vector<std::uint32_t> &txCounts);
 
     Tick nowTicks() const;
 
@@ -238,10 +295,15 @@ class UdpServer
     std::vector<std::thread> txThreads_;
     std::thread watchdogThread_;
 
+    std::unique_ptr<TenantTable> tenants_;
+
     fault::FallbackSet fallback_;
     std::vector<unsigned> recoveryCount_;
     std::vector<unsigned> cleanSweeps_;
     std::vector<std::uint64_t> deficitPrev_;
+    /** Per-queue ring-call count at the previous watchdog sweep (the
+     *  storm audit diffs the device's monotonic counter against it). */
+    std::vector<std::uint64_t> ringsPrev_;
     /**
      * Seqlock-style guard around the RX push..ring window (the audit's
      * inherent race).  Per queue, rxInFlight_ counts RX threads that

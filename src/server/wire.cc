@@ -55,6 +55,22 @@ validOpcode(std::uint8_t op)
 } // namespace
 
 const char *
+toString(Status s)
+{
+    switch (s) {
+      case statusOk:
+        return "ok";
+      case statusBadPayload:
+        return "bad-payload";
+      case statusRateLimited:
+        return "rate-limited";
+      case statusShed:
+        return "shed";
+    }
+    return "?";
+}
+
+const char *
 toString(Opcode op)
 {
     switch (op) {

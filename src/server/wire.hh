@@ -56,12 +56,29 @@ constexpr std::uint8_t numOpcodes = 3;
 
 const char *toString(Opcode op);
 
-/** Response status codes. */
+/**
+ * Response status codes.  The two reject codes are the overload
+ * control's fail-fast path: an inadmissible request is answered with a
+ * typed, payload-free reject at RX steering instead of being silently
+ * dropped, so clients can distinguish "the server said no" (back off)
+ * from "the network lost it" (retry).
+ */
 enum Status : std::uint32_t
 {
     statusOk = 0,
-    statusBadPayload = 1, ///< payload failed the opcode's own parser
+    statusBadPayload = 1,  ///< payload failed the opcode's own parser
+    statusRateLimited = 2, ///< tenant exceeded its admitted rate
+    statusShed = 3,        ///< overload shed (watermark or queue full)
 };
+
+const char *toString(Status s);
+
+/** True for the admission-control reject statuses (shed responses). */
+constexpr bool
+isShedStatus(std::uint32_t status)
+{
+    return status == statusRateLimited || status == statusShed;
+}
 
 /** Parsed request header; payload follows at data + wireSize. */
 struct RequestHeader

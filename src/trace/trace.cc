@@ -51,6 +51,8 @@ toString(Stage s)
         return "fallback_serve";
       case Stage::Completion:
         return "completion";
+      case Stage::AdmissionShed:
+        return "admission_shed";
     }
     return "?";
 }

@@ -66,6 +66,7 @@ enum class Stage : std::uint8_t
     Promotion,        ///< queue promoted back to hardware monitoring
     FallbackServe,    ///< task served via the software-polled path
     Completion,       ///< task finished (tenant notified)
+    AdmissionShed,    ///< request refused at RX steering (typed reject)
 };
 
 const char *toString(Stage s);

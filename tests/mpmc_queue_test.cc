@@ -81,6 +81,34 @@ TEST(MpmcQueue, CountersTrackPushesAndPops)
     EXPECT_EQ(tiny.totalPushed(), 1u);
 }
 
+TEST(MpmcQueue, FullQueuePushFailuresAreCountedNotSilent)
+{
+    MpmcQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(10));
+    EXPECT_TRUE(q.tryPush(20));
+    EXPECT_EQ(q.totalPushFailed(), 0u);
+
+    // Rejected pushes must be observable: the overload-shedding path
+    // turns each one into a typed reject, so a silent drop here would
+    // be an unaccounted loss.
+    EXPECT_FALSE(q.tryPush(30));
+    EXPECT_FALSE(q.tryPush(31));
+    EXPECT_EQ(q.totalPushFailed(), 2u);
+    EXPECT_EQ(q.totalPushed(), 2u);
+    EXPECT_EQ(q.size(), 2u);
+
+    // The stored elements survive the failed pushes untouched.
+    EXPECT_EQ(q.tryPop().value(), 10);
+    EXPECT_EQ(q.tryPop().value(), 20);
+    EXPECT_TRUE(q.empty());
+
+    // After making room, pushes succeed again and the failure counter
+    // stays where it was.
+    EXPECT_TRUE(q.tryPush(40));
+    EXPECT_EQ(q.totalPushFailed(), 2u);
+    EXPECT_EQ(q.totalPushed(), 3u);
+}
+
 TEST(MpmcQueue, ManyProducersManyConsumersLoseNothing)
 {
     constexpr int producers = 4;

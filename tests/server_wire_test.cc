@@ -81,6 +81,36 @@ TEST(ServerWire, ResponseRoundTrip)
     EXPECT_EQ(p->payloadLen, 7u);
 }
 
+TEST(ServerWire, TypedRejectStatusesRoundTrip)
+{
+    // Payload-free typed rejects are what the RX admission path emits;
+    // they must survive the codec and classify as sheds on the client.
+    for (const wire::Status s :
+         {wire::statusRateLimited, wire::statusShed}) {
+        wire::ResponseHeader hdr;
+        hdr.opcode = wire::Opcode::Echo;
+        hdr.seq = 7;
+        hdr.clientTimeNs = 99;
+        hdr.flowId = 3;
+        hdr.status = s;
+        hdr.payloadLen = 0;
+        std::uint8_t buf[wire::maxDatagramBytes];
+        const std::size_t n =
+            wire::buildResponse(buf, sizeof(buf), hdr, nullptr);
+        ASSERT_EQ(n, wire::ResponseHeader::wireSize);
+
+        const auto p = wire::parseResponse(buf, n);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_EQ(p->status, static_cast<std::uint32_t>(s));
+        EXPECT_TRUE(wire::isShedStatus(p->status));
+    }
+    EXPECT_FALSE(wire::isShedStatus(wire::statusOk));
+    EXPECT_FALSE(wire::isShedStatus(wire::statusBadPayload));
+    EXPECT_STREQ(wire::toString(wire::statusRateLimited),
+                 "rate-limited");
+    EXPECT_STREQ(wire::toString(wire::statusShed), "shed");
+}
+
 TEST(ServerWire, OddLengthPayloadsChecksumCorrectly)
 {
     // The checksum skips the 2-byte field at an even offset, so only
