@@ -290,20 +290,25 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Percentiles come from each report's *per-tenant* section (the
+    // one matching the tenant that generator targeted), exercising the
+    // classification path the JSON export carries.
     stats::Table t("Victim vs aggressor, baseline and under attack");
     t.header({"run", "tenant", "offered/s", "answered", "shed", "lost",
               "p50 us", "p99 us", "p99.9 us"});
     const auto row = [&t](const char *run, const char *who,
+                          unsigned tenantId,
                           const server::LoadGenReport &r) {
+        const auto &ts = r.tenants.at(tenantId);
         t.row({run, who, stats::fmt(r.offeredPerSec, 0),
                stats::fmt(r.answeredRatio * 100, 2) + "%",
-               std::to_string(r.shed), std::to_string(r.lost),
-               stats::fmt(r.p50Us, 1), stats::fmt(r.p99Us, 1),
-               stats::fmt(r.p999Us, 1)});
+               std::to_string(ts.shed), std::to_string(r.lost),
+               stats::fmt(ts.p50Us, 1), stats::fmt(ts.p99Us, 1),
+               stats::fmt(ts.p999Us, 1)});
     };
-    row("baseline", "victim", base->victim);
-    row("attack", "victim", attack->victim);
-    row("attack", "aggressor", *attack->aggressor);
+    row("baseline", "victim", 0, base->victim);
+    row("attack", "victim", 0, attack->victim);
+    row("attack", "aggressor", 1, *attack->aggressor);
     t.print();
 
     const auto &sv = attack->srv;
@@ -378,6 +383,25 @@ main(int argc, char **argv)
         if (sv.victimAdmitted == 0 || sv.aggrAdmitted == 0 ||
             sv.aggrRateLimited == 0) {
             std::puts("CHECK FAIL: per-tenant counters not recorded");
+            ok = false;
+        }
+        // The loadgen's per-tenant sections must agree with its global
+        // accounting: each generator targets exactly one tenant, so
+        // that tenant's section carries every answer and nothing leaks
+        // into the other tenant's section.
+        const auto sectionsConsistent =
+            [](const server::LoadGenReport &r, unsigned tenantId) {
+                if (r.tenants.size() != 2)
+                    return false;
+                const auto &own = r.tenants[tenantId];
+                const auto &other = r.tenants[1 - tenantId];
+                return own.answered == r.answered &&
+                       own.shed == r.shed && other.answered == 0;
+            };
+        if (!sectionsConsistent(attack->victim, 0) ||
+            !sectionsConsistent(*attack->aggressor, 1)) {
+            std::puts("CHECK FAIL: loadgen per-tenant report sections "
+                      "disagree with global accounting");
             ok = false;
         }
         if (!ok)

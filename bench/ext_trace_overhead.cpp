@@ -28,6 +28,7 @@
 #include "harness/experiment.hh"
 #include "harness/export.hh"
 #include "harness/runner.hh"
+#include "stats/json.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
@@ -152,8 +153,8 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < 3; ++i) {
             if (i != 0)
                 os << ',';
-            os << "\n\"" << variants[i].name
-               << "\":" << harness::resultsJson(variants[i].results);
+            os << "\n" << stats::jsonString(variants[i].name)
+               << ":" << harness::resultsJson(variants[i].results);
         }
         os << "},\n\"zero_load\":" << harness::resultsJson(zr)
            << "}\n";

@@ -20,6 +20,7 @@
 #include "harness/export.hh"
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "stats/json.hh"
 #include "stats/table.hh"
 
 using namespace hyperplane;
@@ -138,8 +139,8 @@ main(int argc, char **argv)
                        workloads::toString(kind) + " (latency, us)");
         t.header({"queues", "spin avg", "spin p99", "hp avg", "hp p99",
                   "hp-pwr avg"});
-        json << (ki == 0 ? "" : ",") << "\n\""
-             << workloads::toString(kind) << "\":[";
+        json << (ki == 0 ? "" : ",") << "\n"
+             << stats::jsonString(workloads::toString(kind)) << ":[";
         for (std::size_t qi = 0; qi < queueCounts.size(); ++qi) {
             const unsigned q = queueCounts[qi];
             const auto &spin = results[idx++];

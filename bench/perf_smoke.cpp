@@ -298,8 +298,9 @@ main(int argc, char **argv)
        << ",\n\"single_points\":[";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const auto &p = points[i];
-        os << (i == 0 ? "" : ",") << "\n{\"name\":\"" << p.name
-           << "\",\"wall_sec\":" << stats::jsonNumber(p.wallSec)
+        os << (i == 0 ? "" : ",") << "\n{\"name\":"
+           << stats::jsonString(p.name)
+           << ",\"wall_sec\":" << stats::jsonNumber(p.wallSec)
            << ",\"sim_events\":" << p.events
            << ",\"events_per_sec\":" << stats::jsonNumber(p.eventsPerSec)
            << ",\"throughput_mtps\":"

@@ -7,18 +7,33 @@
  * protocol until SIGINT.  Pair it with examples/udp_loadgen from
  * another terminal:
  *
- *   ./udp_server --port 9000 --workers 4 &
+ *   ./udp_server --port 9000 --workers 4 --metrics-port 9100 &
  *   ./udp_loadgen --port 9000 --rate 100000 --duration 2
+ *   curl -s localhost:9100/metrics          # Prometheus text
+ *   curl -s localhost:9100/stats.json       # full registry
+ *   kill -USR1 %1                           # flight-recorder dump
  *
  * Flags:
- *   --ip A          bind address        (default 127.0.0.1)
- *   --port P        bind port, 0 = ephemeral (printed at startup)
- *   --rx N          RX threads / SO_REUSEPORT shards (default 2)
- *   --tx N          TX threads                       (default 1)
- *   --workers N     QWAIT worker threads             (default 2)
- *   --queues N      task queues                      (default 16)
- *   --drop-rings R  inject doorbell-ring drops with probability R
- *   --stats-sec S   print the counter registry every S seconds
+ *   --ip A            bind address        (default 127.0.0.1)
+ *   --port P          bind port, 0 = ephemeral (printed at startup)
+ *   --rx N            RX threads / SO_REUSEPORT shards (default 2)
+ *   --tx N            TX threads                       (default 1)
+ *   --workers N       QWAIT worker threads             (default 2)
+ *   --queues N        task queues                      (default 16)
+ *   --drop-rings R    inject doorbell-ring drops with probability R
+ *   --stats-sec S     print the counter registry every S seconds
+ *   --metrics-port P  HTTP+UDP metrics endpoint (0 = ephemeral;
+ *                     omitted = no endpoint)
+ *   --metrics-ip A    metrics bind address (default 127.0.0.1)
+ *   --sample-every N  flight-recorder sampling period (default 64)
+ *   --stage-sample-every N  stage-histogram decimation (power of two,
+ *                     default 8; 1 = sample every request)
+ *   --flight-prefix S automatic flight dump path prefix
+ *   --no-telemetry    disable histograms + flight recorder
+ *   --dump-metrics    print the Prometheus page to stdout on exit
+ *
+ * SIGUSR1 dumps the flight recorder to "<flight-prefix>_usr1.json" —
+ * a Perfetto-loadable trace of the most recent sampled requests.
  */
 
 #include <atomic>
@@ -36,11 +51,18 @@ using namespace hyperplane;
 namespace {
 
 std::atomic<bool> interrupted{false};
+std::atomic<bool> dumpFlight{false};
 
 void
 onSignal(int)
 {
     interrupted.store(true);
+}
+
+void
+onUsr1(int)
+{
+    dumpFlight.store(true);
 }
 
 } // namespace
@@ -63,6 +85,24 @@ main(int argc, char **argv)
         cfg.numQueues = static_cast<unsigned>(std::atoi(v));
     if (const char *v = harness::argValue(argc, argv, "--drop-rings"))
         cfg.fault.dropRingProbability = std::atof(v);
+    if (const char *v = harness::argValue(argc, argv, "--metrics-port"))
+        cfg.telemetry.metricsPort = std::atoi(v);
+    if (const char *v = harness::argValue(argc, argv, "--metrics-ip"))
+        cfg.telemetry.metricsIp = v;
+    if (const char *v = harness::argValue(argc, argv, "--sample-every"))
+        cfg.telemetry.sampleEvery =
+            static_cast<std::uint64_t>(std::atoll(v));
+    if (const char *v =
+            harness::argValue(argc, argv, "--stage-sample-every"))
+        cfg.telemetry.stageSampleEvery =
+            static_cast<std::uint64_t>(std::atoll(v));
+    if (const char *v =
+            harness::argValue(argc, argv, "--flight-prefix"))
+        cfg.telemetry.flightDumpPrefix = v;
+    if (harness::argPresent(argc, argv, "--no-telemetry"))
+        cfg.telemetry.enabled = false;
+    const bool dumpMetricsAtExit =
+        harness::argPresent(argc, argv, "--dump-metrics");
     double statsSec = 0.0;
     if (const char *v = harness::argValue(argc, argv, "--stats-sec"))
         statsSec = std::atof(v);
@@ -78,6 +118,11 @@ main(int argc, char **argv)
                 "(rx=%u tx=%u workers=%u queues=%u)\n",
                 cfg.bindIp.c_str(), srv.port(), cfg.rxThreads,
                 cfg.txThreads, cfg.workers, cfg.numQueues);
+    if (srv.metricsPort() >= 0) {
+        std::printf("metrics endpoint on %s:%d  "
+                    "(/metrics /stats.json /events.json /flight.json)\n",
+                    cfg.telemetry.metricsIp.c_str(), srv.metricsPort());
+    }
     std::fflush(stdout);
 
     stats::Registry reg;
@@ -85,37 +130,46 @@ main(int argc, char **argv)
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+    std::signal(SIGUSR1, onUsr1);
     auto lastStats = std::chrono::steady_clock::now();
     while (!interrupted.load()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (dumpFlight.exchange(false)) {
+            const std::string path =
+                cfg.telemetry.flightDumpPrefix + "_usr1.json";
+            const bool ok = srv.dumpFlightTrace(path);
+            std::printf("flight dump -> %s (%s)\n", path.c_str(),
+                        ok ? "ok" : "FAILED");
+            std::fflush(stdout);
+        }
         if (statsSec > 0.0) {
             const auto now = std::chrono::steady_clock::now();
             if (std::chrono::duration<double>(now - lastStats).count() >=
                 statsSec) {
                 lastStats = now;
+                const server::ServerCounterSnapshot s =
+                    srv.counterSnapshot();
                 std::printf(
                     "rx=%llu served=%llu tx=%llu drops=%llu "
                     "recoveries=%llu\n",
+                    static_cast<unsigned long long>(s.rxPackets),
+                    static_cast<unsigned long long>(s.served),
+                    static_cast<unsigned long long>(s.txPackets),
+                    static_cast<unsigned long long>(s.queueDrops),
                     static_cast<unsigned long long>(
-                        srv.counters().rxPackets.load()),
-                    static_cast<unsigned long long>(
-                        srv.counters().served.load()),
-                    static_cast<unsigned long long>(
-                        srv.counters().txPackets.load()),
-                    static_cast<unsigned long long>(
-                        srv.counters().queueDrops.load()),
-                    static_cast<unsigned long long>(
-                        srv.counters().watchdogRecoveries.load()));
+                        s.watchdogRecoveries));
                 std::fflush(stdout);
             }
         }
     }
 
     std::puts("draining...");
+    if (dumpMetricsAtExit)
+        std::fputs(srv.prometheusPage().c_str(), stdout);
     const bool drained = srv.stop();
     std::printf("served %llu requests (%s)\n",
                 static_cast<unsigned long long>(
-                    srv.counters().served.load()),
+                    srv.counterSnapshot().served),
                 drained ? "drained clean" : "drain deadline expired");
     return drained ? 0 : 1;
 }

@@ -109,7 +109,29 @@ LoadGenReport::json() const
     field("mean_us", meanUs);
     field("max_us", maxUs);
     field("latency_samples", static_cast<double>(latencySamples));
-    out += "}";
+    out += ", " + stats::jsonString("tenants") + ": [";
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const TenantSection &t = tenants[i];
+        if (i)
+            out += ", ";
+        out += "{";
+        out += stats::jsonString("tenant") + ": " +
+               jsonNumber(static_cast<double>(t.tenant));
+        out += ", " + stats::jsonString("answered") + ": " +
+               jsonNumber(static_cast<double>(t.answered));
+        out += ", " + stats::jsonString("shed") + ": " +
+               jsonNumber(static_cast<double>(t.shed));
+        out += ", " + stats::jsonString("latency_samples") + ": " +
+               jsonNumber(static_cast<double>(t.latencySamples));
+        out += ", " + stats::jsonString("p50_us") + ": " +
+               jsonNumber(t.p50Us);
+        out += ", " + stats::jsonString("p99_us") + ": " +
+               jsonNumber(t.p99Us);
+        out += ", " + stats::jsonString("p999_us") + ": " +
+               jsonNumber(t.p999Us);
+        out += "}";
+    }
+    out += "]}";
     return out;
 }
 
@@ -152,6 +174,9 @@ UdpLoadGen::run()
     LoadGenReport report;
     report.offeredPerSec = cfg_.ratePerSec;
     report.durationSec = cfg_.durationSec;
+    report.tenants.resize(cfg_.numTenants);
+    for (unsigned t = 0; t < cfg_.numTenants; ++t)
+        report.tenants[t].tenant = t;
 
     std::atomic<std::uint64_t> sent{0};
     std::atomic<std::uint64_t> received{0};
@@ -201,6 +226,12 @@ UdpLoadGen::run()
                     received.fetch_add(1, std::memory_order_relaxed);
                     outstanding.fetch_sub(1,
                                           std::memory_order_relaxed);
+                    // Same tenant classifier as the server's RX
+                    // admission.  The per-tenant sections are only
+                    // touched on this (single receiver) thread.
+                    auto &ten =
+                        report.tenants[hdr->flowId % cfg_.numTenants];
+                    ten.answered++;
                     // A typed reject is the server *answering* — it is
                     // neither lost nor an error, and its (fast) reject
                     // turnaround must not dilute the service latency
@@ -209,6 +240,7 @@ UdpLoadGen::run()
                         wire::isShedStatus(hdr->status);
                     if (wasShed) {
                         shed.fetch_add(1, std::memory_order_relaxed);
+                        ten.shed++;
                         continue;
                     }
                     if (hdr->status != wire::statusOk)
@@ -216,8 +248,10 @@ UdpLoadGen::run()
                             1, std::memory_order_relaxed);
                     if (hdr->clientTimeNs >= warmupEndNs &&
                         now > hdr->clientTimeNs) {
-                        report.latencyNs.record(static_cast<double>(
-                            now - hdr->clientTimeNs));
+                        const double latNs = static_cast<double>(
+                            now - hdr->clientTimeNs);
+                        report.latencyNs.record(latNs);
+                        ten.latencyNs.record(latNs);
                     }
                 }
             }
@@ -335,6 +369,14 @@ UdpLoadGen::run()
         report.p999Us = report.latencyNs.quantile(0.999) / 1e3;
         report.meanUs = report.latencyNs.mean() / 1e3;
         report.maxUs = report.latencyNs.max() / 1e3;
+    }
+    for (auto &t : report.tenants) {
+        t.latencySamples = t.latencyNs.count();
+        if (t.latencySamples == 0)
+            continue;
+        t.p50Us = t.latencyNs.quantile(0.50) / 1e3;
+        t.p99Us = t.latencyNs.quantile(0.99) / 1e3;
+        t.p999Us = t.latencyNs.quantile(0.999) / 1e3;
     }
     return report;
 }

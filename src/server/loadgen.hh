@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "stats/histogram.hh"
 #include "traffic/shapes.hh"
@@ -135,7 +136,27 @@ struct LoadGenReport
     /** The full latency distribution (values in nanoseconds). */
     stats::LogHistogram latencyNs{100.0, 1.02, 2048};
 
-    /** One JSON object with every scalar above. */
+    /**
+     * Per-tenant breakdown (tenant = response flowId % numTenants).
+     * Always sized numTenants; sections for tenants this generator
+     * never targeted stay empty.  Single-tenant runs get exactly one
+     * section, identical to the global stats.
+     */
+    struct TenantSection
+    {
+        unsigned tenant = 0;
+        std::uint64_t answered = 0;      ///< responses of any status
+        std::uint64_t shed = 0;          ///< typed rejects
+        std::uint64_t latencySamples = 0;
+        double p50Us = 0.0;
+        double p99Us = 0.0;
+        double p999Us = 0.0;
+        stats::LogHistogram latencyNs{100.0, 1.02, 2048};
+    };
+    std::vector<TenantSection> tenants;
+
+    /** One JSON object with every scalar above, plus a "tenants"
+     *  array of per-tenant percentile sections. */
     std::string json() const;
 };
 

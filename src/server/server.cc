@@ -3,12 +3,16 @@
 #include <arpa/inet.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 
 #include "net/headers.hh"
 #include "net/packet.hh"
 #include "queueing/task_queue.hh"
 #include "server/flow.hh"
 #include "sim/logging.hh"
+#include "telemetry/prometheus.hh"
+#include "trace/chrome_trace.hh"
 
 namespace hyperplane {
 namespace server {
@@ -41,7 +45,8 @@ timeLeft(steady_clock::time_point deadline)
 } // namespace
 
 UdpServer::UdpServer(const ServerConfig &cfg)
-    : cfg_(cfg), epoch_(steady_clock::now())
+    : cfg_(cfg), eventLog_(cfg.telemetry.eventLogCapacity),
+      epoch_(steady_clock::now())
 {
     hp_assert(cfg_.rxThreads > 0, "need at least one RX thread");
     hp_assert(cfg_.txThreads > 0, "need at least one TX thread");
@@ -149,6 +154,34 @@ UdpServer::start()
         steerers_.push_back(std::make_unique<workloads::PacketSteering>(
             cfg_.fault.seed + w));
 
+    // Telemetry plane: sharded counters always exist (they replaced
+    // the contended globals); the stage histograms and flight recorder
+    // honour the enable switch.
+    hotCounters_ = std::make_unique<telemetry::CounterShards>(
+        numTelemetryShards());
+    const telemetry::TelemetryConfig &tcfg = cfg_.telemetry;
+    if (tcfg.enabled) {
+        stageLat_ = std::make_unique<telemetry::StageLatencyShards>(
+            numTelemetryShards(), tenants_->numTenants(),
+            tcfg.histBaseNs, tcfg.histGrowth, tcfg.histBins);
+    } else {
+        stageLat_.reset();
+    }
+    // Stage-histogram decimation period, rounded down to a power of
+    // two so the hot-path sample test is (seq & mask) == 0.
+    std::uint64_t period = 1;
+    while (period * 2 <= std::max<std::uint64_t>(1, tcfg.stageSampleEvery))
+        period *= 2;
+    stageSampleMask_ = period - 1;
+    flight_ = std::make_unique<telemetry::FlightRecorder>(
+        numTelemetryShards(), tcfg.recorderCapacity,
+        tcfg.enabled ? tcfg.sampleEvery : 0);
+    tenantShedPrev_.assign(tenants_->numTenants(), 0);
+    tenantShedActive_.assign(tenants_->numTenants(), 0);
+    shedPrevSweep_ = 0;
+    lastDumpNs_ = 0;
+    dumpRequested_.store(false, std::memory_order_relaxed);
+
     recoveryCount_.assign(cfg_.numQueues, 0);
     cleanSweeps_.assign(cfg_.numQueues, 0);
     deficitPrev_.assign(cfg_.numQueues, 0);
@@ -179,6 +212,24 @@ UdpServer::start()
     if (cfg_.fault.watchdogEnabled) {
         watchdogRunning_.store(true);
         watchdogThread_ = std::thread([this] { watchdogLoop(); });
+    }
+
+    eventLog_.post(telemetry::OpEventKind::Startup, nowNs(), ~0u,
+                   port_, "pid-local server start");
+    if (tcfg.metricsPort >= 0) {
+        selfReg_ = std::make_unique<stats::Registry>();
+        registerStats(*selfReg_);
+        metrics_ = std::make_unique<telemetry::MetricsServer>();
+        if (!metrics_->start(
+                tcfg.metricsIp,
+                static_cast<std::uint16_t>(tcfg.metricsPort),
+                [this](const std::string &path, std::string &ct) {
+                    return metricsPage(path, ct);
+                })) {
+            hp_warn("UdpServer: metrics endpoint unavailable, "
+                    "continuing without it");
+            metrics_.reset();
+        }
     }
     return true;
 }
@@ -227,9 +278,48 @@ UdpServer::stop(std::chrono::nanoseconds drainDeadline)
     for (const auto &q : txQueues_)
         drained = drained && q->empty();
 
+    // The endpoint serves during the drain (an operator can scrape a
+    // stopping server); it goes down with the last worker gone.
+    if (metrics_) {
+        metrics_->stop();
+        metrics_.reset();
+    }
+
     rxSockets_.clear();
     txSockets_.clear();
     return drained;
+}
+
+ServerCounterSnapshot
+UdpServer::counterSnapshot() const
+{
+    using telemetry::HotCounter;
+    ServerCounterSnapshot s;
+    if (hotCounters_) {
+        s.rxBatches = hotCounters_->total(HotCounter::RxBatches);
+        s.rxPackets = hotCounters_->total(HotCounter::RxPackets);
+        s.parseErrors = hotCounters_->total(HotCounter::ParseErrors);
+        s.served = hotCounters_->total(HotCounter::Served);
+        s.txPackets = hotCounters_->total(HotCounter::TxPackets);
+    }
+    const auto ld = [](const std::atomic<std::uint64_t> &c) {
+        return c.load(std::memory_order_relaxed);
+    };
+    s.queueDrops = ld(counters_.queueDrops);
+    s.shedRateLimited = ld(counters_.shedRateLimited);
+    s.shedWatermark = ld(counters_.shedWatermark);
+    s.shedQueueFull = ld(counters_.shedQueueFull);
+    s.stormDemotions = ld(counters_.stormDemotions);
+    s.ringsDropped = ld(counters_.ringsDropped);
+    s.badStatus = ld(counters_.badStatus);
+    s.txDrops = ld(counters_.txDrops);
+    s.txSendErrors = ld(counters_.txSendErrors);
+    s.watchdogSweeps = ld(counters_.watchdogSweeps);
+    s.watchdogRecoveries = ld(counters_.watchdogRecoveries);
+    s.fallbackServes = ld(counters_.fallbackServes);
+    s.demotions = ld(counters_.demotions);
+    s.promotions = ld(counters_.promotions);
+    return s;
 }
 
 std::uint64_t
@@ -260,6 +350,18 @@ UdpServer::rxLoop(unsigned index)
         cfg_.fault.stormRingsPerBatch > 0 &&
         cfg_.fault.stormTenant < tenants_->numTenants();
 
+    // Telemetry: this thread is the single writer of shard `shard`.
+    const unsigned shard = rxShard(index);
+    telemetry::CounterShards &hot = *hotCounters_;
+    telemetry::StageLatencyShards *lat = stageLat_.get();
+    telemetry::FlightRecorder &flight = *flight_;
+    // Last admission timestamp per queue this batch, for the
+    // admit->doorbell stage sample taken at ring time.  (For requests
+    // skipped by stage decimation this is the batch rx timestamp —
+    // admission itself is sub-microsecond, so the ring-wait sample
+    // stays honest.)
+    std::vector<std::uint64_t> admitLast(cfg_.numQueues, 0);
+
     while (rxRunning_.load(std::memory_order_relaxed)) {
         if (havePoll) {
             if (waiter.wait(50).empty())
@@ -273,8 +375,8 @@ UdpServer::rxLoop(unsigned index)
             const std::size_t n = sock.recvBatch(batch, cfg_.rxBatch);
             if (n == 0)
                 break;
-            counters_.rxBatches.fetch_add(1, std::memory_order_relaxed);
-            counters_.rxPackets.fetch_add(n, std::memory_order_relaxed);
+            hot.add(shard, telemetry::HotCounter::RxBatches);
+            hot.add(shard, telemetry::HotCounter::RxPackets, n);
             const std::uint64_t rxNs = nowNs();
             // One backlog sample per batch is plenty for watermark
             // shedding: the thresholds are hundreds of requests wide.
@@ -285,8 +387,7 @@ UdpServer::rxLoop(unsigned index)
                 const auto hdr =
                     wire::parseRequest(d.bytes.data(), d.bytes.size());
                 if (!hdr) {
-                    counters_.parseErrors.fetch_add(
-                        1, std::memory_order_relaxed);
+                    hot.add(shard, telemetry::HotCounter::ParseErrors);
                     continue;
                 }
                 const unsigned tenant = tenants_->tenantOf(hdr->flowId);
@@ -320,8 +421,31 @@ UdpServer::rxLoop(unsigned index)
                     counters_.shedWatermark.fetch_add(
                         1, std::memory_order_relaxed);
                 }
+                // Stage sampling is decimated on the sequence number
+                // (same trick as the flight recorder), so the extra
+                // clock read and the histogram insert are paid for
+                // 1-in-stageSampleEvery requests; the rest reuse the
+                // batch rx timestamp.
+                const bool stageSampled =
+                    lat && (hdr->seq & stageSampleMask_) == 0;
+                const std::uint64_t admitNs =
+                    stageSampled ? nowNs() : rxNs;
+                if (stageSampled) {
+                    lat->record(
+                        shard, telemetry::ServerStage::RxAdmit, tenant,
+                        static_cast<double>(admitNs - rxNs));
+                }
                 if (verdict != wire::statusOk) {
-                    enqueueReject(d.peer, *hdr, verdict, qid, txCounts);
+                    enqueueReject(d.peer, *hdr, verdict, qid, tenant,
+                                  rxNs, txCounts);
+                    if (flight.sampled(hdr->seq)) {
+                        flight.stamp(shard,
+                                     trace::Stage::AdmissionShed,
+                                     trace::Phase::Instant, track,
+                                     nsToTicks(static_cast<double>(
+                                         admitNs)),
+                                     qid, hdr->seq);
+                    }
                     if (HP_TRACE_ON(tracer)) {
                         tracer->instant(trace::Stage::AdmissionShed,
                                         track, nowTicks(), qid,
@@ -337,6 +461,9 @@ UdpServer::rxLoop(unsigned index)
                     d.bytes.begin() + wire::RequestHeader::wireSize,
                     d.bytes.end());
                 req.rxNs = rxNs;
+                req.admitNs = admitNs;
+                req.tenant = tenant;
+                admitLast[qid] = admitNs;
                 // Open the seqlock window before the push so the
                 // watchdog never observes a pushed-but-unrung request
                 // without also seeing the window open.
@@ -356,7 +483,15 @@ UdpServer::rxLoop(unsigned index)
                         rxInFlight_[qid].fetch_sub(
                             1, std::memory_order_release);
                     enqueueReject(d.peer, *hdr, wire::statusShed, qid,
-                                  txCounts);
+                                  tenant, rxNs, txCounts);
+                    if (flight.sampled(hdr->seq)) {
+                        flight.stamp(shard,
+                                     trace::Stage::AdmissionShed,
+                                     trace::Phase::Instant, track,
+                                     nsToTicks(static_cast<double>(
+                                         admitNs)),
+                                     qid, hdr->seq);
+                    }
                     if (HP_TRACE_ON(tracer)) {
                         tracer->instant(trace::Stage::AdmissionShed,
                                         track, nowTicks(), qid,
@@ -367,6 +502,13 @@ UdpServer::rxLoop(unsigned index)
                 tc.admitted.fetch_add(1, std::memory_order_relaxed);
                 if (counts[qid]++ == 0)
                     touched.push_back(qid);
+                if (flight.sampled(hdr->seq)) {
+                    flight.stamp(
+                        shard, trace::Stage::DoorbellWrite,
+                        trace::Phase::Instant, track,
+                        nsToTicks(static_cast<double>(admitNs)), qid,
+                        hdr->seq);
+                }
                 if (HP_TRACE_ON(tracer)) {
                     tracer->instant(trace::Stage::DoorbellWrite, track,
                                     nowTicks(), qid, hdr->seq);
@@ -376,9 +518,20 @@ UdpServer::rxLoop(unsigned index)
             // One doorbell ring per (batch, queue).  The injectable
             // drop models a lost doorbell snoop between RX and the
             // notification device.
+            const std::uint64_t ringNs =
+                lat && !touched.empty() ? nowNs() : 0;
             for (QueueId qid : touched) {
                 const std::uint32_t cnt = counts[qid];
                 counts[qid] = 0;
+                if (lat) {
+                    // One admit->doorbell sample per (batch, queue):
+                    // the last admitted request's wait for its ring.
+                    const unsigned owner = tenants_->tenantOfQueue(qid);
+                    lat->record(
+                        shard, telemetry::ServerStage::AdmitDoorbell,
+                        owner != TenantTable::invalidTenant ? owner : 0,
+                        static_cast<double>(ringNs - admitLast[qid]));
+                }
                 if (cfg_.fault.dropRingProbability > 0.0 &&
                     rng.chance(cfg_.fault.dropRingProbability)) {
                     counters_.ringsDropped.fetch_add(
@@ -428,6 +581,7 @@ void
 UdpServer::enqueueReject(const sockaddr_in &peer,
                          const wire::RequestHeader &hdr,
                          wire::Status status, QueueId qid,
+                         unsigned tenant, std::uint64_t rxNs,
                          std::vector<std::uint32_t> &txCounts)
 {
     wire::ResponseHeader rh;
@@ -440,6 +594,9 @@ UdpServer::enqueueReject(const sockaddr_in &peer,
 
     Response out;
     out.seq = rh.seq;
+    out.rxNs = rxNs;
+    out.doneNs = 0; // reject sentinel: TX skips stage latency
+    out.tenant = tenant;
     out.dgram.peer = peer;
     out.dgram.bytes.resize(wire::ResponseHeader::wireSize);
     const std::size_t written =
@@ -462,6 +619,14 @@ UdpServer::handleBatch(QueueId qid, std::uint64_t n)
     trace::Tracer *tracer = cfg_.tracer;
     const int widx = emu::DataPlanePool::workerIndex();
     const std::uint32_t track = widx >= 0 ? widx : 0;
+    // Off-pool callers (the watchdog's polled fallback serve) write the
+    // watchdog's telemetry shard: worker shards are single-writer and
+    // worker 0 may be live concurrently.
+    const unsigned shard = widx >= 0
+                               ? workerShard(static_cast<unsigned>(widx))
+                               : watchdogShard();
+    telemetry::StageLatencyShards *lat = stageLat_.get();
+    telemetry::FlightRecorder &flight = *flight_;
     if (HP_TRACE_ON(tracer)) {
         tracer->instant(trace::Stage::QwaitReturn, track, nowTicks(),
                         qid, n);
@@ -475,13 +640,51 @@ UdpServer::handleBatch(QueueId qid, std::uint64_t n)
     if (reqs.empty())
         return;
 
+    // One clock read per grant covers the queue-wait stage for the
+    // whole batch; sampled requests get precise per-request Service
+    // spans on top.
+    const std::uint64_t grantNs = lat ? nowNs() : 0;
+    if (flight.enabled()) {
+        flight.stamp(shard, trace::Stage::QwaitReturn,
+                     trace::Phase::Instant, track, nowTicks(), qid,
+                     reqs.size());
+    }
+
     std::vector<std::uint32_t> txCounts(cfg_.txThreads, 0);
     for (Request &req : reqs) {
+        // Same decimation as RX: a sequence number that sampled there
+        // samples here too, so per-request spans stay coherent across
+        // stages.
+        const bool stageSampled =
+            lat && (req.hdr.seq & stageSampleMask_) == 0;
+        if (stageSampled) {
+            lat->record(
+                shard, telemetry::ServerStage::QwaitService,
+                req.tenant,
+                static_cast<double>(grantNs - req.admitNs));
+        }
+        const bool sampledReq = flight.sampled(req.hdr.seq);
+        if (sampledReq) {
+            flight.stamp(shard, trace::Stage::Service,
+                         trace::Phase::Begin, track, nowTicks(), qid,
+                         req.hdr.seq);
+        }
         if (HP_TRACE_ON(tracer)) {
             tracer->begin(trace::Stage::Service, track, nowTicks(), qid,
                           req.hdr.seq);
         }
         Response resp = makeResponse(track, req);
+        resp.rxNs = req.rxNs;
+        resp.tenant = req.tenant;
+        // doneNs == 0 tells TX to skip the service->tx and e2e
+        // samples, so decimated requests pay no clock read here and
+        // none at TX either.
+        resp.doneNs = stageSampled ? nowNs() : 0;
+        if (sampledReq) {
+            flight.stamp(shard, trace::Stage::Service,
+                         trace::Phase::End, track, nowTicks(), qid,
+                         req.hdr.seq);
+        }
         if (HP_TRACE_ON(tracer)) {
             tracer->end(trace::Stage::Service, track, nowTicks(), qid,
                         req.hdr.seq);
@@ -493,7 +696,8 @@ UdpServer::handleBatch(QueueId qid, std::uint64_t n)
         }
         ++txCounts[tx];
     }
-    counters_.served.fetch_add(reqs.size(), std::memory_order_relaxed);
+    hotCounters_->add(shard, telemetry::HotCounter::Served,
+                      reqs.size());
     const unsigned owner = tenants_->tenantOfQueue(qid);
     if (owner != TenantTable::invalidTenant) {
         tenants_->counters(owner).served.fetch_add(
@@ -582,6 +786,11 @@ UdpServer::txLoop(unsigned index)
     queueing::MpmcQueue<Response> &queue = *txQueues_[index];
     UdpSocket &sock = txSockets_[index];
 
+    const unsigned shard = txShard(index);
+    telemetry::CounterShards &hot = *hotCounters_;
+    telemetry::StageLatencyShards *lat = stageLat_.get();
+    telemetry::FlightRecorder &flight = *flight_;
+
     std::vector<Response> pending;
     std::vector<Datagram> dgrams;
 
@@ -596,10 +805,41 @@ UdpServer::txLoop(unsigned index)
             dgrams.push_back(std::move(r.dgram));
         const std::size_t sent =
             sock.sendBatch(dgrams.data(), dgrams.size());
-        counters_.txPackets.fetch_add(sent, std::memory_order_relaxed);
+        hot.add(shard, telemetry::HotCounter::TxPackets, sent);
         if (sent < dgrams.size()) {
             counters_.txSendErrors.fetch_add(
                 dgrams.size() - sent, std::memory_order_relaxed);
+        }
+        if (lat) {
+            // One clock read covers the whole sent batch.  doneNs == 0
+            // means no worker finish timestamp exists — a typed reject
+            // or a request skipped by stage decimation — so neither
+            // per-request sample applies.
+            const std::uint64_t txNs = nowNs();
+            for (std::size_t i = 0; i < sent; ++i) {
+                const Response &r = pending[i];
+                if (r.doneNs != 0) {
+                    lat->record(
+                        shard, telemetry::ServerStage::ServiceTx,
+                        r.tenant,
+                        static_cast<double>(txNs - r.doneNs));
+                    lat->record(
+                        shard, telemetry::ServerStage::EndToEnd,
+                        r.tenant,
+                        static_cast<double>(txNs - r.rxNs));
+                }
+            }
+        }
+        if (flight.enabled()) {
+            const Tick t = nowTicks();
+            for (std::size_t i = 0; i < sent; ++i) {
+                if (flight.sampled(pending[i].seq)) {
+                    flight.stamp(shard, trace::Stage::Completion,
+                                 trace::Phase::Instant,
+                                 trace::trackDevice, t,
+                                 invalidQueueId, pending[i].seq);
+                }
+            }
         }
         if (HP_TRACE_ON(tracer)) {
             for (std::size_t i = 0; i < sent; ++i) {
@@ -631,10 +871,20 @@ UdpServer::watchdogLoop()
     const auto period = microseconds(
         std::max<long>(50, static_cast<long>(
                                cfg_.fault.watchdogPeriodUs)));
+    const unsigned shard = watchdogShard();
+    telemetry::FlightRecorder &flight = *flight_;
+    const auto fstamp = [&](trace::Stage st, QueueId qid,
+                            std::uint64_t arg = 0) {
+        if (flight.enabled()) {
+            flight.stamp(shard, st, trace::Phase::Instant,
+                         trace::trackWatchdog, nowTicks(), qid, arg);
+        }
+    };
 
     while (watchdogRunning_.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(period);
         counters_.watchdogSweeps.fetch_add(1, std::memory_order_relaxed);
+        bool demotedThisSweep = false;
         if (HP_TRACE_ON(tracer)) {
             tracer->instant(trace::Stage::WatchdogSweep,
                             trace::trackWatchdog, nowTicks());
@@ -658,6 +908,7 @@ UdpServer::watchdogLoop()
                     fallback_.polls.inc();
                     counters_.fallbackServes.fetch_add(
                         1, std::memory_order_relaxed);
+                    fstamp(trace::Stage::FallbackServe, qid);
                     if (HP_TRACE_ON(tracer)) {
                         tracer->instant(trace::Stage::FallbackServe,
                                         trace::trackWatchdog, nowTicks(),
@@ -672,6 +923,9 @@ UdpServer::watchdogLoop()
                     fallback_.remove(qid);
                     recoveryCount_[qid] = 0;
                     cleanSweeps_[qid] = 0;
+                    eventLog_.post(telemetry::OpEventKind::Promotion,
+                                   nowNs(), qid);
+                    fstamp(trace::Stage::Promotion, qid);
                     counters_.promotions.fetch_add(
                         1, std::memory_order_relaxed);
                     const unsigned owner = tenants_->tenantOfQueue(qid);
@@ -693,11 +947,19 @@ UdpServer::watchdogLoop()
                 if (!fallback_.contains(qid))
                     fallback_.add(qid);
                 cleanSweeps_[qid] = 0;
+                demotedThisSweep = true;
                 counters_.demotions.fetch_add(1,
                                               std::memory_order_relaxed);
                 counters_.stormDemotions.fetch_add(
                     1, std::memory_order_relaxed);
                 const unsigned owner = tenants_->tenantOfQueue(qid);
+                eventLog_.post(
+                    telemetry::OpEventKind::StormDemotion, nowNs(),
+                    qid, ringDelta,
+                    owner != TenantTable::invalidTenant
+                        ? "tenant=" + tenants_->name(owner)
+                        : std::string());
+                fstamp(trace::Stage::Demotion, qid, ringDelta);
                 if (owner != TenantTable::invalidTenant) {
                     tenants_->counters(owner).demotions.fetch_add(
                         1, std::memory_order_relaxed);
@@ -749,6 +1011,7 @@ UdpServer::watchdogLoop()
                     counters_.fallbackServes.fetch_add(
                         deficit, std::memory_order_relaxed);
                     hpDev_->ring(qid, deficit);
+                    fstamp(trace::Stage::FallbackServe, qid, deficit);
                     if (HP_TRACE_ON(tracer)) {
                         tracer->instant(trace::Stage::FallbackServe,
                                         trace::trackWatchdog, nowTicks(),
@@ -759,6 +1022,9 @@ UdpServer::watchdogLoop()
                     fallback_.remove(qid);
                     recoveryCount_[qid] = 0;
                     cleanSweeps_[qid] = 0;
+                    eventLog_.post(telemetry::OpEventKind::Promotion,
+                                   nowNs(), qid);
+                    fstamp(trace::Stage::Promotion, qid);
                     counters_.promotions.fetch_add(
                         1, std::memory_order_relaxed);
                     const unsigned owner = tenants_->tenantOfQueue(qid);
@@ -785,6 +1051,10 @@ UdpServer::watchdogLoop()
                 hpDev_->ring(qid, lost);
                 counters_.watchdogRecoveries.fetch_add(
                     1, std::memory_order_relaxed);
+                eventLog_.post(
+                    telemetry::OpEventKind::RingDropRecovery, nowNs(),
+                    qid, lost);
+                fstamp(trace::Stage::WatchdogRecovery, qid, lost);
                 if (HP_TRACE_ON(tracer)) {
                     tracer->instant(trace::Stage::WatchdogRecovery,
                                     trace::trackWatchdog, nowTicks(),
@@ -795,6 +1065,11 @@ UdpServer::watchdogLoop()
                     cfg_.fault.demoteThreshold) {
                     fallback_.add(qid);
                     cleanSweeps_[qid] = 0;
+                    demotedThisSweep = true;
+                    eventLog_.post(telemetry::OpEventKind::Demotion,
+                                   nowNs(), qid,
+                                   recoveryCount_[qid]);
+                    fstamp(trace::Stage::Demotion, qid);
                     counters_.demotions.fetch_add(
                         1, std::memory_order_relaxed);
                     const unsigned owner = tenants_->tenantOfQueue(qid);
@@ -812,7 +1087,70 @@ UdpServer::watchdogLoop()
                 deficitPrev_[qid] = deficit;
             }
         }
+
+        // ---- per-sweep telemetry: shed spikes, tenant thresholds,
+        //      and flight-dump triggers -------------------------------
+        const auto ld = [](const std::atomic<std::uint64_t> &c) {
+            return c.load(std::memory_order_relaxed);
+        };
+        const std::uint64_t shedNow = ld(counters_.shedRateLimited) +
+                                      ld(counters_.shedWatermark) +
+                                      ld(counters_.shedQueueFull);
+        const std::uint64_t shedDelta = shedNow - shedPrevSweep_;
+        shedPrevSweep_ = shedNow;
+        const bool shedSpike = cfg_.telemetry.shedSpikePerSweep > 0 &&
+                               shedDelta >
+                                   cfg_.telemetry.shedSpikePerSweep;
+        if (shedSpike) {
+            eventLog_.post(telemetry::OpEventKind::ShedSpike, nowNs(),
+                           ~0u, shedDelta);
+        }
+        for (unsigned t = 0; t < tenants_->numTenants(); ++t) {
+            const TenantCounters &tc = tenants_->counters(t);
+            const std::uint64_t tShed = ld(tc.rateLimited) +
+                                        ld(tc.watermarkShed) +
+                                        ld(tc.queueFullShed);
+            const std::uint64_t tDelta = tShed - tenantShedPrev_[t];
+            tenantShedPrev_[t] = tShed;
+            if (tDelta > 0 && !tenantShedActive_[t]) {
+                eventLog_.post(telemetry::OpEventKind::ShedThreshold,
+                               nowNs(), ~0u, tDelta,
+                               "tenant=" + tenants_->name(t));
+            }
+            tenantShedActive_[t] = tDelta > 0 ? 1 : 0;
+        }
+
+        if (dumpRequested_.exchange(false,
+                                    std::memory_order_relaxed)) {
+            maybeFlightDump("requested", nowNs());
+        } else if (demotedThisSweep && cfg_.telemetry.dumpOnDemotion) {
+            maybeFlightDump("demotion", nowNs());
+        } else if (shedSpike) {
+            maybeFlightDump("shed_spike", nowNs());
+        }
     }
+}
+
+void
+UdpServer::maybeFlightDump(const char *reason, std::uint64_t ns)
+{
+    if (!flight_ || !flight_->enabled())
+        return;
+    const auto minGapNs = static_cast<std::uint64_t>(
+        cfg_.telemetry.minDumpIntervalSec * 1e9);
+    if (lastDumpNs_ != 0 && ns - lastDumpNs_ < minGapNs)
+        return;
+    lastDumpNs_ = ns;
+    const std::uint64_t n =
+        flightDumps_.fetch_add(1, std::memory_order_relaxed);
+    const std::string path = cfg_.telemetry.flightDumpPrefix + "_" +
+                             std::to_string(n) + ".json";
+    const bool ok = dumpFlightTrace(path);
+    eventLog_.post(telemetry::OpEventKind::FlightDump, ns, ~0u, n,
+                   std::string(reason) + " -> " + path +
+                       (ok ? "" : " (write failed)"));
+    if (!ok)
+        hp_warn("UdpServer: flight dump to '%s' failed", path.c_str());
 }
 
 void
@@ -826,25 +1164,88 @@ UdpServer::registerStats(stats::Registry &reg, const std::string &prefix)
                 c->load(std::memory_order_relaxed));
         });
     };
-    scalar("rx_batches", &counters_.rxBatches);
-    scalar("rx_packets", &counters_.rxPackets);
-    scalar("rx_parse_errors", &counters_.parseErrors);
+    // Hot counters live in the telemetry shards; aggregate on read.
+    const auto hot = [&reg, &prefix, this](const char *name,
+                                           telemetry::HotCounter c) {
+        reg.addScalar(prefix + "." + name, [this, c] {
+            return hotCounters_
+                ? static_cast<double>(hotCounters_->total(c))
+                : 0.0;
+        });
+    };
+    hot("rx_batches", telemetry::HotCounter::RxBatches);
+    hot("rx_packets", telemetry::HotCounter::RxPackets);
+    hot("rx_parse_errors", telemetry::HotCounter::ParseErrors);
+    hot("requests_served", telemetry::HotCounter::Served);
+    hot("tx_packets", telemetry::HotCounter::TxPackets);
     scalar("rx_queue_drops", &counters_.queueDrops);
     scalar("shed_rate_limited", &counters_.shedRateLimited);
     scalar("shed_watermark", &counters_.shedWatermark);
     scalar("shed_queue_full", &counters_.shedQueueFull);
     scalar("storm_demotions", &counters_.stormDemotions);
     scalar("rings_dropped", &counters_.ringsDropped);
-    scalar("requests_served", &counters_.served);
     scalar("responses_bad_status", &counters_.badStatus);
     scalar("tx_queue_drops", &counters_.txDrops);
-    scalar("tx_packets", &counters_.txPackets);
     scalar("tx_send_errors", &counters_.txSendErrors);
     scalar("watchdog_sweeps", &counters_.watchdogSweeps);
     scalar("watchdog_recoveries", &counters_.watchdogRecoveries);
     scalar("fallback_serves", &counters_.fallbackServes);
     scalar("demotions", &counters_.demotions);
     scalar("promotions", &counters_.promotions);
+
+    // Telemetry-plane self-observation.
+    reg.addScalar(prefix + ".telemetry.flight_recorded", [this] {
+        return flight_ ? static_cast<double>(flight_->recorded())
+                       : 0.0;
+    });
+    reg.addScalar(prefix + ".telemetry.flight_sample_every", [this] {
+        return flight_ ? static_cast<double>(flight_->sampleEvery())
+                       : 0.0;
+    });
+    reg.addScalar(prefix + ".telemetry.flight_dumps", [this] {
+        return static_cast<double>(flightDumps());
+    });
+    reg.addScalar(prefix + ".telemetry.events_posted", [this] {
+        return static_cast<double>(eventLog_.posted());
+    });
+    reg.addScalar(prefix + ".telemetry.metrics_requests", [this] {
+        return metrics_
+            ? static_cast<double>(metrics_->requestsServed())
+            : 0.0;
+    });
+    reg.addScalar(prefix + ".uptime_seconds", [this] {
+        return static_cast<double>(nowNs()) / 1e9;
+    });
+    reg.addScalar(prefix + ".backlog", [this] {
+        return static_cast<double>(backlog());
+    });
+
+    // Per-stage latency quantiles (ns), aggregated across shards and
+    // tenants at read time.
+    for (unsigned si = 0; si < telemetry::kNumServerStages; ++si) {
+        const auto st = static_cast<telemetry::ServerStage>(si);
+        const std::string sp =
+            prefix + ".stage." + telemetry::toString(st);
+        const auto q = [&reg, &sp, st, this](const char *name,
+                                             double quant) {
+            reg.addScalar(sp + "." + name, [this, st, quant] {
+                return stageLat_
+                    ? stageLat_->aggregate(st).quantile(quant)
+                    : 0.0;
+            });
+        };
+        q("p50_ns", 0.50);
+        q("p99_ns", 0.99);
+        q("p999_ns", 0.999);
+        reg.addScalar(sp + ".mean_ns", [this, st] {
+            return stageLat_ ? stageLat_->aggregate(st).mean() : 0.0;
+        });
+        reg.addScalar(sp + ".count", [this, st] {
+            return stageLat_
+                ? static_cast<double>(stageLat_->samples(st))
+                : 0.0;
+        });
+    }
     if (tenants_) {
         for (unsigned t = 0; t < tenants_->numTenants(); ++t) {
             const std::string tp =
@@ -865,10 +1266,167 @@ UdpServer::registerStats(stats::Registry &reg, const std::string &prefix)
             tscalar("served", &tc.served);
             tscalar("demotions", &tc.demotions);
             tscalar("promotions", &tc.promotions);
+            // Per-tenant per-stage quantiles, merged across shards.
+            for (unsigned si = 0; si < telemetry::kNumServerStages;
+                 ++si) {
+                const auto st =
+                    static_cast<telemetry::ServerStage>(si);
+                const std::string sp =
+                    tp + ".stage." + telemetry::toString(st);
+                const auto tq = [&reg, &sp, st, t,
+                                 this](const char *name, double quant) {
+                    reg.addScalar(sp + "." + name,
+                                  [this, st, t, quant] {
+                                      return stageLat_
+                                          ? stageLat_
+                                                ->aggregate(st, t)
+                                                .quantile(quant)
+                                          : 0.0;
+                                  });
+                };
+                tq("p50_ns", 0.50);
+                tq("p99_ns", 0.99);
+                tq("p999_ns", 0.999);
+            }
         }
     }
     if (hpDev_)
         hpDev_->registerStats(reg, prefix + ".dev");
+}
+
+stats::LogHistogram
+UdpServer::stageLatency(telemetry::ServerStage st) const
+{
+    if (stageLat_)
+        return stageLat_->aggregate(st);
+    return stats::LogHistogram(cfg_.telemetry.histBaseNs,
+                               cfg_.telemetry.histGrowth,
+                               cfg_.telemetry.histBins);
+}
+
+stats::LogHistogram
+UdpServer::stageLatency(telemetry::ServerStage st,
+                        unsigned tenant) const
+{
+    if (stageLat_ && tenant < stageLat_->numTenants())
+        return stageLat_->aggregate(st, tenant);
+    return stats::LogHistogram(cfg_.telemetry.histBaseNs,
+                               cfg_.telemetry.histGrowth,
+                               cfg_.telemetry.histBins);
+}
+
+std::string
+UdpServer::flightTraceJson() const
+{
+    std::vector<trace::TraceEvent> events;
+    if (flight_)
+        events = flight_->snapshot();
+    // Overlay the operational events the flight recorder does not
+    // stamp itself (the watchdog already stamps demotions, promotions,
+    // and recoveries) so the Perfetto view shows the incident timeline
+    // next to the sampled request spans.
+    for (const auto &e : eventLog_.snapshot()) {
+        trace::Stage st;
+        switch (e.kind) {
+          case telemetry::OpEventKind::ShedThreshold:
+          case telemetry::OpEventKind::ShedSpike:
+            st = trace::Stage::AdmissionShed;
+            break;
+          case telemetry::OpEventKind::Startup:
+          case telemetry::OpEventKind::FlightDump:
+            st = trace::Stage::WatchdogSweep;
+            break;
+          default:
+            continue; // stamped live by the watchdog already
+        }
+        trace::TraceEvent te;
+        te.ts = nsToTicks(static_cast<double>(e.ns));
+        te.arg = e.value;
+        te.qid = e.queue == ~0u ? invalidQueueId : e.queue;
+        te.track = trace::trackWatchdog;
+        te.stage = st;
+        te.phase = trace::Phase::Instant;
+        events.push_back(te);
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const trace::TraceEvent &a,
+                        const trace::TraceEvent &b) {
+                         return a.ts < b.ts;
+                     });
+    return trace::chromeTraceJson(events);
+}
+
+bool
+UdpServer::dumpFlightTrace(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << flightTraceJson();
+    return os.good();
+}
+
+int
+UdpServer::metricsPort() const
+{
+    return metrics_ && metrics_->running()
+        ? static_cast<int>(metrics_->port())
+        : -1;
+}
+
+std::string
+UdpServer::prometheusPage() const
+{
+    if (!selfReg_) {
+        stats::Registry reg;
+        // registerStats is logically const here: it only reads
+        // counter addresses and registers getters.
+        const_cast<UdpServer *>(this)->registerStats(reg);
+        return telemetry::prometheusText(
+            reg, static_cast<double>(nowNs()) / 1e9);
+    }
+    return telemetry::prometheusText(
+        *selfReg_, static_cast<double>(nowNs()) / 1e9);
+}
+
+std::string
+UdpServer::metricsPage(const std::string &path,
+                       std::string &contentType) const
+{
+    if (path == "/metrics") {
+        contentType = "text/plain; version=0.0.4; charset=utf-8";
+        return prometheusPage();
+    }
+    if (path == "/stats.json") {
+        contentType = "application/json";
+        if (selfReg_)
+            return selfReg_->reportJson();
+        stats::Registry reg;
+        const_cast<UdpServer *>(this)->registerStats(reg);
+        return reg.reportJson();
+    }
+    if (path == "/events.json") {
+        contentType = "application/json";
+        return eventLog_.json();
+    }
+    if (path == "/flight.json") {
+        contentType = "application/json";
+        return flightTraceJson();
+    }
+    if (path == "/healthz") {
+        contentType = "text/plain; charset=utf-8";
+        return running() ? "ok\n" : "stopping\n";
+    }
+    if (path == "/") {
+        contentType = "text/plain; charset=utf-8";
+        return "hyperplane udp server metrics endpoint\n"
+               "  /metrics      Prometheus text exposition\n"
+               "  /stats.json   full stats registry as JSON\n"
+               "  /events.json  structured operational event log\n"
+               "  /flight.json  flight-recorder Perfetto trace\n"
+               "  /healthz      liveness probe\n";
+    }
+    return {};
 }
 
 } // namespace server

@@ -57,6 +57,11 @@
 #include "sim/rng.hh"
 #include "stats/registry.hh"
 #include "stats/sampler.hh"
+#include "telemetry/event_log.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/metrics_server.hh"
+#include "telemetry/shard_stats.hh"
+#include "telemetry/telemetry_config.hh"
 #include "trace/trace.hh"
 #include "workloads/packet_steering.hh"
 
@@ -156,36 +161,62 @@ struct ServerConfig
 
     ServerFaultConfig fault;
 
+    /** Live telemetry plane (on by default; see TelemetryConfig). */
+    telemetry::TelemetryConfig telemetry;
+
     /** Optional tracer; the server installs a wall-clock tick source. */
     trace::Tracer *tracer = nullptr;
 };
 
 /**
- * Aggregate server counters (all monotonic).  Unlike the simulator's
- * stats::Counter these are atomics — RX shards, workers, and TX threads
- * increment them concurrently.
+ * Cold server counters (all monotonic).  Unlike the simulator's
+ * stats::Counter these are atomics — RX shards, workers, TX threads,
+ * and the watchdog increment them concurrently.  The *hot* per-packet
+ * counters (rx_batches, rx_packets, parse_errors, served, tx_packets)
+ * moved into telemetry::CounterShards — one single-writer cache line
+ * per stage thread instead of a contended fetch_add — and are read
+ * through UdpServer::counterSnapshot().
  */
 struct ServerCounters
 {
-    std::atomic<std::uint64_t> rxBatches{0};
-    std::atomic<std::uint64_t> rxPackets{0};
-    std::atomic<std::uint64_t> parseErrors{0};
     std::atomic<std::uint64_t> queueDrops{0};
     std::atomic<std::uint64_t> shedRateLimited{0};
     std::atomic<std::uint64_t> shedWatermark{0};
     std::atomic<std::uint64_t> shedQueueFull{0};
     std::atomic<std::uint64_t> stormDemotions{0};
     std::atomic<std::uint64_t> ringsDropped{0};
-    std::atomic<std::uint64_t> served{0};
     std::atomic<std::uint64_t> badStatus{0};
     std::atomic<std::uint64_t> txDrops{0};
-    std::atomic<std::uint64_t> txPackets{0};
     std::atomic<std::uint64_t> txSendErrors{0};
     std::atomic<std::uint64_t> watchdogSweeps{0};
     std::atomic<std::uint64_t> watchdogRecoveries{0};
     std::atomic<std::uint64_t> fallbackServes{0};
     std::atomic<std::uint64_t> demotions{0};
     std::atomic<std::uint64_t> promotions{0};
+};
+
+/** Point-in-time copy of every server counter, hot and cold. */
+struct ServerCounterSnapshot
+{
+    std::uint64_t rxBatches = 0;
+    std::uint64_t rxPackets = 0;
+    std::uint64_t parseErrors = 0;
+    std::uint64_t served = 0;
+    std::uint64_t txPackets = 0;
+    std::uint64_t queueDrops = 0;
+    std::uint64_t shedRateLimited = 0;
+    std::uint64_t shedWatermark = 0;
+    std::uint64_t shedQueueFull = 0;
+    std::uint64_t stormDemotions = 0;
+    std::uint64_t ringsDropped = 0;
+    std::uint64_t badStatus = 0;
+    std::uint64_t txDrops = 0;
+    std::uint64_t txSendErrors = 0;
+    std::uint64_t watchdogSweeps = 0;
+    std::uint64_t watchdogRecoveries = 0;
+    std::uint64_t fallbackServes = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t promotions = 0;
 };
 
 /** The UDP data-plane server. */
@@ -223,6 +254,9 @@ class UdpServer
     const ServerConfig &config() const { return cfg_; }
     const ServerCounters &counters() const { return counters_; }
 
+    /** Consistent-enough copy of every counter, hot and cold. */
+    ServerCounterSnapshot counterSnapshot() const;
+
     /** The notification device (doorbell / wake counters). */
     const emu::EmuHyperPlane &device() const { return *hpDev_; }
 
@@ -245,6 +279,64 @@ class UdpServer
     /** Nanoseconds since start() (the trace clock). */
     std::uint64_t nowNs() const;
 
+    // ----- live telemetry plane ---------------------------------------
+
+    /**
+     * Aggregated per-stage latency histogram (nanoseconds), merged
+     * across all shards and tenants; the two-argument form restricts
+     * to one tenant.  Empty before start() or with telemetry disabled.
+     */
+    stats::LogHistogram stageLatency(telemetry::ServerStage st) const;
+    stats::LogHistogram stageLatency(telemetry::ServerStage st,
+                                     unsigned tenant) const;
+
+    /** Structured operational event log (demotions, sheds, dumps). */
+    const telemetry::EventLog &eventLog() const { return eventLog_; }
+
+    /** Sampled trace rings (null before start()). */
+    const telemetry::FlightRecorder *flightRecorder() const
+    {
+        return flight_.get();
+    }
+
+    /**
+     * The flight recorder + event log as a Perfetto-loadable Chrome
+     * trace JSON document (what a SIGUSR1 dump writes).
+     */
+    std::string flightTraceJson() const;
+
+    /** Write flightTraceJson() to @p path. @return false on IO error. */
+    bool dumpFlightTrace(const std::string &path) const;
+
+    /**
+     * Ask the watchdog to dump the flight recorder on its next sweep
+     * (async-signal-safe: a single relaxed atomic store, suitable for
+     * a SIGUSR1 handler).
+     */
+    void requestFlightDump()
+    {
+        dumpRequested_.store(true, std::memory_order_relaxed);
+    }
+
+    /** Automatic + requested flight dumps performed so far. */
+    std::uint64_t flightDumps() const
+    {
+        return flightDumps_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Bound metrics-endpoint port, or -1 when the endpoint is not
+     * running (telemetry.metricsPort < 0, or the bind failed).
+     */
+    int metricsPort() const;
+
+    /** Current Prometheus exposition page (endpoint's /metrics). */
+    std::string prometheusPage() const;
+
+    /** Endpoint dispatch (also used by tests): "" means 404. */
+    std::string metricsPage(const std::string &path,
+                            std::string &contentType) const;
+
   private:
     struct Request
     {
@@ -252,12 +344,17 @@ class UdpServer
         wire::RequestHeader hdr;
         std::vector<std::uint8_t> payload;
         std::uint64_t rxNs = 0;
+        std::uint64_t admitNs = 0; ///< admission verdict time
+        unsigned tenant = 0;
     };
 
     struct Response
     {
         Datagram dgram;
         std::uint64_t seq = 0;
+        std::uint64_t rxNs = 0;   ///< request receive time
+        std::uint64_t doneNs = 0; ///< worker finish (0: typed reject)
+        unsigned tenant = 0;
     };
 
     void rxLoop(unsigned index);
@@ -273,10 +370,32 @@ class UdpServer
      */
     void enqueueReject(const sockaddr_in &peer,
                        const wire::RequestHeader &hdr,
-                       wire::Status status, QueueId qid,
+                       wire::Status status, QueueId qid, unsigned tenant,
+                       std::uint64_t rxNs,
                        std::vector<std::uint32_t> &txCounts);
 
     Tick nowTicks() const;
+
+    // Telemetry shard ids: one single-writer shard per stage thread
+    // plus one for the watchdog.
+    unsigned rxShard(unsigned i) const { return i; }
+    unsigned workerShard(unsigned w) const { return cfg_.rxThreads + w; }
+    unsigned txShard(unsigned t) const
+    {
+        return cfg_.rxThreads + cfg_.workers + t;
+    }
+    unsigned watchdogShard() const
+    {
+        return cfg_.rxThreads + cfg_.workers + cfg_.txThreads;
+    }
+    unsigned numTelemetryShards() const { return watchdogShard() + 1; }
+
+    /**
+     * Flight-dump trigger policy (watchdog thread only): honours the
+     * rate limit, writes "<prefix>_<n>.json", posts a FlightDump
+     * event.
+     */
+    void maybeFlightDump(const char *reason, std::uint64_t ns);
 
     ServerConfig cfg_;
     ServerCounters counters_;
@@ -314,6 +433,27 @@ class UdpServer
      */
     std::unique_ptr<std::atomic<std::uint32_t>[]> rxInFlight_;
     std::unique_ptr<std::atomic<std::uint32_t>[]> rxEpoch_;
+
+    // ----- telemetry state --------------------------------------------
+    std::unique_ptr<telemetry::CounterShards> hotCounters_;
+    std::unique_ptr<telemetry::StageLatencyShards> stageLat_;
+    /// Decimation mask for per-request stage sampling: a request
+    /// contributes latency samples iff (seq & mask) == 0 (see
+    /// TelemetryConfig::stageSampleEvery).
+    std::uint64_t stageSampleMask_ = 0;
+    std::unique_ptr<telemetry::FlightRecorder> flight_;
+    telemetry::EventLog eventLog_;
+    std::unique_ptr<telemetry::MetricsServer> metrics_;
+    /** Registry backing the endpoint (populated in start()). */
+    std::unique_ptr<stats::Registry> selfReg_;
+    std::atomic<bool> dumpRequested_{false};
+    std::atomic<std::uint64_t> flightDumps_{0};
+    /** Watchdog-thread-only dump/spike bookkeeping. */
+    std::uint64_t lastDumpNs_ = 0;
+    std::uint64_t shedPrevSweep_ = 0;
+    std::vector<std::uint64_t> tenantShedPrev_;
+    /** Edge detector for per-tenant ShedThreshold events. */
+    std::vector<std::uint8_t> tenantShedActive_;
 
     std::atomic<bool> running_{false};
     std::atomic<bool> rxRunning_{false};

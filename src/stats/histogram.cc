@@ -115,6 +115,46 @@ LogHistogram::LogHistogram(double base, double growth, unsigned bins)
     hp_assert(bins > 0, "LogHistogram needs at least one bin");
 }
 
+LogHistogram
+LogHistogram::fromParts(double base, double growth,
+                        std::vector<std::uint64_t> bins, double sum,
+                        double min, double max)
+{
+    hp_assert(!bins.empty(), "fromParts needs at least one bin");
+    LogHistogram h(base, growth,
+                   static_cast<unsigned>(bins.size()));
+    std::uint64_t count = 0;
+    for (std::uint64_t b : bins)
+        count += b;
+    h.bins_ = std::move(bins);
+    h.count_ = count;
+    h.sum_ = sum;
+    h.min_ = count ? min : 0.0;
+    h.max_ = count ? max : 0.0;
+    return h;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    hp_assert(base_ == other.base_ && growth_ == other.growth_ &&
+                  bins_.size() == other.bins_.size(),
+              "LogHistogram::merge requires identical geometry");
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
 unsigned
 LogHistogram::binFor(double v) const
 {

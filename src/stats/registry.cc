@@ -107,6 +107,14 @@ Registry::reportJson() const
     return os.str();
 }
 
+void
+Registry::forEach(
+    const std::function<void(const std::string &, double)> &fn) const
+{
+    for (const auto &e : entries_)
+        fn(e.path, e.getter());
+}
+
 double
 Registry::value(const std::string &path) const
 {

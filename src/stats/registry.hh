@@ -71,6 +71,15 @@ class Registry
     /** Current value of a registered entry. @return NaN if unknown. */
     double value(const std::string &path) const;
 
+    /**
+     * Visit every entry in path order with its current value — one
+     * getter call per entry, for renderers (Prometheus text, JSON) that
+     * would otherwise pay a binary search per path.
+     */
+    void forEach(
+        const std::function<void(const std::string &, double)> &fn)
+        const;
+
   private:
     struct Entry
     {

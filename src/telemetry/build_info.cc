@@ -1,0 +1,35 @@
+#include "telemetry/build_info.hh"
+
+#include "trace/trace.hh"
+
+// CMake passes these as compile definitions on the hp_telemetry
+// target; the fallbacks keep non-CMake builds (and IDE parses)
+// working.
+#ifndef HP_GIT_SHA
+#define HP_GIT_SHA "unknown"
+#endif
+#ifndef HP_BUILD_TYPE
+#define HP_BUILD_TYPE "unspecified"
+#endif
+
+namespace hyperplane {
+namespace telemetry {
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info{
+        HP_GIT_SHA,
+        HP_BUILD_TYPE,
+#if defined(__VERSION__)
+        __VERSION__,
+#else
+        "unknown",
+#endif
+        trace::kCompiledIn,
+    };
+    return info;
+}
+
+} // namespace telemetry
+} // namespace hyperplane

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Build provenance exposed on the metrics endpoint: git SHA, build
+ * type, compiler, and whether trace stamp sites are compiled in.  The
+ * values are baked in at compile time (the SHA via a CMake configure
+ * step), so a scrape of a running server identifies exactly what
+ * binary is serving.
+ */
+
+#ifndef HYPERPLANE_TELEMETRY_BUILD_INFO_HH
+#define HYPERPLANE_TELEMETRY_BUILD_INFO_HH
+
+namespace hyperplane {
+namespace telemetry {
+
+struct BuildInfo
+{
+    const char *gitSha;         ///< short commit hash or "unknown"
+    const char *buildType;      ///< CMAKE_BUILD_TYPE or "unspecified"
+    const char *compiler;       ///< compiler version string
+    bool traceCompiledIn;       ///< HYPERPLANE_TRACE != 0
+};
+
+const BuildInfo &buildInfo();
+
+} // namespace telemetry
+} // namespace hyperplane
+
+#endif // HYPERPLANE_TELEMETRY_BUILD_INFO_HH

@@ -1,0 +1,106 @@
+#include "telemetry/event_log.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stats/json.hh"
+
+namespace hyperplane {
+namespace telemetry {
+
+const char *
+toString(OpEventKind k)
+{
+    switch (k) {
+      case OpEventKind::Startup:
+        return "startup";
+      case OpEventKind::StormDemotion:
+        return "storm_demotion";
+      case OpEventKind::Demotion:
+        return "demotion";
+      case OpEventKind::Promotion:
+        return "promotion";
+      case OpEventKind::ShedThreshold:
+        return "shed_threshold";
+      case OpEventKind::ShedSpike:
+        return "shed_spike";
+      case OpEventKind::RingDropRecovery:
+        return "ring_drop_recovery";
+      case OpEventKind::FlightDump:
+        return "flight_dump";
+    }
+    return "?";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : buf_(std::max<std::size_t>(1, capacity))
+{
+}
+
+void
+EventLog::post(OpEventKind kind, std::uint64_t ns, std::uint32_t queue,
+               std::uint64_t value, std::string detail)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    ++posted_;
+    OpEventRecord rec{ns, kind, queue, value, std::move(detail)};
+    if (count_ < buf_.size()) {
+        buf_[(head_ + count_) % buf_.size()] = std::move(rec);
+        ++count_;
+        return;
+    }
+    buf_[head_] = std::move(rec);
+    head_ = (head_ + 1) % buf_.size();
+    ++evicted_;
+}
+
+std::vector<OpEventRecord>
+EventLog::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::vector<OpEventRecord> out;
+    out.reserve(count_);
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(buf_[(head_ + i) % buf_.size()]);
+    return out;
+}
+
+std::uint64_t
+EventLog::posted() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return posted_;
+}
+
+std::uint64_t
+EventLog::evicted() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return evicted_;
+}
+
+std::string
+EventLog::json() const
+{
+    const auto events = snapshot();
+    std::ostringstream os;
+    os << "{\"posted\":" << posted() << ",\"evicted\":" << evicted()
+       << ",\"events\":[";
+    bool first = true;
+    for (const auto &e : events) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "\n{\"ns\":" << e.ns << ",\"kind\":"
+           << stats::jsonString(toString(e.kind));
+        if (e.queue != ~0u)
+            os << ",\"queue\":" << e.queue;
+        os << ",\"value\":" << e.value
+           << ",\"detail\":" << stats::jsonString(e.detail) << '}';
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+} // namespace telemetry
+} // namespace hyperplane

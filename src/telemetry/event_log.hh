@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Structured operational event log.
+ *
+ * A small mutex-guarded ring of typed events for the things an
+ * operator greps logs for: watchdog demotions and promotions, storm
+ * mutes, tenant shed-threshold crossings, ring-drop recoveries, and
+ * flight-recorder dumps.  Writers are cold paths (the watchdog sweep,
+ * admission threshold crossings), so a mutex is fine; the ring keeps
+ * the most recent events and counts what it evicted.
+ *
+ * The log is served on the metrics endpoint as /events.json and its
+ * entries are overlaid onto flight-recorder dumps as instant events on
+ * the watchdog track, so a Perfetto view of an incident shows the
+ * operational timeline next to the request spans.
+ */
+
+#ifndef HYPERPLANE_TELEMETRY_EVENT_LOG_HH
+#define HYPERPLANE_TELEMETRY_EVENT_LOG_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hyperplane {
+namespace telemetry {
+
+enum class OpEventKind : std::uint8_t
+{
+    Startup,          ///< server started
+    StormDemotion,    ///< watchdog muted + demoted a doorbell storm
+    Demotion,         ///< queue demoted to software polling
+    Promotion,        ///< queue promoted back to hardware monitoring
+    ShedThreshold,    ///< tenant crossed its shed watermark
+    ShedSpike,        ///< shed rate spiked past the configured bound
+    RingDropRecovery, ///< watchdog recovered a lost doorbell
+    FlightDump,       ///< flight recorder dumped to disk
+};
+
+const char *toString(OpEventKind k);
+
+struct OpEventRecord
+{
+    std::uint64_t ns = 0;   ///< server monotonic clock
+    OpEventKind kind = OpEventKind::Startup;
+    std::uint32_t queue = ~0u; ///< queue id, or ~0u if n/a
+    std::uint64_t value = 0;   ///< kind-specific magnitude
+    std::string detail;        ///< free-form context ("tenant=bulk")
+};
+
+class EventLog
+{
+  public:
+    explicit EventLog(std::size_t capacity = 256);
+
+    void post(OpEventKind kind, std::uint64_t ns,
+              std::uint32_t queue = ~0u, std::uint64_t value = 0,
+              std::string detail = {});
+
+    /** Buffered events, oldest first. */
+    std::vector<OpEventRecord> snapshot() const;
+
+    /** Events ever posted (buffered + evicted). */
+    std::uint64_t posted() const;
+
+    /** Events evicted by ring overflow. */
+    std::uint64_t evicted() const;
+
+    /** {"posted":N,"evicted":N,"events":[{...},...]} */
+    std::string json() const;
+
+  private:
+    mutable std::mutex m_;
+    std::vector<OpEventRecord> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::uint64_t posted_ = 0;
+    std::uint64_t evicted_ = 0;
+};
+
+} // namespace telemetry
+} // namespace hyperplane
+
+#endif // HYPERPLANE_TELEMETRY_EVENT_LOG_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal metrics endpoint: a single-threaded HTTP/1.0 listener plus
+ * a UDP one-shot responder on the same port number.
+ *
+ * The HTTP side answers GET requests (curl, Prometheus scrapers, the
+ * hyperplane_top example) with handler-provided bodies.  The UDP side
+ * exists for socketless-constrained CI: any datagram sent to the port
+ * is treated as a path ("/metrics" if empty) and answered with the
+ * same body chunked into <= 1200-byte datagrams followed by an empty
+ * terminator, so a test can scrape metrics without a TCP stack.
+ *
+ * One background thread polls both sockets with a 100 ms timeout;
+ * requests are served strictly serially, which is plenty for a scrape
+ * endpoint and keeps the implementation trivial to reason about.
+ */
+
+#ifndef HYPERPLANE_TELEMETRY_METRICS_SERVER_HH
+#define HYPERPLANE_TELEMETRY_METRICS_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace hyperplane {
+namespace telemetry {
+
+class MetricsServer
+{
+  public:
+    /**
+     * Maps a request path to a response body; sets @p contentType.
+     * An empty return means 404.
+     */
+    using Handler = std::function<std::string(const std::string &path,
+                                              std::string &contentType)>;
+
+    MetricsServer() = default;
+    ~MetricsServer();
+
+    MetricsServer(const MetricsServer &) = delete;
+    MetricsServer &operator=(const MetricsServer &) = delete;
+
+    /**
+     * Bind @p ip:@p port (TCP and UDP; port 0 picks an ephemeral port
+     * used for both) and start the serving thread.
+     * @return false if either socket could not be bound.
+     */
+    bool start(const std::string &ip, std::uint16_t port,
+               Handler handler);
+
+    void stop();
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /** Bound port (valid after a successful start()). */
+    std::uint16_t port() const { return port_; }
+
+    /** HTTP + UDP requests answered. */
+    std::uint64_t requestsServed() const
+    {
+        return served_.load(std::memory_order_relaxed);
+    }
+
+    /** Max payload bytes per UDP response datagram. */
+    static constexpr std::size_t kUdpChunk = 1200;
+
+  private:
+    void loop();
+    void serveTcp();
+    void serveUdp();
+
+    Handler handler_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> served_{0};
+    int tcpFd_ = -1;
+    int udpFd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+} // namespace telemetry
+} // namespace hyperplane
+
+#endif // HYPERPLANE_TELEMETRY_METRICS_SERVER_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Prometheus text-exposition rendering of a stats::Registry.
+ *
+ * Dotted registry paths ("server.tenant.bulk.shed") become sanitized
+ * metric names ("hyperplane_server_tenant_bulk_shed"); the page leads
+ * with a build-info gauge (git SHA, build type, compiler as labels)
+ * and an uptime gauge so a scrape identifies the binary and its age.
+ */
+
+#ifndef HYPERPLANE_TELEMETRY_PROMETHEUS_HH
+#define HYPERPLANE_TELEMETRY_PROMETHEUS_HH
+
+#include <string>
+#include <string_view>
+
+#include "stats/registry.hh"
+
+namespace hyperplane {
+namespace telemetry {
+
+/**
+ * Map a dotted registry path to a legal Prometheus metric name:
+ * every character outside [a-zA-Z0-9_] becomes '_', and the result is
+ * prefixed with "hyperplane_" (plus a leading '_' guard if the path
+ * starts with a digit after the prefix — which the prefix prevents).
+ */
+std::string sanitizeMetricName(std::string_view path);
+
+/** Escape a label value per the exposition format (\\, \", \n). */
+std::string escapeLabelValue(std::string_view v);
+
+/**
+ * Render the full exposition page: build info, uptime, then one
+ * untyped sample per registry entry in path order.
+ */
+std::string prometheusText(const stats::Registry &reg,
+                           double uptimeSec);
+
+} // namespace telemetry
+} // namespace hyperplane
+
+#endif // HYPERPLANE_TELEMETRY_PROMETHEUS_HH

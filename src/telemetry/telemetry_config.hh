@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Configuration for the live telemetry plane.
+ *
+ * Telemetry is *on by default* and sized so that leaving it enabled in
+ * production costs under 5% of peak throughput (bench/
+ * ext_telemetry_overhead gates this).  The knobs below trade fidelity
+ * for memory: per-stage histograms are per-shard and per-tenant, and
+ * the flight recorder keeps a fixed ring per shard.
+ */
+
+#ifndef HYPERPLANE_TELEMETRY_TELEMETRY_CONFIG_HH
+#define HYPERPLANE_TELEMETRY_TELEMETRY_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hyperplane {
+namespace telemetry {
+
+struct TelemetryConfig
+{
+    /**
+     * Master switch for the sharded stage histograms and the flight
+     * recorder.  Off turns every hot-path recording site into a single
+     * predictable branch.
+     */
+    bool enabled = true;
+
+    /**
+     * Flight-recorder sampling period: request sequence numbers with
+     * seq % sampleEvery == 0 are traced through every stage, so a
+     * sampled request always yields a complete span chain.  0 disables
+     * the recorder while keeping counters and histograms live.
+     */
+    std::uint64_t sampleEvery = 64;
+
+    /** Flight-recorder ring capacity, events per shard. */
+    std::size_t recorderCapacity = 4096;
+
+    /**
+     * Stage-histogram decimation: requests whose sequence number is a
+     * multiple of this (rounded down to a power of two, so the test is
+     * one AND + branch) contribute per-stage latency samples; the rest
+     * skip the clock reads and histogram updates entirely.  1 records
+     * every request.  Decimation is deterministic on the sequence
+     * number, so a sampled request is sampled at *every* stage and the
+     * per-stage quantiles stay mutually comparable.  At the rates
+     * where the cost matters (100k+ req/s) the default still feeds
+     * each stage thousands of samples per second.
+     */
+    std::uint64_t stageSampleEvery = 32;
+
+    /** Structured operational event ring capacity. */
+    std::size_t eventLogCapacity = 256;
+
+    /**
+     * TCP+UDP port for the metrics endpoint; < 0 disables the
+     * listener (default: sandboxed test environments may lack
+     * sockets), 0 binds an ephemeral port (see
+     * UdpServer::metricsPort()).
+     */
+    int metricsPort = -1;
+
+    /** Bind address for the metrics endpoint. */
+    std::string metricsIp = "127.0.0.1";
+
+    /**
+     * Path prefix for automatic flight-recorder dumps; dump n writes
+     * "<prefix>_<n>.json" (Perfetto trace-event JSON).
+     */
+    std::string flightDumpPrefix = "hyperplane_flight";
+
+    /**
+     * Sheds per watchdog sweep that count as a spike and trigger an
+     * automatic flight dump (0 disables the trigger).
+     */
+    std::uint64_t shedSpikePerSweep = 0;
+
+    /** Dump the flight recorder when the watchdog demotes a queue. */
+    bool dumpOnDemotion = true;
+
+    /** Minimum spacing between automatic flight dumps. */
+    double minDumpIntervalSec = 1.0;
+
+    /** Per-stage latency histogram geometry (nanoseconds). */
+    double histBaseNs = 200.0;
+    double histGrowth = 1.05;
+    unsigned histBins = 512;
+};
+
+} // namespace telemetry
+} // namespace hyperplane
+
+#endif // HYPERPLANE_TELEMETRY_TELEMETRY_CONFIG_HH

@@ -77,8 +77,9 @@ Tracer::Tracer(std::size_t capacity)
 void
 Tracer::push(const TraceEvent &e)
 {
-    if (!enabled_)
+    if (!enabled())
         return;
+    std::lock_guard<std::mutex> lock(m_);
     ++recorded_;
     if (count_ < buf_.size()) {
         buf_[(head_ + count_) % buf_.size()] = e;
@@ -94,6 +95,7 @@ Tracer::push(const TraceEvent &e)
 std::vector<TraceEvent>
 Tracer::snapshot() const
 {
+    std::lock_guard<std::mutex> lock(m_);
     std::vector<TraceEvent> out;
     out.reserve(count_);
     for (std::size_t i = 0; i < count_; ++i)
@@ -104,6 +106,7 @@ Tracer::snapshot() const
 void
 Tracer::clear()
 {
+    std::lock_guard<std::mutex> lock(m_);
     head_ = 0;
     count_ = 0;
     dropped_ = 0;

@@ -25,8 +25,10 @@
 #ifndef HYPERPLANE_TRACE_TRACE_HH
 #define HYPERPLANE_TRACE_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -101,6 +103,13 @@ std::string trackName(std::uint32_t track);
 /**
  * Ring-buffered event sink.  Records only while enabled; overflow
  * drops the oldest event (dropped() counts the casualties).
+ *
+ * Thread safety: stamp sites live on real server threads (RX shards,
+ * QWAIT workers, TX, watchdog) as well as the single-threaded
+ * simulator, so push/snapshot/clear serialize on an internal mutex.
+ * The lock is uncontended in the simulator and held for a single
+ * 32-byte copy on server threads; the *sampled* hot path belongs to
+ * telemetry::FlightRecorder, which is lock-free.
  */
 class Tracer
 {
@@ -116,8 +125,14 @@ class Tracer
     /** Current tick per the installed clock (0 without one). */
     Tick now() const { return clock_ ? clock_() : 0; }
 
-    void setEnabled(bool on) { enabled_ = on; }
-    bool enabled() const { return enabled_; }
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     void instant(Stage stage, std::uint32_t track, Tick ts,
                  QueueId qid = invalidQueueId, std::uint64_t arg = 0)
@@ -140,26 +155,39 @@ class Tracer
     /** Events currently buffered, oldest first. */
     std::vector<TraceEvent> snapshot() const;
 
-    std::size_t size() const { return count_; }
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return count_;
+    }
     std::size_t capacity() const { return buf_.size(); }
 
     /** Events evicted by ring overflow. */
-    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t dropped() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return dropped_;
+    }
 
     /** Total events ever recorded (buffered + dropped). */
-    std::uint64_t recorded() const { return recorded_; }
+    std::uint64_t recorded() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return recorded_;
+    }
 
     void clear();
 
   private:
     void push(const TraceEvent &e);
 
+    mutable std::mutex m_;
     std::vector<TraceEvent> buf_;
     std::size_t head_ = 0;  ///< index of the oldest event
     std::size_t count_ = 0; ///< live events in the buffer
     std::uint64_t dropped_ = 0;
     std::uint64_t recorded_ = 0;
-    bool enabled_ = false;
+    std::atomic<bool> enabled_{false};
     std::function<Tick()> clock_;
 };
 

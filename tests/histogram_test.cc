@@ -167,6 +167,83 @@ TEST(LogHistogram, ClearResets)
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(LogHistogramMerge, QuantilesMatchCombinedRecording)
+{
+    // Sharded recording + merge must be indistinguishable from
+    // recording everything into one histogram: bin addition is exact.
+    LogHistogram a(100.0, 1.05, 512);
+    LogHistogram b(100.0, 1.05, 512);
+    LogHistogram combined(100.0, 1.05, 512);
+    Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+        const double v = rng.exponential(5000.0) + 100.0;
+        (i % 3 == 0 ? a : b).record(v);
+        combined.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        EXPECT_DOUBLE_EQ(a.quantile(q), combined.quantile(q))
+            << "q=" << q;
+    }
+}
+
+TEST(LogHistogramMerge, EmptyOperandsAreNeutral)
+{
+    LogHistogram a(100.0, 1.05, 64);
+    LogHistogram empty(100.0, 1.05, 64);
+    a.merge(empty); // empty into empty
+    EXPECT_EQ(a.count(), 0u);
+
+    a.record(250.0);
+    a.merge(empty); // empty into populated: no-op
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 250.0);
+    EXPECT_DOUBLE_EQ(a.max(), 250.0);
+
+    LogHistogram c(100.0, 1.05, 64);
+    c.merge(a); // populated into empty: adopts min/max
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_DOUBLE_EQ(c.min(), 250.0);
+    EXPECT_DOUBLE_EQ(c.max(), 250.0);
+}
+
+TEST(LogHistogramMerge, FromPartsRoundTripsThenMerges)
+{
+    LogHistogram src(200.0, 1.05, 128);
+    std::vector<double> samples;
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        samples.push_back(rng.exponential(3000.0) + 200.0);
+        src.record(samples.back());
+    }
+
+    LogHistogram copy = LogHistogram::fromParts(
+        src.base(), src.growth(), src.bins(), src.sum(), src.min(),
+        src.max());
+    EXPECT_EQ(copy.count(), src.count());
+    EXPECT_DOUBLE_EQ(copy.quantile(0.99), src.quantile(0.99));
+
+    // The merge contract: bin-identical to one histogram that recorded
+    // the stream twice (quantile rank rounding shifts with the count,
+    // so self-merge is NOT expected to leave quantiles bit-identical).
+    LogHistogram twice(200.0, 1.05, 128);
+    for (const double v : samples) {
+        twice.record(v);
+        twice.record(v);
+    }
+    copy.merge(src);
+    EXPECT_EQ(copy.count(), 2 * src.count());
+    // Summation order differs (merge adds totals, `twice` accumulates
+    // per sample), so the sums agree to rounding, bins exactly.
+    EXPECT_NEAR(copy.sum(), twice.sum(), 1e-9 * twice.sum());
+    for (double q : {0.5, 0.99, 0.999})
+        EXPECT_DOUBLE_EQ(copy.quantile(q), twice.quantile(q));
+}
+
 } // namespace
 } // namespace stats
 } // namespace hyperplane

@@ -64,8 +64,8 @@ TEST(ServerLoopback, EchoAnswersNearlyEverything)
     EXPECT_GT(report->p99Us, 0.0);
     EXPECT_EQ(report->parseErrors, 0u);
     EXPECT_EQ(report->badStatus, 0u);
-    EXPECT_EQ(srv.counters().parseErrors.load(), 0u);
-    EXPECT_GE(srv.counters().served.load(), report->received);
+    EXPECT_EQ(srv.counterSnapshot().parseErrors, 0u);
+    EXPECT_GE(srv.counterSnapshot().served, report->received);
 }
 
 TEST(ServerLoopback, AllOpcodesServeAndSteerSpreadsQueues)
@@ -118,12 +118,12 @@ TEST(ServerLoopback, StopDrainsAndNoHandlerRunsAfter)
     ASSERT_TRUE(report.has_value());
 
     EXPECT_TRUE(srv.stop(2s));
-    const std::uint64_t served = srv.counters().served.load();
+    const std::uint64_t served = srv.counterSnapshot().served;
     EXPECT_EQ(srv.backlog(), 0u);
     // Idempotent, and nothing is served after stop() returned.
     EXPECT_TRUE(srv.stop());
     std::this_thread::sleep_for(50ms);
-    EXPECT_EQ(srv.counters().served.load(), served);
+    EXPECT_EQ(srv.counterSnapshot().served, served);
 }
 
 TEST(ServerLoopback, WatchdogRecoversDroppedRings)
@@ -265,13 +265,13 @@ TEST(ServerLoopback, MalformedDatagramsAreCountedNotServed)
         ASSERT_TRUE(sockOpt->sendTo(peer, junk, sizeof(junk)));
 
     const auto deadline = std::chrono::steady_clock::now() + 2s;
-    while (srv.counters().parseErrors.load() < 32 &&
+    while (srv.counterSnapshot().parseErrors < 32 &&
            std::chrono::steady_clock::now() < deadline) {
         std::this_thread::sleep_for(1ms);
     }
     EXPECT_TRUE(srv.stop());
-    EXPECT_EQ(srv.counters().parseErrors.load(), 32u);
-    EXPECT_EQ(srv.counters().served.load(), 0u);
+    EXPECT_EQ(srv.counterSnapshot().parseErrors, 32u);
+    EXPECT_EQ(srv.counterSnapshot().served, 0u);
 }
 
 } // namespace

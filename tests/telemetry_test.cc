@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Unit tests for the telemetry plane: sharded counters, histogram
+ * shards, the flight recorder (including concurrent wraparound), the
+ * operational event log, Prometheus rendering, build info, and the
+ * metrics endpoint (HTTP + UDP one-shot; skipped without sockets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_check.hh"
+#include "sim/rng.hh"
+#include "stats/registry.hh"
+#include "telemetry/build_info.hh"
+#include "telemetry/event_log.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/metrics_server.hh"
+#include "telemetry/prometheus.hh"
+#include "telemetry/shard_stats.hh"
+
+namespace hyperplane {
+namespace telemetry {
+namespace {
+
+TEST(CounterShards, PerShardAddsAggregate)
+{
+    CounterShards cs(3);
+    cs.add(0, HotCounter::RxPackets, 10);
+    cs.add(1, HotCounter::RxPackets, 20);
+    cs.add(2, HotCounter::RxPackets);
+    cs.add(1, HotCounter::Served, 5);
+    EXPECT_EQ(cs.total(HotCounter::RxPackets), 31u);
+    EXPECT_EQ(cs.total(HotCounter::Served), 5u);
+    EXPECT_EQ(cs.total(HotCounter::TxPackets), 0u);
+    EXPECT_EQ(cs.shardValue(1, HotCounter::RxPackets), 20u);
+}
+
+TEST(CounterShards, ConcurrentWritersNeverLoseCounts)
+{
+    // One writer per shard is the contract; under TSan this checks the
+    // relaxed load+store discipline is race-free.
+    constexpr unsigned shards = 4;
+    constexpr std::uint64_t perShard = 100000;
+    CounterShards cs(shards);
+    std::vector<std::thread> ts;
+    for (unsigned s = 0; s < shards; ++s) {
+        ts.emplace_back([&cs, s] {
+            for (std::uint64_t i = 0; i < perShard; ++i)
+                cs.add(s, HotCounter::RxPackets);
+        });
+    }
+    std::atomic<bool> run{true};
+    std::thread reader([&] {
+        std::uint64_t prev = 0;
+        while (run.load(std::memory_order_relaxed)) {
+            const std::uint64_t t = cs.total(HotCounter::RxPackets);
+            ASSERT_GE(t, prev); // monotone under concurrent reads
+            prev = t;
+        }
+    });
+    for (auto &t : ts)
+        t.join();
+    run.store(false);
+    reader.join();
+    EXPECT_EQ(cs.total(HotCounter::RxPackets), shards * perShard);
+}
+
+TEST(HistogramShard, MatchesLogHistogramQuantiles)
+{
+    HistogramShard hs(100.0, 1.05, 512);
+    stats::LogHistogram ref(100.0, 1.05, 512);
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.exponential(4000.0) + 100.0;
+        hs.record(v);
+        ref.record(v);
+    }
+    const stats::LogHistogram snap = hs.snapshot();
+    EXPECT_EQ(snap.count(), ref.count());
+    EXPECT_DOUBLE_EQ(snap.min(), ref.min());
+    EXPECT_DOUBLE_EQ(snap.max(), ref.max());
+    for (double q : {0.5, 0.9, 0.99, 0.999})
+        EXPECT_DOUBLE_EQ(snap.quantile(q), ref.quantile(q));
+}
+
+TEST(StageLatencyShards, AggregatesAcrossShardsAndTenants)
+{
+    StageLatencyShards sl(2, 2, 100.0, 1.05, 256);
+    // Shard 0 records tenant 0, shard 1 records tenant 1.
+    for (int i = 0; i < 100; ++i) {
+        sl.record(0, ServerStage::EndToEnd, 0, 1000.0);
+        sl.record(1, ServerStage::EndToEnd, 1, 9000.0);
+    }
+    sl.record(0, ServerStage::RxAdmit, 0, 500.0);
+
+    EXPECT_EQ(sl.samples(ServerStage::EndToEnd), 200u);
+    EXPECT_EQ(sl.samples(ServerStage::RxAdmit), 1u);
+    EXPECT_EQ(sl.samples(ServerStage::ServiceTx), 0u);
+
+    const auto t0 = sl.aggregate(ServerStage::EndToEnd, 0);
+    const auto t1 = sl.aggregate(ServerStage::EndToEnd, 1);
+    const auto all = sl.aggregate(ServerStage::EndToEnd);
+    EXPECT_EQ(t0.count(), 100u);
+    EXPECT_EQ(t1.count(), 100u);
+    EXPECT_EQ(all.count(), 200u);
+    // Tenant 1's samples are ~9x tenant 0's; the merged p50 must land
+    // between the two tenant medians.
+    EXPECT_LT(t0.quantile(0.5), t1.quantile(0.5));
+    EXPECT_GE(all.quantile(0.5), t0.quantile(0.5));
+    EXPECT_LE(all.quantile(0.5), t1.quantile(0.5));
+}
+
+TEST(FlightRecorder, SamplingIsDeterministicModulus)
+{
+    FlightRecorder fr(1, 16, 64);
+    EXPECT_TRUE(fr.enabled());
+    EXPECT_TRUE(fr.sampled(0));
+    EXPECT_TRUE(fr.sampled(64));
+    EXPECT_TRUE(fr.sampled(128));
+    EXPECT_FALSE(fr.sampled(1));
+    EXPECT_FALSE(fr.sampled(63));
+
+    FlightRecorder off(1, 16, 0);
+    EXPECT_FALSE(off.enabled());
+    EXPECT_FALSE(off.sampled(0));
+    off.stamp(0, trace::Stage::Service, trace::Phase::Begin, 0, 1);
+    EXPECT_EQ(off.recorded(), 0u);
+    EXPECT_TRUE(off.snapshot().empty());
+}
+
+TEST(FlightRecorder, WraparoundKeepsNewestSorted)
+{
+    FlightRecorder fr(1, 8, 1);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        fr.stamp(0, trace::Stage::Completion, trace::Phase::Instant, 3,
+                 static_cast<Tick>(i * 10), 7, i);
+    EXPECT_EQ(fr.recorded(), 20u);
+    const auto snap = fr.snapshot();
+    ASSERT_EQ(snap.size(), 8u);
+    // Only the newest 8 survive, sorted by timestamp.
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].arg, 12 + i);
+        EXPECT_EQ(snap[i].ts, static_cast<Tick>((12 + i) * 10));
+        EXPECT_EQ(snap[i].track, 3u);
+        EXPECT_EQ(snap[i].qid, 7u);
+    }
+}
+
+TEST(FlightRecorder, ConcurrentStampAndSnapshotStayCoherent)
+{
+    // Satellite gate: single-writer-per-shard stamping races against a
+    // snapshotting reader over tiny rings.  Snapshots must only ever
+    // contain fully-written events (the per-slot seqlock discards
+    // mid-write slots); under TSan this is also the data-race check.
+    constexpr unsigned shards = 3;
+    constexpr std::uint64_t perShard = 20000;
+    FlightRecorder fr(shards, 16, 1);
+    std::atomic<bool> run{true};
+    std::thread reader([&] {
+        while (run.load(std::memory_order_relaxed)) {
+            for (const auto &e : fr.snapshot()) {
+                // Writers encode track == shard and arg == ts, so any
+                // torn slot shows up as a mismatched pair.
+                ASSERT_EQ(e.arg, static_cast<std::uint64_t>(e.ts));
+                ASSERT_LT(e.track, shards);
+            }
+        }
+    });
+    std::vector<std::thread> writers;
+    for (unsigned s = 0; s < shards; ++s) {
+        writers.emplace_back([&fr, s] {
+            for (std::uint64_t i = 1; i <= perShard; ++i)
+                fr.stamp(s, trace::Stage::Service,
+                         trace::Phase::Instant, s,
+                         static_cast<Tick>(i), invalidQueueId, i);
+        });
+    }
+    for (auto &w : writers)
+        w.join();
+    run.store(false);
+    reader.join();
+    EXPECT_EQ(fr.recorded(), shards * perShard);
+    const auto snap = fr.snapshot();
+    EXPECT_LE(snap.size(), shards * 16u);
+    EXPECT_GE(snap.size(), shards * 15u); // nothing mid-write now
+    for (std::size_t i = 1; i < snap.size(); ++i)
+        EXPECT_GE(snap[i].ts, snap[i - 1].ts); // merged sort order
+}
+
+TEST(EventLog, RingEvictsOldestAndCounts)
+{
+    EventLog log(4);
+    for (int i = 0; i < 7; ++i)
+        log.post(OpEventKind::Demotion, 100 + i, i, i * 10);
+    EXPECT_EQ(log.posted(), 7u);
+    EXPECT_EQ(log.evicted(), 3u);
+    const auto snap = log.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].ns, 103u + i);
+        EXPECT_EQ(snap[i].queue, 3u + i);
+    }
+}
+
+TEST(EventLog, JsonIsWellFormedEvenWithHostileDetail)
+{
+    EventLog log(8);
+    log.post(OpEventKind::StormDemotion, 1, 2, 3,
+             "tenant=\"quoted\"\nback\\slash");
+    log.post(OpEventKind::FlightDump, 2, ~0u, 0, "path=/tmp/x.json");
+    const std::string j = log.json();
+    EXPECT_TRUE(hyperplane::testing::JsonChecker(j).valid()) << j;
+    EXPECT_NE(j.find("storm_demotion"), std::string::npos);
+    EXPECT_NE(j.find("flight_dump"), std::string::npos);
+}
+
+TEST(Prometheus, SanitizesNamesAndEscapesLabels)
+{
+    EXPECT_EQ(sanitizeMetricName("server.rx_packets"),
+              "hyperplane_server_rx_packets");
+    EXPECT_EQ(sanitizeMetricName("tenant.bulk-1.p99 ns"),
+              "hyperplane_tenant_bulk_1_p99_ns");
+    EXPECT_EQ(escapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST(Prometheus, PageHasBuildInfoUptimeAndEveryEntry)
+{
+    stats::Registry reg;
+    double weird = 0.0;
+    reg.addScalar("unit.test.value", [] { return 42.0; });
+    reg.addScalar("unit.test.weird", [&weird] { return weird; });
+    weird = std::numeric_limits<double>::quiet_NaN();
+
+    const std::string page = prometheusText(reg, 12.5);
+    EXPECT_NE(page.find("hyperplane_build_info{"), std::string::npos);
+    EXPECT_NE(page.find("hyperplane_uptime_seconds 12.5"),
+              std::string::npos);
+    EXPECT_NE(page.find("hyperplane_unit_test_value 42"),
+              std::string::npos);
+    EXPECT_NE(page.find("hyperplane_unit_test_weird NaN"),
+              std::string::npos);
+    // Exposition format: every line is "name{labels} value" or a
+    // comment; no line may contain an unescaped bare quote outside
+    // label values.  Cheap structural check: non-comment lines have
+    // exactly one space separating name and value.
+    std::size_t start = 0;
+    while (start < page.size()) {
+        std::size_t end = page.find('\n', start);
+        if (end == std::string::npos)
+            end = page.size();
+        const std::string line = page.substr(start, end - start);
+        if (!line.empty() && line[0] != '#' &&
+            line.find('{') == std::string::npos) {
+            EXPECT_EQ(std::count(line.begin(), line.end(), ' '), 1)
+                << line;
+        }
+        start = end + 1;
+    }
+}
+
+TEST(BuildInfo, IsPopulated)
+{
+    const BuildInfo &bi = buildInfo();
+    ASSERT_NE(bi.gitSha, nullptr);
+    ASSERT_NE(bi.buildType, nullptr);
+    ASSERT_NE(bi.compiler, nullptr);
+    EXPECT_GT(std::strlen(bi.gitSha), 0u);
+    EXPECT_GT(std::strlen(bi.compiler), 0u);
+    EXPECT_EQ(bi.traceCompiledIn, trace::kCompiledIn);
+}
+
+/** Scrape the metrics server over its UDP one-shot op. */
+std::string
+udpScrape(std::uint16_t port, const std::string &path)
+{
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0)
+        return {};
+    timeval tv{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::sendto(fd, path.data(), path.size(), 0,
+                 reinterpret_cast<sockaddr *>(&addr),
+                 sizeof(addr)) < 0) {
+        ::close(fd);
+        return {};
+    }
+    std::string body;
+    char buf[2048];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break; // empty datagram terminates the response
+        body.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return body;
+}
+
+/** Minimal HTTP GET against 127.0.0.1:port. */
+std::string
+httpGet(std::uint16_t port, const std::string &path)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return {};
+    timeval tv{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string req =
+        "GET " + path + " HTTP/1.0\r\nHost: t\r\n\r\n";
+    if (::send(fd, req.data(), req.size(), 0) < 0) {
+        ::close(fd);
+        return {};
+    }
+    std::string resp;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        resp.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return resp;
+}
+
+TEST(MetricsServerTest, ServesHttpAndUdpOrSkips)
+{
+    MetricsServer ms;
+    const bool up = ms.start("127.0.0.1", 0,
+                             [](const std::string &path,
+                                std::string &contentType) {
+                                 if (path == "/metrics") {
+                                     contentType = "text/plain";
+                                     return std::string("body 1\n");
+                                 }
+                                 return std::string();
+                             });
+    if (!up)
+        GTEST_SKIP() << "sockets unavailable in this sandbox";
+    ASSERT_GT(ms.port(), 0);
+
+    const std::string ok = httpGet(ms.port(), "/metrics");
+    if (ok.empty())
+        GTEST_SKIP() << "TCP connect unavailable in this sandbox";
+    EXPECT_NE(ok.find("200 OK"), std::string::npos);
+    EXPECT_NE(ok.find("body 1"), std::string::npos);
+    EXPECT_NE(ok.find("Content-Type: text/plain"), std::string::npos);
+
+    const std::string missing = httpGet(ms.port(), "/nope");
+    EXPECT_NE(missing.find("404"), std::string::npos);
+
+    // UDP one-shot: empty datagram means "/metrics".
+    EXPECT_EQ(udpScrape(ms.port(), "/metrics"), "body 1\n");
+    EXPECT_EQ(udpScrape(ms.port(), ""), "body 1\n");
+    EXPECT_GE(ms.requestsServed(), 4u);
+    ms.stop();
+    EXPECT_FALSE(ms.running());
+}
+
+TEST(MetricsServerTest, UdpChunksLargeBodies)
+{
+    MetricsServer ms;
+    // Three full chunks plus a remainder, to cross the 1200-byte
+    // datagram boundary several times.
+    const std::string big(3 * MetricsServer::kUdpChunk + 123, 'x');
+    const bool up = ms.start(
+        "127.0.0.1", 0,
+        [&big](const std::string &, std::string &ct) {
+            ct = "text/plain";
+            return big;
+        });
+    if (!up)
+        GTEST_SKIP() << "sockets unavailable in this sandbox";
+    const std::string got = udpScrape(ms.port(), "/metrics");
+    if (got.empty())
+        GTEST_SKIP() << "UDP loopback unavailable in this sandbox";
+    EXPECT_EQ(got, big);
+    ms.stop();
+}
+
+} // namespace
+} // namespace telemetry
+} // namespace hyperplane
