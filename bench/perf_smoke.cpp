@@ -28,6 +28,8 @@
 #include "harness/export.hh"
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "net/simd/dispatch.hh"
+#include "server/wire.hh"
 #include "sim/callback.hh"
 #include "stats/json.hh"
 #include "stats/table.hh"
@@ -115,6 +117,116 @@ timeScalingEndpoint(unsigned cores, unsigned reps)
             best = {events, ns};
     }
     return best;
+}
+
+/**
+ * Hand-rolled timing of one hot-path kernel: scalar reference vs the
+ * dispatched variant over the same buffer, best-of-reps.  The tracked
+ * JSON records the ratio so a dispatch regression (a future change
+ * accidentally routing to a slower variant) shows up in the trajectory;
+ * --check gates dispatched >= 0.8x scalar and result equality.
+ */
+struct KernelPoint
+{
+    const char *name;
+    const char *variant; // dispatched variant name, for provenance
+    double scalarNs;
+    double dispatchedNs;
+    double speedup;
+    bool resultsMatch;
+};
+
+template <typename Fn>
+double
+bestOfNs(Fn &&fn, unsigned iters, unsigned reps)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (unsigned i = 0; i < iters; ++i)
+            fn();
+        const double ns = 1e9 * secondsSince(t0) / iters;
+        if (r == 0 || ns < best)
+            best = ns;
+    }
+    return best;
+}
+
+std::vector<KernelPoint>
+timeKernels()
+{
+    const auto &scalar = net::simd::scalarKernels();
+    const auto &hot = net::simd::kernels();
+    std::vector<std::uint8_t> buf(1500);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    constexpr unsigned iters = 20000, reps = 3;
+
+    std::vector<KernelPoint> out;
+    {
+        volatile std::uint32_t sink = 0;
+        const double s = bestOfNs(
+            [&] { sink = scalar.checksumPartial(buf.data(), 1500, 0); },
+            iters, reps);
+        const double d = bestOfNs(
+            [&] { sink = hot.checksumPartial(buf.data(), 1500, 0); },
+            iters, reps);
+        out.push_back({"checksum_1500B", hot.checksumName, s, d,
+                       d > 0 ? s / d : 0.0,
+                       scalar.checksumPartial(buf.data(), 1500, 0) ==
+                           hot.checksumPartial(buf.data(), 1500, 0)});
+    }
+    {
+        volatile std::uint32_t sink = 0;
+        const double s = bestOfNs(
+            [&] { sink = scalar.crc32c(buf.data(), 1024, 0); }, iters,
+            reps);
+        const double d = bestOfNs(
+            [&] { sink = hot.crc32c(buf.data(), 1024, 0); }, iters,
+            reps);
+        out.push_back({"crc32c_1024B", hot.crc32cName, s, d,
+                       d > 0 ? s / d : 0.0,
+                       scalar.crc32c(buf.data(), 1024, 0) ==
+                           hot.crc32c(buf.data(), 1024, 0)});
+    }
+    {
+        // A 32-packet RX burst of valid request headers.
+        constexpr std::size_t n = 32;
+        server::wire::RequestHeader hdr;
+        std::vector<std::vector<std::uint8_t>> storage(n);
+        std::vector<const std::uint8_t *> pkts(n);
+        std::vector<std::uint32_t> lens(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            storage[i].resize(64);
+            hdr.seq = i;
+            lens[i] = static_cast<std::uint32_t>(
+                server::wire::buildRequest(storage[i].data(),
+                                           storage[i].size(), hdr,
+                                           nullptr));
+            pkts[i] = storage[i].data();
+        }
+        const std::uint8_t prefix[8] = {
+            'H', 'P', 'R', 'Q', server::wire::wireVersion, 0, 0, 0};
+        std::uint8_t okScalar[n], okHot[n];
+        const auto run = [&](net::simd::HeaderCheckFn fn,
+                             std::uint8_t *ok) {
+            fn(pkts.data(), lens.data(), n, prefix,
+               server::wire::numOpcodes,
+               server::wire::RequestHeader::wireSize, ok);
+        };
+        const double s = bestOfNs(
+            [&] { run(scalar.headerCheck, okScalar); }, iters, reps);
+        const double d =
+            bestOfNs([&] { run(hot.headerCheck, okHot); }, iters, reps);
+        run(scalar.headerCheck, okScalar);
+        run(hot.headerCheck, okHot);
+        bool match = true;
+        for (std::size_t i = 0; i < n; ++i)
+            match &= (okScalar[i] != 0) == (okHot[i] != 0);
+        out.push_back({"header_check_32pkt", hot.headerCheckName, s, d,
+                       d > 0 ? s / d : 0.0, match});
+    }
+    return out;
 }
 
 /** The Figure 10 series grid (both panels), verbatim. */
@@ -269,6 +381,21 @@ main(int argc, char **argv)
                 "(%.2fx; full sweep: bench/ext_core_scaling)\n",
                 sc16.nsPerEvent, sc128.nsPerEvent, scalingSpread);
 
+    // --- Hot-path kernel micro-points --------------------------------
+    const std::vector<KernelPoint> kernels = timeKernels();
+    {
+        stats::Table kt("SIMD kernel dispatch (scalar vs dispatched)");
+        kt.header({"kernel", "variant", "scalar ns", "dispatched ns",
+                   "speedup", "match"});
+        for (const auto &k : kernels) {
+            kt.row({k.name, k.variant, stats::fmt(k.scalarNs, 1),
+                    stats::fmt(k.dispatchedNs, 1),
+                    stats::fmt(k.speedup, 2) + "x",
+                    k.resultsMatch ? "yes" : "NO"});
+        }
+        kt.print();
+    }
+
     const std::uint64_t heapFallbacks =
         EventCallback::heapFallbackCount();
     std::printf("callback inline-buffer overflows: %llu (expect 0)\n",
@@ -309,7 +436,22 @@ main(int argc, char **argv)
            << ",\"directory_hits\":" << p.dirHits
            << ",\"directory_lines\":" << p.dirLines << "}";
     }
-    os << "],\n\"core_scaling\":{\"ns_per_event_16\":"
+    os << "],\n\"kernel_micro\":{\"force_scalar\":"
+       << (net::simd::kernels().forcedScalar ? "true" : "false")
+       << ",\"points\":[";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const auto &k = kernels[i];
+        os << (i == 0 ? "" : ",") << "\n{\"name\":"
+           << stats::jsonString(k.name)
+           << ",\"variant\":" << stats::jsonString(k.variant)
+           << ",\"scalar_ns\":" << stats::jsonNumber(k.scalarNs)
+           << ",\"dispatched_ns\":" << stats::jsonNumber(k.dispatchedNs)
+           << ",\"speedup\":" << stats::jsonNumber(k.speedup)
+           << ",\"results_match\":" << (k.resultsMatch ? "true" : "false")
+           << "}";
+    }
+    os << "]}";
+    os << ",\n\"core_scaling\":{\"ns_per_event_16\":"
        << stats::jsonNumber(sc16.nsPerEvent)
        << ",\"ns_per_event_128\":" << stats::jsonNumber(sc128.nsPerEvent)
        << ",\"spread_128_vs_16\":" << stats::jsonNumber(scalingSpread)
@@ -340,6 +482,22 @@ main(int argc, char **argv)
     if (heapFallbacks != 0) {
         std::puts("CHECK FAILED: schedule fast path heap-allocated");
         ok = false;
+    }
+    for (const auto &k : kernels) {
+        if (!k.resultsMatch) {
+            std::printf("CHECK FAILED: %s dispatched result differs "
+                        "from scalar\n",
+                        k.name);
+            ok = false;
+        }
+        // The dispatched kernel may tie scalar (scalar hosts, forced
+        // scalar) but must never be meaningfully slower.
+        if (k.speedup > 0.0 && k.speedup < 0.8) {
+            std::printf("CHECK FAILED: %s dispatched %.2fx slower than "
+                        "scalar (variant %s)\n",
+                        k.name, 1.0 / k.speedup, k.variant);
+            ok = false;
+        }
     }
     // The speedup assertion needs real cores; skip on small hosts (the
     // determinism byte-compare above runs everywhere).

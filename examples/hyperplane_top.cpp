@@ -142,6 +142,18 @@ get(const std::map<std::string, double> &m, const char *k)
     return it == m.end() ? 0.0 : it->second;
 }
 
+/** Kernel variant name from the numeric level metric (0/1/2). */
+const char *
+variantName(double level, bool crc)
+{
+    const int l = static_cast<int>(level);
+    if (l <= 0)
+        return "scalar";
+    if (l == 1)
+        return crc ? "sse4.2" : "sse2";
+    return "avx2";
+}
+
 } // namespace
 
 int
@@ -197,6 +209,26 @@ main(int argc, char **argv)
         const double served = get(m, "hyperplane_server_requests_served");
         const double tx = get(m, "hyperplane_server_tx_packets");
         if (first) {
+            // One-time provenance line: which SIMD kernels the server
+            // dispatched and how big its zero-copy frame pool is.
+            std::printf(
+                "kernels: checksum=%s crc32c=%s header=%s%s | "
+                "pool: %.0f frames (%.0f free) | payload copies: %.0f\n",
+                variantName(
+                    get(m, "hyperplane_server_simd_checksum_level"),
+                    false),
+                variantName(
+                    get(m, "hyperplane_server_simd_crc32c_level"),
+                    true),
+                variantName(
+                    get(m, "hyperplane_server_simd_header_level"),
+                    false),
+                get(m, "hyperplane_server_simd_force_scalar") != 0.0
+                    ? " (forced scalar)"
+                    : "",
+                get(m, "hyperplane_server_pool_frames_total"),
+                get(m, "hyperplane_server_pool_frames_free"),
+                get(m, "hyperplane_server_payload_copies"));
             std::printf("%10s %10s %8s %9s %9s %9s %7s %7s\n",
                         "served/s", "tx/s", "backlog", "e2e p50",
                         "e2e p99", "e2e p999", "shed", "demote");

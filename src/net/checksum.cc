@@ -1,6 +1,7 @@
 #include "net/checksum.hh"
 
-#include <array>
+#include "net/simd/dispatch.hh"
+#include "sim/logging.hh"
 
 namespace hyperplane {
 namespace net {
@@ -9,12 +10,7 @@ std::uint32_t
 checksumPartial(const std::uint8_t *data, std::size_t len,
                 std::uint32_t sum)
 {
-    std::size_t i = 0;
-    for (; i + 1 < len; i += 2)
-        sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
-    if (i < len)
-        sum += static_cast<std::uint32_t>(data[i]) << 8;
-    return sum;
+    return simd::kernels().checksumPartial(data, len, sum);
 }
 
 std::uint16_t
@@ -28,38 +24,27 @@ finishChecksum(std::uint32_t sum)
 std::uint16_t
 internetChecksum(const std::uint8_t *data, std::size_t len)
 {
-    return finishChecksum(checksumPartial(data, len, 0));
+    return finishChecksum(
+        simd::kernels().checksumPartial(data, len, 0));
 }
 
-namespace {
-
-/** Build the byte-wise CRC32C table at static-init time. */
-std::array<std::uint32_t, 256>
-makeCrc32cTable()
+std::uint16_t
+checksumSpliced(const std::uint8_t *data, std::size_t len,
+                std::size_t holeOff)
 {
-    std::array<std::uint32_t, 256> table{};
-    // Reflected Castagnoli polynomial.
-    constexpr std::uint32_t poly = 0x82f63b78u;
-    for (std::uint32_t i = 0; i < 256; ++i) {
-        std::uint32_t crc = i;
-        for (int bit = 0; bit < 8; ++bit)
-            crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
-        table[i] = crc;
-    }
-    return table;
+    hp_assert(holeOff % 2 == 0,
+              "checksum hole must sit at an even offset");
+    hp_assert(holeOff + 2 <= len, "checksum hole must fit the message");
+    const simd::KernelTable &k = simd::kernels();
+    std::uint32_t sum = k.checksumPartial(data, holeOff, 0);
+    sum = k.checksumPartial(data + holeOff + 2, len - holeOff - 2, sum);
+    return finishChecksum(sum);
 }
-
-const std::array<std::uint32_t, 256> crcTable = makeCrc32cTable();
-
-} // namespace
 
 std::uint32_t
 crc32c(const std::uint8_t *data, std::size_t len, std::uint32_t seed)
 {
-    std::uint32_t crc = ~seed;
-    for (std::size_t i = 0; i < len; ++i)
-        crc = (crc >> 8) ^ crcTable[(crc ^ data[i]) & 0xff];
-    return ~crc;
+    return simd::kernels().crc32c(data, len, seed);
 }
 
 } // namespace net

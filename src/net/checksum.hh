@@ -5,6 +5,12 @@
  * The internet checksum covers IPv4 headers; CRC32C (Castagnoli) is used
  * by the packet-steering workload as a flow hash and by the storage
  * workloads for block integrity tags.
+ *
+ * Both are runtime-dispatched to the fastest kernel the host CPU
+ * supports (scalar / SSE2 / AVX2 checksum, table / SSE4.2 crc32c) —
+ * see net/simd/dispatch.hh.  Every variant is bit-identical to the
+ * scalar reference, including the raw checksumPartial running sum, and
+ * HYPERPLANE_FORCE_SCALAR=1 pins everything to scalar.
  */
 
 #ifndef HYPERPLANE_NET_CHECKSUM_HH
@@ -42,6 +48,18 @@ std::uint32_t checksumPartial(const std::uint8_t *data, std::size_t len,
 
 /** Fold a partial sum into the final 16-bit checksum. */
 std::uint16_t finishChecksum(std::uint32_t sum);
+
+/**
+ * Checksum of a message containing a 2-byte hole (a zeroed checksum
+ * field) at @p holeOff.  Encapsulates the even-offset split the
+ * checksumPartial warning above exists for: the chunk before the hole
+ * ends at an even offset, so both chunks keep the RFC 1071 16-bit
+ * alignment and only the final chunk may be odd.
+ *
+ * @pre holeOff is even and holeOff + 2 <= len.
+ */
+std::uint16_t checksumSpliced(const std::uint8_t *data, std::size_t len,
+                              std::size_t holeOff);
 
 /** CRC32C (Castagnoli polynomial 0x1EDC6F41), bit-reflected, init ~0. */
 std::uint32_t crc32c(const std::uint8_t *data, std::size_t len,

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * AVX2 kernels.  Compiled with -mavx2 (this TU only); the dispatch
+ * layer never installs them unless the runtime cpuid probe confirms
+ * AVX2, so no AVX instruction executes on a host without it.
+ *
+ * Same bit-exactness contract as the SSE2 TU: in-register byteswap,
+ * 32-bit lane accumulation, commutative fold.
+ */
+
+#include "net/simd/kernels.hh"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+#define HP_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#include <cstring>
+#endif
+
+namespace hyperplane {
+namespace net {
+namespace simd {
+namespace detail {
+
+#if defined(HP_SIMD_HAVE_AVX2)
+
+namespace {
+
+std::uint32_t
+checksumPartialAvx2Kernel(const std::uint8_t *data, std::size_t len,
+                          std::uint32_t sum)
+{
+    std::size_t i = 0;
+    if (len >= 128) {
+        const __m256i zero = _mm256_setzero_si256();
+        __m256i acc = zero;
+        for (; i + 32 <= len; i += 32) {
+            __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(data + i));
+            const __m256i sw = _mm256_or_si256(
+                _mm256_slli_epi16(v, 8), _mm256_srli_epi16(v, 8));
+            acc = _mm256_add_epi32(acc,
+                                   _mm256_unpacklo_epi16(sw, zero));
+            acc = _mm256_add_epi32(acc,
+                                   _mm256_unpackhi_epi16(sw, zero));
+        }
+        alignas(32) std::uint32_t lanes[8];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+        sum += lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] +
+               lanes[5] + lanes[6] + lanes[7];
+    }
+    for (; i + 1 < len; i += 2)
+        sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+    if (i < len)
+        sum += static_cast<std::uint32_t>(data[i]) << 8;
+    return sum;
+}
+
+std::uint64_t
+load64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+void
+headerCheckAvx2Kernel(const std::uint8_t *const *pkts,
+                      const std::uint32_t *lens, std::size_t n,
+                      const std::uint8_t *prefix,
+                      std::uint8_t opcodeLimit, std::uint32_t minLen,
+                      std::uint8_t *ok)
+{
+    constexpr std::uint64_t mask5 = 0x000000ffffffffffULL;
+    std::uint64_t patWord;
+    std::memcpy(&patWord, prefix, sizeof(patWord));
+    const __m256i mask = _mm256_set1_epi64x(
+        static_cast<long long>(mask5));
+    const __m256i pat = _mm256_set1_epi64x(
+        static_cast<long long>(patWord & mask5));
+
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        if (lens[i] < minLen || lens[i + 1] < minLen ||
+            lens[i + 2] < minLen || lens[i + 3] < minLen) {
+            headerCheckScalar(pkts + i, lens + i, 4, prefix,
+                              opcodeLimit, minLen, ok + i);
+            continue;
+        }
+        const __m256i v = _mm256_and_si256(
+            _mm256_set_epi64x(
+                static_cast<long long>(load64(pkts[i + 3])),
+                static_cast<long long>(load64(pkts[i + 2])),
+                static_cast<long long>(load64(pkts[i + 1])),
+                static_cast<long long>(load64(pkts[i]))),
+            mask);
+        const unsigned eq = static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, pat)));
+        for (unsigned j = 0; j < 4; ++j) {
+            const unsigned lane = (eq >> (8 * j)) & 0xffu;
+            ok[i + j] = lane == 0xffu && pkts[i + j][5] < opcodeLimit;
+        }
+    }
+    if (i < n) {
+        headerCheckScalar(pkts + i, lens + i, n - i, prefix,
+                          opcodeLimit, minLen, ok + i);
+    }
+}
+
+} // namespace
+
+ChecksumPartialFn
+checksumPartialAvx2Compiled()
+{
+    return &checksumPartialAvx2Kernel;
+}
+
+HeaderCheckFn
+headerCheckAvx2Compiled()
+{
+    return &headerCheckAvx2Kernel;
+}
+
+#else
+
+ChecksumPartialFn
+checksumPartialAvx2Compiled()
+{
+    return nullptr;
+}
+
+HeaderCheckFn
+headerCheckAvx2Compiled()
+{
+    return nullptr;
+}
+
+#endif
+
+} // namespace detail
+} // namespace simd
+} // namespace net
+} // namespace hyperplane

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Scalar reference kernels.  Every SIMD variant is differential-tested
+ * against these byte for byte, so they are the specification: keep them
+ * boring and obviously correct.
+ */
+
+#include "net/simd/kernels.hh"
+
+#include <array>
+#include <cstring>
+
+namespace hyperplane {
+namespace net {
+namespace simd {
+namespace detail {
+
+std::uint32_t
+checksumPartialScalar(const std::uint8_t *data, std::size_t len,
+                      std::uint32_t sum)
+{
+    std::size_t i = 0;
+    for (; i + 1 < len; i += 2)
+        sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+    if (i < len)
+        sum += static_cast<std::uint32_t>(data[i]) << 8;
+    return sum;
+}
+
+namespace {
+
+/** Build the byte-wise CRC32C table at static-init time. */
+std::array<std::uint32_t, 256>
+makeCrc32cTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    // Reflected Castagnoli polynomial.
+    constexpr std::uint32_t poly = 0x82f63b78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> crcTable = makeCrc32cTable();
+
+} // namespace
+
+std::uint32_t
+crc32cScalar(const std::uint8_t *data, std::size_t len,
+             std::uint32_t seed)
+{
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ crcTable[(crc ^ data[i]) & 0xff];
+    return ~crc;
+}
+
+void
+headerCheckScalar(const std::uint8_t *const *pkts,
+                  const std::uint32_t *lens, std::size_t n,
+                  const std::uint8_t *prefix, std::uint8_t opcodeLimit,
+                  std::uint32_t minLen, std::uint8_t *ok)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        ok[i] = lens[i] >= minLen &&
+                std::memcmp(pkts[i], prefix, 5) == 0 &&
+                pkts[i][5] < opcodeLimit;
+    }
+}
+
+} // namespace detail
+} // namespace simd
+} // namespace net
+} // namespace hyperplane

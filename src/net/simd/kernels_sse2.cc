@@ -1,0 +1,130 @@
+/**
+ * @file
+ * SSE2 kernels (baseline on x86-64, so this TU needs no extra -m flag).
+ *
+ * The checksum kernel must reproduce the scalar partial sum bit for
+ * bit: byteswap the 16-bit lanes in-register (the scalar sum is over
+ * big-endian words), zero-extend to 32-bit lanes, and accumulate with
+ * paddd.  Each lane wraps mod 2^32 exactly like the scalar sum, and
+ * addition mod 2^32 is commutative, so the horizontal fold equals the
+ * scalar left-to-right sum for any input.
+ */
+
+#include "net/simd/kernels.hh"
+
+#if defined(__SSE2__) && (defined(__x86_64__) || defined(__i386__))
+#define HP_SIMD_HAVE_SSE2 1
+#include <emmintrin.h>
+#include <cstring>
+#endif
+
+namespace hyperplane {
+namespace net {
+namespace simd {
+namespace detail {
+
+#if defined(HP_SIMD_HAVE_SSE2)
+
+namespace {
+
+std::uint32_t
+checksumPartialSse2Kernel(const std::uint8_t *data, std::size_t len,
+                          std::uint32_t sum)
+{
+    std::size_t i = 0;
+    if (len >= 64) {
+        const __m128i zero = _mm_setzero_si128();
+        __m128i acc = zero;
+        for (; i + 16 <= len; i += 16) {
+            __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(data + i));
+            // Big-endian 16-bit words: swap the bytes of each lane.
+            const __m128i sw = _mm_or_si128(_mm_slli_epi16(v, 8),
+                                            _mm_srli_epi16(v, 8));
+            acc = _mm_add_epi32(acc, _mm_unpacklo_epi16(sw, zero));
+            acc = _mm_add_epi32(acc, _mm_unpackhi_epi16(sw, zero));
+        }
+        alignas(16) std::uint32_t lanes[4];
+        _mm_store_si128(reinterpret_cast<__m128i *>(lanes), acc);
+        sum += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    }
+    for (; i + 1 < len; i += 2)
+        sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+    if (i < len)
+        sum += static_cast<std::uint32_t>(data[i]) << 8;
+    return sum;
+}
+
+void
+headerCheckSse2Kernel(const std::uint8_t *const *pkts,
+                      const std::uint32_t *lens, std::size_t n,
+                      const std::uint8_t *prefix,
+                      std::uint8_t opcodeLimit, std::uint32_t minLen,
+                      std::uint8_t *ok)
+{
+    // Bytes 0..4 of each packet against the prefix; bytes 5..7 masked
+    // out of the compare, with the opcode bound checked scalar.
+    const __m128i mask = _mm_set_epi64x(0x000000ffffffffffLL,
+                                        0x000000ffffffffffLL);
+    __m128i pat = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(prefix));
+    pat = _mm_and_si128(_mm_unpacklo_epi64(pat, pat), mask);
+
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        if (lens[i] < minLen || lens[i + 1] < minLen) {
+            headerCheckScalar(pkts + i, lens + i, 2, prefix,
+                              opcodeLimit, minLen, ok + i);
+            continue;
+        }
+        const __m128i a = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(pkts[i]));
+        const __m128i b = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(pkts[i + 1]));
+        const __m128i v =
+            _mm_and_si128(_mm_unpacklo_epi64(a, b), mask);
+        const int eq = _mm_movemask_epi8(_mm_cmpeq_epi8(v, pat));
+        ok[i] = (eq & 0x00ff) == 0x00ff && pkts[i][5] < opcodeLimit;
+        ok[i + 1] =
+            (eq & 0xff00) == 0xff00 && pkts[i + 1][5] < opcodeLimit;
+    }
+    if (i < n) {
+        headerCheckScalar(pkts + i, lens + i, n - i, prefix,
+                          opcodeLimit, minLen, ok + i);
+    }
+}
+
+} // namespace
+
+ChecksumPartialFn
+checksumPartialSse2Compiled()
+{
+    return &checksumPartialSse2Kernel;
+}
+
+HeaderCheckFn
+headerCheckSse2Compiled()
+{
+    return &headerCheckSse2Kernel;
+}
+
+#else
+
+ChecksumPartialFn
+checksumPartialSse2Compiled()
+{
+    return nullptr;
+}
+
+HeaderCheckFn
+headerCheckSse2Compiled()
+{
+    return nullptr;
+}
+
+#endif
+
+} // namespace detail
+} // namespace simd
+} // namespace net
+} // namespace hyperplane

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SSE4.2 hardware CRC32C.  Compiled with -msse4.2 (this TU only).
+ *
+ * The crc32 instruction implements exactly the reflected Castagnoli
+ * algorithm of the scalar byte table — same polynomial, same bit
+ * order — so ~crc32(~seed, data) is bit-identical to the table walk
+ * for every input (pinned by the known-vector and differential tests).
+ */
+
+#include "net/simd/kernels.hh"
+
+#if defined(__SSE4_2__) && (defined(__x86_64__) || defined(__i386__))
+#define HP_SIMD_HAVE_SSE42 1
+#include <nmmintrin.h>
+#include <cstring>
+#endif
+
+namespace hyperplane {
+namespace net {
+namespace simd {
+namespace detail {
+
+#if defined(HP_SIMD_HAVE_SSE42)
+
+namespace {
+
+std::uint32_t
+crc32cSse42Kernel(const std::uint8_t *data, std::size_t len,
+                  std::uint32_t seed)
+{
+    std::size_t i = 0;
+#if defined(__x86_64__)
+    std::uint64_t crc = ~seed;
+    for (; i + 8 <= len; i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, data + i, sizeof(word));
+        crc = _mm_crc32_u64(crc, word);
+    }
+    std::uint32_t crc32 = static_cast<std::uint32_t>(crc);
+#else
+    std::uint32_t crc32 = ~seed;
+    for (; i + 4 <= len; i += 4) {
+        std::uint32_t word;
+        std::memcpy(&word, data + i, sizeof(word));
+        crc32 = _mm_crc32_u32(crc32, word);
+    }
+#endif
+    for (; i < len; ++i)
+        crc32 = _mm_crc32_u8(crc32, data[i]);
+    return ~crc32;
+}
+
+} // namespace
+
+Crc32cFn
+crc32cSse42Compiled()
+{
+    return &crc32cSse42Kernel;
+}
+
+#else
+
+Crc32cFn
+crc32cSse42Compiled()
+{
+    return nullptr;
+}
+
+#endif
+
+} // namespace detail
+} // namespace simd
+} // namespace net
+} // namespace hyperplane

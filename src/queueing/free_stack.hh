@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Lock-free free-list of small integer indices (a Treiber stack).
+ *
+ * The zero-copy frame pool keeps its free frames here: push and pop
+ * are one CAS each, with no mutex on the per-packet path.  The head
+ * packs a 32-bit version tag next to the 32-bit top index so a pop
+ * that races with a pop+push of the same index (the classic ABA) fails
+ * its CAS and retries.  Next-pointers live in a caller-owned array
+ * indexed by element, so the stack itself allocates once.
+ */
+
+#ifndef HYPERPLANE_QUEUEING_FREE_STACK_HH
+#define HYPERPLANE_QUEUEING_FREE_STACK_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace hyperplane {
+namespace queueing {
+
+/** MPMC stack of indices in [0, capacity). */
+class FreeIndexStack
+{
+  public:
+    /** Created full: holds every index in [0, capacity). */
+    explicit FreeIndexStack(std::uint32_t capacity)
+        : capacity_(capacity),
+          next_(std::make_unique<std::atomic<std::uint32_t>[]>(
+              capacity ? capacity : 1))
+    {
+        for (std::uint32_t i = 0; i < capacity; ++i)
+            next_[i].store(i + 1 < capacity ? i + 1 : kNil,
+                           std::memory_order_relaxed);
+        head_.store(pack(capacity ? 0 : kNil, 0),
+                    std::memory_order_relaxed);
+    }
+
+    FreeIndexStack(const FreeIndexStack &) = delete;
+    FreeIndexStack &operator=(const FreeIndexStack &) = delete;
+
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Pop an index. @return false when empty. */
+    bool tryPop(std::uint32_t &out)
+    {
+        std::uint64_t head = head_.load(std::memory_order_acquire);
+        for (;;) {
+            const std::uint32_t top = unpackIndex(head);
+            if (top == kNil)
+                return false;
+            const std::uint64_t next =
+                pack(next_[top].load(std::memory_order_relaxed),
+                     unpackTag(head) + 1);
+            if (head_.compare_exchange_weak(head, next,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+                out = top;
+                return true;
+            }
+        }
+    }
+
+    /** Push @p idx. @pre idx < capacity() and not currently in the stack. */
+    void push(std::uint32_t idx)
+    {
+        std::uint64_t head = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            next_[idx].store(unpackIndex(head),
+                             std::memory_order_relaxed);
+            const std::uint64_t next = pack(idx, unpackTag(head) + 1);
+            if (head_.compare_exchange_weak(head, next,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+                return;
+            }
+        }
+    }
+
+    /** Free entries right now (racy; for telemetry, not decisions). */
+    std::uint32_t approxSize() const
+    {
+        std::uint32_t n = 0;
+        std::uint32_t i =
+            unpackIndex(head_.load(std::memory_order_acquire));
+        while (i != kNil && n <= capacity_) {
+            ++n;
+            i = next_[i].load(std::memory_order_relaxed);
+        }
+        return n;
+    }
+
+  private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    static std::uint64_t pack(std::uint32_t index, std::uint32_t tag)
+    {
+        return (static_cast<std::uint64_t>(tag) << 32) | index;
+    }
+    static std::uint32_t unpackIndex(std::uint64_t head)
+    {
+        return static_cast<std::uint32_t>(head);
+    }
+    static std::uint32_t unpackTag(std::uint64_t head)
+    {
+        return static_cast<std::uint32_t>(head >> 32);
+    }
+
+    const std::uint32_t capacity_;
+    std::unique_ptr<std::atomic<std::uint32_t>[]> next_;
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+};
+
+} // namespace queueing
+} // namespace hyperplane
+
+#endif // HYPERPLANE_QUEUEING_FREE_STACK_HH

@@ -3,11 +3,13 @@
 #include <arpa/inet.h>
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "net/headers.hh"
 #include "net/packet.hh"
+#include "net/simd/dispatch.hh"
 #include "queueing/task_queue.hh"
 #include "server/flow.hh"
 #include "sim/logging.hh"
@@ -120,6 +122,23 @@ UdpServer::start()
     epoch_ = steady_clock::now();
     if (cfg_.tracer)
         cfg_.tracer->setClock([this] { return nowTicks(); });
+
+    // Zero-copy frame pools: drain the old queues first on a restart —
+    // queued requests hold frame handles into the pools being replaced.
+    reqQueues_.clear();
+    txQueues_.clear();
+    rxPools_.clear();
+    rejectPool_.reset();
+    const std::uint32_t frameBytes =
+        FramePool::responseHeadroom + wire::maxDatagramBytes;
+    for (unsigned i = 0; i < cfg_.rxThreads; ++i) {
+        rxPools_.push_back(std::make_unique<FramePool>(
+            std::max<std::uint32_t>(cfg_.framesPerRxShard, cfg_.rxBatch),
+            frameBytes));
+    }
+    // Rejects are payload-free 36-byte responses: small frames suffice.
+    rejectPool_ = std::make_unique<FramePool>(
+        std::max<std::uint32_t>(cfg_.rejectReserveFrames, 1), 64);
 
     hpDev_ =
         std::make_unique<emu::EmuHyperPlane>(cfg_.numQueues, cfg_.policy);
@@ -319,6 +338,13 @@ UdpServer::counterSnapshot() const
     s.fallbackServes = ld(counters_.fallbackServes);
     s.demotions = ld(counters_.demotions);
     s.promotions = ld(counters_.promotions);
+    s.poolDrops = ld(counters_.poolDrops);
+    for (const auto &p : rxPools_) {
+        s.poolExhausted += p->exhausted();
+        s.payloadCopies += p->copyEvents();
+    }
+    if (rejectPool_)
+        s.poolExhausted += rejectPool_->exhausted();
     return s;
 }
 
@@ -341,7 +367,23 @@ UdpServer::rxLoop(unsigned index)
     const bool havePoll = waiter.valid() && waiter.add(sock.fd());
 
     Rng rng(cfg_.fault.seed * 0x9e3779b97f4a7c15ULL + index + 1);
-    std::vector<Datagram> batch;
+    FramePool &pool = *rxPools_[index];
+    // Reusable acquired frames: recvmmsg scatters into spare[0..k),
+    // consumed ones leave with their Request (or reject), unconsumed
+    // and parse-failed ones stay for the next call.
+    std::vector<FrameHandle> spare;
+    spare.reserve(cfg_.rxBatch);
+    // Stack scratch for the pool-dry path: small, fixed, always there.
+    constexpr unsigned maxScratch = 8;
+    const unsigned scratchSlots =
+        std::min(maxScratch, std::max(cfg_.rxBatch, 1u));
+    std::uint8_t scratchBufs[maxScratch][wire::maxDatagramBytes];
+    const std::size_t slotCount =
+        std::max<std::size_t>(cfg_.rxBatch, maxScratch);
+    std::vector<RxSlot> slots(slotCount);
+    std::vector<const std::uint8_t *> pkts(slotCount);
+    std::vector<std::uint32_t> lens(slotCount);
+    std::vector<std::uint8_t> prefixOk(slotCount);
     std::vector<std::uint32_t> counts(cfg_.numQueues, 0);
     std::vector<QueueId> touched;
     std::vector<std::uint32_t> txCounts(cfg_.txThreads, 0);
@@ -371,8 +413,34 @@ UdpServer::rxLoop(unsigned index)
             std::this_thread::sleep_for(microseconds(100));
         }
         for (;;) {
-            batch.clear();
-            const std::size_t n = sock.recvBatch(batch, cfg_.rxBatch);
+            // Top up the receive window with pool frames; recvmmsg
+            // scatters straight into them at rxFrameOffset so the
+            // payload is already where the response wants it.
+            while (spare.size() < cfg_.rxBatch) {
+                FrameHandle h = pool.tryAcquire();
+                if (!h)
+                    break;
+                spare.push_back(std::move(h));
+            }
+            const bool scratch = spare.empty();
+            std::size_t n;
+            if (scratch) {
+                // Pool dry: drain into stack scratch so exhaustion
+                // stays an answered, typed condition (rejects from the
+                // reserve pool) instead of an epoll livelock.
+                for (unsigned i = 0; i < scratchSlots; ++i) {
+                    slots[i].data = scratchBufs[i];
+                    slots[i].cap = wire::maxDatagramBytes;
+                }
+                n = sock.recvBatch(slots.data(), scratchSlots);
+            } else {
+                for (std::size_t i = 0; i < spare.size(); ++i) {
+                    slots[i].data = spare[i].data() + rxFrameOffset;
+                    slots[i].cap = wire::maxDatagramBytes;
+                }
+                n = sock.recvBatch(
+                    slots.data(), static_cast<unsigned>(spare.size()));
+            }
             if (n == 0)
                 break;
             hot.add(shard, telemetry::HotCounter::RxBatches);
@@ -383,25 +451,66 @@ UdpServer::rxLoop(unsigned index)
             const std::size_t backlogNow = shedEnabled ? backlog() : 0;
             bool stormSeen = false;
 
-            for (Datagram &d : batch) {
-                const auto hdr =
-                    wire::parseRequest(d.bytes.data(), d.bytes.size());
+            // Batched magic/version/opcode validation through the
+            // dispatched (SIMD on capable hosts) header-check kernel;
+            // the per-packet parse below skips what this verified.
+            for (std::size_t i = 0; i < n; ++i) {
+                pkts[i] = slots[i].data;
+                lens[i] = slots[i].len;
+            }
+            wire::precheckRequests(pkts.data(), lens.data(), n,
+                                   prefixOk.data());
+
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!prefixOk[i]) {
+                    hot.add(shard, telemetry::HotCounter::ParseErrors);
+                    continue; // frame stays in spare for reuse
+                }
+                const auto hdr = wire::parseRequestPrechecked(
+                    slots[i].data, slots[i].len);
                 if (!hdr) {
                     hot.add(shard, telemetry::HotCounter::ParseErrors);
                     continue;
                 }
+                const sockaddr_in &peer = slots[i].peer;
                 const unsigned tenant = tenants_->tenantOf(hdr->flowId);
                 TenantCounters &tc = tenants_->counters(tenant);
                 stormSeen |= stormOn && tenant == cfg_.fault.stormTenant;
 
                 FlowKey key;
-                key.srcIp = ntohl(d.peer.sin_addr.s_addr);
+                key.srcIp = ntohl(peer.sin_addr.s_addr);
                 key.dstIp = boundIp_;
-                key.srcPort = ntohs(d.peer.sin_port);
+                key.srcPort = ntohs(peer.sin_port);
                 key.dstPort = port_;
                 key.innerFlow =
                     cfg_.steerByInnerFlow ? hdr->flowId : 0;
                 const QueueId qid = tenants_->steer(key, tenant);
+
+                // Pool-dry arrivals cannot carry a frame to a worker:
+                // shed them typed, like a full queue (the next-deepest
+                // overload signal).
+                if (scratch) {
+                    tc.queueFullShed.fetch_add(
+                        1, std::memory_order_relaxed);
+                    counters_.shedQueueFull.fetch_add(
+                        1, std::memory_order_relaxed);
+                    enqueueReject(peer, *hdr, wire::statusShed, qid,
+                                  tenant, rxNs, txCounts,
+                                  FrameHandle());
+                    if (flight.sampled(hdr->seq)) {
+                        flight.stamp(
+                            shard, trace::Stage::AdmissionShed,
+                            trace::Phase::Instant, track,
+                            nsToTicks(static_cast<double>(rxNs)), qid,
+                            hdr->seq);
+                    }
+                    if (HP_TRACE_ON(tracer)) {
+                        tracer->instant(trace::Stage::AdmissionShed,
+                                        track, nowTicks(), qid,
+                                        hdr->seq);
+                    }
+                    continue;
+                }
 
                 // Admission control at RX steering: token bucket first,
                 // then the priority-ranked backlog watermark.  Rejects
@@ -436,8 +545,10 @@ UdpServer::rxLoop(unsigned index)
                         static_cast<double>(admitNs - rxNs));
                 }
                 if (verdict != wire::statusOk) {
-                    enqueueReject(d.peer, *hdr, verdict, qid, tenant,
-                                  rxNs, txCounts);
+                    // The reject reuses the request's own frame.
+                    enqueueReject(peer, *hdr, verdict, qid, tenant,
+                                  rxNs, txCounts,
+                                  std::move(spare[i]));
                     if (flight.sampled(hdr->seq)) {
                         flight.stamp(shard,
                                      trace::Stage::AdmissionShed,
@@ -455,11 +566,9 @@ UdpServer::rxLoop(unsigned index)
                 }
 
                 Request req;
-                req.peer = d.peer;
+                req.peer = peer;
                 req.hdr = *hdr;
-                req.payload.assign(
-                    d.bytes.begin() + wire::RequestHeader::wireSize,
-                    d.bytes.end());
+                req.frame = std::move(spare[i]);
                 req.rxNs = rxNs;
                 req.admitNs = admitNs;
                 req.tenant = tenant;
@@ -482,8 +591,11 @@ UdpServer::rxLoop(unsigned index)
                     if (counts[qid] == 0)
                         rxInFlight_[qid].fetch_sub(
                             1, std::memory_order_release);
-                    enqueueReject(d.peer, *hdr, wire::statusShed, qid,
-                                  tenant, rxNs, txCounts);
+                    // tryPush leaves its argument intact on failure, so
+                    // the reject can still ride the request's frame.
+                    enqueueReject(peer, *hdr, wire::statusShed, qid,
+                                  tenant, rxNs, txCounts,
+                                  std::move(req.frame));
                     if (flight.sampled(hdr->seq)) {
                         flight.stamp(shard,
                                      trace::Stage::AdmissionShed,
@@ -513,6 +625,16 @@ UdpServer::rxLoop(unsigned index)
                     tracer->instant(trace::Stage::DoorbellWrite, track,
                                     nowTicks(), qid, hdr->seq);
                 }
+            }
+
+            // Compact: moved-from handles leave holes in the receive
+            // window; keep only the still-owned frames for reuse.
+            if (!scratch) {
+                spare.erase(std::remove_if(spare.begin(), spare.end(),
+                                           [](const FrameHandle &h) {
+                                               return !h;
+                                           }),
+                            spare.end());
             }
 
             // One doorbell ring per (batch, queue).  The injectable
@@ -582,8 +704,20 @@ UdpServer::enqueueReject(const sockaddr_in &peer,
                          const wire::RequestHeader &hdr,
                          wire::Status status, QueueId qid,
                          unsigned tenant, std::uint64_t rxNs,
-                         std::vector<std::uint32_t> &txCounts)
+                         std::vector<std::uint32_t> &txCounts,
+                         FrameHandle &&frame)
 {
+    // A reject normally rides the request's own frame; a null handle
+    // (pool-dry scratch path) draws one from the small reserve pool so
+    // exhaustion still answers typed.
+    if (!frame && rejectPool_)
+        frame = rejectPool_->tryAcquire();
+    if (!frame) {
+        // Reserve dry too: the only truly unanswerable case.
+        counters_.poolDrops.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
     wire::ResponseHeader rh;
     rh.opcode = hdr.opcode;
     rh.seq = hdr.seq;
@@ -597,13 +731,12 @@ UdpServer::enqueueReject(const sockaddr_in &peer,
     out.rxNs = rxNs;
     out.doneNs = 0; // reject sentinel: TX skips stage latency
     out.tenant = tenant;
-    out.dgram.peer = peer;
-    out.dgram.bytes.resize(wire::ResponseHeader::wireSize);
+    out.peer = peer;
     const std::size_t written =
-        wire::buildResponse(out.dgram.bytes.data(),
-                            out.dgram.bytes.size(), rh, nullptr);
+        wire::buildResponseInPlace(frame.data(), frame.capacity(), rh);
     hp_assert(written != 0, "payload-free reject must serialize");
-    out.dgram.bytes.resize(written);
+    out.len = static_cast<std::uint32_t>(written);
+    out.frame = std::move(frame);
 
     const unsigned tx = qid % cfg_.txThreads;
     if (!txQueues_[tx]->tryPush(std::move(out))) {
@@ -709,7 +842,7 @@ UdpServer::handleBatch(QueueId qid, std::uint64_t n)
 }
 
 UdpServer::Response
-UdpServer::makeResponse(unsigned worker, const Request &req)
+UdpServer::makeResponse(unsigned worker, Request &req)
 {
     wire::ResponseHeader rh;
     rh.opcode = req.hdr.opcode;
@@ -718,25 +851,32 @@ UdpServer::makeResponse(unsigned worker, const Request &req)
     rh.flowId = req.hdr.flowId;
     rh.status = wire::statusOk;
 
-    const std::uint8_t *payload = nullptr;
-    std::uint32_t payloadLen = 0;
-    net::PacketBuffer encapBuf;
-    std::uint8_t steerBuf[8];
+    // The response is built in the request's own frame.  RX received
+    // the datagram at frame + responseHeadroom, which puts the request
+    // payload exactly at frame + ResponseHeader::wireSize — already
+    // where the response payload belongs.  Echo therefore writes a
+    // header and moves nothing.
+    std::uint8_t *frame = req.frame.data();
+    std::uint8_t *framePayload = frame + wire::ResponseHeader::wireSize;
+    std::uint32_t payloadLen = req.hdr.payloadLen;
 
     switch (req.hdr.opcode) {
       case wire::Opcode::Echo:
-        payload = req.payload.data();
-        payloadLen = static_cast<std::uint32_t>(req.payload.size());
-        break;
+        break; // payload is already in place: zero copies
       case wire::Opcode::Encap: {
-        encapBuf = net::PacketBuffer(req.payload.data(),
-                                     req.payload.size());
+        net::PacketBuffer encapBuf(framePayload, req.hdr.payloadLen);
         static const net::Ipv6Header outer = outerTemplate();
-        if (net::greEncapsulate(encapBuf, outer, req.hdr.flowId)) {
-            payload = encapBuf.data();
+        if (net::greEncapsulate(encapBuf, outer, req.hdr.flowId) &&
+            encapBuf.size() <= wire::maxDatagramBytes -
+                                   wire::ResponseHeader::wireSize) {
+            // Encap grows the packet, so the transform result cannot
+            // share bytes with its input: one counted copy-out.
+            std::memcpy(framePayload, encapBuf.data(), encapBuf.size());
+            req.frame.countCopy();
             payloadLen = static_cast<std::uint32_t>(encapBuf.size());
         } else {
             rh.status = wire::statusBadPayload;
+            payloadLen = 0;
         }
         break;
       }
@@ -744,35 +884,33 @@ UdpServer::makeResponse(unsigned worker, const Request &req)
         queueing::WorkItem item;
         item.seq = req.hdr.seq;
         item.flowId = req.hdr.flowId;
-        item.payloadBytes =
-            static_cast<std::uint32_t>(req.payload.size());
+        item.payloadBytes = req.hdr.payloadLen;
         const unsigned dest = steerers_[worker]->steer(item);
-        net::putBe32(steerBuf, flowHash(FlowKey{0, 0, 0, 0,
-                                                req.hdr.flowId}));
-        net::putBe32(steerBuf + 4, dest);
-        payload = steerBuf;
+        // The 8-byte verdict overwrites the request payload in place
+        // (the steer decision never reads the payload bytes).
+        net::putBe32(framePayload, flowHash(FlowKey{0, 0, 0, 0,
+                                                    req.hdr.flowId}));
+        net::putBe32(framePayload + 4, dest);
         payloadLen = 8;
         break;
       }
     }
 
-    Response out;
-    out.seq = rh.seq;
-    out.dgram.peer = req.peer;
-    out.dgram.bytes.resize(wire::maxDatagramBytes);
     rh.payloadLen = payloadLen;
-    std::size_t written =
-        wire::buildResponse(out.dgram.bytes.data(),
-                            out.dgram.bytes.size(), rh, payload);
+    std::size_t written = wire::buildResponseInPlace(
+        frame, req.frame.capacity(), rh);
     if (written == 0) {
         // Result would not fit a datagram: fail the request closed.
         rh.status = wire::statusBadPayload;
         rh.payloadLen = 0;
-        written = wire::buildResponse(out.dgram.bytes.data(),
-                                      out.dgram.bytes.size(), rh,
-                                      nullptr);
+        written = wire::buildResponseInPlace(frame,
+                                             req.frame.capacity(), rh);
     }
-    out.dgram.bytes.resize(written);
+    Response out;
+    out.seq = rh.seq;
+    out.peer = req.peer;
+    out.len = static_cast<std::uint32_t>(written);
+    out.frame = std::move(req.frame);
     if (rh.status != wire::statusOk)
         counters_.badStatus.fetch_add(1, std::memory_order_relaxed);
     return out;
@@ -792,23 +930,25 @@ UdpServer::txLoop(unsigned index)
     telemetry::FlightRecorder &flight = *flight_;
 
     std::vector<Response> pending;
-    std::vector<Datagram> dgrams;
+    std::vector<TxView> views;
 
     const auto flush = [&](std::size_t n) {
         pending.clear();
         queue.popBatch(pending, n);
         if (pending.empty())
             return;
-        dgrams.clear();
-        dgrams.reserve(pending.size());
-        for (Response &r : pending)
-            dgrams.push_back(std::move(r.dgram));
+        // sendmmsg gathers straight from the pool frames; the frames
+        // release back to their pools when `pending` clears next round.
+        views.clear();
+        views.reserve(pending.size());
+        for (const Response &r : pending)
+            views.push_back(TxView{r.frame.data(), r.len, &r.peer});
         const std::size_t sent =
-            sock.sendBatch(dgrams.data(), dgrams.size());
+            sock.sendBatch(views.data(), views.size());
         hot.add(shard, telemetry::HotCounter::TxPackets, sent);
-        if (sent < dgrams.size()) {
+        if (sent < views.size()) {
             counters_.txSendErrors.fetch_add(
-                dgrams.size() - sent, std::memory_order_relaxed);
+                views.size() - sent, std::memory_order_relaxed);
         }
         if (lat) {
             // One clock read covers the whole sent batch.  doneNs == 0
@@ -1192,6 +1332,59 @@ UdpServer::registerStats(stats::Registry &reg, const std::string &prefix)
     scalar("fallback_serves", &counters_.fallbackServes);
     scalar("demotions", &counters_.demotions);
     scalar("promotions", &counters_.promotions);
+    scalar("pool_drops", &counters_.poolDrops);
+
+    // Zero-copy pool health.  Sums across the per-RX-shard pools (plus
+    // the reject reserve where it applies).
+    reg.addScalar(prefix + ".pool.frames_total", [this] {
+        double total = 0;
+        for (const auto &p : rxPools_)
+            total += static_cast<double>(p->numFrames());
+        return total;
+    });
+    reg.addScalar(prefix + ".pool.frames_free", [this] {
+        double total = 0;
+        for (const auto &p : rxPools_)
+            total += static_cast<double>(p->freeFrames());
+        return total;
+    });
+    reg.addScalar(prefix + ".pool.exhausted", [this] {
+        double total = 0;
+        for (const auto &p : rxPools_)
+            total += static_cast<double>(p->exhausted());
+        if (rejectPool_)
+            total += static_cast<double>(rejectPool_->exhausted());
+        return total;
+    });
+    reg.addScalar(prefix + ".pool.reject_reserve_free", [this] {
+        return rejectPool_
+                   ? static_cast<double>(rejectPool_->freeFrames())
+                   : 0.0;
+    });
+    // The zero-copy tripwire: payload copies RX->TX.  Echo-only runs
+    // must hold this at zero; encap pays one per request by design.
+    reg.addScalar(prefix + ".payload_copies", [this] {
+        double total = 0;
+        for (const auto &p : rxPools_)
+            total += static_cast<double>(p->copyEvents());
+        return total;
+    });
+
+    // SIMD dispatch provenance: which kernel tier each hot function
+    // resolved to (0 = scalar, 1 = sse, 2 = avx2).
+    reg.addScalar(prefix + ".simd.checksum_level", [] {
+        return static_cast<double>(net::simd::kernels().checksumLevel);
+    });
+    reg.addScalar(prefix + ".simd.crc32c_level", [] {
+        return static_cast<double>(net::simd::kernels().crc32cLevel);
+    });
+    reg.addScalar(prefix + ".simd.header_level", [] {
+        return static_cast<double>(
+            net::simd::kernels().headerCheckLevel);
+    });
+    reg.addScalar(prefix + ".simd.force_scalar", [] {
+        return net::simd::kernels().forcedScalar ? 1.0 : 0.0;
+    });
 
     // Telemetry-plane self-observation.
     reg.addScalar(prefix + ".telemetry.flight_recorded", [this] {

@@ -51,6 +51,7 @@
 #include "emu/emu_hyperplane.hh"
 #include "fault/fallback_set.hh"
 #include "queueing/mpmc_queue.hh"
+#include "server/buffer_pool.hh"
 #include "server/tenant.hh"
 #include "server/udp_socket.hh"
 #include "server/wire.hh"
@@ -127,6 +128,19 @@ struct ServerConfig
 
     /** Datagrams per recvmmsg/sendmmsg call. */
     unsigned rxBatch = 32;
+    /**
+     * Zero-copy frame pool size per RX shard.  Frames hold a datagram
+     * from recvmmsg to sendmmsg (RX -> queue -> worker -> TX), so this
+     * bounds one shard's requests in flight; a dry pool sheds new
+     * arrivals with typed rejects from the reserve below.
+     */
+    std::uint32_t framesPerRxShard = 4096;
+    /**
+     * Shared reserve of small frames for typed rejects when an RX
+     * shard's pool is dry — exhaustion stays a graceful, answered
+     * condition instead of a silent drop.
+     */
+    std::uint32_t rejectReserveFrames = 512;
     /** Items a worker claims per QWAIT grant. */
     std::uint64_t maxBatch = 16;
     /** Per-queue request capacity (arrivals beyond it are dropped). */
@@ -180,6 +194,8 @@ struct ServerConfig
 struct ServerCounters
 {
     std::atomic<std::uint64_t> queueDrops{0};
+    /** Packets unanswerable: no frame left even for a typed reject. */
+    std::atomic<std::uint64_t> poolDrops{0};
     std::atomic<std::uint64_t> shedRateLimited{0};
     std::atomic<std::uint64_t> shedWatermark{0};
     std::atomic<std::uint64_t> shedQueueFull{0};
@@ -204,6 +220,11 @@ struct ServerCounterSnapshot
     std::uint64_t served = 0;
     std::uint64_t txPackets = 0;
     std::uint64_t queueDrops = 0;
+    std::uint64_t poolDrops = 0;
+    /** Failed frame acquires across the RX pools + reject reserve. */
+    std::uint64_t poolExhausted = 0;
+    /** Payload copy events on pool frames (echo path keeps this 0). */
+    std::uint64_t payloadCopies = 0;
     std::uint64_t shedRateLimited = 0;
     std::uint64_t shedWatermark = 0;
     std::uint64_t shedQueueFull = 0;
@@ -338,19 +359,38 @@ class UdpServer
                             std::string &contentType) const;
 
   private:
+    /** Datagram offset inside an RX frame (see FramePool). */
+    static constexpr std::uint32_t rxFrameOffset =
+        FramePool::responseHeadroom;
+
+    /**
+     * A parsed request travelling the MPMC queues as a refcounted
+     * frame handle — the received datagram stays where recvmmsg put it
+     * (frame + rxFrameOffset) and is never copied.
+     */
     struct Request
     {
         sockaddr_in peer{};
         wire::RequestHeader hdr;
-        std::vector<std::uint8_t> payload;
+        FrameHandle frame;
         std::uint64_t rxNs = 0;
         std::uint64_t admitNs = 0; ///< admission verdict time
         unsigned tenant = 0;
+
+        /** The request payload, in place inside the frame. */
+        const std::uint8_t *payload() const
+        {
+            return frame.data() + rxFrameOffset +
+                   wire::RequestHeader::wireSize;
+        }
     };
 
+    /** A response built in place at frame + 0, sent straight from it. */
     struct Response
     {
-        Datagram dgram;
+        sockaddr_in peer{};
+        FrameHandle frame;
+        std::uint32_t len = 0;
         std::uint64_t seq = 0;
         std::uint64_t rxNs = 0;   ///< request receive time
         std::uint64_t doneNs = 0; ///< worker finish (0: typed reject)
@@ -361,18 +401,22 @@ class UdpServer
     void txLoop(unsigned index);
     void watchdogLoop();
     void handleBatch(QueueId qid, std::uint64_t n);
-    Response makeResponse(unsigned worker, const Request &req);
+    Response makeResponse(unsigned worker, Request &req);
     /**
      * Fail-fast reject from RX steering: build a payload-free typed
      * reject response and enqueue it straight onto a TX queue, skipping
      * the workers entirely.  @p txCounts accumulates pending TX rings
-     * (flushed once per RX batch).
+     * (flushed once per RX batch).  @p frame is the request's own frame
+     * when one exists (the reject reuses it); a null handle draws from
+     * the reject reserve, and if that too is dry the packet is counted
+     * in poolDrops and dropped.
      */
     void enqueueReject(const sockaddr_in &peer,
                        const wire::RequestHeader &hdr,
                        wire::Status status, QueueId qid, unsigned tenant,
                        std::uint64_t rxNs,
-                       std::vector<std::uint32_t> &txCounts);
+                       std::vector<std::uint32_t> &txCounts,
+                       FrameHandle &&frame);
 
     Tick nowTicks() const;
 
@@ -402,6 +446,11 @@ class UdpServer
 
     std::unique_ptr<emu::EmuHyperPlane> hpDev_;
     std::vector<std::unique_ptr<emu::EmuHyperPlane>> txDevs_;
+    // Frame pools are declared before the queues on purpose: members
+    // destroy in reverse order, so queues still holding frame handles
+    // at destruction release them into live pools.
+    std::vector<std::unique_ptr<FramePool>> rxPools_;
+    std::unique_ptr<FramePool> rejectPool_;
     std::vector<std::unique_ptr<queueing::MpmcQueue<Request>>> reqQueues_;
     std::vector<std::unique_ptr<queueing::MpmcQueue<Response>>>
         txQueues_;

@@ -155,6 +155,68 @@ UdpSocket::recvBatch(std::vector<Datagram> &out, unsigned maxBatch)
 }
 
 std::size_t
+UdpSocket::recvBatch(RxSlot *slots, unsigned count)
+{
+    if (fd_ < 0 || count == 0)
+        return 0;
+    constexpr unsigned maxVec = 64;
+    if (count > maxVec)
+        count = maxVec;
+
+    iovec iovs[maxVec];
+    mmsghdr msgs[maxVec];
+    std::memset(msgs, 0, sizeof(mmsghdr) * count);
+    for (unsigned i = 0; i < count; ++i) {
+        iovs[i].iov_base = slots[i].data;
+        iovs[i].iov_len = slots[i].cap;
+        msgs[i].msg_hdr.msg_iov = &iovs[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+        msgs[i].msg_hdr.msg_name = &slots[i].peer;
+        msgs[i].msg_hdr.msg_namelen = sizeof(slots[i].peer);
+    }
+    const int n = ::recvmmsg(fd_, msgs, count, 0, nullptr);
+    if (n <= 0)
+        return 0;
+    for (int i = 0; i < n; ++i)
+        slots[i].len = msgs[i].msg_len;
+    return static_cast<std::size_t>(n);
+}
+
+std::size_t
+UdpSocket::sendBatch(const TxView *views, std::size_t count)
+{
+    if (fd_ < 0 || count == 0)
+        return 0;
+    constexpr std::size_t maxVec = 64;
+    std::size_t sent = 0;
+    while (sent < count) {
+        const std::size_t chunk = std::min(count - sent, maxVec);
+        iovec iovs[maxVec];
+        mmsghdr hdrs[maxVec];
+        std::memset(hdrs, 0, sizeof(mmsghdr) * chunk);
+        for (std::size_t i = 0; i < chunk; ++i) {
+            const TxView &v = views[sent + i];
+            iovs[i].iov_base = const_cast<std::uint8_t *>(v.data);
+            iovs[i].iov_len = v.len;
+            hdrs[i].msg_hdr.msg_iov = &iovs[i];
+            hdrs[i].msg_hdr.msg_iovlen = 1;
+            hdrs[i].msg_hdr.msg_name =
+                const_cast<sockaddr_in *>(v.peer);
+            hdrs[i].msg_hdr.msg_namelen = sizeof(*v.peer);
+        }
+        const int n =
+            ::sendmmsg(fd_, hdrs, static_cast<unsigned>(chunk), 0);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+                continue; // loopback buffers drain fast; retry
+            break;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return sent;
+}
+
+std::size_t
 UdpSocket::sendBatch(const Datagram *msgs, std::size_t count)
 {
     if (fd_ < 0 || count == 0)

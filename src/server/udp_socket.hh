@@ -30,6 +30,31 @@ struct Datagram
     std::vector<std::uint8_t> bytes;
 };
 
+/**
+ * One receive slot for the zero-copy RX path: the caller points
+ * @ref data at a frame and recvmmsg scatters straight into it (no
+ * intermediate buffer, no copy).  On return, @ref len and @ref peer
+ * describe the datagram received into the slot.
+ */
+struct RxSlot
+{
+    std::uint8_t *data = nullptr;
+    std::uint32_t cap = 0;
+    std::uint32_t len = 0;
+    sockaddr_in peer{};
+};
+
+/**
+ * One send view for the zero-copy TX path: sendmmsg gathers directly
+ * from @ref data (a response built in place in a pool frame).
+ */
+struct TxView
+{
+    const std::uint8_t *data = nullptr;
+    std::uint32_t len = 0;
+    const sockaddr_in *peer = nullptr;
+};
+
 /** Nonblocking UDP socket with batched I/O. */
 class UdpSocket
 {
@@ -78,10 +103,26 @@ class UdpSocket
                           unsigned maxBatch);
 
     /**
+     * Receive up to @p count datagrams directly into the caller's
+     * slots (recvmmsg scattering into slot.data, zero-copy).  Slots
+     * [0, return) are filled in order.
+     *
+     * @return Number received; 0 when nothing is pending.
+     */
+    std::size_t recvBatch(RxSlot *slots, unsigned count);
+
+    /**
      * Send @p count datagrams (sendmmsg).
      * @return Number fully handed to the kernel.
      */
     std::size_t sendBatch(const Datagram *msgs, std::size_t count);
+
+    /**
+     * Send @p count datagrams gathered straight from the caller's
+     * buffers (sendmmsg, zero-copy).  Same retry contract as the
+     * Datagram overload.
+     */
+    std::size_t sendBatch(const TxView *views, std::size_t count);
 
     /** Send one datagram. @return true on success. */
     bool sendTo(const sockaddr_in &peer, const std::uint8_t *data,

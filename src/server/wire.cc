@@ -4,6 +4,7 @@
 
 #include "net/checksum.hh"
 #include "net/headers.hh"
+#include "net/simd/dispatch.hh"
 
 namespace hyperplane {
 namespace server {
@@ -33,17 +34,13 @@ getBe64(const std::uint8_t *p)
 }
 
 /**
- * Datagram checksum with the checksum field treated as zero.  The field
- * sits at an even offset, so the chunks on either side of it keep the
- * RFC 1071 16-bit alignment and only the final chunk may be odd.
+ * Datagram checksum with the checksum field treated as zero; the
+ * even-offset split around the field lives in net::checksumSpliced.
  */
 std::uint16_t
 datagramChecksum(const std::uint8_t *data, std::size_t len)
 {
-    std::uint32_t sum = net::checksumPartial(data, checksumOff, 0);
-    sum = net::checksumPartial(data + checksumOff + 2,
-                               len - checksumOff - 2, sum);
-    return net::finishChecksum(sum);
+    return net::checksumSpliced(data, len, checksumOff);
 }
 
 bool
@@ -127,6 +124,66 @@ buildResponse(std::uint8_t *buf, std::size_t cap,
                     hdr.payloadLen);
     putBe16(buf + checksumOff, datagramChecksum(buf, total));
     return total;
+}
+
+std::size_t
+buildResponseInPlace(std::uint8_t *buf, std::size_t cap,
+                     const ResponseHeader &hdr)
+{
+    const std::size_t total = ResponseHeader::wireSize + hdr.payloadLen;
+    if (total > cap || total > maxDatagramBytes)
+        return 0;
+    putBe32(buf, responseMagic);
+    buf[4] = wireVersion;
+    buf[5] = static_cast<std::uint8_t>(hdr.opcode);
+    putBe16(buf + 6, 0);
+    putBe64(buf + 8, hdr.seq);
+    putBe64(buf + 16, hdr.clientTimeNs);
+    putBe32(buf + 24, hdr.flowId);
+    putBe32(buf + 28, hdr.status);
+    putBe32(buf + 32, hdr.payloadLen);
+    putBe16(buf + checksumOff, datagramChecksum(buf, total));
+    return total;
+}
+
+void
+precheckRequests(const std::uint8_t *const *pkts,
+                 const std::uint32_t *lens, std::size_t n,
+                 std::uint8_t *ok)
+{
+    // Prefix bytes in wire order: magic, version; opcode bounded by
+    // numOpcodes.  minLen = header size also guarantees the 8-byte
+    // loads the SIMD variants use are in bounds.
+    static const std::uint8_t prefix[8] = {
+        static_cast<std::uint8_t>(requestMagic >> 24),
+        static_cast<std::uint8_t>(requestMagic >> 16),
+        static_cast<std::uint8_t>(requestMagic >> 8),
+        static_cast<std::uint8_t>(requestMagic),
+        wireVersion,
+        0,
+        0,
+        0,
+    };
+    net::simd::kernels().headerCheck(pkts, lens, n, prefix, numOpcodes,
+                                     RequestHeader::wireSize, ok);
+}
+
+std::optional<RequestHeader>
+parseRequestPrechecked(const std::uint8_t *data, std::size_t len)
+{
+    if (len > maxDatagramBytes)
+        return std::nullopt;
+    RequestHeader hdr;
+    hdr.opcode = static_cast<Opcode>(data[5]);
+    hdr.seq = getBe64(data + 8);
+    hdr.clientTimeNs = getBe64(data + 16);
+    hdr.flowId = getBe32(data + 24);
+    hdr.payloadLen = getBe32(data + 28);
+    if (hdr.payloadLen != len - RequestHeader::wireSize)
+        return std::nullopt;
+    if (getBe16(data + checksumOff) != datagramChecksum(data, len))
+        return std::nullopt;
+    return hdr;
 }
 
 std::optional<RequestHeader>

@@ -123,12 +123,43 @@ std::size_t buildResponse(std::uint8_t *buf, std::size_t cap,
                           const std::uint8_t *payload);
 
 /**
+ * Serialize a response whose payload ALREADY sits at
+ * buf + ResponseHeader::wireSize — the zero-copy TX path.  Writes only
+ * the 36 header bytes and checksums header + payload in place;
+ * byte-identical to buildResponse with the same header and payload.
+ *
+ * @return Total datagram size, or 0 if it would not fit (the payload
+ *         bytes are left untouched in that case).
+ */
+std::size_t buildResponseInPlace(std::uint8_t *buf, std::size_t cap,
+                                 const ResponseHeader &hdr);
+
+/**
  * Parse and verify a request datagram.  Fails closed on short input,
  * bad magic/version/opcode, a payloadLen that disagrees with @p len, or
  * a checksum mismatch.
  */
 std::optional<RequestHeader> parseRequest(const std::uint8_t *data,
                                           std::size_t len);
+
+/**
+ * Batched prefix validation for an RX burst, through the dispatched
+ * (SIMD on capable hosts) header-check kernel.  Sets ok[i] = 1 iff
+ * packet i is at least a full header and its magic / version / opcode
+ * prefix is valid — the checks parseRequestPrechecked() then skips.
+ */
+void precheckRequests(const std::uint8_t *const *pkts,
+                      const std::uint32_t *lens, std::size_t n,
+                      std::uint8_t *ok);
+
+/**
+ * parseRequest() minus the prefix checks precheckRequests() already
+ * performed.  @pre precheckRequests() reported ok for (data, len).
+ * Still validates payloadLen against @p len and the checksum, still
+ * fails closed.
+ */
+std::optional<RequestHeader>
+parseRequestPrechecked(const std::uint8_t *data, std::size_t len);
 
 /** Parse and verify a response datagram; same contract. */
 std::optional<ResponseHeader> parseResponse(const std::uint8_t *data,

@@ -19,6 +19,11 @@ struct BuildInfo
     const char *buildType;      ///< CMAKE_BUILD_TYPE or "unspecified"
     const char *compiler;       ///< compiler version string
     bool traceCompiledIn;       ///< HYPERPLANE_TRACE != 0
+    const char *cpuFeatures;    ///< probed ISA set, e.g. "sse2,sse4.2,avx2"
+    const char *simdChecksum;   ///< dispatched checksum variant name
+    const char *simdCrc32c;     ///< dispatched crc32c variant name
+    const char *simdHeaderCheck; ///< dispatched header-check variant name
+    bool forcedScalar;          ///< HYPERPLANE_FORCE_SCALAR pinned the table
 };
 
 const BuildInfo &buildInfo();

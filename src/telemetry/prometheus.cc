@@ -79,7 +79,12 @@ prometheusText(const stats::Registry &reg, double uptimeSec)
        << escapeLabelValue(bi.gitSha) << "\",build_type=\""
        << escapeLabelValue(bi.buildType) << "\",compiler=\""
        << escapeLabelValue(bi.compiler) << "\",trace_compiled_in=\""
-       << (bi.traceCompiledIn ? "1" : "0") << "\"} 1\n";
+       << (bi.traceCompiledIn ? "1" : "0") << "\",cpu_features=\""
+       << escapeLabelValue(bi.cpuFeatures) << "\",simd_checksum=\""
+       << escapeLabelValue(bi.simdChecksum) << "\",simd_crc32c=\""
+       << escapeLabelValue(bi.simdCrc32c) << "\",simd_header_check=\""
+       << escapeLabelValue(bi.simdHeaderCheck) << "\",force_scalar=\""
+       << (bi.forcedScalar ? "1" : "0") << "\"} 1\n";
     os << "# HELP hyperplane_uptime_seconds Seconds since the server "
           "started.\n"
           "# TYPE hyperplane_uptime_seconds gauge\n"

@@ -207,6 +207,109 @@ TEST(ServerWire, RandomBytesNeverParse)
     }
 }
 
+TEST(ServerWire, BuildResponseInPlaceMatchesBuildResponse)
+{
+    // The zero-copy serializer must be byte-for-byte the classic one:
+    // same header fields, payload pre-placed at buf + wireSize.
+    for (std::uint32_t len : {0u, 1u, 7u, 8u, 33u, 512u, 2011u, 2012u}) {
+        const auto payload = somePayload(len);
+        wire::ResponseHeader hdr;
+        hdr.opcode = wire::Opcode::Echo;
+        hdr.seq = 0x1122334455667788ULL;
+        hdr.clientTimeNs = 0x99aabbccddeeff00ULL;
+        hdr.flowId = 0x42;
+        hdr.status = wire::statusOk;
+        hdr.payloadLen = len;
+
+        std::uint8_t classic[wire::maxDatagramBytes];
+        const std::size_t want = wire::buildResponse(
+            classic, sizeof(classic), hdr, len ? payload.data() : nullptr);
+        ASSERT_GT(want, 0u) << "len " << len;
+
+        std::uint8_t inPlace[wire::maxDatagramBytes];
+        if (len != 0)
+            std::memcpy(inPlace + wire::ResponseHeader::wireSize,
+                        payload.data(), len);
+        const std::size_t got =
+            wire::buildResponseInPlace(inPlace, sizeof(inPlace), hdr);
+        ASSERT_EQ(got, want) << "len " << len;
+        EXPECT_EQ(std::memcmp(classic, inPlace, got), 0)
+            << "len " << len;
+        EXPECT_TRUE(wire::parseResponse(inPlace, got).has_value());
+    }
+}
+
+TEST(ServerWire, BuildResponseInPlaceRejectsOversize)
+{
+    wire::ResponseHeader hdr;
+    hdr.payloadLen = static_cast<std::uint32_t>(
+        wire::maxDatagramBytes - wire::ResponseHeader::wireSize + 1);
+    std::uint8_t buf[wire::maxDatagramBytes * 2] = {};
+    EXPECT_EQ(wire::buildResponseInPlace(buf, sizeof(buf), hdr), 0u);
+    // Too small a buffer for even a fitting payload.
+    hdr.payloadLen = 64;
+    EXPECT_EQ(wire::buildResponseInPlace(buf, 80, hdr), 0u);
+}
+
+TEST(ServerWire, PrecheckAgreesWithParseRequest)
+{
+    // precheck + parsePrechecked must accept exactly what parseRequest
+    // accepts, over valid, bit-flipped, truncated, and random inputs.
+    Rng rng(0x50524543);
+    std::vector<std::vector<std::uint8_t>> storage;
+    std::vector<std::uint32_t> lens;
+    for (int iter = 0; iter < 400; ++iter) {
+        std::vector<std::uint8_t> d(wire::maxDatagramBytes, 0);
+        const std::uint32_t plen = rng.uniformInt(64);
+        auto hdr = sampleRequest(plen);
+        hdr.opcode =
+            static_cast<wire::Opcode>(rng.uniformInt(wire::numOpcodes));
+        const auto payload = somePayload(plen);
+        std::size_t n = wire::buildRequest(d.data(), d.size(), hdr,
+                                           plen ? payload.data()
+                                                : nullptr);
+        switch (rng.uniformInt(4)) {
+          case 0: // pristine
+            break;
+          case 1: // single bit flip anywhere
+            d[rng.uniformInt(n)] ^= 1u << rng.uniformInt(8);
+            break;
+          case 2: // truncation
+            n = rng.uniformInt(n + 1);
+            break;
+          default: // random garbage
+            n = 8 + rng.uniformInt(wire::RequestHeader::wireSize);
+            for (std::size_t i = 0; i < n; ++i)
+                d[i] = static_cast<std::uint8_t>(rng.next());
+            break;
+        }
+        storage.push_back(std::move(d));
+        lens.push_back(static_cast<std::uint32_t>(n));
+    }
+    std::vector<const std::uint8_t *> pkts;
+    for (const auto &d : storage)
+        pkts.push_back(d.data());
+    std::vector<std::uint8_t> ok(storage.size());
+    wire::precheckRequests(pkts.data(), lens.data(), storage.size(),
+                           ok.data());
+    for (std::size_t i = 0; i < storage.size(); ++i) {
+        const auto whole = wire::parseRequest(pkts[i], lens[i]);
+        if (!ok[i]) {
+            // Precheck rejection must imply full-parse rejection.
+            EXPECT_FALSE(whole.has_value()) << "pkt " << i;
+            continue;
+        }
+        const auto fast = wire::parseRequestPrechecked(pkts[i], lens[i]);
+        ASSERT_EQ(fast.has_value(), whole.has_value()) << "pkt " << i;
+        if (fast) {
+            EXPECT_EQ(fast->seq, whole->seq);
+            EXPECT_EQ(fast->opcode, whole->opcode);
+            EXPECT_EQ(fast->flowId, whole->flowId);
+            EXPECT_EQ(fast->payloadLen, whole->payloadLen);
+        }
+    }
+}
+
 TEST(ServerFlow, HashIsDeterministicAndSpreads)
 {
     FlowKey a{0x0a000001, 0x0a000002, 1234, 5678, 7};

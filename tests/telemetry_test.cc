@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "json_check.hh"
+#include "net/simd/dispatch.hh"
 #include "sim/rng.hh"
 #include "stats/registry.hh"
 #include "telemetry/build_info.hh"
@@ -247,6 +248,9 @@ TEST(Prometheus, PageHasBuildInfoUptimeAndEveryEntry)
 
     const std::string page = prometheusText(reg, 12.5);
     EXPECT_NE(page.find("hyperplane_build_info{"), std::string::npos);
+    EXPECT_NE(page.find("cpu_features=\""), std::string::npos);
+    EXPECT_NE(page.find("simd_checksum=\""), std::string::npos);
+    EXPECT_NE(page.find("force_scalar=\""), std::string::npos);
     EXPECT_NE(page.find("hyperplane_uptime_seconds 12.5"),
               std::string::npos);
     EXPECT_NE(page.find("hyperplane_unit_test_value 42"),
@@ -281,6 +285,14 @@ TEST(BuildInfo, IsPopulated)
     EXPECT_GT(std::strlen(bi.gitSha), 0u);
     EXPECT_GT(std::strlen(bi.compiler), 0u);
     EXPECT_EQ(bi.traceCompiledIn, trace::kCompiledIn);
+    // SIMD provenance mirrors the dispatched kernel table.
+    const auto &k = net::simd::kernels();
+    ASSERT_NE(bi.cpuFeatures, nullptr);
+    EXPECT_GT(std::strlen(bi.cpuFeatures), 0u);
+    EXPECT_STREQ(bi.simdChecksum, k.checksumName);
+    EXPECT_STREQ(bi.simdCrc32c, k.crc32cName);
+    EXPECT_STREQ(bi.simdHeaderCheck, k.headerCheckName);
+    EXPECT_EQ(bi.forcedScalar, k.forcedScalar);
 }
 
 /** Scrape the metrics server over its UDP one-shot op. */
