@@ -90,16 +90,9 @@ runPoint(const char *mode, bool openLoop, unsigned workers, double rate,
 std::string
 pointsJson(const std::vector<Point> &pts)
 {
-    const auto &k = net::simd::kernels();
-    std::string out = "{\"skipped\":false,\"host\":{";
-    out += "\"hardware_concurrency\":" +
-           std::to_string(std::thread::hardware_concurrency());
-    out += ",\"simd\":{\"checksum\":" + stats::jsonString(k.checksumName) +
-           ",\"crc32c\":" + stats::jsonString(k.crc32cName) +
-           ",\"header_check\":" + stats::jsonString(k.headerCheckName) +
-           ",\"force_scalar\":" +
-           (k.forcedScalar ? std::string("true") : std::string("false")) +
-           "}},\"points\":[";
+    std::string out =
+        "{\"skipped\":false,\"host\":" + harness::hostJson() +
+        ",\"points\":[";
     bool first = true;
     for (const auto &p : pts) {
         if (!first)

@@ -301,6 +301,7 @@ main(int argc, char **argv)
             return j;
         };
         std::string j = "{\"skipped\":false";
+        j += ",\"host\":" + harness::hostJson();
         j += ",\"telemetry_on\":" + variantJson(on);
         j += ",\"telemetry_off\":" + variantJson(off);
         j += ",\"cost_ratio\":" + stats::jsonNumber(cost);

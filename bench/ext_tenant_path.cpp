@@ -209,6 +209,7 @@ resultsJson(const RunResult &base, const RunResult &attack)
         return std::to_string(v);
     };
     std::string out = "{\"skipped\":false";
+    out += ",\"host\":" + harness::hostJson();
     out += ",\"baseline\":{\"victim\":" + base.victim.json() + "}";
     out += ",\"attack\":{\"victim\":" + attack.victim.json();
     out += ",\"aggressor\":" + attack.aggressor->json();

@@ -12,6 +12,9 @@
 #include "dp/spinning_core.hh"
 #include "dp/sw_ready_set_core.hh"
 #include "sim/logging.hh"
+#include "sim/parallel_engine.hh"
+
+#include <cstdlib>
 
 namespace hyperplane {
 namespace dp {
@@ -28,6 +31,20 @@ unsigned
 roundUpTo(unsigned v, unsigned m)
 {
     return (v + m - 1) / m * m;
+}
+
+/** simThreads = 0 resolves to HYPERPLANE_SIM_THREADS, else 1. */
+unsigned
+resolveSimThreads(unsigned cfg)
+{
+    if (cfg != 0)
+        return cfg;
+    if (const char *env = std::getenv("HYPERPLANE_SIM_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 1;
 }
 
 } // namespace
@@ -234,6 +251,18 @@ SdpSystem::build()
     clusterBacklogs_.assign(clusters, 0);
     coreCluster_.resize(cfg_.numCores);
 
+    // Sim-thread partitioning: clusters are the unit of placement (a
+    // cluster's cores, QwaitUnit, and queues interact densely), bins
+    // balanced by the traffic weight each cluster serves.  Owner tags
+    // never change dispatch order, so results are independent of the
+    // worker count.
+    simPartitions_ = std::min(
+        {resolveSimThreads(cfg_.simThreads), clusters, 0xFFFFu});
+    std::vector<double> clusterWeight(clusters, 0.0);
+    for (QueueId q = 0; q < cfg_.numQueues; ++q)
+        clusterWeight[clusterOf(q)] += weights_[q];
+    clusterPart_ = sim::balanceByWeight(clusterWeight, simPartitions_);
+
     const bool hyper = cfg_.plane == PlaneKind::HyperPlane ||
                        cfg_.plane == PlaneKind::HyperPlaneSwReady;
 
@@ -391,6 +420,9 @@ SdpSystem::build()
             qwaitUnits_[c]->setWakeCallback([this, c] {
                 if (faults_ && faults_->rollSuppressWake())
                     return;
+                // The wake event (and everything the woken core spawns
+                // from it) executes on the cluster's sim partition.
+                EventQueue::SpawnOwnerScope own(eq_, ownerOfCluster(c));
                 deliverWake(c);
             });
         }
@@ -698,17 +730,28 @@ SdpSystem::onCompletion(const queueing::WorkItem &item, Tick when)
         tenants_->deliver(item, when);
 }
 
+std::uint64_t
+SdpSystem::runSim(Tick until)
+{
+    if (simPartitions_ <= 1)
+        return eq_.run(until);
+    return sim::runShared(eq_, until, simPartitions_);
+}
+
 SdpResults
 SdpSystem::run()
 {
-    for (auto &core : cores_)
-        core->start();
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+        EventQueue::SpawnOwnerScope own(
+            eq_, ownerOfCluster(coreCluster_[i]));
+        cores_[i]->start();
+    }
     source_->start();
     if (sampler_)
         sampler_->start();
 
     const Tick warmupEnd = eq_.now() + usToTicks(cfg_.warmupUs);
-    eq_.run(warmupEnd);
+    runSim(warmupEnd);
 
     // Measurement boundary: clear every statistic.
     measuring_ = true;
@@ -725,7 +768,7 @@ SdpSystem::run()
     const std::uint64_t dropAtStart = source_->dropped();
 
     const Tick end = warmupEnd + usToTicks(cfg_.measureUs);
-    eq_.run(end);
+    runSim(end);
 
     // Close halt/idle intervals still open at the end of the window.
     for (auto &core : cores_)

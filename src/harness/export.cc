@@ -4,9 +4,11 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "sim/logging.hh"
 #include "stats/json.hh"
+#include "telemetry/build_info.hh"
 
 namespace hyperplane {
 namespace harness {
@@ -75,6 +77,30 @@ resultsJson(const dp::SdpResults &r)
     field("breakdown_e2e_p99_us", r.breakdownE2eP99Us);
     ufield("trace_events", r.traceEvents);
     ufield("trace_dropped", r.traceDropped);
+    os << '}';
+    return os.str();
+}
+
+std::string
+hostJson(unsigned jobs, unsigned simThreads)
+{
+    const telemetry::BuildInfo &bi = telemetry::buildInfo();
+    std::ostringstream os;
+    os << "{\"hardware_concurrency\":"
+       << std::thread::hardware_concurrency()
+       << ",\"git_sha\":" << stats::jsonString(bi.gitSha)
+       << ",\"build_type\":" << stats::jsonString(bi.buildType)
+       << ",\"compiler\":" << stats::jsonString(bi.compiler)
+       << ",\"cpu_features\":" << stats::jsonString(bi.cpuFeatures)
+       << ",\"simd\":{\"checksum\":" << stats::jsonString(bi.simdChecksum)
+       << ",\"crc32c\":" << stats::jsonString(bi.simdCrc32c)
+       << ",\"header_check\":" << stats::jsonString(bi.simdHeaderCheck)
+       << ",\"force_scalar\":" << (bi.forcedScalar ? "true" : "false")
+       << '}';
+    if (jobs)
+        os << ",\"jobs\":" << jobs;
+    if (simThreads)
+        os << ",\"sim_threads\":" << simThreads;
     os << '}';
     return os.str();
 }

@@ -94,11 +94,13 @@ class Snooper
 /** Pseudo core-id used for device (DMA) writes. */
 constexpr CoreId deviceWriter = ~CoreId{0};
 
-/** Sharer-bitmask words per directory entry (64 cores each).  Two words
- *  keep a directory slot at exactly 32 bytes — two slots per host cache
- *  line — which matters because the index is the hottest data structure
- *  in the simulator at high core counts. */
-constexpr unsigned dirMaskWords = 2;
+/** Sharer-bitmask words per directory entry (64 cores each).  Sixteen
+ *  words cover the 1024-core configurations of the tick-parallel
+ *  backend.  Only the rare >=2-sharer overflow-pool records pay for the
+ *  wider mask: the hash table itself stores 16-byte packed slots whose
+ *  inline single-sharer form is independent of this constant, so the
+ *  hottest structure in the simulator is unchanged. */
+constexpr unsigned dirMaskWords = 16;
 
 /** Largest core count the directory's inline sharer mask can track. */
 constexpr unsigned maxDirectoryCores = dirMaskWords * 64;
@@ -479,10 +481,14 @@ class MemorySystem
         static constexpr std::uint64_t kHasSharer = 2; ///< bit 1
         static constexpr std::uint64_t kOwned = 4;     ///< bit 2
         static constexpr unsigned kIdShift = 3; ///< sharer id bits 3..
+        /** Inline sharer-id field width: holds maxDirectoryCores-1. */
+        static constexpr std::uint64_t kIdMask = 0x7FF;
+        static_assert(maxDirectoryCores - 1 <= kIdMask,
+                      "inline sharer id field too narrow");
 
         static CoreId inlineId(std::uint64_t p)
         {
-            return static_cast<CoreId>((p >> kIdShift) & 0xFF);
+            return static_cast<CoreId>((p >> kIdShift) & kIdMask);
         }
 
         DirEntry materialize(std::uint64_t p) const

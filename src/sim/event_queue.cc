@@ -73,6 +73,7 @@ EventQueue::schedule(Tick when, Callback cb)
     Slot &s = slots_[slot];
     s.cb = std::move(cb);
     s.seq = ++nextSeq_;
+    s.owner = spawnOwner_;
     s.bucketed = when - now_ < horizonTicks;
     const Ref r{when, s.seq, slot};
     if (s.bucketed) {
@@ -222,7 +223,7 @@ EventQueue::nextEventTick() const
 }
 
 bool
-EventQueue::step()
+EventQueue::peekNextRef(Ref &r, bool &fromBucket)
 {
     Tick bt;
     const bool haveBucket = bucketFront(bt);
@@ -234,21 +235,31 @@ EventQueue::step()
     // Same-tick events must fire in schedule order even when they sit
     // in different front ends (one scheduled from afar, one nearby):
     // merge the two fronts by sequence number.
-    bool fromBucket;
     if (haveBucket && haveHeap) {
         const Ref &h = heap_.front();
         const Bucket &bk = buckets_[bt & (horizonTicks - 1)];
         const Ref &b = bk.refs[bk.drain];
         fromBucket =
             b.when < h.when || (b.when == h.when && b.seq < h.seq);
+        r = fromBucket ? b : h;
     } else {
         fromBucket = haveBucket;
+        if (haveBucket) {
+            const Bucket &bk = buckets_[bt & (horizonTicks - 1)];
+            r = bk.refs[bk.drain];
+        } else {
+            r = heap_.front();
+        }
     }
+    return true;
+}
 
-    Ref r;
+void
+EventQueue::popAndFire(const Ref &r, bool fromBucket)
+{
     if (fromBucket) {
-        Bucket &bk = buckets_[bt & (horizonTicks - 1)];
-        r = bk.refs[bk.drain++];
+        Bucket &bk = buckets_[r.when & (horizonTicks - 1)];
+        ++bk.drain;
         --bucketRefs_;
         if (bk.drain == bk.refs.size()) {
             bk.refs.clear();
@@ -256,17 +267,30 @@ EventQueue::step()
             clearBucketBit(r.when & (horizonTicks - 1));
         }
     } else {
-        r = heap_.front();
         std::pop_heap(heap_.begin(), heap_.end(), Later{});
         heap_.pop_back();
     }
 
     hp_assert(r.when >= now_, "event in the past");
     now_ = r.when;
+    // Events spawned by this callback inherit its partition tag.
+    const std::uint16_t prevOwner = spawnOwner_;
+    spawnOwner_ = slots_[r.slot].owner;
     Callback cb = std::move(slots_[r.slot].cb);
     freeSlot(r.slot);
     ++dispatched_;
     cb();
+    spawnOwner_ = prevOwner;
+}
+
+bool
+EventQueue::step()
+{
+    Ref r;
+    bool fromBucket;
+    if (!peekNextRef(r, fromBucket))
+        return false;
+    popAndFire(r, fromBucket);
     return true;
 }
 
@@ -274,16 +298,55 @@ std::uint64_t
 EventQueue::run(Tick until)
 {
     std::uint64_t n = 0;
-    for (;;) {
-        Tick t;
-        if (!peekNextTick(t) || t > until)
-            break;
-        step();
+    Ref r;
+    bool fromBucket;
+    while (peekNextRef(r, fromBucket) && r.when <= until) {
+        popAndFire(r, fromBucket);
         ++n;
     }
     if (now_ < until && until != ~Tick{0})
         now_ = until;
     return n;
+}
+
+bool
+EventQueue::peekNextOwner(std::uint16_t &owner)
+{
+    Ref r;
+    bool fromBucket;
+    if (!peekNextRef(r, fromBucket))
+        return false;
+    owner = slots_[r.slot].owner;
+    return true;
+}
+
+EventQueue::SliceEnd
+EventQueue::runOwnerSlice(Tick until, std::uint16_t owner,
+                          std::uint16_t &nextOwner, std::uint64_t &fired)
+{
+    fired = 0;
+    Ref r;
+    bool fromBucket;
+    for (;;) {
+        if (!peekNextRef(r, fromBucket)) {
+            // Terminating slice: leave now() exactly as run(until) would.
+            if (now_ < until && until != ~Tick{0})
+                now_ = until;
+            return SliceEnd::Empty;
+        }
+        if (r.when > until) {
+            if (now_ < until && until != ~Tick{0})
+                now_ = until;
+            return SliceEnd::Until;
+        }
+        const std::uint16_t o = slots_[r.slot].owner;
+        if (o != owner) {
+            nextOwner = o;
+            return SliceEnd::OwnerSwitch;
+        }
+        popAndFire(r, fromBucket);
+        ++fired;
+    }
 }
 
 void

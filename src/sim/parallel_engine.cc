@@ -1,0 +1,530 @@
+#include "sim/parallel_engine.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace sim {
+
+// ---------------------------------------------------------------------
+// Latency-weighted LPT partitioning
+// ---------------------------------------------------------------------
+
+std::vector<unsigned>
+balanceByWeight(const std::vector<double> &weights, unsigned bins)
+{
+    const std::size_t n = weights.size();
+    std::vector<unsigned> assign(n, 0);
+    if (bins <= 1 || n == 0)
+        return assign;
+
+    // Heaviest object first, each into the currently lightest bin.
+    // stable_sort + lower-index tie-break keep the result a pure
+    // function of the weights (no pointer or hash order leaks in).
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return weights[a] > weights[b];
+                     });
+
+    std::vector<double> load(bins, 0.0);
+    for (const std::size_t i : order) {
+        unsigned best = 0;
+        for (unsigned b = 1; b < bins; ++b)
+            if (load[b] < load[best])
+                best = b;
+        assign[i] = best;
+        load[best] += weights[i];
+    }
+    return assign;
+}
+
+// ---------------------------------------------------------------------
+// Token-passing partition-affine dispatch over the sequential kernel
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t tokenDone = ~std::uint32_t{0};
+} // namespace
+
+std::uint64_t
+runShared(EventQueue &eq, Tick until, unsigned partitions)
+{
+    std::uint16_t first = 0;
+    if (partitions <= 1 || !eq.peekNextOwner(first))
+        return eq.run(until);
+
+    // The token holds the owner tag whose events run next (tokenDone
+    // when finished); worker w serves tags congruent to w mod
+    // partitions.  The release store / acquire load pair on the token
+    // is the only synchronization: it hands the whole queue (and all
+    // partition state the previous slice touched) to the next worker.
+    std::atomic<std::uint32_t> token{first};
+    std::atomic<std::uint64_t> total{0};
+
+    auto workerFn = [&](unsigned me) {
+        std::uint64_t mine = 0;
+        std::uint32_t t = token.load(std::memory_order_acquire);
+        for (;;) {
+            while (t != tokenDone && t % partitions != me) {
+                token.wait(t, std::memory_order_acquire);
+                t = token.load(std::memory_order_acquire);
+            }
+            if (t == tokenDone)
+                break;
+            std::uint16_t next = 0;
+            std::uint64_t fired = 0;
+            const auto end = eq.runOwnerSlice(
+                until, static_cast<std::uint16_t>(t), next, fired);
+            mine += fired;
+            if (end == EventQueue::SliceEnd::OwnerSwitch) {
+                t = next;
+                token.store(t, std::memory_order_release);
+                if (t % partitions != me)
+                    token.notify_all();
+            } else {
+                token.store(tokenDone, std::memory_order_release);
+                token.notify_all();
+                break;
+            }
+        }
+        total.fetch_add(mine, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(partitions - 1);
+    for (unsigned w = 1; w < partitions; ++w)
+        threads.emplace_back(workerFn, w);
+    workerFn(0);
+    for (auto &th : threads)
+        th.join();
+    return total.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// EpochEngine
+// ---------------------------------------------------------------------
+
+thread_local EpochEngine::ExecContext EpochEngine::tls_;
+
+EpochEngine::EpochEngine(unsigned partitions, unsigned threads)
+{
+    hp_assert(partitions >= 1, "EpochEngine needs at least one partition");
+    hp_assert(partitions <= 0xFFFF, "partition id must fit 16 bits");
+    parts_ = std::vector<Partition>(partitions);
+    numThreads_ = threads == 0 ? partitions
+                               : std::min(threads, partitions);
+    if (numThreads_ < 1)
+        numThreads_ = 1;
+    workers_ = std::vector<Worker>(numThreads_);
+    partToWorker_.resize(partitions);
+    for (unsigned p = 0; p < partitions; ++p) {
+        partToWorker_[p] = p % numThreads_;
+        workers_[p % numThreads_].owned.push_back(p);
+    }
+    for (Worker &wk : workers_)
+        wk.mailbox.resize(numThreads_);
+}
+
+EpochEngine::~EpochEngine() = default;
+
+std::uint32_t
+EpochEngine::Partition::allocSlot()
+{
+    if (freeHead != noSlot) {
+        const std::uint32_t s = freeHead;
+        freeHead = slots[s].nextFree;
+        return s;
+    }
+    slots.emplace_back();
+    return static_cast<std::uint32_t>(slots.size() - 1);
+}
+
+void
+EpochEngine::Partition::freeSlot(std::uint32_t s)
+{
+    Slot &sl = slots[s];
+    sl.cb.reset();
+    sl.seq = 0;
+    if ((++sl.gen & 0xFFFF) == 0)
+        ++sl.gen; // gen 0 reserved: no id equals invalidEpochEventId
+    if (sl.state == SlotState::Live)
+        --liveCount;
+    sl.state = SlotState::Free;
+    sl.nextFree = freeHead;
+    freeHead = s;
+}
+
+void
+EpochEngine::Partition::skipStale()
+{
+    while (!heap.empty()) {
+        const Ref &r = heap.front();
+        const Slot &s = slots[r.slot];
+        if (s.state == SlotState::Live && s.seq == r.seq)
+            break;
+        std::pop_heap(heap.begin(), heap.end(), RefLater{});
+        heap.pop_back();
+    }
+}
+
+bool
+EpochEngine::Partition::nextTick(Tick &t)
+{
+    skipStale();
+    if (heap.empty())
+        return false;
+    t = heap.front().when;
+    return true;
+}
+
+EpochEventId
+EpochEngine::scheduleDirect(unsigned partition, Tick when, Callback cb)
+{
+    Partition &part = parts_[partition];
+    const std::uint32_t slot = part.allocSlot();
+    Slot &s = part.slots[slot];
+    s.cb = std::move(cb);
+    s.when = when;
+    s.seq = ++nextSeq_;
+    s.state = SlotState::Live;
+    part.heap.push_back(Ref{when, s.seq, slot});
+    std::push_heap(part.heap.begin(), part.heap.end(), RefLater{});
+    ++part.liveCount;
+    return idOf(partition, slot, s.gen);
+}
+
+EpochEventId
+EpochEngine::schedule(unsigned partition, Tick when, Callback cb)
+{
+    hp_assert(partition < parts_.size(), "schedule to unknown partition");
+    hp_assert(when >= now_, "scheduling into the past");
+
+    if (!tls_.inEvent || tls_.engine != this)
+        return scheduleDirect(partition, when, std::move(cb));
+
+    Worker &wk = workers_[tls_.worker];
+    Op op;
+    op.parentSeq = tls_.parentSeq;
+    op.opIdx = tls_.nextOpIdx++;
+    op.target = static_cast<std::uint16_t>(partition);
+
+    if (partition == tls_.partition) {
+        // Local: callback moves straight into a pre-allocated slot; only
+        // the global seq waits for the commit phase.  The returned id is
+        // valid (and cancellable) immediately.
+        Partition &part = parts_[partition];
+        const std::uint32_t slot = part.allocSlot();
+        Slot &s = part.slots[slot];
+        s.cb = std::move(cb);
+        s.when = when;
+        s.seq = 0;
+        s.state = SlotState::Pending;
+        op.when = when;
+        op.slot = slot;
+        op.schedGen = s.gen;
+        wk.mailbox[tls_.worker].push_back(std::move(op));
+        return idOf(partition, slot, s.gen);
+    }
+
+    hp_assert(when > now_,
+              "cross-partition schedule must target a strictly future tick");
+    op.when = when;
+    op.cb = std::move(cb);
+    wk.mailbox[workerOf(partition)].push_back(std::move(op));
+    return invalidEpochEventId;
+}
+
+bool
+EpochEngine::applyCancel(EpochEventId id, bool fromDrain)
+{
+    const auto partition = static_cast<unsigned>(id >> 48);
+    const auto slot = static_cast<std::uint32_t>(id >> 16);
+    const auto gen = static_cast<std::uint32_t>(id & 0xFFFF);
+    if (partition >= parts_.size())
+        return false;
+    Partition &part = parts_[partition];
+    if (slot >= part.slots.size())
+        return false;
+    Slot &s = part.slots[slot];
+    if ((s.gen & 0xFFFF) != gen || s.state == SlotState::Free)
+        return false;
+    if (fromDrain && s.state == SlotState::Live)
+        hp_assert(s.when > now_,
+                  "cross-partition cancel of a non-future event");
+    // Heap entry (if any) becomes a tombstone reclaimed by skipStale();
+    // a Pending slot's commit op is skipped via the gen bump.
+    part.freeSlot(slot);
+    return true;
+}
+
+bool
+EpochEngine::cancelDirect(EpochEventId id)
+{
+    return applyCancel(id, false);
+}
+
+bool
+EpochEngine::cancel(EpochEventId id)
+{
+    if (id == invalidEpochEventId)
+        return false;
+    const auto partition = static_cast<unsigned>(id >> 48);
+    if (!tls_.inEvent || tls_.engine != this ||
+        partition == tls_.partition)
+        return cancelDirect(id);
+
+    // Foreign event: O(1) mailbox push, applied at the epoch barrier.
+    Worker &wk = workers_[tls_.worker];
+    Op op;
+    op.parentSeq = tls_.parentSeq;
+    op.opIdx = tls_.nextOpIdx++;
+    op.target = static_cast<std::uint16_t>(partition);
+    op.isCancel = true;
+    op.cancelId = id;
+    wk.mailbox[workerOf(partition)].push_back(std::move(op));
+    return true;
+}
+
+std::size_t
+EpochEngine::pending() const
+{
+    std::size_t n = 0;
+    for (const Partition &part : parts_)
+        n += part.liveCount;
+    return n;
+}
+
+void
+EpochEngine::computeLocalMin(unsigned w)
+{
+    Worker &wk = workers_[w];
+    wk.haveLocalMin = false;
+    for (const unsigned p : wk.owned) {
+        Tick t;
+        if (parts_[p].nextTick(t) &&
+            (!wk.haveLocalMin || t < wk.localMin)) {
+            wk.localMin = t;
+            wk.haveLocalMin = true;
+        }
+    }
+}
+
+void
+EpochEngine::fireRound(unsigned w)
+{
+    Worker &wk = workers_[w];
+    for (auto &lane : wk.mailbox)
+        lane.clear();
+
+    // Fire every tick == now_ event of this worker's partitions in
+    // global seq order.  Events committed mid-round don't exist yet
+    // (local zero-delta spawns wait for the commit phase and run in
+    // the next sub-round), so one pass over current heap tops is
+    // exhaustive.
+    for (;;) {
+        Partition *best = nullptr;
+        unsigned bestPart = 0;
+        for (const unsigned p : wk.owned) {
+            Partition &part = parts_[p];
+            part.skipStale();
+            if (part.heap.empty() || part.heap.front().when != now_)
+                continue;
+            if (!best ||
+                part.heap.front().seq < best->heap.front().seq) {
+                best = &part;
+                bestPart = p;
+            }
+        }
+        if (!best)
+            break;
+
+        const Ref r = best->heap.front();
+        std::pop_heap(best->heap.begin(), best->heap.end(), RefLater{});
+        best->heap.pop_back();
+
+        tls_.partition = bestPart;
+        tls_.parentSeq = r.seq;
+        tls_.nextOpIdx = 0;
+        tls_.inEvent = true;
+        Callback cb = std::move(best->slots[r.slot].cb);
+        best->freeSlot(r.slot);
+        ++best->fired;
+        ++wk.firedThisRun;
+        cb();
+        tls_.inEvent = false;
+    }
+}
+
+void
+EpochEngine::commitSerial()
+{
+    committed_.clear();
+    for (Worker &wk : workers_)
+        for (auto &lane : wk.mailbox)
+            for (Op &op : lane)
+                committed_.push_back(&op);
+
+    // (parentSeq, opIdx) is the order one sequential kernel would have
+    // seen these schedule()/cancel() calls; assigning global seqs in
+    // that order makes same-tick FIFO identical for any thread count.
+    std::sort(committed_.begin(), committed_.end(),
+              [](const Op *a, const Op *b) {
+                  if (a->parentSeq != b->parentSeq)
+                      return a->parentSeq < b->parentSeq;
+                  return a->opIdx < b->opIdx;
+              });
+    for (Op *op : committed_)
+        if (!op->isCancel)
+            op->assignedSeq = ++nextSeq_;
+
+    again_.store(false, std::memory_order_relaxed);
+}
+
+void
+EpochEngine::drainInbox(unsigned w)
+{
+    bool sawNowTick = false;
+    for (Op *op : committed_) {
+        if (workerOf(op->target) != w)
+            continue;
+        Partition &part = parts_[op->target];
+
+        if (op->isCancel) {
+            applyCancel(op->cancelId, true);
+            continue;
+        }
+
+        std::uint32_t slot = op->slot;
+        if (slot == noSlot) {
+            // Foreign schedule: the callback travelled in the mailbox.
+            slot = part.allocSlot();
+            Slot &s = part.slots[slot];
+            s.cb = std::move(op->cb);
+            s.when = op->when;
+        } else {
+            // Local pre-allocated slot; a gen mismatch means the parent
+            // (or a later same-round event) cancelled it before commit.
+            // The seq was still consumed above, as it would have been
+            // sequentially.
+            Slot &s = part.slots[slot];
+            if ((s.gen & 0xFFFF) != (op->schedGen & 0xFFFF) ||
+                s.state != SlotState::Pending)
+                continue;
+        }
+        Slot &s = part.slots[slot];
+        s.seq = op->assignedSeq;
+        s.state = SlotState::Live;
+        part.heap.push_back(Ref{s.when, s.seq, slot});
+        std::push_heap(part.heap.begin(), part.heap.end(), RefLater{});
+        ++part.liveCount;
+        if (s.when == now_)
+            sawNowTick = true;
+    }
+    if (sawNowTick)
+        again_.store(true, std::memory_order_relaxed);
+}
+
+void
+EpochEngine::barrier()
+{
+    // Central counter with a monotonic sense word: the last arriver
+    // resets the counter, bumps the sense (release), and wakes the
+    // rest; everyone else acquire-waits on the bump.  The release /
+    // acquire pair carries every pre-barrier write to every
+    // post-barrier reader, which is what lets the phase variables
+    // (now_, committed_, mailboxes) stay plain data.
+    const std::uint32_t s = sense_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        numThreads_) {
+        arrived_.store(0, std::memory_order_relaxed);
+        sense_.store(s + 1, std::memory_order_release);
+        sense_.notify_all();
+    } else {
+        std::uint32_t cur;
+        while ((cur = sense_.load(std::memory_order_acquire)) == s)
+            sense_.wait(s);
+        (void)cur;
+    }
+}
+
+void
+EpochEngine::workerLoop(unsigned w)
+{
+    tls_.engine = this;
+    tls_.worker = w;
+    for (;;) {
+        computeLocalMin(w);
+        barrier();
+        if (w == 0) {
+            Tick m = 0;
+            bool have = false;
+            for (const Worker &wk : workers_)
+                if (wk.haveLocalMin && (!have || wk.localMin < m)) {
+                    m = wk.localMin;
+                    have = true;
+                }
+            if (!have || m > until_)
+                done_.store(true, std::memory_order_relaxed);
+            else
+                now_ = m;
+        }
+        barrier();
+        if (done_.load(std::memory_order_relaxed))
+            break;
+
+        // Sub-rounds absorb same-tick (zero-delta) spawns: each round
+        // fires everything pending at now_, commits the ops it issued,
+        // and goes again if the commit scheduled back into now_.
+        for (;;) {
+            fireRound(w);
+            barrier();
+            if (w == 0)
+                commitSerial();
+            barrier();
+            drainInbox(w);
+            barrier();
+            if (!again_.load(std::memory_order_relaxed))
+                break;
+        }
+    }
+    tls_.engine = nullptr;
+}
+
+std::uint64_t
+EpochEngine::run(Tick until)
+{
+    hp_assert(!tls_.inEvent, "EpochEngine::run from inside an event");
+    until_ = until;
+    done_.store(false, std::memory_order_relaxed);
+    again_.store(false, std::memory_order_relaxed);
+    for (Worker &wk : workers_) {
+        wk.firedThisRun = 0;
+        for (auto &lane : wk.mailbox)
+            lane.clear();
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(numThreads_ - 1);
+    for (unsigned w = 1; w < numThreads_; ++w)
+        threads.emplace_back(&EpochEngine::workerLoop, this, w);
+    workerLoop(0);
+    for (auto &th : threads)
+        th.join();
+
+    std::uint64_t n = 0;
+    for (const Worker &wk : workers_)
+        n += wk.firedThisRun;
+    dispatched_ += n;
+    if (now_ < until && until != ~Tick{0})
+        now_ = until;
+    return n;
+}
+
+} // namespace sim
+} // namespace hyperplane

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tick-parallel simulation backends.
+ *
+ * Two execution modes share this file, both preserving the sequential
+ * kernel's dispatch contract — same-tick events fire in global schedule
+ * order, merged by (tick, seq) — exactly:
+ *
+ *  1. EpochEngine: a barrier-synced tick-epoch engine for object graphs
+ *     whose state is partitioned (an event owned by partition p touches
+ *     only partition-p state).  Partitions advance one tick per epoch
+ *     on worker threads; every schedule/cancel an event issues is
+ *     recorded in a per-thread-pair mailbox as an (parentSeq, opIndex)
+ *     tagged operation and committed at the epoch barrier in exactly
+ *     the order the sequential kernel would have processed it, so
+ *     global sequence numbers — and therefore same-tick FIFO order —
+ *     are reproduced bit-identically regardless of thread timing.
+ *     Same-tick (zero-delta) spawns fire in a later sub-round of the
+ *     same epoch, matching the sequential rule that a new event's seq
+ *     exceeds every pending one.
+ *
+ *  2. runShared(): a partition-affine dispatcher for systems whose
+ *     components share synchronous state (SdpSystem: one LLC +
+ *     coherence directory couples every simulated core, so same-tick
+ *     events in different partitions do not commute).  It steps the
+ *     ONE sequential EventQueue in exactly sequential order — bit
+ *     identity is by construction, for every configuration including
+ *     faults and work stealing — but executes each event on the worker
+ *     thread owning the event's partition, handing a release/acquire
+ *     token between workers only when ownership changes.  Consecutive
+ *     same-owner events run as one slice with no synchronization.  The
+ *     win is host cache residency: each worker's private cache holds
+ *     only its partition's simulated core/cluster state instead of one
+ *     thread thrashing through all of it, which is where the wall
+ *     clock goes at 512/1024 simulated cores (see
+ *     docs/PERFORMANCE.md).
+ *
+ * Partition assignment uses latency-weighted LPT (longest processing
+ * time first) balancing, as in cycle-level simulators that bin sim
+ * objects onto threads by measured or estimated per-object cost.
+ */
+
+#ifndef HYPERPLANE_SIM_PARALLEL_ENGINE_HH
+#define HYPERPLANE_SIM_PARALLEL_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sim/callback.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace sim {
+
+/**
+ * Assign @p weights.size() objects to @p bins bins, balancing total
+ * weight: heaviest object first into the lightest bin (LPT greedy).
+ * Ties break toward the lower bin index, so the assignment is a pure
+ * function of the weights.  @return bin index per object.
+ */
+std::vector<unsigned> balanceByWeight(const std::vector<double> &weights,
+                                      unsigned bins);
+
+/**
+ * Run @p eq to @p until on @p partitions worker threads.  Every event
+ * dispatches in exactly the order the sequential eq.run(until) would
+ * use, on the thread owning the event's partition tag (events inherit
+ * their scheduler's tag; see EventQueue::SpawnOwnerScope).  The final
+ * queue state — now(), dispatched(), pending events, seq counter — is
+ * identical to eq.run(until)'s.
+ *
+ * @return Events dispatched, like EventQueue::run.
+ */
+std::uint64_t runShared(EventQueue &eq, Tick until, unsigned partitions);
+
+/** Handle to an EpochEngine event, usable for cancellation. */
+using EpochEventId = std::uint64_t;
+
+/** Sentinel: no event / non-cancellable cross-partition message. */
+constexpr EpochEventId invalidEpochEventId = 0;
+
+/**
+ * Barrier-synced tick-epoch engine over partitioned sim objects.
+ *
+ * Usage contract (asserted in debug builds):
+ *  - Events touch only state of their own partition; cross-partition
+ *    interaction happens by scheduling events into other partitions.
+ *  - schedule() into the caller's own partition returns a cancellable
+ *    id; schedule() into a foreign partition is a mailbox message and
+ *    returns invalidEpochEventId (the owner can later hand the real id
+ *    to peers, who may then cancel() it cross-partition).
+ *  - Cross-partition schedules and cancels must target a tick strictly
+ *    after the current epoch's tick (they commit at the epoch
+ *    barrier); same-partition operations may be same-tick, exactly as
+ *    in the sequential kernel.
+ *
+ * Under that contract, dispatch order, sequence assignment, and every
+ * partition's state trajectory are bit-identical to running the same
+ * object graph on one sequential EventQueue, for any thread count.
+ */
+class EpochEngine
+{
+  public:
+    using Callback = EventCallback;
+
+    /**
+     * @param partitions Number of state partitions (>= 1).
+     * @param threads    Worker threads; 0 = one per partition.  Capped
+     *                   at the partition count.
+     */
+    explicit EpochEngine(unsigned partitions, unsigned threads = 0);
+    ~EpochEngine();
+
+    EpochEngine(const EpochEngine &) = delete;
+    EpochEngine &operator=(const EpochEngine &) = delete;
+
+    unsigned partitions() const
+    {
+        return static_cast<unsigned>(parts_.size());
+    }
+
+    unsigned threads() const { return numThreads_; }
+
+    /** Current simulated time (stable while an event runs). */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb at absolute tick @p when into @p partition.
+     * Callable from a running event (worker context) or, before/between
+     * run() calls, from the controlling thread.
+     */
+    EpochEventId schedule(unsigned partition, Tick when, Callback cb);
+
+    /** Schedule @p delta ticks from now into @p partition. */
+    EpochEventId scheduleIn(unsigned partition, Tick delta, Callback cb)
+    {
+        return schedule(partition, now_ + delta, std::move(cb));
+    }
+
+    /**
+     * Cancel a scheduled event.  Same-partition (or controlling-thread)
+     * cancels apply immediately and return whether the event was
+     * pending; a cancel of a foreign partition's event is an O(1)
+     * mailbox push, applied at the epoch barrier, and returns true for
+     * "requested".
+     */
+    bool cancel(EpochEventId id);
+
+    /** Pending (non-cancelled) events across all partitions. */
+    std::size_t pending() const;
+
+    /** Total events dispatched since construction. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+    /**
+     * Run until no events remain or simulated time would pass
+     * @p until; events exactly at @p until still fire.
+     * @return events dispatched by this call.
+     */
+    std::uint64_t run(Tick until = ~Tick{0});
+
+  private:
+    static constexpr std::uint32_t noSlot = ~std::uint32_t{0};
+
+    enum class SlotState : std::uint8_t
+    {
+        Free,    ///< on the free list
+        Pending, ///< local schedule awaiting its commit-phase seq
+        Live,    ///< committed: seq assigned, heap entry present
+    };
+
+    /** One stored event. */
+    struct Slot
+    {
+        Callback cb;
+        Tick when = 0;
+        /** Global sequence; 0 until the commit phase assigns one. */
+        std::uint64_t seq = 0;
+        std::uint32_t gen = 1;
+        std::uint32_t nextFree = noSlot;
+        SlotState state = SlotState::Free;
+    };
+
+    /** (when, seq) heap entry. */
+    struct Ref
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
+
+    struct RefLater
+    {
+        bool operator()(const Ref &a, const Ref &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /**
+     * One schedule or cancel issued during an epoch, tagged with the
+     * issuing event's global seq and the op's index within that event:
+     * sorting by (parentSeq, opIdx) reconstructs the exact order a
+     * sequential kernel would have seen the calls.
+     */
+    struct Op
+    {
+        std::uint64_t parentSeq = 0;
+        std::uint32_t opIdx = 0;
+        std::uint16_t target = 0;
+        bool isCancel = false;
+        Tick when = 0;              ///< schedule only
+        std::uint32_t slot = noSlot; ///< schedule: pre-allocated local slot
+        std::uint32_t schedGen = 0; ///< gen at issue (detects pre-commit cancel)
+        std::uint64_t assignedSeq = 0; ///< filled by the commit phase
+        Callback cb;                ///< schedule into foreign partition
+        EpochEventId cancelId = 0;  ///< cancel only
+    };
+
+    /** Per-partition state, cache-line aligned: exactly one worker
+     *  touches a partition between barriers. */
+    struct alignas(64) Partition
+    {
+        std::vector<Slot> slots;
+        std::uint32_t freeHead = noSlot;
+        std::vector<Ref> heap;
+        std::size_t liveCount = 0;
+        std::uint64_t fired = 0;
+
+        std::uint32_t allocSlot();
+        void freeSlot(std::uint32_t s);
+        /** Pop cancelled tombstones off the heap top. */
+        void skipStale();
+        bool nextTick(Tick &t);
+    };
+
+    /** Per-worker execution state. */
+    struct alignas(64) Worker
+    {
+        std::vector<unsigned> owned; ///< partitions this worker runs
+        /** Outgoing ops, one lane per destination worker (the
+         *  per-thread-pair mailbox); records stay in issue order,
+         *  which is (parentSeq, opIdx) order within a lane. */
+        std::vector<std::vector<Op>> mailbox;
+        Tick localMin = 0;
+        bool haveLocalMin = false;
+        std::uint64_t firedThisRun = 0;
+    };
+
+    /** Context of the event currently running on this thread. */
+    struct ExecContext
+    {
+        EpochEngine *engine = nullptr;
+        unsigned worker = 0;
+        unsigned partition = 0;
+        std::uint64_t parentSeq = 0;
+        std::uint32_t nextOpIdx = 0;
+        bool inEvent = false;
+    };
+
+    static thread_local ExecContext tls_;
+
+    /** Ids pack partition(16) | slot(32) | gen(16). */
+    EpochEventId idOf(unsigned partition, std::uint32_t slot,
+                      std::uint32_t gen) const
+    {
+        return (static_cast<EpochEventId>(partition) << 48) |
+               (static_cast<EpochEventId>(slot) << 16) | (gen & 0xFFFF);
+    }
+
+    unsigned workerOf(unsigned partition) const
+    {
+        return partToWorker_[partition];
+    }
+
+    /** Immediate schedule (controlling thread, between runs). */
+    EpochEventId scheduleDirect(unsigned partition, Tick when,
+                                Callback cb);
+    /** Immediate cancel on a partition this thread may touch. */
+    bool cancelDirect(EpochEventId id);
+
+    void workerLoop(unsigned w);
+    /** Earliest pending tick across worker @p w's partitions. */
+    void computeLocalMin(unsigned w);
+    /** Fire all tick == now_ events of worker @p w's partitions in
+     *  global seq order; buffer the ops they issue. */
+    void fireRound(unsigned w);
+    /** Phase done by one thread between barriers: merge every mailbox
+     *  lane by (parentSeq, opIdx) and assign global seqs. */
+    void commitSerial();
+    /** Drain committed ops addressed to worker @p w's partitions. */
+    void drainInbox(unsigned w);
+    /** Cancel machinery shared by the direct and drain paths. */
+    bool applyCancel(EpochEventId id, bool fromDrain);
+    void barrier();
+
+    std::vector<Partition> parts_;
+    std::vector<unsigned> partToWorker_;
+    std::vector<Worker> workers_;
+    unsigned numThreads_ = 1;
+    /** Epoch's ops, sorted by (parentSeq, opIdx); valid commit→drain. */
+    std::vector<Op *> committed_;
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dispatched_ = 0;
+    Tick until_ = 0;
+
+    // --- epoch coordination ------------------------------------------
+    std::atomic<std::uint32_t> arrived_{0};
+    std::atomic<std::uint32_t> sense_{0};
+    std::atomic<bool> done_{false};
+    /** Set by any worker that saw another same-tick sub-round coming. */
+    std::atomic<bool> again_{false};
+};
+
+} // namespace sim
+} // namespace hyperplane
+
+#endif // HYPERPLANE_SIM_PARALLEL_ENGINE_HH

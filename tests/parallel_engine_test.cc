@@ -1,0 +1,571 @@
+/**
+ * @file
+ * Tests for the tick-parallel simulation backends.
+ *
+ * The load-bearing property is determinism: both backends must be
+ * bit-identical to the sequential kernel for any worker count.  Every
+ * differential test here therefore runs the same logical program on a
+ * plain EventQueue (the golden reference) and on the backend under
+ * test, then compares per-partition state trajectories byte for byte.
+ * The cross-partition suites (FIFO across thread boundaries, foreign
+ * cancel, all-to-all mailbox drain) are in the CI TSan filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dp/sdp_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/parallel_engine.hh"
+
+namespace hyperplane {
+namespace {
+
+// --- deterministic labels + state hashing ----------------------------
+
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+    return h ^ (h >> 33);
+}
+
+/** splitmix64 step: the per-event decision stream. */
+std::uint64_t
+next(std::uint64_t &s)
+{
+    s += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+// --- LPT partitioner -------------------------------------------------
+
+TEST(ParallelEngine, BalanceByWeightIsBalancedAndPure)
+{
+    const std::vector<double> w{5, 1, 1, 1, 4, 4, 1, 1};
+    const auto a = sim::balanceByWeight(w, 3);
+    ASSERT_EQ(a.size(), w.size());
+    std::vector<double> load(3, 0.0);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        ASSERT_LT(a[i], 3u);
+        load[a[i]] += w[i];
+    }
+    // Total weight 18 over 3 bins; LPT keeps every bin within one
+    // heaviest item of the mean.
+    for (const double l : load) {
+        EXPECT_GE(l, 4.0);
+        EXPECT_LE(l, 7.0);
+    }
+    EXPECT_EQ(a, sim::balanceByWeight(w, 3));
+    // Degenerate shapes.
+    EXPECT_EQ(sim::balanceByWeight({}, 4), std::vector<unsigned>{});
+    EXPECT_EQ(sim::balanceByWeight({1, 2}, 1),
+              (std::vector<unsigned>{0, 0}));
+}
+
+// --- EpochEngine: randomized differential vs the sequential kernel ---
+
+/**
+ * One logical program, runnable on either back end: every event mixes
+ * (label, tick) into its partition's state hash, then spawns children
+ * whose targets/deltas come from a splitmix stream seeded by the label
+ * alone — so the spawn tree is a pure function of the roots, and any
+ * execution that honors (tick, seq) order produces identical hashes.
+ */
+class DiffProgram
+{
+  public:
+    explicit DiffProgram(unsigned partitions)
+        : parts_(partitions), state_(partitions, 0), fired_(partitions, 0)
+    {
+    }
+
+    unsigned partitions() const { return parts_; }
+    const std::vector<std::uint64_t> &state() const { return state_; }
+    const std::vector<std::uint64_t> &fired() const { return fired_; }
+
+    /** Run on the sequential golden reference. */
+    void
+    runSequential(Tick until)
+    {
+        EventQueue eq;
+        seedRoots([&](unsigned p, Tick when, std::uint64_t label) {
+            scheduleSeq(eq, p, when, label, 0);
+        });
+        eq.run(until);
+    }
+
+    /** Run on the epoch engine with the given worker count. */
+    void
+    runEpoch(Tick until, unsigned threads)
+    {
+        sim::EpochEngine eng(parts_, threads);
+        seedRoots([&](unsigned p, Tick when, std::uint64_t label) {
+            scheduleEpoch(eng, p, when, label, 0);
+        });
+        eng.run(until);
+    }
+
+  private:
+    static constexpr unsigned maxGen = 5;
+
+    template <typename ScheduleFn>
+    void
+    seedRoots(ScheduleFn schedule)
+    {
+        for (unsigned p = 0; p < parts_; ++p)
+            for (unsigned r = 0; r < 3; ++r)
+                schedule(p, 1 + r, mix(0xabcdef, p * 100 + r));
+    }
+
+    /**
+     * The event body.  @p emit schedules a child: (target, when,
+     * label, gen).  Children into foreign partitions always target a
+     * strictly future tick (the epoch-engine contract); local children
+     * may be zero-delta, exercising same-tick sub-rounds.
+     */
+    template <typename EmitFn>
+    void
+    fire(unsigned p, Tick now, std::uint64_t label, unsigned gen,
+         EmitFn emit)
+    {
+        state_[p] = mix(state_[p], mix(label, now));
+        ++fired_[p];
+        if (gen >= maxGen)
+            return;
+        std::uint64_t s = label;
+        const unsigned children = next(s) % 3;
+        for (unsigned i = 0; i < children; ++i) {
+            const auto target =
+                static_cast<unsigned>(next(s) % parts_);
+            Tick delta = 1 + next(s) % 400;
+            if (target == p && next(s) % 4 == 0)
+                delta = 0; // same-tick local spawn
+            emit(target, now + delta, mix(label, i + 1), gen + 1);
+        }
+    }
+
+    void
+    scheduleSeq(EventQueue &eq, unsigned p, Tick when,
+                std::uint64_t label, unsigned gen)
+    {
+        eq.schedule(when, [this, &eq, p, label, gen] {
+            fire(p, eq.now(), label, gen,
+                 [this, &eq](unsigned t, Tick w, std::uint64_t l,
+                             unsigned g) { scheduleSeq(eq, t, w, l, g); });
+        });
+    }
+
+    void
+    scheduleEpoch(sim::EpochEngine &eng, unsigned p, Tick when,
+                  std::uint64_t label, unsigned gen)
+    {
+        eng.schedule(p, when, [this, &eng, p, label, gen] {
+            fire(p, eng.now(), label, gen,
+                 [this, &eng](unsigned t, Tick w, std::uint64_t l,
+                              unsigned g) {
+                     scheduleEpoch(eng, t, w, l, g);
+                 });
+        });
+    }
+
+    unsigned parts_;
+    std::vector<std::uint64_t> state_;
+    std::vector<std::uint64_t> fired_;
+};
+
+TEST(EpochEngine, RandomizedDifferentialMatchesSequentialKernel)
+{
+    constexpr Tick until = 4000;
+    DiffProgram ref(5);
+    ref.runSequential(until);
+    std::uint64_t total = 0;
+    for (const auto f : ref.fired())
+        total += f;
+    ASSERT_GT(total, 50u) << "program too small to mean anything";
+
+    for (const unsigned threads : {1u, 2u, 4u, 5u}) {
+        DiffProgram par(5);
+        par.runEpoch(until, threads);
+        EXPECT_EQ(par.state(), ref.state()) << threads << " threads";
+        EXPECT_EQ(par.fired(), ref.fired()) << threads << " threads";
+    }
+}
+
+TEST(EpochEngine, SameTickFifoAcrossThreadBoundaries)
+{
+    // Roots a1, a2 (partition 0) and b1 (partition 1) all fire at tick
+    // 10 on different workers; each schedules one child into partition
+    // 2 at tick 20.  Commit order must be the roots' schedule order —
+    // a1, a2, b1 — exactly as the sequential kernel interleaves them.
+    for (const unsigned threads : {1u, 2u, 3u}) {
+        sim::EpochEngine eng(3, threads);
+        std::vector<int> cOrder;
+        auto child = [&cOrder](int tag) {
+            return [&cOrder, tag] { cOrder.push_back(tag); };
+        };
+        eng.schedule(0, 10, [&eng, child] {
+            eng.schedule(2, 20, child(1));
+        });
+        eng.schedule(0, 10, [&eng, child] {
+            eng.schedule(2, 20, child(2));
+        });
+        eng.schedule(1, 10, [&eng, child] {
+            eng.schedule(2, 20, child(3));
+        });
+        eng.run();
+        EXPECT_EQ(cOrder, (std::vector<int>{1, 2, 3}))
+            << threads << " threads";
+        EXPECT_EQ(eng.dispatched(), 6u);
+    }
+}
+
+TEST(EpochEngine, CancelOfForeignPartitionEvent)
+{
+    for (const unsigned threads : {1u, 2u}) {
+        sim::EpochEngine eng(2, threads);
+        bool victimFired = false;
+        bool cancelAccepted = false;
+        // Partition 1 owns the victim and publishes its id at tick 10;
+        // partition 0 cancels it from the other worker at tick 20 (an
+        // O(1) mailbox push applied at the barrier); tick 30 must never
+        // happen.  The id handoff is ordered by the epoch barriers.
+        sim::EpochEventId victimId = sim::invalidEpochEventId;
+        eng.schedule(1, 10, [&] {
+            victimId =
+                eng.schedule(1, 30, [&] { victimFired = true; });
+            ASSERT_NE(victimId, sim::invalidEpochEventId);
+        });
+        eng.schedule(0, 20,
+                     [&] { cancelAccepted = eng.cancel(victimId); });
+        eng.run();
+        EXPECT_TRUE(cancelAccepted) << threads << " threads";
+        EXPECT_FALSE(victimFired) << threads << " threads";
+        EXPECT_EQ(eng.dispatched(), 2u);
+        EXPECT_EQ(eng.pending(), 0u);
+    }
+}
+
+TEST(EpochEngine, LocalCancelSemanticsMatchSequential)
+{
+    sim::EpochEngine eng(1, 1);
+    bool fired = false;
+    const auto id = eng.schedule(0, 50, [&] { fired = true; });
+    EXPECT_TRUE(eng.cancel(id));  // pending -> cancelled
+    EXPECT_FALSE(eng.cancel(id)); // second cancel is a no-op
+    eng.run();
+    EXPECT_FALSE(fired);
+    // A fired event's id is dead too.
+    bool ran = false;
+    const auto id2 = eng.schedule(0, 60, [&] { ran = true; });
+    eng.run();
+    EXPECT_TRUE(ran);
+    EXPECT_FALSE(eng.cancel(id2));
+}
+
+TEST(EpochEngine, AllToAllMailboxDrain)
+{
+    // Every partition schedules into every other partition each epoch,
+    // for several epochs: the densest mailbox pattern.  Differential
+    // against the sequential kernel via state hashes.
+    constexpr unsigned P = 4;
+    constexpr unsigned epochs = 6;
+
+    // A pump event per partition reschedules itself each tick and
+    // sprays one tagged child into every partition.
+    std::vector<std::uint64_t> refState(P, 0);
+    {
+        EventQueue eq;
+        std::vector<std::uint64_t> &st = refState;
+        std::function<void(unsigned, unsigned)> pump =
+            [&](unsigned p, unsigned round) {
+                if (round >= epochs)
+                    return;
+                for (unsigned t = 0; t < P; ++t) {
+                    const std::uint64_t label =
+                        mix(p * 7919 + t, round);
+                    eq.schedule(eq.now() + 1, [&st, t, label, &eq] {
+                        st[t] = mix(st[t], mix(label, eq.now()));
+                    });
+                }
+                eq.schedule(eq.now() + 1,
+                            [&pump, p, round] { pump(p, round + 1); });
+            };
+        for (unsigned p = 0; p < P; ++p)
+            eq.schedule(1, [&pump, p] { pump(p, 0); });
+        eq.run();
+    }
+
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        sim::EpochEngine eng(P, threads);
+        std::vector<std::uint64_t> st(P, 0);
+        std::function<void(unsigned, unsigned)> pump =
+            [&](unsigned p, unsigned round) {
+                if (round >= epochs)
+                    return;
+                for (unsigned t = 0; t < P; ++t) {
+                    const std::uint64_t label =
+                        mix(p * 7919 + t, round);
+                    eng.schedule(t, eng.now() + 1,
+                                 [&st, t, label, &eng] {
+                                     st[t] = mix(st[t],
+                                                 mix(label, eng.now()));
+                                 });
+                }
+                eng.schedule(p, eng.now() + 1,
+                             [&pump, p, round] { pump(p, round + 1); });
+            };
+        for (unsigned p = 0; p < P; ++p)
+            eng.schedule(p, 1, [&pump, p] { pump(p, 0); });
+        eng.run();
+        EXPECT_EQ(st, refState) << threads << " threads";
+    }
+}
+
+TEST(EpochEngine, RunUntilClampsClockLikeSequential)
+{
+    sim::EpochEngine eng(2, 2);
+    int hits = 0;
+    eng.schedule(0, 100, [&] { ++hits; });
+    eng.schedule(1, 300, [&] { ++hits; });
+    EXPECT_EQ(eng.run(200), 1u);
+    EXPECT_EQ(eng.now(), Tick{200});
+    EXPECT_EQ(eng.pending(), 1u);
+    EXPECT_EQ(eng.run(), 1u);
+    EXPECT_EQ(eng.now(), Tick{300});
+    EXPECT_EQ(hits, 2);
+}
+
+// --- runShared: token-affine dispatch over the sequential kernel -----
+
+/**
+ * A workload over one EventQueue with interleaved owner tags: four
+ * chains (one per owner) that hop ticks, spawn same-tick events, and
+ * cancel each other across owners.  Returns per-owner logs + final
+ * queue observables.
+ */
+struct SharedRun
+{
+    std::vector<std::vector<std::uint64_t>> log;
+    std::uint64_t fired = 0;
+    Tick finalNow = 0;
+    std::uint64_t dispatched = 0;
+    std::size_t pending = 0;
+
+    bool
+    operator==(const SharedRun &o) const
+    {
+        return log == o.log && fired == o.fired &&
+               finalNow == o.finalNow && dispatched == o.dispatched &&
+               pending == o.pending;
+    }
+};
+
+SharedRun
+runSharedWorkload(unsigned partitions, Tick until)
+{
+    constexpr unsigned owners = 4;
+    SharedRun out;
+    out.log.resize(owners);
+    EventQueue eq;
+
+    // Cancellation targets: owner o stores an id its neighbor cancels.
+    std::vector<EventId> victims(owners, invalidEventId);
+
+    std::function<void(unsigned, unsigned, std::uint64_t)> chain =
+        [&](unsigned owner, unsigned hop, std::uint64_t label) {
+            out.log[owner].push_back(mix(label, eq.now()));
+            if (hop >= 25)
+                return;
+            // Self-chain (inherits the owner tag).
+            eq.scheduleIn(7 + (label % 23), [&chain, owner, hop, label] {
+                chain(owner, hop + 1, mix(label, hop));
+            });
+            if (hop % 5 == 1) {
+                // Plant a victim two hops out...
+                victims[owner] = eq.scheduleIn(40, [&out, owner] {
+                    out.log[owner].push_back(0xdeadbeef);
+                });
+            }
+            if (hop % 5 == 3) {
+                // ...and cancel the neighbor's victim (cross-owner
+                // cancel while holding the dispatch token).
+                const unsigned n = (owner + 1) % owners;
+                if (victims[n] != invalidEventId) {
+                    eq.cancel(victims[n]);
+                    victims[n] = invalidEventId;
+                }
+            }
+        };
+
+    for (unsigned o = 0; o < owners; ++o) {
+        EventQueue::SpawnOwnerScope own(eq, static_cast<std::uint16_t>(o));
+        eq.schedule(1 + o, [&chain, o] { chain(o, 0, 0x5eed + o); });
+    }
+
+    out.fired = partitions <= 1 ? eq.run(until)
+                                : sim::runShared(eq, until, partitions);
+    out.finalNow = eq.now();
+    out.dispatched = eq.dispatched();
+    out.pending = eq.pending();
+    return out;
+}
+
+TEST(RunShared, ByteIdenticalToSequentialRun)
+{
+    const SharedRun ref = runSharedWorkload(1, 2000);
+    ASSERT_GT(ref.fired, 50u);
+    for (const unsigned partitions : {2u, 3u, 4u}) {
+        const SharedRun par = runSharedWorkload(partitions, 2000);
+        EXPECT_TRUE(par == ref) << partitions << " partitions";
+    }
+    // Unbounded run: the no-clamp sentinel path.
+    const SharedRun refAll = runSharedWorkload(1, ~Tick{0});
+    const SharedRun parAll = runSharedWorkload(4, ~Tick{0});
+    EXPECT_TRUE(parAll == refAll);
+}
+
+TEST(RunShared, EmptyQueueBehavesLikeRun)
+{
+    EventQueue eq;
+    EXPECT_EQ(sim::runShared(eq, 500, 4), 0u);
+    EXPECT_EQ(eq.now(), Tick{500});
+}
+
+TEST(RunShared, OwnerTagsInheritedBySpawns)
+{
+    EventQueue eq;
+    std::uint16_t childOwner = 0xFFFF;
+    {
+        EventQueue::SpawnOwnerScope own(eq, 3);
+        eq.schedule(10, [&eq, &childOwner] {
+            eq.scheduleIn(5, [] {});
+            std::uint16_t o;
+            ASSERT_TRUE(eq.peekNextOwner(o));
+            childOwner = o;
+        });
+    }
+    eq.run();
+    EXPECT_EQ(childOwner, 3u);
+}
+
+// --- SdpSystem determinism across sim thread counts ------------------
+
+/** Full-system run digest: stats dump + trace bytes + key counters. */
+struct SysRun
+{
+    std::string stats;
+    std::string trace;
+    std::uint64_t completions;
+    std::uint64_t dispatched;
+    double p99;
+
+    bool
+    operator==(const SysRun &o) const
+    {
+        return stats == o.stats && trace == o.trace &&
+               completions == o.completions &&
+               dispatched == o.dispatched && p99 == o.p99;
+    }
+};
+
+SysRun
+runSystem(unsigned simThreads)
+{
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::HyperPlane;
+    cfg.org = dp::QueueOrg::ScaleOut;
+    cfg.numCores = 8;
+    cfg.numQueues = 64;
+    cfg.offeredRatePerSec = 2e6;
+    cfg.warmupUs = 50.0;
+    cfg.measureUs = 300.0;
+    cfg.seed = 1234;
+    cfg.workStealing = true; // cross-cluster interaction on purpose
+    cfg.trace.enable = true;
+    cfg.trace.bufferCapacity = 4096;
+    // A little fault pressure so recovery paths cross partitions too.
+    cfg.fault.dropSnoopRate = 0.02;
+    cfg.recovery.watchdog = true;
+    cfg.recovery.watchdogPeriodUs = 40.0;
+    cfg.simThreads = simThreads;
+
+    dp::SdpSystem sys(cfg);
+    EXPECT_EQ(sys.simPartitions(),
+              std::min(simThreads == 0 ? 1u : simThreads, 8u));
+    const dp::SdpResults r = sys.run();
+
+    SysRun out;
+    std::ostringstream stats;
+    sys.dumpStats(stats);
+    out.stats = stats.str();
+    std::ostringstream trace;
+    sys.writeChromeTrace(trace);
+    out.trace = trace.str();
+    out.completions = r.completions;
+    out.dispatched = sys.eventQueue().dispatched();
+    out.p99 = r.p99LatencyUs;
+    return out;
+}
+
+TEST(SimThreadsDeterminism, ResultsCountersAndTraceBytesIdentical)
+{
+    const SysRun ref = runSystem(1);
+    ASSERT_GT(ref.completions, 0u);
+    ASSERT_FALSE(ref.stats.empty());
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        const SysRun par = runSystem(threads);
+        EXPECT_EQ(par.stats, ref.stats) << threads << " sim threads";
+        EXPECT_EQ(par.trace, ref.trace) << threads << " sim threads";
+        EXPECT_EQ(par.completions, ref.completions);
+        EXPECT_EQ(par.dispatched, ref.dispatched);
+        EXPECT_EQ(par.p99, ref.p99);
+    }
+}
+
+TEST(SimThreadsDeterminism, ThreadCountCappedByClusters)
+{
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::HyperPlane;
+    cfg.org = dp::QueueOrg::ScaleUpAll; // one cluster
+    cfg.numCores = 4;
+    cfg.numQueues = 16;
+    cfg.warmupUs = 10.0;
+    cfg.measureUs = 50.0;
+    cfg.simThreads = 8;
+    dp::SdpSystem sys(cfg);
+    EXPECT_EQ(sys.simPartitions(), 1u);
+}
+
+TEST(SimThreadsDeterminism, EnvOverrideResolvesZero)
+{
+    ::setenv("HYPERPLANE_SIM_THREADS", "3", 1);
+    dp::SdpConfig cfg;
+    cfg.plane = dp::PlaneKind::HyperPlane;
+    cfg.org = dp::QueueOrg::ScaleOut;
+    cfg.numCores = 4;
+    cfg.numQueues = 16;
+    cfg.warmupUs = 10.0;
+    cfg.measureUs = 50.0;
+    cfg.simThreads = 0;
+    {
+        dp::SdpSystem sys(cfg);
+        EXPECT_EQ(sys.simPartitions(), 3u);
+    }
+    ::unsetenv("HYPERPLANE_SIM_THREADS");
+    dp::SdpSystem sys(cfg);
+    EXPECT_EQ(sys.simPartitions(), 1u);
+}
+
+} // namespace
+} // namespace hyperplane
