@@ -75,9 +75,11 @@ runPoint(const char *mode, bool openLoop, unsigned workers, double rate,
     lc.openLoop = openLoop;
     lc.window = 64;
     lc.numFlows = 64;
-    lc.opcodeWeights = echoOnly
-                           ? std::array<double, 3>{1.0, 0.0, 0.0}
-                           : std::array<double, 3>{0.5, 0.25, 0.25};
+    lc.opcodeWeights =
+        echoOnly
+            ? std::array<double, server::wire::numOpcodes>{1.0, 0.0, 0.0}
+            : std::array<double, server::wire::numOpcodes>{0.5, 0.25,
+                                                           0.25};
     lc.seed = 31;
     auto report = server::UdpLoadGen(lc).run();
     srv.stop();

@@ -9,10 +9,11 @@ behavior change, not noise -- while timing-like leaves (wall seconds,
 ns-per-X, rates, speedups) are host-noise-tolerant and only flagged
 beyond a generous relative band.
 
-This is a REPORT, not a gate: CI runs it non-fatally (|| true) so a
-noisy shared runner cannot fail the build, but the drift table lands in
-the job log and the refreshed baseline diff is easy to review.  Pass
---strict to make drift fatal for local use.
+CI runs with --strict-exact: drift in the exact (counter) class is
+fatal -- the simulator is deterministic, so a counter delta is a real
+behavior change -- while timing-class drift stays report-only, so a
+noisy shared runner cannot fail the build.  Pass --strict to make ALL
+drift fatal for local use.
 
 Usage:
   bench_check.py --baseline tests/golden/BENCH_perf_smoke.json \
@@ -84,26 +85,27 @@ def drift(a, b):
 def compare(baseline, current, timing_tol):
     base = dict(flatten(baseline))
     cur = dict(flatten(current))
-    rows = []  # (status, path, baseline, current, drift)
+    rows = []  # (status, path, baseline, current, drift, class)
     for path in sorted(set(base) | set(cur)):
         cls = classify(path)
         if cls == "skip":
             continue
         if path not in base:
-            rows.append(("new", path, None, cur[path], None))
+            rows.append(("new", path, None, cur[path], None, cls))
             continue
         if path not in cur:
-            rows.append(("missing", path, base[path], None, None))
+            rows.append(("missing", path, base[path], None, None, cls))
             continue
         a, b = base[path], cur[path]
         if isinstance(a, bool) or isinstance(a, str) or a is None:
-            rows.append(("ok" if a == b else "DRIFT", path, a, b, None))
+            rows.append(("ok" if a == b else "DRIFT", path, a, b, None,
+                         cls))
             continue
         if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
             continue
         d = drift(float(a), float(b))
         tol = timing_tol if cls == "timing" else 0.0
-        rows.append(("ok" if d <= tol else "DRIFT", path, a, b, d))
+        rows.append(("ok" if d <= tol else "DRIFT", path, a, b, d, cls))
     return rows
 
 
@@ -122,6 +124,10 @@ def main():
                          "(default 0.5 = 50%%)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 on any drift (default: report only)")
+    ap.add_argument("--strict-exact", action="store_true",
+                    help="exit 1 only on exact-class (counter) drift or "
+                         "a vanished exact metric; timing drift stays "
+                         "report-only")
     ap.add_argument("--refresh", action="store_true",
                     help="rewrite the baseline from the current export "
                          "after printing the diff")
@@ -146,13 +152,19 @@ def main():
 
     rows = compare(baseline, current, args.timing_tolerance)
     drifted = [r for r in rows if r[0] != "ok"]
+    # Fatal under --strict-exact: a deterministic (exact-class) metric
+    # moved, or one the baseline promises vanished.  Brand-new metrics
+    # are ordinary growth and stay non-fatal until the next --refresh.
+    exact_fatal = [r for r in drifted
+                   if r[5] == "exact" and r[0] in ("DRIFT", "missing")]
 
     print(f"bench_check: {args.current} vs baseline {args.baseline}")
     print(f"  {len(rows)} metrics compared, {len(drifted)} flagged "
           f"(timing tolerance {args.timing_tolerance:.0%})")
-    for status, path, a, b, d in drifted:
+    for status, path, a, b, d, cls in drifted:
         extra = f"  ({d:.1%} drift)" if d is not None else ""
-        print(f"  {status:>7}  {path}: {fmt(a)} -> {fmt(b)}{extra}")
+        print(f"  {status:>7}  {path} [{cls}]: {fmt(a)} -> {fmt(b)}"
+              f"{extra}")
     if not drifted:
         print("  all metrics within tolerance")
 
@@ -163,7 +175,13 @@ def main():
             f.write(cur_text)
         print(f"  baseline refreshed from {args.current}")
 
-    return 1 if (args.strict and drifted) else 0
+    if args.strict and drifted:
+        return 1
+    if args.strict_exact and exact_fatal:
+        print(f"  FATAL: {len(exact_fatal)} exact-class metric(s) "
+              "drifted -- deterministic counters moved")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

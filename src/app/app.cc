@@ -1,0 +1,272 @@
+#include "app/app.hh"
+
+#include "app/conntrack_lb.hh"
+#include "app/heavy_hitter.hh"
+#include "app/spin_rtt.hh"
+#include "net/headers.hh"
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace app {
+
+using net::getBe16;
+using net::getBe32;
+using net::putBe16;
+using net::putBe32;
+
+namespace {
+
+void
+putBe64(std::uint8_t *p, std::uint64_t v)
+{
+    putBe32(p, static_cast<std::uint32_t>(v >> 32));
+    putBe32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t
+getBe64(const std::uint8_t *p)
+{
+    return (static_cast<std::uint64_t>(getBe32(p)) << 32) | getBe32(p + 4);
+}
+
+} // namespace
+
+const char *
+toString(AppKind k)
+{
+    switch (k) {
+      case AppKind::HeavyHitter:
+        return "heavy-hitter";
+      case AppKind::ConntrackLb:
+        return "conntrack-lb";
+      case AppKind::SpinRtt:
+        return "spin-rtt";
+    }
+    return "?";
+}
+
+const char *
+statName(AppKind k)
+{
+    switch (k) {
+      case AppKind::HeavyHitter:
+        return "heavy_hitter";
+      case AppKind::ConntrackLb:
+        return "conntrack";
+      case AppKind::SpinRtt:
+        return "spin_rtt";
+    }
+    return "?";
+}
+
+std::unique_ptr<StatefulHandler>
+makeHandler(AppKind kind, const AppConfig &cfg)
+{
+    switch (kind) {
+      case AppKind::HeavyHitter:
+        return std::make_unique<HeavyHitterApp>(cfg);
+      case AppKind::ConntrackLb:
+        return std::make_unique<ConntrackLbApp>(cfg);
+      case AppKind::SpinRtt:
+        return std::make_unique<SpinRttApp>(cfg);
+    }
+    hp_panic("unknown app kind");
+}
+
+// ---------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------
+
+std::size_t
+encode(const HhRequest &m, std::uint8_t *buf, std::size_t cap)
+{
+    if (cap < HhRequest::wireSize)
+        return 0;
+    putBe32(buf, m.key);
+    putBe32(buf + 4, m.weight);
+    return HhRequest::wireSize;
+}
+
+std::size_t
+encode(const HhResponse &m, std::uint8_t *buf, std::size_t cap)
+{
+    if (cap < HhResponse::wireSize)
+        return 0;
+    putBe64(buf, m.estimate);
+    buf[8] = m.hot ? 1 : 0;
+    for (int i = 9; i < 16; ++i)
+        buf[i] = 0;
+    return HhResponse::wireSize;
+}
+
+std::size_t
+encode(const CtRequest &m, std::uint8_t *buf, std::size_t cap)
+{
+    if (cap < CtRequest::wireSize)
+        return 0;
+    buf[0] = static_cast<std::uint8_t>(m.verb);
+    buf[1] = buf[2] = buf[3] = 0;
+    putBe32(buf + 4, m.srcIp);
+    putBe32(buf + 8, m.dstIp);
+    putBe16(buf + 12, m.srcPort);
+    putBe16(buf + 14, m.dstPort);
+    putBe32(buf + 16, m.seqNo);
+    return CtRequest::wireSize;
+}
+
+std::size_t
+encode(const CtResponse &m, std::uint8_t *buf, std::size_t cap)
+{
+    if (cap < CtResponse::wireSize)
+        return 0;
+    putBe32(buf, m.backend);
+    putBe32(buf + 4, m.expectedSeq);
+    buf[8] = m.state;
+    buf[9] = buf[10] = buf[11] = 0;
+    return CtResponse::wireSize;
+}
+
+std::size_t
+encode(const SpinRequest &m, std::uint8_t *buf, std::size_t cap)
+{
+    if (cap < SpinRequest::wireSize)
+        return 0;
+    buf[0] = m.spin ? 1 : 0;
+    buf[1] = buf[2] = buf[3] = 0;
+    return SpinRequest::wireSize;
+}
+
+std::size_t
+encode(const SpinResponse &m, std::uint8_t *buf, std::size_t cap)
+{
+    if (cap < SpinResponse::wireSize)
+        return 0;
+    buf[0] = m.spin ? 1 : 0;
+    buf[1] = buf[2] = buf[3] = 0;
+    putBe32(buf + 4, m.edges);
+    putBe64(buf + 8, m.lastRttNs);
+    return SpinResponse::wireSize;
+}
+
+std::optional<HhRequest>
+decodeHhRequest(const std::uint8_t *data, std::size_t len)
+{
+    if (len != HhRequest::wireSize)
+        return std::nullopt;
+    HhRequest m;
+    m.key = getBe32(data);
+    m.weight = getBe32(data + 4);
+    return m;
+}
+
+std::optional<HhResponse>
+decodeHhResponse(const std::uint8_t *data, std::size_t len)
+{
+    if (len != HhResponse::wireSize || data[8] > 1)
+        return std::nullopt;
+    HhResponse m;
+    m.estimate = getBe64(data);
+    m.hot = data[8];
+    return m;
+}
+
+std::optional<CtRequest>
+decodeCtRequest(const std::uint8_t *data, std::size_t len)
+{
+    if (len != CtRequest::wireSize ||
+        data[0] > static_cast<std::uint8_t>(CtVerb::Close)) {
+        return std::nullopt;
+    }
+    CtRequest m;
+    m.verb = static_cast<CtVerb>(data[0]);
+    m.srcIp = getBe32(data + 4);
+    m.dstIp = getBe32(data + 8);
+    m.srcPort = getBe16(data + 12);
+    m.dstPort = getBe16(data + 14);
+    m.seqNo = getBe32(data + 16);
+    return m;
+}
+
+std::optional<CtResponse>
+decodeCtResponse(const std::uint8_t *data, std::size_t len)
+{
+    if (len != CtResponse::wireSize || data[8] > 1)
+        return std::nullopt;
+    CtResponse m;
+    m.backend = getBe32(data);
+    m.expectedSeq = getBe32(data + 4);
+    m.state = data[8];
+    return m;
+}
+
+std::optional<SpinRequest>
+decodeSpinRequest(const std::uint8_t *data, std::size_t len)
+{
+    if (len != SpinRequest::wireSize || data[0] > 1)
+        return std::nullopt;
+    SpinRequest m;
+    m.spin = data[0];
+    return m;
+}
+
+std::optional<SpinResponse>
+decodeSpinResponse(const std::uint8_t *data, std::size_t len)
+{
+    if (len != SpinResponse::wireSize || data[0] > 1)
+        return std::nullopt;
+    SpinResponse m;
+    m.spin = data[0];
+    m.edges = getBe32(data + 4);
+    m.lastRttNs = getBe64(data + 8);
+    return m;
+}
+
+// ---------------------------------------------------------------------
+// Synthesis
+// ---------------------------------------------------------------------
+
+CtRequest
+ctRequestFor(std::uint32_t flowId, std::uint64_t flowSeq)
+{
+    CtRequest m;
+    m.verb = ctVerbFor(flowSeq);
+    // A stable synthetic 5-tuple per flow label: the flow's packets
+    // always carry the same tuple, so its connection entry stays on
+    // the shard its flowId steers to.
+    const std::uint32_t mix = flowId * 0x9e3779b9u;
+    m.srcIp = 0x0a000000u | (flowId & 0x00ffffffu);
+    m.dstIp = 0xc0a80000u | (mix & 0x0000ffffu);
+    m.srcPort = static_cast<std::uint16_t>(1024u + (mix >> 17));
+    m.dstPort = 443;
+    // Per-connection sequence numbers restart at every Open.
+    m.seqNo = static_cast<std::uint32_t>(flowSeq % ctConnectionLength);
+    return m;
+}
+
+std::size_t
+synthesizeRequest(AppKind kind, std::uint32_t flowId,
+                  std::uint64_t flowSeq, std::uint8_t spin,
+                  std::uint8_t *out, std::size_t cap)
+{
+    switch (kind) {
+      case AppKind::HeavyHitter: {
+        HhRequest m;
+        // The aggregate key is the flow label itself; weight models a
+        // plausible per-packet byte count.
+        m.key = flowId;
+        m.weight = 64 + static_cast<std::uint32_t>(flowSeq % 23) * 60;
+        return encode(m, out, cap);
+      }
+      case AppKind::ConntrackLb:
+        return encode(ctRequestFor(flowId, flowSeq), out, cap);
+      case AppKind::SpinRtt: {
+        SpinRequest m;
+        m.spin = spin ? 1 : 0;
+        return encode(m, out, cap);
+      }
+    }
+    return 0;
+}
+
+} // namespace app
+} // namespace hyperplane

@@ -1,0 +1,265 @@
+#include "app/conntrack_lb.hh"
+
+#include "net/checksum.hh"
+#include "net/headers.hh"
+#include "sim/logging.hh"
+
+namespace hyperplane {
+namespace app {
+
+ConntrackLbApp::ConntrackLbApp(const AppConfig &cfg) : cfg_(cfg)
+{
+    hp_assert(cfg_.numShards > 0, "need at least one shard");
+    hp_assert(cfg_.numBackends > 0, "need at least one backend");
+    shards_.reserve(cfg_.numShards);
+    for (unsigned s = 0; s < cfg_.numShards; ++s)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+std::uint64_t
+ConntrackLbApp::connKey(const CtRequest &m)
+{
+    // srcIp dominates the high half; ports+dstIp fold into the low
+    // half.  Collisions across distinct tuples are possible but
+    // harmless (they just share an entry's backend/seq tracking).
+    return (static_cast<std::uint64_t>(m.srcIp) << 32) ^
+           (static_cast<std::uint64_t>(m.srcPort) << 48) ^
+           (static_cast<std::uint64_t>(m.dstPort) << 16) ^ m.dstIp;
+}
+
+std::uint32_t
+ConntrackLbApp::pickBackend(const CtRequest &m) const
+{
+    // Hash of the full tuple: a connection that expires and re-opens
+    // deterministically returns to the same backend.
+    std::uint8_t key[12];
+    net::putBe32(key, m.srcIp);
+    net::putBe32(key + 4, m.dstIp);
+    net::putBe16(key + 8, m.srcPort);
+    net::putBe16(key + 10, m.dstPort);
+    return net::crc32c(key, sizeof(key)) % cfg_.numBackends;
+}
+
+AppResult
+ConntrackLbApp::handle(unsigned shard, const AppRequest &req,
+                       std::uint8_t *out, std::size_t outCap)
+{
+    Shard &s = *shards_[shard % shards_.size()];
+    std::lock_guard<std::mutex> lock(s.mu);
+
+    const auto m = decodeCtRequest(req.payload, req.payloadLen);
+    if (!m) {
+        ++s.decodeErrors;
+        return AppResult{};
+    }
+
+    AppResult res;
+    res.opCost = 1; // the table lookup
+    const std::uint64_t key = connKey(*m);
+
+    CtResponse resp;
+    auto it = s.conns.find(key);
+    switch (m->verb) {
+      case CtVerb::Open: {
+        if (it == s.conns.end()) {
+            if (s.conns.size() >= cfg_.maxEntriesPerShard) {
+                ++s.overflows;
+                resp.backend = pickBackend(*m);
+                resp.expectedSeq = m->seqNo + 1;
+                resp.state = 0;
+                break;
+            }
+            it = s.conns.emplace(key, Entry{}).first;
+            it->second.backend = pickBackend(*m);
+            ++s.opens;
+            res.opCost += 2; // hash + insert
+        }
+        it->second.expectedSeq = m->seqNo + 1;
+        it->second.lastSeenNs = req.nowNs;
+        resp.backend = it->second.backend;
+        resp.expectedSeq = it->second.expectedSeq;
+        resp.state = 1;
+        break;
+      }
+      case CtVerb::Data: {
+        if (it == s.conns.end()) {
+            // The Open was lost (UDP): recreate rather than drop.
+            ++s.misses;
+            it = s.conns.emplace(key, Entry{}).first;
+            it->second.backend = pickBackend(*m);
+            it->second.expectedSeq = m->seqNo;
+            ++s.opens;
+            res.opCost += 2;
+        }
+        if (m->seqNo != it->second.expectedSeq)
+            ++s.outOfOrder;
+        it->second.expectedSeq = m->seqNo + 1;
+        it->second.lastSeenNs = req.nowNs;
+        resp.backend = it->second.backend;
+        resp.expectedSeq = it->second.expectedSeq;
+        resp.state = 1;
+        break;
+      }
+      case CtVerb::Close: {
+        if (it == s.conns.end()) {
+            ++s.misses;
+            resp.backend = pickBackend(*m);
+            resp.expectedSeq = m->seqNo + 1;
+            resp.state = 0;
+        } else {
+            resp.backend = it->second.backend;
+            resp.expectedSeq = m->seqNo + 1;
+            resp.state = 0;
+            s.conns.erase(it);
+            ++s.closes;
+            ++res.opCost;
+        }
+        break;
+      }
+    }
+
+    // Amortized shard-local expiry keeps the table bounded even if the
+    // watchdog never runs (the simulator has no watchdog).
+    if (req.nowNs > s.lastSweepNs &&
+        req.nowNs - s.lastSweepNs > cfg_.idleTimeoutNs) {
+        sweepShard(s, req.nowNs);
+    }
+
+    res.payloadLen =
+        static_cast<std::uint32_t>(encode(resp, out, outCap));
+    res.ok = res.payloadLen != 0;
+    return res;
+}
+
+void
+ConntrackLbApp::sweepShard(Shard &s, std::uint64_t nowNs)
+{
+    s.lastSweepNs = nowNs;
+    for (auto it = s.conns.begin(); it != s.conns.end();) {
+        if (nowNs - it->second.lastSeenNs > cfg_.idleTimeoutNs) {
+            it = s.conns.erase(it);
+            ++s.expiries;
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+ConntrackLbApp::sweepIdle(std::uint64_t nowNs)
+{
+    for (auto &sp : shards_) {
+        Shard &s = *sp;
+        std::lock_guard<std::mutex> lock(s.mu);
+        sweepShard(s, nowNs);
+    }
+}
+
+std::uint64_t
+ConntrackLbApp::activeConnections() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sp : shards_) {
+        std::lock_guard<std::mutex> lock(sp->mu);
+        n += sp->conns.size();
+    }
+    return n;
+}
+
+std::uint64_t
+ConntrackLbApp::opens() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sp : shards_) {
+        std::lock_guard<std::mutex> lock(sp->mu);
+        n += sp->opens;
+    }
+    return n;
+}
+
+std::uint64_t
+ConntrackLbApp::closes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sp : shards_) {
+        std::lock_guard<std::mutex> lock(sp->mu);
+        n += sp->closes;
+    }
+    return n;
+}
+
+std::uint64_t
+ConntrackLbApp::expiries() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sp : shards_) {
+        std::lock_guard<std::mutex> lock(sp->mu);
+        n += sp->expiries;
+    }
+    return n;
+}
+
+std::uint64_t
+ConntrackLbApp::misses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sp : shards_) {
+        std::lock_guard<std::mutex> lock(sp->mu);
+        n += sp->misses;
+    }
+    return n;
+}
+
+std::uint64_t
+ConntrackLbApp::outOfOrder() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sp : shards_) {
+        std::lock_guard<std::mutex> lock(sp->mu);
+        n += sp->outOfOrder;
+    }
+    return n;
+}
+
+void
+ConntrackLbApp::registerStats(stats::Registry &reg,
+                              const std::string &prefix)
+{
+    reg.addScalar(prefix + ".active", [this] {
+        return static_cast<double>(activeConnections());
+    });
+    reg.addScalar(prefix + ".opens", [this] {
+        return static_cast<double>(opens());
+    });
+    reg.addScalar(prefix + ".closes", [this] {
+        return static_cast<double>(closes());
+    });
+    reg.addScalar(prefix + ".expiries", [this] {
+        return static_cast<double>(expiries());
+    });
+    reg.addScalar(prefix + ".misses", [this] {
+        return static_cast<double>(misses());
+    });
+    reg.addScalar(prefix + ".out_of_order", [this] {
+        return static_cast<double>(outOfOrder());
+    });
+    reg.addScalar(prefix + ".overflows", [this] {
+        std::uint64_t n = 0;
+        for (const auto &sp : shards_) {
+            std::lock_guard<std::mutex> lock(sp->mu);
+            n += sp->overflows;
+        }
+        return static_cast<double>(n);
+    });
+    reg.addScalar(prefix + ".decode_errors", [this] {
+        std::uint64_t n = 0;
+        for (const auto &sp : shards_) {
+            std::lock_guard<std::mutex> lock(sp->mu);
+            n += sp->decodeErrors;
+        }
+        return static_cast<double>(n);
+    });
+}
+
+} // namespace app
+} // namespace hyperplane

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Connection-tracking NAT/load-balancer: per-connection state (5-tuple
+ * -> backend, expected seqno, idle timestamp) sharded by the crc32c
+ * flow hash so every connection's entry is owned by exactly one worker
+ * core — the core-local sharding argument of arXiv 1703.05442.  Idle
+ * entries expire both amortized in the data path and from the server's
+ * watchdog sweep.
+ *
+ * Backend selection hashes the 5-tuple, so a connection that expires
+ * and re-opens lands on the same backend (stable under churn).  Data
+ * packets for unknown connections re-create the entry (UDP loss of the
+ * Open is tolerated and counted as a miss, not a failure); sequence
+ * gaps are counted as out-of-order, also non-fatal.
+ */
+
+#ifndef HYPERPLANE_APP_CONNTRACK_LB_HH
+#define HYPERPLANE_APP_CONNTRACK_LB_HH
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "app/app.hh"
+
+namespace hyperplane {
+namespace app {
+
+/** The sharded connection-tracking load balancer. */
+class ConntrackLbApp : public StatefulHandler
+{
+  public:
+    explicit ConntrackLbApp(const AppConfig &cfg);
+
+    AppKind kind() const override { return AppKind::ConntrackLb; }
+    AppResult handle(unsigned shard, const AppRequest &req,
+                     std::uint8_t *out, std::size_t outCap) override;
+    void sweepIdle(std::uint64_t nowNs) override;
+    void registerStats(stats::Registry &reg,
+                       const std::string &prefix) override;
+
+    /** Aggregated counters (sums across shards, under the locks). */
+    std::uint64_t activeConnections() const;
+    std::uint64_t opens() const;
+    std::uint64_t closes() const;
+    std::uint64_t expiries() const;
+    std::uint64_t misses() const;
+    std::uint64_t outOfOrder() const;
+
+  private:
+    struct Entry
+    {
+        std::uint32_t backend = 0;
+        std::uint32_t expectedSeq = 0;
+        std::uint64_t lastSeenNs = 0;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::uint64_t, Entry> conns;
+        std::uint64_t opens = 0;
+        std::uint64_t closes = 0;
+        std::uint64_t expiries = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t outOfOrder = 0;
+        std::uint64_t overflows = 0;
+        std::uint64_t decodeErrors = 0;
+        std::uint64_t lastSweepNs = 0;
+    };
+
+    static std::uint64_t connKey(const CtRequest &m);
+    std::uint32_t pickBackend(const CtRequest &m) const;
+    void sweepShard(Shard &s, std::uint64_t nowNs);
+
+    AppConfig cfg_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace app
+} // namespace hyperplane
+
+#endif // HYPERPLANE_APP_CONNTRACK_LB_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Passive RTT telemetry via QUIC-style spin-bit tracking (RFC 9000
+ * §17.4; measurement methodology per arXiv 2112.02875).  Each flow
+ * carries a one-bit "spin" signal that the client flips once per RTT;
+ * the observer timestamps every edge (0->1 or 1->0 transition) and the
+ * gap between consecutive edges is one end-to-end RTT sample — zero
+ * extra packets, zero payload inspection beyond one bit.
+ *
+ * Per-flow state is a few words (last spin value, last edge time);
+ * samples feed a shared per-shard log-scale histogram exported through
+ * the registry, so the telemetry plane serves live RTT quantiles.
+ */
+
+#ifndef HYPERPLANE_APP_SPIN_RTT_HH
+#define HYPERPLANE_APP_SPIN_RTT_HH
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "app/app.hh"
+#include "stats/histogram.hh"
+
+namespace hyperplane {
+namespace app {
+
+/** The sharded spin-bit RTT observer. */
+class SpinRttApp : public StatefulHandler
+{
+  public:
+    explicit SpinRttApp(const AppConfig &cfg);
+
+    AppKind kind() const override { return AppKind::SpinRtt; }
+    AppResult handle(unsigned shard, const AppRequest &req,
+                     std::uint8_t *out, std::size_t outCap) override;
+    void sweepIdle(std::uint64_t nowNs) override;
+    void registerStats(stats::Registry &reg,
+                       const std::string &prefix) override;
+
+    /** Aggregated counters (sums across shards, under the locks). */
+    std::uint64_t trackedFlows() const;
+    std::uint64_t edges() const;
+    std::uint64_t samples() const;
+
+    /** Merged RTT histogram across shards (cold path). */
+    stats::LogHistogram rttHistogram() const;
+
+  private:
+    struct Flow
+    {
+        std::uint8_t lastSpin = 0;
+        bool seen = false;            ///< first packet initializes
+        std::uint64_t lastEdgeNs = 0; ///< 0 until the first edge
+        std::uint32_t edges = 0;
+        std::uint64_t lastRttNs = 0;
+        std::uint64_t lastSeenNs = 0;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::uint32_t, Flow> flows;
+        stats::LogHistogram rttNs;
+        std::uint64_t edges = 0;
+        std::uint64_t samples = 0;
+        std::uint64_t expiries = 0;
+        std::uint64_t decodeErrors = 0;
+        std::uint64_t lastSweepNs = 0;
+
+        Shard(double base, double growth, unsigned bins)
+            : rttNs(base, growth, bins)
+        {
+        }
+    };
+
+    void sweepShard(Shard &s, std::uint64_t nowNs);
+
+    AppConfig cfg_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace app
+} // namespace hyperplane
+
+#endif // HYPERPLANE_APP_SPIN_RTT_HH

@@ -73,8 +73,11 @@ DataPlaneCore::jitteredService(Tick base)
 Tick
 DataPlaneCore::processItem(const queueing::WorkItem &item)
 {
-    // Transport/workload processing (Figure 2, step 2b).
-    const Tick service = jitteredService(workload_.serviceCycles(item));
+    // Transport/workload processing (Figure 2, step 2b).  onItem lets
+    // stateful workloads mutate per-flow state and charge
+    // state-dependent cost; stateless workloads forward to
+    // serviceCycles unchanged.
+    const Tick service = jitteredService(workload_.onItem(item));
     const Tick bufferLat = touchTaskBuffer(item);
 
     // Tenant notification (steps 2c-2d): write the tenant-side doorbell.

@@ -236,7 +236,9 @@ SdpSystem::build()
     mem_ = std::make_unique<mem::MemorySystem>(cfg_.numCores, l1Geom,
                                                llcGeom);
     mem_->setTracer(tracer_.get());
-    workload_ = makeWorkload(cfg_.workload, cfg_.seed);
+    // Stateful app workloads shard by queue id: numQueues shards keeps
+    // each shard's state cluster-local under the parallel backend.
+    workload_ = makeWorkload(cfg_.workload, cfg_.seed, cfg_.numQueues);
 
     // Traffic shape -> per-queue weights (+ optional static imbalance).
     Rng shapeRng(cfg_.seed ^ 0x5eedULL);

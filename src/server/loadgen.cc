@@ -5,9 +5,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "app/app.hh"
 #include "net/headers.hh"
 #include "server/udp_socket.hh"
 #include "server/wire.hh"
@@ -163,13 +165,27 @@ UdpLoadGen::run()
     Rng rng(cfg_.seed);
     const std::vector<double> flowCum =
         cumulative(traffic::shapeWeights(cfg_.shape, cfg_.numFlows, rng));
-    const std::vector<double> opCum = cumulative(
-        {cfg_.opcodeWeights[0], cfg_.opcodeWeights[1],
-         cfg_.opcodeWeights[2]});
+    const std::vector<double> opCum = cumulative(std::vector<double>(
+        cfg_.opcodeWeights.begin(), cfg_.opcodeWeights.end()));
     std::vector<std::vector<std::uint8_t>> payloads;
     for (std::uint8_t op = 0; op < wire::numOpcodes; ++op)
         payloads.push_back(payloadTemplate(
             static_cast<wire::Opcode>(op), cfg_.payloadBytes, rng));
+
+    // Flow-coherent opcode assignment: each flow draws its opcode once
+    // and keeps it for the run, so stateful handlers see single-app
+    // streams with consistent per-flow sequences.
+    std::vector<std::uint8_t> flowOpcode(cfg_.numFlows);
+    for (auto &op : flowOpcode)
+        op = static_cast<std::uint8_t>(pickIndex(opCum, rng.uniform()));
+    // Per-flow packet counters (sender thread only) and spin-bit state
+    // (receiver writes the reflected bit, sender reads it — the
+    // client-side half of the spin-bit RTT protocol).
+    std::vector<std::uint64_t> flowSeq(cfg_.numFlows, 0);
+    auto spinState =
+        std::make_unique<std::atomic<std::uint8_t>[]>(cfg_.numFlows);
+    for (unsigned f = 0; f < cfg_.numFlows; ++f)
+        spinState[f].store(1, std::memory_order_relaxed);
 
     LoadGenReport report;
     report.offeredPerSec = cfg_.ratePerSec;
@@ -246,6 +262,26 @@ UdpLoadGen::run()
                     if (hdr->status != wire::statusOk)
                         badStatus.fetch_add(
                             1, std::memory_order_relaxed);
+                    // Spin-bit client half: on seeing our bit
+                    // reflected, flip the flow's outgoing bit — one
+                    // client flip per round trip, so the server's edge
+                    // gaps measure real RTTs.
+                    if (hdr->opcode == wire::Opcode::SpinRtt &&
+                        hdr->status == wire::statusOk &&
+                        hdr->flowId % cfg_.numTenants == cfg_.tenantId) {
+                        const std::uint32_t f =
+                            (hdr->flowId - cfg_.tenantId) /
+                            cfg_.numTenants;
+                        const auto resp = app::decodeSpinResponse(
+                            d.bytes.data() +
+                                wire::ResponseHeader::wireSize,
+                            hdr->payloadLen);
+                        if (f < cfg_.numFlows && resp) {
+                            spinState[f].store(
+                                resp->spin ^ 1,
+                                std::memory_order_relaxed);
+                        }
+                    }
                     if (hdr->clientTimeNs >= warmupEndNs &&
                         now > hdr->clientTimeNs) {
                         const double latNs = static_cast<double>(
@@ -266,24 +302,42 @@ UdpLoadGen::run()
     std::vector<Datagram> out;
     std::uint8_t buf[wire::maxDatagramBytes];
 
+    std::uint8_t appPayload[64];
     const auto buildOne = [&] {
         wire::RequestHeader hdr;
-        hdr.opcode = static_cast<wire::Opcode>(
-            pickIndex(opCum, rng.uniform()));
+        const std::uint32_t f = static_cast<std::uint32_t>(
+            pickIndex(flowCum, rng.uniform()));
+        // The flow's opcode is fixed for the run (flow coherence).
+        hdr.opcode = static_cast<wire::Opcode>(flowOpcode[f]);
         hdr.seq = seq++;
         hdr.clientTimeNs = nowNs();
         // Stride the flow label so the server's tenant classifier
         // (flowId % numTenants) maps every request to cfg_.tenantId.
-        hdr.flowId =
-            cfg_.tenantId +
-            cfg_.numTenants *
-                static_cast<std::uint32_t>(
-                    pickIndex(flowCum, rng.uniform()));
-        const auto &payload =
-            payloads[static_cast<std::size_t>(hdr.opcode)];
-        hdr.payloadLen = static_cast<std::uint32_t>(payload.size());
+        hdr.flowId = cfg_.tenantId + cfg_.numTenants * f;
+        const std::uint8_t *payloadData = nullptr;
+        if (wire::isAppOpcode(hdr.opcode)) {
+            // Stateful apps get a synthesized, flow-coherent payload:
+            // conntrack emits open -> data... -> close cycles with
+            // per-connection seqnos; spin-rtt stamps the flow's
+            // current spin bit.
+            const auto kind = static_cast<app::AppKind>(
+                static_cast<std::uint8_t>(hdr.opcode) -
+                wire::firstAppOpcode);
+            const std::size_t n = app::synthesizeRequest(
+                kind, hdr.flowId, flowSeq[f],
+                spinState[f].load(std::memory_order_relaxed),
+                appPayload, sizeof(appPayload));
+            ++flowSeq[f];
+            hdr.payloadLen = static_cast<std::uint32_t>(n);
+            payloadData = appPayload;
+        } else {
+            const auto &payload =
+                payloads[static_cast<std::size_t>(hdr.opcode)];
+            hdr.payloadLen = static_cast<std::uint32_t>(payload.size());
+            payloadData = payload.data();
+        }
         const std::size_t n = wire::buildRequest(
-            buf, sizeof(buf), hdr, payload.data());
+            buf, sizeof(buf), hdr, payloadData);
         Datagram d;
         d.peer = server;
         d.bytes.assign(buf, buf + n);

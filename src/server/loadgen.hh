@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "server/wire.hh"
 #include "stats/histogram.hh"
 #include "traffic/shapes.hh"
 
@@ -72,8 +73,18 @@ struct LoadGenConfig
     unsigned tenantId = 0;
     unsigned numTenants = 1;
 
-    /** Request mix weights by opcode index (Echo, Encap, Steer). */
-    std::array<double, 3> opcodeWeights{1.0, 0.0, 0.0};
+    /**
+     * Request mix weights by opcode index (Echo, Encap, Steer,
+     * HeavyHitter, Conntrack, SpinRtt).  The mix is *flow-coherent*:
+     * each flow is assigned one opcode for its whole lifetime (drawn
+     * from these weights over the flow population), so stateful
+     * handlers see realistic single-app packet streams — a conntrack
+     * flow emits open -> data... -> close cycles with consistent
+     * seqnos, and a spin-rtt flow carries a coherent spin-bit signal
+     * that flips when the receiver observes the reflected bit.
+     */
+    std::array<double, wire::numOpcodes> opcodeWeights{1.0, 0.0, 0.0,
+                                                       0.0, 0.0, 0.0};
 
     /** Payload bytes per request (Encap sends a valid IPv4 packet of
      *  at least Ipv4Header::wireSize bytes). */

@@ -173,6 +173,18 @@ UdpServer::start()
         steerers_.push_back(std::make_unique<workloads::PacketSteering>(
             cfg_.fault.seed + w));
 
+    // Stateful app handlers (opcodes 3..5): one instance each, sharded
+    // by queue id so a flow's state is owned by the queue its crc32c
+    // hash steers it to.
+    apps_.clear();
+    {
+        app::AppConfig acfg = cfg_.app;
+        acfg.numShards = cfg_.numQueues;
+        for (unsigned k = 0; k < app::numAppKinds; ++k)
+            apps_.push_back(app::makeHandler(
+                static_cast<app::AppKind>(k), acfg));
+    }
+
     // Telemetry plane: sharded counters always exist (they replaced
     // the contended globals); the stage histograms and flight recorder
     // honour the enable switch.
@@ -806,7 +818,7 @@ UdpServer::handleBatch(QueueId qid, std::uint64_t n)
             tracer->begin(trace::Stage::Service, track, nowTicks(), qid,
                           req.hdr.seq);
         }
-        Response resp = makeResponse(track, req);
+        Response resp = makeResponse(track, qid, req);
         resp.rxNs = req.rxNs;
         resp.tenant = req.tenant;
         // doneNs == 0 tells TX to skip the service->tx and e2e
@@ -842,7 +854,7 @@ UdpServer::handleBatch(QueueId qid, std::uint64_t n)
 }
 
 UdpServer::Response
-UdpServer::makeResponse(unsigned worker, Request &req)
+UdpServer::makeResponse(unsigned worker, QueueId qid, Request &req)
 {
     wire::ResponseHeader rh;
     rh.opcode = req.hdr.opcode;
@@ -892,6 +904,34 @@ UdpServer::makeResponse(unsigned worker, Request &req)
                                                     req.hdr.flowId}));
         net::putBe32(framePayload + 4, dest);
         payloadLen = 8;
+        break;
+      }
+      case wire::Opcode::HeavyHitter:
+      case wire::Opcode::Conntrack:
+      case wire::Opcode::SpinRtt: {
+        // Stateful app dispatch: the shard is the queue id, so every
+        // flow's state lives with the queue its crc32c hash steered it
+        // to — no cross-core state access.  The output buffer ALIASES
+        // the request payload (in-place response build); handlers
+        // decode fully before writing, and never copy frame bytes, so
+        // the zero-copy tripwire stays untouched.
+        app::AppRequest areq;
+        areq.flowId = req.hdr.flowId;
+        areq.seq = req.hdr.seq;
+        areq.nowNs = nowNs();
+        areq.payload = req.payload();
+        areq.payloadLen = req.hdr.payloadLen;
+        const unsigned idx = static_cast<unsigned>(req.hdr.opcode) -
+                             wire::firstAppOpcode;
+        const app::AppResult ares = apps_[idx]->handle(
+            static_cast<unsigned>(qid), areq, framePayload,
+            req.frame.capacity() - wire::ResponseHeader::wireSize);
+        if (ares.ok) {
+            payloadLen = ares.payloadLen;
+        } else {
+            rh.status = wire::statusBadPayload;
+            payloadLen = 0;
+        }
         break;
       }
     }
@@ -1228,6 +1268,15 @@ UdpServer::watchdogLoop()
             }
         }
 
+        // ---- stateful app idle expiry: the watchdog drives every
+        //      handler's cross-shard sweep (handlers also expire
+        //      amortized in the data path) -----------------------------
+        {
+            const std::uint64_t sweepNs = nowNs();
+            for (auto &app : apps_)
+                app->sweepIdle(sweepNs);
+        }
+
         // ---- per-sweep telemetry: shed spikes, tenant thresholds,
         //      and flight-dump triggers -------------------------------
         const auto ld = [](const std::atomic<std::uint64_t> &c) {
@@ -1369,6 +1418,11 @@ UdpServer::registerStats(stats::Registry &reg, const std::string &prefix)
             total += static_cast<double>(p->copyEvents());
         return total;
     });
+
+    // Stateful app counters: server.app.<name>.* (handlers register
+    // their own; getters sum shards under the shard locks).
+    for (auto &app : apps_)
+        app->registerStats(reg, prefix + ".app." + app->name());
 
     // SIMD dispatch provenance: which kernel tier each hot function
     // resolved to (0 = scalar, 1 = sse, 2 = avx2).

@@ -64,6 +64,7 @@
 #include "telemetry/shard_stats.hh"
 #include "telemetry/telemetry_config.hh"
 #include "trace/trace.hh"
+#include "app/app.hh"
 #include "workloads/packet_steering.hh"
 
 namespace hyperplane {
@@ -174,6 +175,14 @@ struct ServerConfig
     std::size_t shedHighWatermark = 0;
 
     ServerFaultConfig fault;
+
+    /**
+     * Stateful application knobs (opcodes 3..5).  numShards is
+     * overridden with numQueues at start() so an app shard is exactly
+     * one task queue and every flow's state is owned by the queue its
+     * crc32c hash steers it to.
+     */
+    app::AppConfig app;
 
     /** Live telemetry plane (on by default; see TelemetryConfig). */
     telemetry::TelemetryConfig telemetry;
@@ -401,7 +410,7 @@ class UdpServer
     void txLoop(unsigned index);
     void watchdogLoop();
     void handleBatch(QueueId qid, std::uint64_t n);
-    Response makeResponse(unsigned worker, Request &req);
+    Response makeResponse(unsigned worker, QueueId qid, Request &req);
     /**
      * Fail-fast reject from RX steering: build a payload-free typed
      * reject response and enqueue it straight onto a TX queue, skipping
@@ -456,6 +465,8 @@ class UdpServer
         txQueues_;
     std::unique_ptr<emu::DataPlanePool> pool_;
     std::vector<std::unique_ptr<workloads::PacketSteering>> steerers_;
+    /** Stateful app handlers, indexed by app::AppKind; shard == qid. */
+    std::vector<std::unique_ptr<app::StatefulHandler>> apps_;
 
     std::vector<UdpSocket> rxSockets_;
     std::vector<UdpSocket> txSockets_;

@@ -77,6 +77,12 @@ toString(Opcode op)
         return "encap";
       case Opcode::Steer:
         return "steer";
+      case Opcode::HeavyHitter:
+        return "heavy-hitter";
+      case Opcode::Conntrack:
+        return "conntrack";
+      case Opcode::SpinRtt:
+        return "spin-rtt";
     }
     return "?";
 }

@@ -44,15 +44,44 @@ constexpr std::uint32_t requestMagic = 0x48505251;  // "HPRQ"
 constexpr std::uint32_t responseMagic = 0x48505253; // "HPRS"
 constexpr std::uint8_t wireVersion = 1;
 
-/** Request kinds the data plane serves. */
+/**
+ * Request kinds the data plane serves.
+ *
+ * Opcode space layout:
+ *   0..2   stateless packet ops (echo / encap / steer)
+ *   3..15  reserved for stateful applications (src/app); 3..5 are
+ *          assigned, 6..15 reserved for future apps and REJECTED today
+ *          by the same `opcode < numOpcodes` bound the SIMD precheck
+ *          enforces.  New app opcodes must be allocated contiguously so
+ *          that single-bound check stays sufficient.
+ *   16..   unassigned, rejected.
+ */
 enum class Opcode : std::uint8_t
 {
     Echo = 0,  ///< payload returned unchanged
     Encap = 1, ///< payload (an IPv4 packet) GRE-in-IPv6 encapsulated
     Steer = 2, ///< payload hashed to a session-affine destination
+    // --- stateful app range (dispatched to src/app handlers) ---------
+    HeavyHitter = 3, ///< count-min sketch update + promotion lookup
+    Conntrack = 4,   ///< connection-tracking NAT/LB verb
+    SpinRtt = 5,     ///< passive spin-bit RTT observation
 };
 
-constexpr std::uint8_t numOpcodes = 3;
+constexpr std::uint8_t numOpcodes = 6;
+
+/** First opcode dispatched to a stateful app handler. */
+constexpr std::uint8_t firstAppOpcode = 3;
+
+/** Reserved ceiling of the app opcode range (exclusive). */
+constexpr std::uint8_t appOpcodeRangeEnd = 16;
+
+/** True when @p op routes to a stateful app handler. */
+constexpr bool
+isAppOpcode(Opcode op)
+{
+    return static_cast<std::uint8_t>(op) >= firstAppOpcode &&
+           static_cast<std::uint8_t>(op) < numOpcodes;
+}
 
 const char *toString(Opcode op);
 

@@ -19,6 +19,8 @@ toString(Shape s)
         return "NC";
       case Shape::SQ:
         return "SQ";
+      case Shape::Zipf:
+        return "Zipf";
     }
     return "?";
 }
@@ -70,6 +72,22 @@ shapeWeights(Shape shape, unsigned numQueues, Rng &rng)
       case Shape::SQ:
         active[rng.uniformInt(numQueues)] = true;
         break;
+      case Shape::Zipf: {
+        // Every queue active; weight ~ 1/(rank+1) over shuffled ranks.
+        std::vector<unsigned> ids(numQueues);
+        for (unsigned i = 0; i < numQueues; ++i)
+            ids[i] = i;
+        rng.shuffle(ids);
+        std::vector<double> weights(numQueues, 0.0);
+        double sum = 0.0;
+        for (unsigned rank = 0; rank < numQueues; ++rank) {
+            weights[ids[rank]] = 1.0 / (rank + 1.0);
+            sum += weights[ids[rank]];
+        }
+        for (double &w : weights)
+            w /= sum;
+        return weights;
+      }
     }
 
     unsigned numActive = 0;

@@ -9,6 +9,13 @@
  *    the time; each remaining queue is active with probability 5%.
  *  - SQ (Single Queue): all traffic through one queue.
  *
+ * Plus one non-paper shape for the stateful app suite:
+ *
+ *  - Zipf: every queue active with weight proportional to 1/(rank+1)
+ *    over a shuffled rank assignment — the skewed flow-popularity
+ *    distribution the heavy-hitter bench needs (a few queues carry
+ *    most of the load, with a long light tail).
+ *
  * A shape maps to per-queue rate weights; the Poisson source splits the
  * total offered rate across queues proportionally to the weights.
  */
@@ -25,18 +32,23 @@
 namespace hyperplane {
 namespace traffic {
 
-/** The four traffic shapes of the evaluation. */
+/** The four traffic shapes of the evaluation, plus Zipf. */
 enum class Shape : std::uint8_t
 {
-    FB, ///< fully balanced
-    PC, ///< proportionally concentrated
-    NC, ///< non-proportionally concentrated
-    SQ, ///< single queue
+    FB,   ///< fully balanced
+    PC,   ///< proportionally concentrated
+    NC,   ///< non-proportionally concentrated
+    SQ,   ///< single queue
+    Zipf, ///< zipfian popularity skew (stateful app benches)
 };
 
 const char *toString(Shape s);
 
-/** All four shapes in the paper's order. */
+/**
+ * The four paper shapes in the paper's order.  Zipf is deliberately
+ * NOT here: figure reproductions iterate this list and its membership
+ * is part of the golden-output contract.
+ */
 const std::vector<Shape> &allShapes();
 
 /**

@@ -1,0 +1,149 @@
+#include "workloads/stateful_app.hh"
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace hyperplane {
+namespace workloads {
+
+namespace {
+
+/** Base service cost per app, before per-state-op charges. */
+Tick
+baseCycles(app::AppKind k)
+{
+    switch (k) {
+      case app::AppKind::HeavyHitter:
+        return 2600; // sketch row probes dominate
+      case app::AppKind::ConntrackLb:
+        return 2200; // one table lookup + tuple hash
+      case app::AppKind::SpinRtt:
+        return 1800; // one-bit inspection + flow record
+    }
+    return 2000;
+}
+
+} // namespace
+
+StatefulApp::StatefulApp(app::AppKind appKind, std::uint64_t seed,
+                         unsigned numShards)
+    : appKind_(appKind)
+{
+    hp_assert(numShards > 0, "need at least one shard");
+    app::AppConfig cfg;
+    cfg.numShards = numShards;
+    cfg.seed = seed;
+    handler_ = app::makeHandler(appKind, cfg);
+    synth_.resize(numShards);
+}
+
+Kind
+StatefulApp::kind() const
+{
+    switch (appKind_) {
+      case app::AppKind::HeavyHitter:
+        return Kind::HeavyHitter;
+      case app::AppKind::ConntrackLb:
+        return Kind::ConntrackLb;
+      case app::AppKind::SpinRtt:
+        return Kind::SpinRtt;
+    }
+    hp_panic("unknown app kind");
+}
+
+Tick
+StatefulApp::onItem(const queueing::WorkItem &item)
+{
+    ShardSynth &shard = synth_[item.qid % synth_.size()];
+    FlowSynth &flow = shard.flows[item.flowId];
+
+    std::uint8_t payload[64];
+    const std::size_t payloadLen = app::synthesizeRequest(
+        appKind_, item.flowId, flow.seq, flow.spin, payload,
+        sizeof(payload));
+
+    app::AppRequest req;
+    req.flowId = item.flowId;
+    req.seq = flow.seq;
+    req.nowNs =
+        static_cast<std::uint64_t>(item.arrivalTick / cyclesPerNs);
+    req.payload = payload;
+    req.payloadLen = static_cast<std::uint32_t>(payloadLen);
+
+    std::uint8_t out[64];
+    const app::AppResult res = handler_->handle(
+        static_cast<unsigned>(item.qid % synth_.size()), req, out,
+        sizeof(out));
+
+    ++flow.seq;
+    if (appKind_ == app::AppKind::SpinRtt &&
+        flow.seq % app::spinFlipPeriod == 0) {
+        flow.spin ^= 1;
+    }
+    ++shard.processed;
+    if (res.ok)
+        ++shard.handledOk;
+
+    return baseCycles(appKind_) + res.opCost * cyclesPerStateOp;
+}
+
+void
+StatefulApp::execute(const queueing::WorkItem &item)
+{
+    onItem(item);
+}
+
+Tick
+StatefulApp::serviceCycles(const queueing::WorkItem &) const
+{
+    return baseCycles(appKind_);
+}
+
+unsigned
+StatefulApp::dataLines(const queueing::WorkItem &) const
+{
+    switch (appKind_) {
+      case app::AppKind::HeavyHitter:
+        return 6; // depth sketch lines + promotion-table probe
+      case app::AppKind::ConntrackLb:
+        return 3; // one connection entry + bucket metadata
+      case app::AppKind::SpinRtt:
+        return 2; // flow record + histogram bin
+    }
+    return 2;
+}
+
+std::uint32_t
+StatefulApp::defaultPayloadBytes() const
+{
+    switch (appKind_) {
+      case app::AppKind::HeavyHitter:
+        return app::HhRequest::wireSize;
+      case app::AppKind::ConntrackLb:
+        return app::CtRequest::wireSize;
+      case app::AppKind::SpinRtt:
+        return app::SpinRequest::wireSize;
+    }
+    return 0;
+}
+
+std::uint64_t
+StatefulApp::processed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : synth_)
+        n += s.processed;
+    return n;
+}
+
+std::uint64_t
+StatefulApp::handledOk() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : synth_)
+        n += s.handledOk;
+    return n;
+}
+
+} // namespace workloads
+} // namespace hyperplane

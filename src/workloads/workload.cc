@@ -7,6 +7,7 @@
 #include "workloads/packet_steering.hh"
 #include "workloads/raid_protection.hh"
 #include "workloads/request_dispatching.hh"
+#include "workloads/stateful_app.hh"
 
 namespace hyperplane {
 namespace workloads {
@@ -27,6 +28,12 @@ toString(Kind k)
         return "raid-protection";
       case Kind::RequestDispatching:
         return "request-dispatching";
+      case Kind::HeavyHitter:
+        return "app-heavy-hitter";
+      case Kind::ConntrackLb:
+        return "app-conntrack-lb";
+      case Kind::SpinRtt:
+        return "app-spin-rtt";
     }
     return "?";
 }
@@ -42,8 +49,19 @@ allKinds()
     return kinds;
 }
 
+const std::vector<Kind> &
+appKinds()
+{
+    static const std::vector<Kind> kinds = {
+        Kind::HeavyHitter,
+        Kind::ConntrackLb,
+        Kind::SpinRtt,
+    };
+    return kinds;
+}
+
 std::unique_ptr<Workload>
-makeWorkload(Kind kind, std::uint64_t seed)
+makeWorkload(Kind kind, std::uint64_t seed, unsigned numShards)
 {
     switch (kind) {
       case Kind::PacketEncapsulation:
@@ -58,6 +76,15 @@ makeWorkload(Kind kind, std::uint64_t seed)
         return std::make_unique<RaidProtection>(seed);
       case Kind::RequestDispatching:
         return std::make_unique<RequestDispatching>(seed);
+      case Kind::HeavyHitter:
+        return std::make_unique<StatefulApp>(app::AppKind::HeavyHitter,
+                                             seed, numShards);
+      case Kind::ConntrackLb:
+        return std::make_unique<StatefulApp>(app::AppKind::ConntrackLb,
+                                             seed, numShards);
+      case Kind::SpinRtt:
+        return std::make_unique<StatefulApp>(app::AppKind::SpinRtt, seed,
+                                             numShards);
     }
     hp_panic("unknown workload kind");
 }

@@ -29,7 +29,10 @@
 namespace hyperplane {
 namespace workloads {
 
-/** The six evaluation tasks. */
+/**
+ * The six evaluation tasks of the paper, plus the three stateful
+ * applications of src/app wrapped as simulator workloads.
+ */
 enum class Kind : std::uint8_t
 {
     PacketEncapsulation,
@@ -38,12 +41,24 @@ enum class Kind : std::uint8_t
     ErasureCoding,
     RaidProtection,
     RequestDispatching,
+    // --- stateful app suite (src/app handlers behind Workload) -------
+    HeavyHitter,
+    ConntrackLb,
+    SpinRtt,
 };
 
 const char *toString(Kind k);
 
-/** All six kinds, in the paper's presentation order. */
+/**
+ * The six paper kinds, in the paper's presentation order.  The
+ * stateful app kinds are deliberately NOT here: every figure
+ * reproduction iterates this list, and its membership is part of the
+ * golden-output contract.
+ */
 const std::vector<Kind> &allKinds();
+
+/** The three stateful app kinds (bench/ext_app_path sweeps these). */
+const std::vector<Kind> &appKinds();
 
 /** A data-plane task. */
 class Workload
@@ -65,6 +80,17 @@ class Workload
     virtual Tick serviceCycles(const queueing::WorkItem &item) const = 0;
 
     /**
+     * Simulation hook: process one item AND return its service cycles.
+     * The default forwards to serviceCycles() — bit-identical timing
+     * for the stateless paper workloads.  Stateful workloads override
+     * it to mutate per-flow state and charge state-dependent cost.
+     */
+    virtual Tick onItem(const queueing::WorkItem &item)
+    {
+        return serviceCycles(item);
+    }
+
+    /**
      * Cache lines of task data touched per item (buffer reads/writes the
      * simulation issues against the memory system).
      */
@@ -74,9 +100,17 @@ class Workload
     virtual std::uint32_t defaultPayloadBytes() const = 0;
 };
 
-/** Factory. @param seed Seeds any internal state (keys, tables). */
+/**
+ * Factory.
+ * @param seed      Seeds any internal state (keys, tables).
+ * @param numShards State partitions for the stateful app kinds; the
+ *                  SDP system passes its queue count so shard == queue
+ *                  id and state stays cluster-local.  Ignored by the
+ *                  stateless paper workloads.
+ */
 std::unique_ptr<Workload> makeWorkload(Kind kind,
-                                       std::uint64_t seed = 12345);
+                                       std::uint64_t seed = 12345,
+                                       unsigned numShards = 1024);
 
 namespace detail {
 

@@ -332,6 +332,50 @@ TEST(ServerLoopback, TinyFramePoolStaysGracefulUnderLoad)
     EXPECT_EQ(reg.value("server.pool.frames_total"), 8.0);
 }
 
+TEST(ServerLoopback, StatefulAppsServeFlowCoherentTraffic)
+{
+    // The three stateful apps behind real wire opcodes 3..5, driven by
+    // the flow-coherent generator: every flow sticks to one app, so
+    // conntrack sees whole open->data->close cycles and spin-rtt sees
+    // a coherent spin signal the client flips on each reflection.
+    ServerConfig cfg;
+    cfg.rxThreads = 2;
+    cfg.workers = 2;
+    cfg.numQueues = 8;
+    UdpServer srv(cfg);
+    START_OR_SKIP(srv);
+
+    LoadGenConfig lg = loadgenFor(srv, 12000.0, 0.5);
+    lg.opcodeWeights = {0.0, 0.0, 0.0, 0.34, 0.33, 0.33};
+    auto report = UdpLoadGen(lg).run();
+    ASSERT_TRUE(report.has_value());
+    EXPECT_TRUE(srv.stop());
+
+    ASSERT_GT(report->sent, 0u);
+    EXPECT_GE(report->completionRatio, 0.999);
+    // Synthesized payloads always decode: no bad statuses, and the
+    // handlers' own parsers never fired their fail-closed path.
+    EXPECT_EQ(report->badStatus, 0u);
+    EXPECT_EQ(report->parseErrors, 0u);
+
+    const ServerCounterSnapshot s = srv.counterSnapshot();
+    ASSERT_GT(s.served, 0u);
+    // App responses are built over the request frame in place.
+    EXPECT_EQ(s.payloadCopies, 0u);
+
+    stats::Registry reg;
+    srv.registerStats(reg);
+    EXPECT_GT(reg.value("server.app.heavy_hitter.updates"), 0.0);
+    EXPECT_GT(reg.value("server.app.conntrack.opens"), 0.0);
+    // ~60 packets per flow: the spin flows observed many reflected
+    // flips, so edges and at least one RTT sample must exist.
+    EXPECT_GT(reg.value("server.app.spin_rtt.edges"), 0.0);
+    EXPECT_GT(reg.value("server.app.spin_rtt.samples"), 0.0);
+    EXPECT_EQ(reg.value("server.app.heavy_hitter.decode_errors"), 0.0);
+    EXPECT_EQ(reg.value("server.app.conntrack.decode_errors"), 0.0);
+    EXPECT_EQ(reg.value("server.app.spin_rtt.decode_errors"), 0.0);
+}
+
 TEST(ServerLoopback, MalformedDatagramsAreCountedNotServed)
 {
     ServerConfig cfg;

@@ -191,6 +191,91 @@ TEST(ServerWire, ParseRejectsWrongMagicVersionOpcode)
     EXPECT_FALSE(wire::parseRequest(tampered, n).has_value());
 }
 
+TEST(ServerWire, AppOpcodeSpaceIsExactlyThreeAssigned)
+{
+    // The opcode space: 0..2 stateless, 3..5 the stateful app suite,
+    // 6..15 reserved for future apps (rejected until assigned), >= 16
+    // unassigned.  The single `opcode < numOpcodes` bound enforces all
+    // of it, so precheck and full parse agree by construction.
+    static_assert(wire::firstAppOpcode == 3);
+    static_assert(wire::numOpcodes == 6);
+    static_assert(wire::appOpcodeRangeEnd == 16);
+    static_assert(wire::isAppOpcode(wire::Opcode::HeavyHitter));
+    static_assert(wire::isAppOpcode(wire::Opcode::Conntrack));
+    static_assert(wire::isAppOpcode(wire::Opcode::SpinRtt));
+    static_assert(!wire::isAppOpcode(wire::Opcode::Echo));
+    static_assert(!wire::isAppOpcode(wire::Opcode::Encap));
+    static_assert(!wire::isAppOpcode(wire::Opcode::Steer));
+
+    EXPECT_STREQ(wire::toString(wire::Opcode::HeavyHitter),
+                 "heavy-hitter");
+    EXPECT_STREQ(wire::toString(wire::Opcode::Conntrack), "conntrack");
+    EXPECT_STREQ(wire::toString(wire::Opcode::SpinRtt), "spin-rtt");
+
+    // Assigned app opcodes build + parse; every reserved or unassigned
+    // value fails closed, through both the scalar parser and the SIMD
+    // precheck the RX path actually runs.
+    for (unsigned op = 0; op < 256; ++op) {
+        auto hdr = sampleRequest(8);
+        hdr.opcode = static_cast<wire::Opcode>(op);
+        const auto payload = somePayload(8);
+        std::uint8_t buf[wire::maxDatagramBytes];
+        const std::size_t n =
+            wire::buildRequest(buf, sizeof(buf), hdr, payload.data());
+        if (op >= wire::numOpcodes) {
+            // buildRequest may refuse outright or emit a datagram the
+            // parser rejects; either way nothing out-of-range passes.
+            if (n == 0)
+                continue;
+        }
+        ASSERT_GT(n, 0u) << "opcode " << op;
+
+        const auto parsed = wire::parseRequest(buf, n);
+        const std::uint8_t *pkts[1] = {buf};
+        const std::uint32_t lens[1] = {static_cast<std::uint32_t>(n)};
+        std::uint8_t ok[1] = {};
+        wire::precheckRequests(pkts, lens, 1, ok);
+        EXPECT_EQ(parsed.has_value(), op < wire::numOpcodes)
+            << "opcode " << op;
+        EXPECT_EQ(ok[0] != 0, op < wire::numOpcodes) << "opcode " << op;
+    }
+}
+
+TEST(ServerWire, AppRequestHeadersFuzzRoundTrip)
+{
+    // Request headers carrying the new app opcodes with app-sized
+    // payloads round-trip through build/parse; bit flips fail closed —
+    // the same guarantees the stateless opcodes already had.
+    Rng rng(0x41505046);
+    for (int iter = 0; iter < 300; ++iter) {
+        const unsigned op =
+            wire::firstAppOpcode +
+            rng.uniformInt(wire::numOpcodes - wire::firstAppOpcode);
+        const std::uint32_t plen = rng.uniformInt(64);
+        auto hdr = sampleRequest(plen);
+        hdr.opcode = static_cast<wire::Opcode>(op);
+        hdr.flowId = static_cast<std::uint32_t>(rng.next());
+        hdr.seq = rng.next();
+        const auto payload = somePayload(plen);
+        std::uint8_t buf[wire::maxDatagramBytes];
+        const std::size_t n = wire::buildRequest(
+            buf, sizeof(buf), hdr, plen ? payload.data() : nullptr);
+        ASSERT_GT(n, 0u);
+
+        const auto p = wire::parseRequest(buf, n);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_EQ(static_cast<unsigned>(p->opcode), op);
+        EXPECT_EQ(p->flowId, hdr.flowId);
+        EXPECT_EQ(p->seq, hdr.seq);
+        EXPECT_EQ(p->payloadLen, plen);
+
+        std::uint8_t bad[wire::maxDatagramBytes];
+        std::memcpy(bad, buf, n);
+        bad[rng.uniformInt(n)] ^= 1u << rng.uniformInt(8);
+        EXPECT_FALSE(wire::parseRequest(bad, n).has_value());
+    }
+}
+
 TEST(ServerWire, RandomBytesNeverParse)
 {
     // Fuzz: random datagrams must be rejected (the 16-bit checksum plus
